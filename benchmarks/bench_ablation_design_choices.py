@@ -1,0 +1,126 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Beyond the paper's own GreedyInit ablation (Figs. 7/8), these quantify:
+
+1. forward+backward scoring vs forward-only (the directed-graph argument
+   of Secs. 1/2.3);
+2. CCD refinement vs SVD-init-only (how much work CCD actually does);
+3. the unsupervised clustering quality of the embeddings (extension task);
+4. CCD early stopping (tolerance) vs the fixed iteration budget.
+"""
+
+import numpy as np
+
+from repro.core.affinity import apmi
+from repro.core.greedy_init import greedy_init
+from repro.core.pane import PANE
+from repro.core.svd_ccd import refine_tracked
+from repro.eval.datasets import load_dataset
+from repro.eval.reporting import format_table
+from repro.tasks.clustering import NodeClusteringTask
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.metrics import area_under_roc
+
+K = 32
+
+
+def test_ablation_direction_scoring(benchmark, report):
+    """Eq. 22's bidirectional scoring vs a forward-only inner product."""
+    rows = {}
+    for dataset in ("cora_sim", "tweibo_sim"):
+        graph = load_dataset(dataset)
+        task = LinkPredictionTask(graph, seed=0)
+        embedding = PANE(k=K, seed=0).fit(task.split.residual_graph)
+
+        full_auc = task.evaluate_embedding(embedding).auc
+        forward_only = area_under_roc(
+            task.split.test_labels,
+            np.einsum(
+                "ij,ij->i",
+                embedding.x_forward[task.split.test_sources],
+                embedding.x_forward[task.split.test_targets],
+            ),
+        )
+        rows[dataset] = {"fwd+bwd (Eq.22)": full_auc, "fwd only": forward_only}
+        assert full_auc > forward_only, dataset
+
+    benchmark.pedantic(
+        lambda: PANE(k=K, seed=0).fit(load_dataset("cora_sim")),
+        rounds=1, iterations=1,
+    )
+    report(format_table(rows, title="Ablation — directed scoring, link AUC"))
+
+
+def test_ablation_ccd_refinement_value(benchmark, report):
+    """How much the CCD sweeps improve over the SVD seed alone."""
+    graph = load_dataset("cora_sim")
+    pair = apmi(graph, 0.5, 0.015)
+
+    def run():
+        state = greedy_init(pair.forward, pair.backward, K, seed=0)
+        return refine_tracked(state, 6)
+
+    _, history = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = {
+        f"after sweep {i}": {"objective": value}
+        for i, value in enumerate(history)
+    }
+    report(format_table(rows, title="Ablation — Eq. 4 objective per CCD sweep", precision=1))
+    assert history[-1] < history[0]  # CCD refines beyond the greedy seed
+    drops = np.diff(history)
+    assert np.all(drops <= 1e-6)  # monotone descent
+
+
+def test_ablation_clustering_quality(benchmark, report):
+    """Unsupervised community recovery (extension task, NMI)."""
+    rows = {}
+    for dataset in ("cora_sim", "tweibo_sim"):
+        graph = load_dataset(dataset)
+        task = NodeClusteringTask(graph, seed=0)
+        pane_nmi = task.evaluate(PANE(k=K, seed=0)).nmi
+        rng = np.random.default_rng(0)
+        random_nmi = task.evaluate_features(
+            rng.standard_normal((graph.n_nodes, K))
+        ).nmi
+        rows[dataset] = {"PANE NMI": pane_nmi, "random NMI": random_nmi}
+        assert pane_nmi > random_nmi, dataset
+
+    benchmark.pedantic(
+        lambda: NodeClusteringTask(load_dataset("cora_sim"), seed=0).evaluate(
+            PANE(k=K, seed=0)
+        ),
+        rounds=1, iterations=1,
+    )
+    report(format_table(rows, title="Ablation — k-means clustering NMI"))
+
+
+def test_ablation_early_stopping(benchmark, report):
+    """Tolerance-based CCD stop: quality preserved, sweeps saved."""
+    graph = load_dataset("pubmed_sim")
+    task = LinkPredictionTask(graph, seed=0)
+    pair = apmi(task.split.residual_graph, 0.5, 0.015)
+
+    def fit_with(tolerance):
+        state = greedy_init(pair.forward, pair.backward, K, seed=0)
+        from repro.core.svd_ccd import refine
+
+        refine(state, 12, tolerance=tolerance)
+        from repro.core.pane import PANEEmbedding
+        from repro.core.config import PANEConfig
+
+        return PANEEmbedding(
+            state.x_forward, state.x_backward, state.y, PANEConfig(k=K)
+        )
+
+    full = task.evaluate_embedding(fit_with(None)).auc
+    stopped = benchmark.pedantic(
+        lambda: task.evaluate_embedding(fit_with(1e-3)).auc,
+        rounds=1, iterations=1,
+    )
+    report(
+        format_table(
+            {"pubmed_sim": {"12 sweeps": full, "tol=1e-3": stopped}},
+            title="Ablation — CCD early stopping, link AUC",
+        )
+    )
+    assert abs(full - stopped) < 0.02

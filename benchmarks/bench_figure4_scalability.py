@@ -1,0 +1,74 @@
+"""Figure 4 — PANE efficiency vs nb (4a), k (4b), and ϵ (4c).
+
+Expected shapes: speedup grows with nb (sub-linear in Python, linear in
+the paper's C-backed BLAS); time grows slowly with k; time drops roughly
+log-linearly as ϵ grows (t = O(log 1/ϵ) iterations).
+"""
+
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.eval.figures import (
+    speedup_from_seconds,
+    sweep_epsilon,
+    sweep_threads,
+    sweep_time_vs_k,
+)
+from repro.eval.reporting import format_series
+
+DATASET = "tweibo_sim"  # the paper sweeps Google+/TWeibo here
+
+
+def test_figure4a_speedup_vs_threads(benchmark, report):
+    _, seconds = sweep_threads(DATASET, (1, 2, 4), k=32, task="link")
+    speedups = speedup_from_seconds(seconds)
+    report(
+        format_series(
+            {"seconds": seconds, "speedup": speedups},
+            title=f"Figure 4a — {DATASET}: PANE time/speedup vs nb",
+            x_label="nb",
+        )
+    )
+    benchmark.pedantic(
+        lambda: PANE(k=32, seed=0, n_threads=4).fit(load_dataset(DATASET)),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(s > 0 for s in seconds.values())
+
+
+def test_figure4b_time_vs_k(benchmark, report):
+    seconds = sweep_time_vs_k(DATASET, (16, 32, 64), n_threads=2)
+    report(
+        format_series(
+            {"seconds": seconds},
+            title=f"Figure 4b — {DATASET}: PANE time vs k",
+            x_label="k",
+        )
+    )
+    benchmark.pedantic(
+        lambda: PANE(k=64, seed=0, n_threads=2).fit(load_dataset(DATASET)),
+        rounds=1,
+        iterations=1,
+    )
+    # shape: time grows with k but stays the same order of magnitude
+    assert seconds[64.0] < 20 * max(seconds[16.0], 1e-3)
+
+
+def test_figure4c_time_vs_epsilon(benchmark, report):
+    quality, seconds = sweep_epsilon(
+        DATASET, (0.001, 0.015, 0.25), k=32, task="link"
+    )
+    report(
+        format_series(
+            {"seconds": seconds, "AUC": quality},
+            title=f"Figure 4c — {DATASET}: PANE time and AUC vs epsilon",
+            x_label="eps",
+        )
+    )
+    benchmark.pedantic(
+        lambda: PANE(k=32, epsilon=0.015, seed=0).fit(load_dataset(DATASET)),
+        rounds=1,
+        iterations=1,
+    )
+    # shape: looser epsilon (fewer iterations) must be faster
+    assert seconds[0.25] < seconds[0.001]

@@ -1,0 +1,71 @@
+"""Figure 6 — link-prediction AUC varying k, nb, ϵ and α.
+
+Same sweeps as Figure 5, evaluated on the link-prediction protocol.
+"""
+
+import pytest
+
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.eval.figures import sweep_alpha, sweep_epsilon, sweep_k, sweep_threads
+from repro.eval.reporting import format_series
+
+DATASETS_SWEPT = ["cora_sim", "citeseer_sim", "flickr_sim"]
+TASK = "link"
+
+
+def test_figure6a_auc_vs_k(benchmark, report):
+    series = {d: sweep_k(d, (16, 32, 64), task=TASK) for d in DATASETS_SWEPT}
+    report(format_series(series, title="Figure 6a — link prediction AUC vs k", x_label="k"))
+    benchmark.pedantic(
+        lambda: PANE(k=64, seed=0).fit(load_dataset("cora_sim")),
+        rounds=1, iterations=1,
+    )
+    for dataset, curve in series.items():
+        ks = sorted(curve)
+        assert curve[ks[-1]] >= curve[ks[0]] - 0.05, dataset
+
+
+def test_figure6b_auc_vs_threads(benchmark, report):
+    series = {}
+    for dataset in DATASETS_SWEPT:
+        quality, _ = sweep_threads(dataset, (1, 2, 4), k=32, task=TASK)
+        series[dataset] = quality
+    report(format_series(series, title="Figure 6b — link prediction AUC vs nb", x_label="nb"))
+    benchmark.pedantic(
+        lambda: PANE(k=32, seed=0, n_threads=4).fit(load_dataset("cora_sim")),
+        rounds=1, iterations=1,
+    )
+    for dataset, curve in series.items():
+        assert abs(curve[1.0] - curve[4.0]) < 0.08, dataset
+
+
+def test_figure6c_auc_vs_epsilon(benchmark, report):
+    series = {}
+    for dataset in DATASETS_SWEPT:
+        quality, _ = sweep_epsilon(dataset, (0.005, 0.05, 0.25), k=32, task=TASK)
+        series[dataset] = quality
+    report(format_series(series, title="Figure 6c — link prediction AUC vs eps", x_label="eps"))
+    benchmark.pedantic(
+        lambda: PANE(k=32, epsilon=0.05, seed=0).fit(load_dataset("cora_sim")),
+        rounds=1, iterations=1,
+    )
+    for dataset, curve in series.items():
+        assert abs(curve[0.005] - curve[0.05]) < 0.1, dataset
+
+
+@pytest.mark.parametrize("dataset", DATASETS_SWEPT)
+def test_figure6d_auc_vs_alpha(dataset, benchmark, report):
+    curve = sweep_alpha(dataset, (0.1, 0.5, 0.9), k=32, task=TASK)
+    report(
+        format_series(
+            {dataset: curve},
+            title=f"Figure 6d — {dataset}: link prediction AUC vs alpha",
+            x_label="alpha",
+        )
+    )
+    benchmark.pedantic(
+        lambda: PANE(k=32, alpha=0.5, seed=0).fit(load_dataset(dataset)),
+        rounds=1, iterations=1,
+    )
+    assert curve[0.5] >= min(curve.values())

@@ -1,0 +1,31 @@
+"""Figure 8 — GreedyInit vs random init (PANE-R), attribute inference.
+
+Same ablation as Figure 7 on the attribute-inference protocol.
+"""
+
+import pytest
+
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.eval.figures import greedy_init_comparison
+
+DATASETS_SWEPT = ["facebook_sim", "pubmed_sim", "flickr_sim"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS_SWEPT)
+def test_figure8_greedy_init_attribute_inference(dataset, benchmark, report):
+    frontier = greedy_init_comparison(dataset, (1, 2, 5), k=32, task="attribute")
+
+    lines = [f"Figure 8 — {dataset}: time (s) vs AUC, attribute inference"]
+    for method, points in frontier.items():
+        formatted = "  ".join(f"({t:.2f}s, {auc:.3f})" for t, auc in points)
+        lines.append(f"  {method:8s} {formatted}")
+    report("\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: PANE(k=32, ccd_iterations=5, seed=0).fit(load_dataset(dataset)),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert frontier["PANE"][0][1] > frontier["PANE-R"][0][1], dataset

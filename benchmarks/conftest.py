@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper on the synthetic
+dataset analogues (see DESIGN.md §2) and prints the rows next to the
+paper's published numbers, so shape comparisons are one glance away.
+Timing of a representative kernel goes through pytest-benchmark.
+
+The paper's reference numbers live in ``repro.eval.paper_numbers`` and are
+re-exported here under the names the bench files use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paper_numbers import TABLE4_AUC as PAPER_TABLE4_AUC  # noqa: F401
+from repro.eval.paper_numbers import TABLE5_AUC as PAPER_TABLE5_AUC  # noqa: F401
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print through pytest's capture so tables reach the terminal."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

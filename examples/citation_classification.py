@@ -1,0 +1,43 @@
+"""Node classification on a citation network (the paper's Fig. 2 workload).
+
+Papers cite earlier papers on the same topic; the task is recovering each
+paper's topic from its embedding.  Compares PANE against topology-only and
+naive baselines across training-set sizes.
+
+Run:  python examples/citation_classification.py
+"""
+
+from repro import PANE, citation_graph
+from repro.baselines import NRP, SpectralConcat
+from repro.eval.reporting import format_series
+from repro.tasks import NodeClassificationTask
+
+graph = citation_graph(
+    n_nodes=600, n_attributes=150, n_topics=6, attribute_focus=0.7, seed=42
+)
+print("citation graph:", graph.summary())
+
+task = NodeClassificationTask(
+    graph, train_fractions=(0.1, 0.3, 0.5, 0.7, 0.9), n_repeats=2, seed=0
+)
+
+series = {}
+for name, model in (
+    ("PANE", PANE(k=32, seed=0)),
+    ("NRP (topology only)", NRP(k=32, seed=0)),
+    ("Spectral [A|R]", SpectralConcat(k=32, seed=0)),
+):
+    result = task.evaluate(model)
+    series[name] = result.as_series()
+
+print()
+print(
+    format_series(
+        series,
+        title="Micro-F1 vs training fraction (cf. paper Fig. 2)",
+        x_label="train %",
+    )
+)
+print()
+print("Expected shape: PANE dominates at every training fraction, and the")
+print("gap is widest when little training data is available.")

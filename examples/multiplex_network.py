@@ -1,0 +1,50 @@
+"""Heterogeneous (multiplex) network embedding — GATNE-style PANE.
+
+A social platform has two edge types ("follows", "mentions") with
+different community structure.  MultiplexPANE embeds each layer with PANE
+and concatenates, so typed link prediction uses the right layer's
+geometry.
+
+Run:  python examples/multiplex_network.py
+"""
+
+import numpy as np
+
+from repro.hetero import MultiplexAttributedGraph, MultiplexPANE, multiplex_sbm
+from repro.tasks.metrics import area_under_roc
+from repro.tasks.splits import split_edges
+
+multiplex = multiplex_sbm(
+    n_nodes=400, n_communities=4, n_attributes=80,
+    edge_types=("follows", "mentions"), seed=9,
+)
+print("layers:", {t: int(a.nnz) for t, a in multiplex.layers.items()}, "edges")
+
+# hold out 30% of "follows" edges for typed link prediction
+follows = multiplex.layer_graph("follows")
+split = split_edges(follows, 0.3, seed=0)
+residual = MultiplexAttributedGraph(
+    layers={
+        "follows": split.residual_graph.adjacency,
+        "mentions": multiplex.layers["mentions"],
+    },
+    attributes=multiplex.attributes,
+    directed=True,
+    labels=multiplex.labels,
+)
+
+embedding = MultiplexPANE(k=32, seed=0).fit(residual)
+
+for edge_type in residual.edge_types:
+    auc = area_under_roc(
+        split.test_labels,
+        embedding.score_links(edge_type, split.test_sources, split.test_targets),
+    )
+    marker = "  <- correct layer" if edge_type == "follows" else ""
+    print(f"predict held-out 'follows' edges with {edge_type!r} layer: "
+          f"AUC={auc:.3f}{marker}")
+
+features = embedding.node_features()
+print(f"\nconcatenated multiplex node features: {features.shape}")
+print("Expected shape: the matching layer's embedding wins typed link")
+print("prediction; the concatenation serves classification across layers.")

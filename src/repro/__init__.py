@@ -1,0 +1,40 @@
+"""repro — a reproduction of PANE (Yang et al., *Scaling Attributed Network
+Embedding to Massive Graphs*, VLDB 2020).
+
+Public API highlights:
+
+- :class:`repro.PANE` / :class:`repro.PANEConfig` — the embedding algorithm.
+- :class:`repro.AttributedGraph` and the generators in :mod:`repro.graph`.
+- Evaluation tasks in :mod:`repro.tasks` (attribute inference, link
+  prediction, node classification).
+- Competitor methods in :mod:`repro.baselines`.
+- The paper's experiment harness in :mod:`repro.eval`.
+"""
+
+from repro.core import PANE, PANEConfig, PANEEmbedding, apmi, exact_affinity, randsvd
+from repro.graph import (
+    AttributedGraph,
+    attributed_sbm,
+    citation_graph,
+    power_law_attributed,
+    random_attributed_graph,
+    running_example_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PANE",
+    "PANEConfig",
+    "PANEEmbedding",
+    "AttributedGraph",
+    "apmi",
+    "exact_affinity",
+    "randsvd",
+    "attributed_sbm",
+    "citation_graph",
+    "power_law_attributed",
+    "random_attributed_graph",
+    "running_example_graph",
+    "__version__",
+]

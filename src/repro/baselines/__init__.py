@@ -1,0 +1,38 @@
+"""Competitor embedding methods (paper Sec. 5.1, "Baselines").
+
+The factorization family is implemented fully; the deep-learning family is
+represented by :class:`CANLite`, a pure-numpy linear graph-convolutional
+autoencoder (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from repro.baselines.base import BaseEmbeddingModel
+from repro.baselines.aane import AANE
+from repro.baselines.bane import BANE
+from repro.baselines.bla import BLA
+from repro.baselines.can_lite import CANLite
+from repro.baselines.dgi_lite import DGILite
+from repro.baselines.lqanr import LQANR
+from repro.baselines.netmf import NetMF
+from repro.baselines.nrp import NRP
+from repro.baselines.pane_random_init import PANERandomInit
+from repro.baselines.prre import PRRE
+from repro.baselines.random_embedding import RandomEmbedding
+from repro.baselines.spectral import SpectralConcat
+from repro.baselines.tadw import TADW
+
+__all__ = [
+    "BaseEmbeddingModel",
+    "AANE",
+    "BANE",
+    "BLA",
+    "CANLite",
+    "DGILite",
+    "LQANR",
+    "NetMF",
+    "NRP",
+    "PANERandomInit",
+    "PRRE",
+    "RandomEmbedding",
+    "SpectralConcat",
+    "TADW",
+]

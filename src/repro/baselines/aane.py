@@ -1,0 +1,63 @@
+"""AANE — accelerated attributed network embedding (Huang et al., SDM 2017).
+
+Learns ``H`` minimizing ``‖S − H Hᵀ‖²_F + λ Σ_{(i,j)∈E} ‖H[i] − H[j]‖₂``
+where ``S`` is the cosine similarity of attribute vectors.  The original
+solves per-row subproblems with ADMM; at our scales plain projected
+gradient descent on the same objective converges quickly and keeps the
+code transparent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbeddingModel, l2_normalize_rows
+from repro.core.randsvd import randsvd
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class AANE(BaseEmbeddingModel):
+    """Attribute-similarity MF with graph-smoothness regularization."""
+
+    name = "AANE"
+
+    def __init__(
+        self,
+        k: int = 128,
+        *,
+        smoothness: float = 0.5,
+        n_iterations: int = 30,
+        learning_rate: float = 0.05,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(k, seed=seed)
+        self.smoothness = smoothness
+        self.n_iterations = n_iterations
+        self.learning_rate = learning_rate
+
+    def fit(self, graph: AttributedGraph) -> "AANE":
+        attributes = np.asarray(graph.attributes.todense())
+        normed = l2_normalize_rows(attributes)
+        similarity = normed @ normed.T  # n × n cosine similarity
+
+        k = min(self.k, graph.n_nodes - 1)
+        u, sigma, _ = randsvd(similarity, k, seed=self.seed)
+        embedding = u * np.sqrt(np.maximum(sigma, 0.0))
+
+        # Symmetric graph Laplacian for the smoothness term.
+        undirected = graph.adjacency.maximum(graph.adjacency.T)
+        degrees = np.asarray(undirected.sum(axis=1)).ravel()
+        lap_mul = lambda h: degrees[:, None] * h - np.asarray(undirected @ h)
+
+        lr = self.learning_rate
+        for _ in range(self.n_iterations):
+            residual = embedding @ embedding.T - similarity
+            grad = 4.0 * residual @ embedding + 2.0 * self.smoothness * lap_mul(
+                embedding
+            )
+            norm = np.linalg.norm(grad)
+            if norm > 0:
+                grad = grad / norm * min(norm, 10.0)  # gradient clipping
+            embedding -= lr * grad
+        self._features = embedding
+        return self

@@ -1,0 +1,64 @@
+"""Common protocol for all embedding methods.
+
+Every method implements ``fit(graph)`` and returns a fitted object with:
+
+- ``node_features()`` — an ``n × k`` dense feature matrix for downstream
+  classifiers;
+- ``score_links(sources, targets)`` — scores for candidate directed edges
+  (defaults to the inner product of node features, the strongest of the
+  four scorers the paper tries for undirected competitors);
+- optionally ``score_attributes(nodes, attributes)`` for the methods that
+  also embed attributes (PANE, CANLite).
+
+``fit`` returns the model itself, so a model object doubles as its own
+embedding result — the tasks accept either convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+
+
+class BaseEmbeddingModel:
+    """Abstract base for baseline methods."""
+
+    #: Human-readable method name used by reports.
+    name: str = "base"
+
+    def __init__(self, k: int = 128, *, seed: int | None = 0) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.seed = seed
+        self._features: np.ndarray | None = None
+
+    # -- to be provided by subclasses -----------------------------------
+    def fit(self, graph: AttributedGraph) -> "BaseEmbeddingModel":
+        raise NotImplementedError
+
+    # -- shared behaviour ------------------------------------------------
+    @property
+    def features(self) -> np.ndarray:
+        if self._features is None:
+            raise RuntimeError(f"{self.name} is not fitted")
+        return self._features
+
+    def node_features(self) -> np.ndarray:
+        """The ``n × k`` node feature matrix."""
+        return self.features
+
+    def score_links(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Inner-product link scores (overridden by directed methods)."""
+        feats = self.features
+        return np.einsum("ij,ij->i", feats[np.asarray(sources)], feats[np.asarray(targets)])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k})"
+
+
+def l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise L2 normalization, zero rows preserved."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.where(norms == 0, 1.0, norms)

@@ -1,0 +1,20 @@
+"""Seeded Gaussian random embeddings — the no-signal control baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEmbeddingModel
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import ensure_rng
+
+
+class RandomEmbedding(BaseEmbeddingModel):
+    """i.i.d. N(0, 1) features; AUC on any task should hover near 0.5."""
+
+    name = "Random"
+
+    def fit(self, graph: AttributedGraph) -> "RandomEmbedding":
+        rng = ensure_rng(self.seed)
+        self._features = rng.standard_normal((graph.n_nodes, self.k))
+        return self

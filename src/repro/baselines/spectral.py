@@ -1,0 +1,30 @@
+"""Naive spectral baseline: truncated SVD of the concatenated ``[A ‖ R]``.
+
+The simplest possible joint topology+attribute embedding; serves as the
+sanity floor every published method should beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaseEmbeddingModel
+from repro.core.randsvd import randsvd
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.sparse import row_normalize
+
+
+class SpectralConcat(BaseEmbeddingModel):
+    """Rank-k SVD of the row-normalized ``[A ‖ R]`` block matrix."""
+
+    name = "Spectral"
+
+    def fit(self, graph: AttributedGraph) -> "SpectralConcat":
+        stacked = sp.hstack(
+            [row_normalize(graph.adjacency), row_normalize(graph.attributes)]
+        ).tocsr()
+        k = min(self.k, min(stacked.shape) - 1)
+        u, sigma, _ = randsvd(stacked, k, seed=self.seed)
+        self._features = u * sigma
+        return self

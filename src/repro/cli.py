@@ -1,0 +1,170 @@
+"""Command-line interface: generate data, embed graphs, evaluate tasks.
+
+Usage::
+
+    python -m repro.cli generate --dataset cora_sim --out graph.npz
+    python -m repro.cli embed --graph graph.npz --out emb.npz --k 64 --threads 4
+    python -m repro.cli evaluate --graph graph.npz --task link --k 64
+    python -m repro.cli datasets
+
+The CLI wraps the same public API the examples use; it exists so the
+embedding pipeline can run without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.eval.datasets import DATASETS, load_dataset
+
+    for name, spec in DATASETS.items():
+        graph = load_dataset(name)
+        print(
+            f"{name:15s} ({spec.paper_name:9s} analogue, {spec.scale}) "
+            f"n={graph.n_nodes} m={graph.n_edges} d={graph.n_attributes} "
+            f"|L|={graph.n_labels} — {spec.description}"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.eval.datasets import load_dataset
+    from repro.graph.io import save_npz
+
+    graph = load_dataset(args.dataset)
+    save_npz(graph, args.out)
+    print(f"wrote {args.out}: {graph.summary()}")
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    from repro.core.pane import PANE
+    from repro.graph.io import load_npz
+
+    graph = load_npz(args.graph)
+    model = PANE(
+        k=args.k,
+        alpha=args.alpha,
+        epsilon=args.epsilon,
+        n_threads=args.threads,
+        seed=args.seed,
+    )
+    embedding = model.fit(graph, compute_objective=True)
+    embedding.save(args.out)
+    timings = ", ".join(f"{k}={v:.2f}s" for k, v in embedding.timings.items())
+    print(f"wrote {args.out}: objective={embedding.objective:.2f} ({timings})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.pane import PANE
+    from repro.graph.io import load_npz
+
+    graph = load_npz(args.graph)
+    model = PANE(k=args.k, n_threads=args.threads, seed=args.seed)
+
+    if args.task == "link":
+        from repro.tasks.link_prediction import LinkPredictionTask
+
+        result = LinkPredictionTask(graph, seed=args.seed).evaluate(model)
+        print(f"link prediction: AUC={result.auc:.3f} AP={result.ap:.3f}")
+    elif args.task == "attribute":
+        from repro.tasks.attribute_inference import AttributeInferenceTask
+
+        result = AttributeInferenceTask(graph, seed=args.seed).evaluate(model)
+        print(f"attribute inference: AUC={result.auc:.3f} AP={result.ap:.3f}")
+    else:
+        from repro.tasks.node_classification import NodeClassificationTask
+
+        if graph.labels is None:
+            print("error: graph has no labels", file=sys.stderr)
+            return 2
+        task = NodeClassificationTask(
+            graph, train_fractions=(0.1, 0.5, 0.9), n_repeats=2, seed=args.seed
+        )
+        result = task.evaluate(model)
+        for fraction, micro, macro in zip(
+            result.train_fractions, result.micro, result.macro
+        ):
+            print(
+                f"classification @ {fraction:.0%} train: "
+                f"micro-F1={micro:.3f} macro-F1={macro:.3f}"
+            )
+    return 0
+
+
+def _cmd_neighbors(args: argparse.Namespace) -> int:
+    from repro.core.pane import PANEEmbedding
+    from repro.search.knn import top_k_similar
+
+    embedding = PANEEmbedding.load(args.embedding)
+    features = embedding.node_embeddings()
+    neighbors, similarities = top_k_similar(features, args.node, args.k)
+    for node, similarity in zip(neighbors, similarities):
+        print(f"{node}\t{similarity:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PANE attributed network embedding"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered benchmark datasets")
+
+    generate = sub.add_parser("generate", help="materialize a dataset to .npz")
+    generate.add_argument("--dataset", required=True)
+    generate.add_argument("--out", required=True)
+
+    embed = sub.add_parser("embed", help="embed a graph with PANE")
+    embed.add_argument("--graph", required=True)
+    embed.add_argument("--out", required=True)
+    embed.add_argument("--k", type=int, default=128)
+    embed.add_argument("--alpha", type=float, default=0.5)
+    embed.add_argument("--epsilon", type=float, default=0.015)
+    embed.add_argument("--threads", type=int, default=1)
+    embed.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="run an evaluation protocol")
+    evaluate.add_argument("--graph", required=True)
+    evaluate.add_argument(
+        "--task", choices=("link", "attribute", "classify"), default="link"
+    )
+    evaluate.add_argument("--k", type=int, default=64)
+    evaluate.add_argument("--threads", type=int, default=1)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    neighbors = sub.add_parser(
+        "neighbors", help="top-k most similar nodes from a saved embedding"
+    )
+    neighbors.add_argument("--embedding", required=True)
+    neighbors.add_argument("--node", type=int, required=True)
+    neighbors.add_argument("--k", type=int, default=10)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "embed": _cmd_embed,
+    "evaluate": _cmd_evaluate,
+    "neighbors": _cmd_neighbors,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

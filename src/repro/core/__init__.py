@@ -1,0 +1,24 @@
+"""PANE core: affinity approximation, joint factorization, and the facade."""
+
+from repro.core.affinity import apmi, exact_affinity, iterations_for_epsilon
+from repro.core.config import PANEConfig
+from repro.core.pane import PANE, PANEEmbedding
+from repro.core.randsvd import randsvd
+from repro.core.scoring import (
+    attribute_scores,
+    link_scores,
+    node_attribute_score_matrix,
+)
+
+__all__ = [
+    "PANE",
+    "PANEConfig",
+    "PANEEmbedding",
+    "apmi",
+    "exact_affinity",
+    "iterations_for_epsilon",
+    "randsvd",
+    "attribute_scores",
+    "link_scores",
+    "node_attribute_score_matrix",
+]

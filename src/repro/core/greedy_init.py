@@ -1,0 +1,154 @@
+"""Greedy seeding of the CCD optimizer (Algorithms 3 and 7).
+
+``GreedyInit`` decomposes ``F′ ≈ U Σ Vᵀ`` with RandSVD and seeds
+
+- ``Xf = U Σ`` and ``Y = V``   (so ``Xf Yᵀ ≈ F′`` immediately), and
+- ``Xb = B′ Y``                (because ``V`` is near-unitary,
+  ``Xb Yᵀ ≈ B′ Y Yᵀ ≈ B′``),
+
+plus the residual caches ``Sf = Xf Yᵀ − F′`` and ``Sb = Xb Yᵀ − B′``
+maintained incrementally by the CCD sweeps.
+
+``SMGreedyInit`` is the split-merge parallel variant: each thread SVDs a
+row block of ``F′``; the per-block right factors are stacked and SVD'd
+again to produce a single shared ``Y`` (Lemma 4.2 shows the limit with
+exact SVDs reproduces ``Xf Yᵀ = F′`` and unitary ``Y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.randsvd import randsvd
+from repro.parallel.executor import run_blocks
+from repro.parallel.partitioning import partition_indices
+
+
+@dataclass
+class InitState:
+    """Embeddings plus residual caches handed from init to the CCD sweeps."""
+
+    x_forward: np.ndarray  # Xf, n × k/2
+    x_backward: np.ndarray  # Xb, n × k/2
+    y: np.ndarray  # Y, d × k/2
+    s_forward: np.ndarray  # Sf = Xf Yᵀ − F′, n × d
+    s_backward: np.ndarray  # Sb = Xb Yᵀ − B′, n × d
+
+
+def greedy_init(
+    forward: np.ndarray,
+    backward: np.ndarray,
+    k: int,
+    *,
+    svd_iterations: int = 5,
+    seed: int | np.random.Generator | None = None,
+    exact: bool = False,
+) -> InitState:
+    """GreedyInit (Algorithm 3).
+
+    Parameters
+    ----------
+    forward, backward:
+        The approximate affinity matrices ``F′``, ``B′`` (dense ``n × d``).
+    k:
+        Space budget; embeddings have ``k/2`` columns.
+    svd_iterations:
+        Power iterations for RandSVD.
+    seed:
+        RNG for RandSVD.
+    exact:
+        Use a full SVD (for the Lemma 4.2 limit tests).
+    """
+    half = k // 2
+    u, sigma, v = randsvd(
+        forward, half, svd_iterations, seed=seed, exact=exact
+    )
+    x_forward = u * sigma  # UΣ without materializing the diagonal
+    y = v
+    x_backward = backward @ y
+    s_forward = x_forward @ y.T - forward
+    s_backward = x_backward @ y.T - backward
+    return InitState(x_forward, x_backward, y, s_forward, s_backward)
+
+
+def sm_greedy_init(
+    forward: np.ndarray,
+    backward: np.ndarray,
+    k: int,
+    *,
+    n_threads: int = 2,
+    svd_iterations: int = 5,
+    seed: int | np.random.Generator | None = None,
+    exact: bool = False,
+) -> InitState:
+    """SMGreedyInit — split-merge parallel initialization (Algorithm 7).
+
+    Row blocks of ``F′`` are factorized independently (lines 1–3); the
+    stacked right factors are re-factorized to merge them into one shared
+    attribute basis ``Y`` (lines 4–6); finally per-block embeddings and
+    residuals are assembled (lines 7–11).
+    """
+    n, _ = forward.shape
+    half = k // 2
+    # Every row block must have at least k/2 rows for its rank-k/2 SVD to
+    # exist; clip the block count on small graphs rather than failing.
+    n_threads = max(1, min(n_threads, n // half if n >= half else 1))
+    node_blocks = partition_indices(n, n_threads)
+
+    def factor_block(i: int, rows: np.ndarray):
+        u_block, sigma, v_block = randsvd(
+            forward[rows], half, svd_iterations,
+            seed=None if seed is None else seed + i,
+            exact=exact,
+        )
+        return u_block * sigma, v_block
+
+    factored = run_blocks(factor_block, node_blocks, n_threads=n_threads)
+    u_blocks = [u for u, _ in factored]
+    # V ← [V1 · · · Vnb]ᵀ  ∈ R^{(nb·k/2) × d}
+    stacked = np.vstack([v.T for _, v in factored])
+    phi, sigma, y = randsvd(
+        stacked, half, svd_iterations,
+        seed=None if seed is None else seed + len(factored),
+        exact=exact,
+    )
+    w = phi * sigma  # (nb·k/2) × k/2
+
+    x_forward = np.empty((n, half))
+    x_backward = np.empty((n, half))
+    s_forward = np.empty_like(forward)
+    s_backward = np.empty_like(backward)
+
+    def assemble(i: int, rows: np.ndarray) -> None:
+        w_block = w[i * half : (i + 1) * half]
+        x_forward[rows] = u_blocks[i] @ w_block
+        x_backward[rows] = backward[rows] @ y
+        s_forward[rows] = x_forward[rows] @ y.T - forward[rows]
+        s_backward[rows] = x_backward[rows] @ y.T - backward[rows]
+
+    run_blocks(assemble, node_blocks, n_threads=n_threads)
+    return InitState(x_forward, x_backward, y, s_forward, s_backward)
+
+
+def random_init(
+    forward: np.ndarray,
+    backward: np.ndarray,
+    k: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    scale: float = 0.1,
+) -> InitState:
+    """Random Gaussian initialization — the PANE-R ablation (Sec. 5.7)."""
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    n, d = forward.shape
+    half = k // 2
+    x_forward = rng.normal(scale=scale, size=(n, half))
+    x_backward = rng.normal(scale=scale, size=(n, half))
+    y = rng.normal(scale=scale, size=(d, half))
+    s_forward = x_forward @ y.T - forward
+    s_backward = x_backward @ y.T - backward
+    return InitState(x_forward, x_backward, y, s_forward, s_backward)

@@ -1,0 +1,246 @@
+"""The PANE estimator (Algorithms 1 and 5) and its embedding result object.
+
+Usage::
+
+    from repro import PANE, attributed_sbm
+
+    graph = attributed_sbm(seed=0)
+    embedding = PANE(k=64, n_threads=4).fit(graph)
+    X = embedding.node_embeddings()          # n × k feature matrix
+    embedding.attribute_embeddings           # d × k/2
+
+``n_threads=1`` runs the single-thread pipeline (APMI → GreedyInit →
+SVDCCD); ``n_threads>1`` the parallel one (PAPMI → SMGreedyInit →
+PSVDCCD).  The two differ only through the split-merge SVD, whose small
+accuracy cost the paper quantifies in Sec. 5.5–5.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.affinity import AffinityPair, apmi, iterations_for_epsilon
+from repro.core.config import PANEConfig
+from repro.core.greedy_init import greedy_init, random_init, sm_greedy_init
+from repro.core.papmi import papmi
+from repro.core.scoring import attribute_scores, link_scores
+from repro.core.svd_ccd import objective_value, refine
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.timing import Timer
+from repro.utils.validation import check_embedding_dim
+
+
+@dataclass
+class PANEEmbedding:
+    """Trained PANE embeddings.
+
+    Attributes
+    ----------
+    x_forward / x_backward:
+        ``n × k/2`` forward / backward node embeddings.
+    y:
+        ``d × k/2`` attribute embeddings.
+    config:
+        The configuration that produced this embedding.
+    timings:
+        Per-phase wall-clock seconds (``affinity``, ``init``, ``ccd``).
+    objective:
+        Final value of the Eq. (4) objective, if it was computed.
+    """
+
+    x_forward: np.ndarray
+    x_backward: np.ndarray
+    y: np.ndarray
+    config: PANEConfig
+    timings: dict[str, float] = field(default_factory=dict)
+    objective: float | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self.x_forward.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def attribute_embeddings(self) -> np.ndarray:
+        """Alias for ``y`` matching the paper's terminology."""
+        return self.y
+
+    def node_embeddings(self, *, normalize: bool = True) -> np.ndarray:
+        """Concatenated ``[Xf ‖ Xb]`` feature matrix for downstream tasks.
+
+        With ``normalize=True`` each half is L2-normalized row-wise first,
+        the preprocessing the paper uses for node classification (Sec. 5.4).
+        """
+        forward, backward = self.x_forward, self.x_backward
+        if normalize:
+            forward = _l2_normalize_rows(forward)
+            backward = _l2_normalize_rows(backward)
+        return np.hstack([forward, backward])
+
+    def score_attributes(self, nodes: np.ndarray, attributes: np.ndarray) -> np.ndarray:
+        """Eq. (21) attribute-inference scores for index pairs."""
+        return attribute_scores(
+            self.x_forward, self.x_backward, self.y, nodes, attributes
+        )
+
+    def score_links(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Eq. (22) directed link-prediction scores for index pairs."""
+        return link_scores(self.x_forward, self.x_backward, self.y, sources, targets)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the embedding to ``.npz``."""
+        np.savez_compressed(
+            Path(path),
+            x_forward=self.x_forward,
+            x_backward=self.x_backward,
+            y=self.y,
+            k=np.array(self.config.k),
+            alpha=np.array(self.config.alpha),
+            epsilon=np.array(self.config.epsilon),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PANEEmbedding":
+        """Load an embedding previously written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            config = PANEConfig(
+                k=int(archive["k"]),
+                alpha=float(archive["alpha"]),
+                epsilon=float(archive["epsilon"]),
+            )
+            return cls(
+                x_forward=archive["x_forward"],
+                x_backward=archive["x_backward"],
+                y=archive["y"],
+                config=config,
+            )
+
+
+def _l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.where(norms == 0, 1.0, norms)
+
+
+class PANE:
+    """Scalable attributed network embedding (Yang et al., VLDB 2020).
+
+    Parameters mirror :class:`PANEConfig`; pass either a config object or
+    keyword overrides.
+
+    Examples
+    --------
+    >>> from repro.graph import attributed_sbm
+    >>> graph = attributed_sbm(n_nodes=120, n_attributes=32, seed=1)
+    >>> emb = PANE(k=16, seed=0).fit(graph)
+    >>> emb.node_embeddings().shape
+    (120, 16)
+    """
+
+    def __init__(
+        self,
+        k: int = 128,
+        alpha: float = 0.5,
+        epsilon: float = 0.015,
+        *,
+        n_threads: int = 1,
+        ccd_iterations: int | None = None,
+        svd_power_iterations: int = 5,
+        dangling: str = "zero",
+        seed: int | None = 0,
+        init: str = "greedy",
+        config: PANEConfig | None = None,
+    ) -> None:
+        if config is None:
+            config = PANEConfig(
+                k=k,
+                alpha=alpha,
+                epsilon=epsilon,
+                n_threads=n_threads,
+                ccd_iterations=ccd_iterations,
+                svd_power_iterations=svd_power_iterations,
+                dangling=dangling,
+                seed=seed,
+            )
+        if init not in ("greedy", "random"):
+            raise ValueError(f"init must be 'greedy' or 'random', got {init!r}")
+        self.config = config
+        self.init = init
+
+    # ------------------------------------------------------------------
+    def compute_affinity(self, graph: AttributedGraph) -> AffinityPair:
+        """Phase 1: approximate affinity matrices (APMI or PAPMI)."""
+        cfg = self.config
+        if cfg.n_threads > 1:
+            return papmi(
+                graph,
+                cfg.alpha,
+                cfg.epsilon,
+                n_threads=cfg.n_threads,
+                dangling=cfg.dangling,
+            )
+        return apmi(graph, cfg.alpha, cfg.epsilon, dangling=cfg.dangling)
+
+    def fit(self, graph: AttributedGraph, *, compute_objective: bool = False) -> PANEEmbedding:
+        """Train embeddings for ``graph`` (Algorithm 1 / Algorithm 5).
+
+        Parameters
+        ----------
+        graph:
+            The attributed network.
+        compute_objective:
+            Also evaluate the final Eq. (4) objective (one extra ``n × d``
+            product; off by default).
+        """
+        cfg = self.config
+        check_embedding_dim(cfg.k, graph.n_nodes, graph.n_attributes)
+        t = iterations_for_epsilon(cfg.epsilon, cfg.alpha)
+        n_sweeps = cfg.ccd_iterations if cfg.ccd_iterations is not None else t
+        timer = Timer()
+
+        with timer.measure("affinity"):
+            affinity = self.compute_affinity(graph)
+
+        with timer.measure("init"):
+            if self.init == "random":
+                state = random_init(
+                    affinity.forward, affinity.backward, cfg.k, seed=cfg.seed
+                )
+            elif cfg.n_threads > 1:
+                state = sm_greedy_init(
+                    affinity.forward,
+                    affinity.backward,
+                    cfg.k,
+                    n_threads=cfg.n_threads,
+                    svd_iterations=cfg.svd_power_iterations,
+                    seed=cfg.seed,
+                )
+            else:
+                state = greedy_init(
+                    affinity.forward,
+                    affinity.backward,
+                    cfg.k,
+                    svd_iterations=cfg.svd_power_iterations,
+                    seed=cfg.seed,
+                )
+
+        with timer.measure("ccd"):
+            refine(state, n_sweeps, n_threads=cfg.n_threads)
+
+        objective = None
+        if compute_objective:
+            objective = objective_value(affinity.forward, affinity.backward, state)
+
+        return PANEEmbedding(
+            x_forward=state.x_forward,
+            x_backward=state.x_backward,
+            y=state.y,
+            config=cfg,
+            timings=dict(timer.laps),
+            objective=objective,
+        )

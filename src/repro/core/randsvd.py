@@ -1,0 +1,82 @@
+"""Randomized truncated SVD (the RandSVD primitive of Alg. 3/7).
+
+The paper cites Musco & Musco's randomized block Krylov method; we implement
+the closely related randomized subspace (power) iteration of Halko et al.,
+which has the same role in GreedyInit: a fast rank-``k/2`` factorization
+``M ≈ U Σ Vᵀ`` with orthonormal ``V``.  An ``exact=True`` escape hatch runs
+a full dense SVD, used by the Lemma 4.2 tests that reason about the
+``t = ∞`` limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import ensure_rng
+
+
+def _matmul(matrix, other: np.ndarray) -> np.ndarray:
+    """``matrix @ other`` returning a dense ndarray for sparse or dense input."""
+    result = matrix @ other
+    return np.asarray(result)
+
+
+def randsvd(
+    matrix,
+    rank: int,
+    n_iter: int = 5,
+    *,
+    oversample: int = 8,
+    seed: int | np.random.Generator | None = None,
+    exact: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD ``matrix ≈ U @ diag(s) @ V.T``.
+
+    Parameters
+    ----------
+    matrix:
+        ``n × d`` dense array or scipy sparse matrix.
+    rank:
+        Number of singular triplets to return (``k/2`` in PANE).
+    n_iter:
+        Power-iteration count; more iterations sharpen the spectrum
+        separation at linear extra cost.
+    oversample:
+        Extra random directions kept during iteration for stability.
+    seed:
+        RNG for the Gaussian test matrix — fixing it makes the whole PANE
+        pipeline deterministic.
+    exact:
+        Use a full dense SVD (exact optimum; O(nd·min(n,d))) instead.
+
+    Returns
+    -------
+    U : ``n × rank`` — left singular vectors.
+    s : ``rank`` — singular values, descending.
+    V : ``d × rank`` — right singular vectors (orthonormal columns).
+    """
+    n, d = matrix.shape
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if rank > min(n, d):
+        raise ValueError(f"rank {rank} exceeds min(n, d) = {min(n, d)}")
+
+    if exact:
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+        u_full, s_full, vt_full = np.linalg.svd(dense, full_matrices=False)
+        return u_full[:, :rank], s_full[:rank], vt_full[:rank].T
+
+    rng = ensure_rng(seed)
+    width = min(rank + oversample, min(n, d))
+    test = rng.standard_normal((d, width))
+    sketch = _matmul(matrix, test)
+    q, _ = np.linalg.qr(sketch)
+    for _ in range(n_iter):
+        q, _ = np.linalg.qr(_matmul(matrix.T, q))
+        q, _ = np.linalg.qr(_matmul(matrix, q))
+    small = _matmul(matrix.T, q).T  # q.T @ matrix, shape (width, d)
+    u_small, s, vt = np.linalg.svd(small, full_matrices=False)
+    u = q @ u_small
+    return u[:, :rank], s[:rank], vt[:rank].T

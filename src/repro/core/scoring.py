@@ -1,0 +1,73 @@
+"""Prediction scores derived from PANE embeddings (Eqs. 21 and 22).
+
+- Attribute inference: ``p(v, r) = Xf[v]·Y[r] + Xb[v]·Y[r] ≈ F[v,r] + B[v,r]``.
+- Link prediction:   ``p(u, v) = Σ_r (Xf[u]·Y[r])(Xb[v]·Y[r])
+                               = Xf[u] (YᵀY) Xb[v]ᵀ ≈ Σ_r F[u,r]·B[v,r]``,
+  evaluated through the small ``k/2 × k/2`` Gram matrix ``YᵀY`` so scoring a
+  batch of candidate edges never materializes an ``n × d`` matrix.
+
+For undirected graphs use ``p(u, v) + p(v, u)`` (handled by the
+link-prediction task).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def attribute_scores(
+    x_forward: np.ndarray,
+    x_backward: np.ndarray,
+    y: np.ndarray,
+    nodes: np.ndarray,
+    attributes: np.ndarray,
+) -> np.ndarray:
+    """Eq. (21) scores for the node/attribute index pairs given.
+
+    ``nodes`` and ``attributes`` are equal-length integer arrays; returns
+    one score per pair.
+    """
+    nodes = np.asarray(nodes)
+    attributes = np.asarray(attributes)
+    if nodes.shape != attributes.shape:
+        raise ValueError("nodes and attributes must have equal shapes")
+    y_rows = y[attributes]
+    forward = np.einsum("ij,ij->i", x_forward[nodes], y_rows)
+    backward = np.einsum("ij,ij->i", x_backward[nodes], y_rows)
+    return forward + backward
+
+
+def node_attribute_score_matrix(
+    x_forward: np.ndarray,
+    x_backward: np.ndarray,
+    y: np.ndarray,
+) -> np.ndarray:
+    """Dense ``n × d`` matrix of Eq. (21) scores (small graphs only)."""
+    return (x_forward + x_backward) @ y.T
+
+
+def link_scores(
+    x_forward: np.ndarray,
+    x_backward: np.ndarray,
+    y: np.ndarray,
+    sources: np.ndarray,
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Eq. (22) scores for directed candidate edges ``sources → targets``."""
+    sources = np.asarray(sources)
+    targets = np.asarray(targets)
+    if sources.shape != targets.shape:
+        raise ValueError("sources and targets must have equal shapes")
+    gram = y.T @ y  # k/2 × k/2
+    left = x_forward[sources] @ gram
+    return np.einsum("ij,ij->i", left, x_backward[targets])
+
+
+def link_score_matrix(
+    x_forward: np.ndarray,
+    x_backward: np.ndarray,
+    y: np.ndarray,
+) -> np.ndarray:
+    """Dense ``n × n`` matrix of Eq. (22) scores (small graphs only)."""
+    gram = y.T @ y
+    return x_forward @ gram @ x_backward.T

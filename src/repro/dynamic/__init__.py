@@ -1,0 +1,12 @@
+"""Time-varying graphs: incremental embedding maintenance (paper Sec. 7).
+
+The paper lists "time-varying graphs where attributes and node connections
+change over time" as future work; this package implements the natural
+PANE-style solution: re-propagate affinities (linear time) and *warm-start*
+the factorization from the previous embeddings instead of re-running the
+SVD-based GreedyInit.
+"""
+
+from repro.dynamic.incremental import IncrementalPANE, GraphDelta
+
+__all__ = ["IncrementalPANE", "GraphDelta"]

@@ -1,0 +1,25 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. 5)."""
+
+from repro.eval.datasets import DATASETS, load_dataset, small_datasets, large_datasets
+from repro.eval.harness import (
+    default_methods,
+    run_attribute_inference,
+    run_link_prediction,
+    run_node_classification,
+    time_methods,
+)
+from repro.eval.reporting import format_table, format_series
+
+__all__ = [
+    "DATASETS",
+    "load_dataset",
+    "small_datasets",
+    "large_datasets",
+    "default_methods",
+    "run_attribute_inference",
+    "run_link_prediction",
+    "run_node_classification",
+    "time_methods",
+    "format_table",
+    "format_series",
+]

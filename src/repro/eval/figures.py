@@ -1,0 +1,166 @@
+"""Parameter-sweep experiments behind Figures 4–8.
+
+Each function returns ``{x_value: measurement}`` dictionaries ready for
+:func:`repro.eval.reporting.format_series`, matching one panel of the
+corresponding paper figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pane_random_init import PANERandomInit
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.tasks.attribute_inference import AttributeInferenceTask
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.utils.timing import time_call
+
+
+def _make_task(graph, task: str, seed: int):
+    if task == "link":
+        return LinkPredictionTask(graph, seed=seed)
+    if task == "attribute":
+        return AttributeInferenceTask(graph, seed=seed)
+    raise ValueError(f"task must be 'link' or 'attribute', got {task!r}")
+
+
+def sweep_k(
+    dataset: str,
+    k_values: tuple[int, ...] = (16, 32, 64, 128),
+    *,
+    task: str = "link",
+    seed: int = 0,
+) -> dict[float, float]:
+    """AUC vs space budget k (Fig. 5a / 6a)."""
+    graph = load_dataset(dataset)
+    evaluator = _make_task(graph, task, seed)
+    results: dict[float, float] = {}
+    for k in k_values:
+        if k // 2 > min(graph.n_nodes, graph.n_attributes):
+            continue
+        results[float(k)] = evaluator.evaluate(PANE(k=k, seed=seed)).auc
+    return results
+
+
+def sweep_threads(
+    dataset: str,
+    thread_counts: tuple[int, ...] = (1, 2, 5, 10),
+    *,
+    k: int = 32,
+    task: str = "link",
+    seed: int = 0,
+) -> tuple[dict[float, float], dict[float, float]]:
+    """(AUC vs nb, wall-seconds vs nb) — Fig. 5b/6b quality, Fig. 4a time."""
+    graph = load_dataset(dataset)
+    evaluator = _make_task(graph, task, seed)
+    quality: dict[float, float] = {}
+    seconds: dict[float, float] = {}
+    for nb in thread_counts:
+        model = PANE(k=k, seed=seed, n_threads=nb)
+        elapsed, embedding = time_call(model.fit, evaluator.split.residual_graph
+                                       if task == "link"
+                                       else evaluator.split.train_graph)
+        quality[float(nb)] = evaluator.evaluate_embedding(embedding).auc
+        seconds[float(nb)] = elapsed
+    return quality, seconds
+
+
+def sweep_epsilon(
+    dataset: str,
+    epsilon_values: tuple[float, ...] = (0.001, 0.005, 0.015, 0.05, 0.25),
+    *,
+    k: int = 32,
+    task: str = "link",
+    seed: int = 0,
+) -> tuple[dict[float, float], dict[float, float]]:
+    """(AUC vs ϵ, wall-seconds vs ϵ) — Fig. 5c/6c and Fig. 4c."""
+    graph = load_dataset(dataset)
+    evaluator = _make_task(graph, task, seed)
+    quality: dict[float, float] = {}
+    seconds: dict[float, float] = {}
+    train_graph = (
+        evaluator.split.residual_graph if task == "link" else evaluator.split.train_graph
+    )
+    for epsilon in epsilon_values:
+        model = PANE(k=k, epsilon=epsilon, seed=seed)
+        elapsed, embedding = time_call(model.fit, train_graph)
+        quality[epsilon] = evaluator.evaluate_embedding(embedding).auc
+        seconds[epsilon] = elapsed
+    return quality, seconds
+
+
+def sweep_alpha(
+    dataset: str,
+    alpha_values: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    *,
+    k: int = 32,
+    task: str = "link",
+    seed: int = 0,
+) -> dict[float, float]:
+    """AUC vs random-walk stopping probability α (Fig. 5d / 6d)."""
+    graph = load_dataset(dataset)
+    evaluator = _make_task(graph, task, seed)
+    results: dict[float, float] = {}
+    for alpha in alpha_values:
+        results[alpha] = evaluator.evaluate(PANE(k=k, alpha=alpha, seed=seed)).auc
+    return results
+
+
+def sweep_time_vs_k(
+    dataset: str,
+    k_values: tuple[int, ...] = (16, 32, 64, 128),
+    *,
+    n_threads: int = 4,
+    seed: int = 0,
+) -> dict[float, float]:
+    """Embedding wall-seconds vs k (Fig. 4b)."""
+    graph = load_dataset(dataset)
+    seconds: dict[float, float] = {}
+    for k in k_values:
+        if k // 2 > min(graph.n_nodes, graph.n_attributes):
+            continue
+        elapsed, _ = time_call(PANE(k=k, seed=seed, n_threads=n_threads).fit, graph)
+        seconds[float(k)] = elapsed
+    return seconds
+
+
+def greedy_init_comparison(
+    dataset: str,
+    t_values: tuple[int, ...] = (1, 2, 5, 10),
+    *,
+    k: int = 32,
+    task: str = "link",
+    seed: int = 0,
+) -> dict[str, list[tuple[float, float]]]:
+    """PANE vs PANE-R time/quality frontier (Figs. 7 and 8).
+
+    Returns ``{method: [(seconds, auc), …]}`` with one point per CCD
+    iteration count in ``t_values``.
+    """
+    graph = load_dataset(dataset)
+    evaluator = _make_task(graph, task, seed)
+    train_graph = (
+        evaluator.split.residual_graph if task == "link" else evaluator.split.train_graph
+    )
+    frontier: dict[str, list[tuple[float, float]]] = {"PANE": [], "PANE-R": []}
+    for t in t_values:
+        pane = PANE(k=k, ccd_iterations=t, seed=seed)
+        elapsed, embedding = time_call(pane.fit, train_graph)
+        frontier["PANE"].append(
+            (elapsed, evaluator.evaluate_embedding(embedding).auc)
+        )
+        pane_r = PANERandomInit(k=k, ccd_iterations=t, seed=seed)
+        elapsed, embedding = time_call(pane_r.fit, train_graph)
+        frontier["PANE-R"].append(
+            (elapsed, evaluator.evaluate_embedding(embedding).auc)
+        )
+    return frontier
+
+
+def speedup_from_seconds(seconds: dict[float, float]) -> dict[float, float]:
+    """Convert a ``{nb: seconds}`` map to ``{nb: speedup vs nb=1}``."""
+    if 1.0 not in seconds:
+        raise ValueError("speedup requires the nb=1 measurement")
+    base = seconds[1.0]
+    return {nb: base / s if s > 0 else float("nan") for nb, s in seconds.items()}

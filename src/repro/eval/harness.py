@@ -1,0 +1,130 @@
+"""Experiment runners: one function per evaluation protocol.
+
+Each runner takes a dataset name and a ``{method_name: factory}`` mapping
+(a factory builds a fresh, unfitted model so repeated runs never leak
+state) and returns plain dicts ready for
+:func:`repro.eval.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.baselines import (
+    AANE,
+    BANE,
+    CANLite,
+    LQANR,
+    NRP,
+    NetMF,
+    PANERandomInit,
+    RandomEmbedding,
+    SpectralConcat,
+    TADW,
+)
+from repro.core.pane import PANE
+from repro.eval.datasets import load_dataset
+from repro.tasks.attribute_inference import AttributeInferenceTask
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.node_classification import NodeClassificationTask
+from repro.utils.timing import time_call
+
+MethodFactory = Callable[[], object]
+
+
+def default_methods(
+    k: int = 32,
+    *,
+    seed: int = 0,
+    include_pane: bool = True,
+    include_slow: bool = True,
+) -> dict[str, MethodFactory]:
+    """The method roster of the comparison tables, at benchmark-scale ``k``.
+
+    ``include_slow=False`` drops the O(n²)-dense methods for the large
+    datasets, mirroring the paper's "did not finish within a week" rows.
+    """
+    methods: dict[str, MethodFactory] = {}
+    if include_pane:
+        methods["PANE (single thread)"] = lambda: PANE(k=k, seed=seed)
+        methods["PANE (parallel)"] = lambda: PANE(k=k, seed=seed, n_threads=4)
+    methods["NRP"] = lambda: NRP(k=k, seed=seed)
+    methods["Spectral"] = lambda: SpectralConcat(k=k, seed=seed)
+    methods["LQANR"] = lambda: LQANR(k=k, seed=seed)
+    methods["BANE"] = lambda: BANE(k=k, seed=seed)
+    if include_slow:
+        methods["TADW"] = lambda: TADW(k=k, seed=seed)
+        methods["AANE"] = lambda: AANE(k=k, seed=seed)
+        methods["NetMF"] = lambda: NetMF(k=k, seed=seed)
+        methods["CAN-lite"] = lambda: CANLite(k=k, seed=seed, n_epochs=80)
+    methods["Random"] = lambda: RandomEmbedding(k=k, seed=seed)
+    return methods
+
+
+def run_link_prediction(
+    dataset: str,
+    methods: Mapping[str, MethodFactory],
+    *,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Table 5 protocol on one dataset: ``{method: {AUC, AP}}``."""
+    graph = load_dataset(dataset)
+    task = LinkPredictionTask(graph, seed=seed)
+    rows: dict[str, dict[str, float]] = {}
+    for name, factory in methods.items():
+        result = task.evaluate(factory())
+        rows[name] = result.as_row()
+    return rows
+
+
+def run_attribute_inference(
+    dataset: str,
+    methods: Mapping[str, MethodFactory],
+    *,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Table 4 protocol: only attribute-capable methods are scored."""
+    graph = load_dataset(dataset)
+    task = AttributeInferenceTask(graph, seed=seed)
+    rows: dict[str, dict[str, float]] = {}
+    for name, factory in methods.items():
+        model = factory()
+        try:
+            result = task.evaluate(model)
+        except TypeError:
+            continue  # method has no attribute embeddings (paper: "-")
+        rows[name] = result.as_row()
+    return rows
+
+
+def run_node_classification(
+    dataset: str,
+    methods: Mapping[str, MethodFactory],
+    *,
+    train_fractions: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, dict[float, float]]:
+    """Fig. 2 protocol: ``{method: {train_fraction: micro_f1}}``."""
+    graph = load_dataset(dataset)
+    task = NodeClassificationTask(
+        graph, train_fractions=train_fractions, n_repeats=n_repeats, seed=seed
+    )
+    rows: dict[str, dict[float, float]] = {}
+    for name, factory in methods.items():
+        result = task.evaluate(factory())
+        rows[name] = result.as_series()
+    return rows
+
+
+def time_methods(
+    dataset: str,
+    methods: Mapping[str, MethodFactory],
+) -> dict[str, float]:
+    """Fig. 3 protocol: embedding wall-clock seconds per method."""
+    graph = load_dataset(dataset)
+    timings: dict[str, float] = {}
+    for name, factory in methods.items():
+        elapsed, _ = time_call(factory().fit, graph)
+        timings[name] = elapsed
+    return timings

@@ -1,0 +1,83 @@
+"""Plain-text rendering of result tables and series, paper-style.
+
+The benchmark harness prints these so a reader can compare the regenerated
+rows against the paper's Tables 4–5 and Figures 2–8 side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``{row_name: {column: value}}`` as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    name_width = max(len(name) for name in rows) + 2
+    col_width = max(10, *(len(c) + 2 for c in columns))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = "".join(
+            (
+                f"{row[c]:.{precision}f}".rjust(col_width)
+                if c in row
+                else "-".rjust(col_width)
+            )
+            for c in columns
+        )
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    precision: int = 3,
+) -> str:
+    """Render ``{line_name: {x: y}}`` (one row per line, one column per x)."""
+    if not series:
+        return f"{title}\n(no series)" if title else "(no series)"
+    xs: list[float] = []
+    for line in series.values():
+        for x in line:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    name_width = max(len(name) for name in series) + 2
+    col_width = 10
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = x_label.ljust(name_width) + "".join(
+        f"{x:g}".rjust(col_width) for x in xs
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, line in series.items():
+        cells = "".join(
+            (
+                f"{line[x]:.{precision}f}".rjust(col_width)
+                if x in line
+                else "-".rjust(col_width)
+            )
+            for x in xs
+        )
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)

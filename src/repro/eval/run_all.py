@@ -1,0 +1,105 @@
+"""One-command regeneration of the paper's full evaluation.
+
+Usage::
+
+    python -m repro.eval.run_all [--scale small|full] [--k 32]
+
+Runs Tables 4/5 and the Figure 2 sweep over the dataset registry with the
+default method roster and prints every table.  This is the no-pytest path
+to the same results as ``pytest benchmarks/ --benchmark-only``; useful for
+redirecting a full evaluation report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.datasets import DATASETS, large_datasets, small_datasets
+from repro.eval.harness import (
+    default_methods,
+    run_attribute_inference,
+    run_link_prediction,
+    run_node_classification,
+    time_methods,
+)
+from repro.eval.reporting import format_series, format_table
+
+
+def run_full_evaluation(
+    k: int = 32,
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    stream=None,
+) -> None:
+    """Run every protocol on the selected dataset group, printing tables."""
+    stream = stream or sys.stdout
+    if scale == "small":
+        names = small_datasets()
+    elif scale == "full":
+        names = small_datasets() + large_datasets()
+    else:
+        raise ValueError(f"scale must be 'small' or 'full', got {scale!r}")
+
+    def emit(text: str) -> None:
+        print(text, file=stream)
+        print(file=stream)
+
+    for name in names:
+        spec = DATASETS[name]
+        include_slow = name in small_datasets()
+        methods = default_methods(k, seed=seed, include_slow=include_slow)
+        start = time.perf_counter()
+
+        emit(
+            format_table(
+                run_link_prediction(name, methods, seed=seed),
+                title=f"[Table 5] link prediction — {name} ({spec.paper_name})",
+            )
+        )
+        emit(
+            format_table(
+                run_attribute_inference(name, methods, seed=seed),
+                title=f"[Table 4] attribute inference — {name} ({spec.paper_name})",
+            )
+        )
+        emit(
+            format_series(
+                run_node_classification(
+                    name,
+                    methods,
+                    train_fractions=(0.1, 0.5, 0.9),
+                    n_repeats=2,
+                    seed=seed,
+                ),
+                title=f"[Figure 2] node classification — {name} ({spec.paper_name})",
+                x_label="train frac",
+            )
+        )
+        emit(
+            format_table(
+                {m: {"seconds": s} for m, s in time_methods(name, methods).items()},
+                title=f"[Figure 3] embedding time — {name} ({spec.paper_name})",
+            )
+        )
+        print(
+            f"== {name} done in {time.perf_counter() - start:.1f}s ==",
+            file=stream,
+        )
+        print(file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--k", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    run_full_evaluation(args.k, scale=args.scale, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Attributed-graph substrate: storage, matrices, generators, IO and walks."""
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.generators import (
+    attributed_sbm,
+    citation_graph,
+    power_law_attributed,
+    random_attributed_graph,
+)
+from repro.graph.toy import running_example_graph
+
+__all__ = [
+    "AttributedGraph",
+    "attributed_sbm",
+    "citation_graph",
+    "power_law_attributed",
+    "random_attributed_graph",
+    "running_example_graph",
+]

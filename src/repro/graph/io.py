@@ -1,0 +1,140 @@
+"""Serialization of attributed graphs.
+
+Two formats:
+
+- **npz** (binary, lossless): a single ``.npz`` bundling the adjacency,
+  attribute matrix and labels — the format the benchmark harness caches.
+- **text** (interchange): an edge list file, an association list file and an
+  optional label file, mirroring how the public Cora/Citeseer dumps ship.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def save_npz(graph: AttributedGraph, path: str | Path) -> None:
+    """Write ``graph`` to a single ``.npz`` archive at ``path``."""
+    path = Path(path)
+    adjacency = graph.adjacency.tocoo()
+    attributes = graph.attributes.tocoo()
+    payload: dict[str, np.ndarray] = {
+        "n_nodes": np.array(graph.n_nodes),
+        "n_attributes": np.array(graph.n_attributes),
+        "directed": np.array(graph.directed),
+        "adj_row": adjacency.row,
+        "adj_col": adjacency.col,
+        "adj_data": adjacency.data,
+        "attr_row": attributes.row,
+        "attr_col": attributes.col,
+        "attr_data": attributes.data,
+    }
+    if graph.labels is not None:
+        payload["labels"] = graph.labels
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | Path) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as archive:
+        n = int(archive["n_nodes"])
+        d = int(archive["n_attributes"])
+        adjacency = sp.csr_matrix(
+            (archive["adj_data"], (archive["adj_row"], archive["adj_col"])),
+            shape=(n, n),
+        )
+        attributes = sp.csr_matrix(
+            (archive["attr_data"], (archive["attr_row"], archive["attr_col"])),
+            shape=(n, d),
+        )
+        labels = archive["labels"] if "labels" in archive.files else None
+        directed = bool(archive["directed"])
+    return AttributedGraph(
+        adjacency=adjacency,
+        attributes=attributes,
+        directed=directed,
+        labels=labels,
+    )
+
+
+def save_text(graph: AttributedGraph, directory: str | Path) -> None:
+    """Write ``graph`` as text files under ``directory``.
+
+    Produces ``edges.txt`` (``src dst weight``), ``attributes.txt``
+    (``node attr weight``), ``meta.json`` and, when labeled,
+    ``labels.txt`` (``node label`` rows, one per membership).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    adjacency = graph.adjacency.tocoo()
+    with open(directory / "edges.txt", "w") as handle:
+        for source, target, weight in zip(adjacency.row, adjacency.col, adjacency.data):
+            handle.write(f"{source} {target} {weight:g}\n")
+    attributes = graph.attributes.tocoo()
+    with open(directory / "attributes.txt", "w") as handle:
+        for node, attr, weight in zip(attributes.row, attributes.col, attributes.data):
+            handle.write(f"{node} {attr} {weight:g}\n")
+    meta = {
+        "n_nodes": graph.n_nodes,
+        "n_attributes": graph.n_attributes,
+        "directed": graph.directed,
+        "multilabel": graph.is_multilabel,
+    }
+    with open(directory / "meta.json", "w") as handle:
+        json.dump(meta, handle, indent=2)
+    if graph.labels is not None:
+        with open(directory / "labels.txt", "w") as handle:
+            if graph.is_multilabel:
+                rows, cols = np.nonzero(graph.labels)
+                for node, label in zip(rows, cols):
+                    handle.write(f"{node} {label}\n")
+            else:
+                for node, label in enumerate(graph.labels):
+                    handle.write(f"{node} {label}\n")
+
+
+def load_text(directory: str | Path) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_text`."""
+    directory = Path(directory)
+    with open(directory / "meta.json") as handle:
+        meta = json.load(handle)
+    n, d = meta["n_nodes"], meta["n_attributes"]
+    edges = np.loadtxt(directory / "edges.txt", ndmin=2)
+    if edges.size:
+        adjacency = sp.csr_matrix(
+            (edges[:, 2], (edges[:, 0].astype(int), edges[:, 1].astype(int))),
+            shape=(n, n),
+        )
+    else:
+        adjacency = sp.csr_matrix((n, n))
+    assoc = np.loadtxt(directory / "attributes.txt", ndmin=2)
+    if assoc.size:
+        attributes = sp.csr_matrix(
+            (assoc[:, 2], (assoc[:, 0].astype(int), assoc[:, 1].astype(int))),
+            shape=(n, d),
+        )
+    else:
+        attributes = sp.csr_matrix((n, d))
+    labels = None
+    label_path = directory / "labels.txt"
+    if label_path.exists():
+        pairs = np.loadtxt(label_path, dtype=np.int64, ndmin=2)
+        if meta["multilabel"]:
+            n_labels = int(pairs[:, 1].max()) + 1 if pairs.size else 0
+            labels = np.zeros((n, n_labels), dtype=np.int64)
+            labels[pairs[:, 0], pairs[:, 1]] = 1
+        else:
+            labels = np.zeros(n, dtype=np.int64)
+            labels[pairs[:, 0]] = pairs[:, 1]
+    return AttributedGraph(
+        adjacency=adjacency,
+        attributes=attributes,
+        directed=meta["directed"],
+        labels=labels,
+    )

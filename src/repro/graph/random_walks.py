@@ -1,0 +1,114 @@
+"""Monte-Carlo simulation of the paper's random-walk model (Sec. 2.2).
+
+PANE never actually samples walks — APMI (Alg. 2) computes the visiting
+probabilities in closed form.  This module implements the *definition*:
+forward walks from nodes and backward walks from attributes, including the
+footnote-1 degenerate case (a walk that terminates at a node with no
+attributes restarts from its source).  It exists to
+
+- validate APMI against the definition (tests),
+- reproduce Table 2's running example numbers,
+- serve as a reference for readers comparing code to paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.matrices import normalized_attribute_matrices, random_walk_matrix
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+class WalkSimulator:
+    """Samples forward and backward walks on an attributed graph.
+
+    Transition structures are prepared once at construction; individual
+    walk calls are then cheap.  ``alpha`` is the stopping probability of
+    the random walk with restart.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        alpha: float = 0.5,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.graph = graph
+        self.alpha = check_probability(alpha, "alpha")
+        self.rng = ensure_rng(seed)
+        self._transition = random_walk_matrix(graph)
+        self._attributes = graph.attributes.tocsr()
+        _, rc = normalized_attribute_matrices(graph)
+        self._rc_csc = rc.tocsc()
+
+    # -- sampling primitives ------------------------------------------
+    def _sample_csr_row(self, matrix, row: int) -> int | None:
+        """Sample a column of CSR ``matrix`` proportional to row weights."""
+        start, stop = matrix.indptr[row], matrix.indptr[row + 1]
+        if start == stop:
+            return None
+        weights = matrix.data[start:stop]
+        choice = self.rng.choice(stop - start, p=weights / weights.sum())
+        return int(matrix.indices[start + choice])
+
+    def _walk_until_stop(self, start: int) -> int:
+        """Walk from ``start`` with stop probability alpha; return final node."""
+        current = start
+        while self.rng.random() >= self.alpha:
+            nxt = self._sample_csr_row(self._transition, current)
+            if nxt is None:
+                break  # dangling node absorbs the walk
+            current = nxt
+        return current
+
+    # -- paper walks ---------------------------------------------------
+    def forward_walk(self, source: int, *, max_restarts: int = 100) -> int | None:
+        """One forward walk from node ``source``; returns an attribute index.
+
+        On terminating at a node without attributes the walk restarts from
+        ``source`` (paper footnote 1); ``None`` after ``max_restarts``
+        failed attempts (unreachable attributes).
+        """
+        for _ in range(max_restarts):
+            final = self._walk_until_stop(source)
+            attr = self._sample_csr_row(self._attributes, final)
+            if attr is not None:
+                return attr
+        return None
+
+    def backward_walk(self, attribute: int) -> int:
+        """One backward walk from ``attribute``; returns the final node."""
+        column = self._rc_csc[:, attribute]
+        if column.nnz == 0:
+            raise ValueError(f"attribute {attribute} has no associated nodes")
+        start = int(self.rng.choice(column.indices, p=column.data / column.data.sum()))
+        return self._walk_until_stop(start)
+
+    # -- empirical probability estimates -------------------------------
+    def forward_probabilities(self, walks_per_node: int = 2000) -> np.ndarray:
+        """Empirical ``p_f(v, r)`` for all pairs as a dense ``n × d`` matrix.
+
+        This is the sampled collection ``S_f`` of the paper turned into
+        frequencies; O(n · walks_per_node / alpha) — small graphs only.
+        """
+        counts = np.zeros((self.graph.n_nodes, self.graph.n_attributes))
+        for node in range(self.graph.n_nodes):
+            for _ in range(walks_per_node):
+                attr = self.forward_walk(node)
+                if attr is not None:
+                    counts[node, attr] += 1
+        return counts / walks_per_node
+
+    def backward_probabilities(self, walks_per_attribute: int = 2000) -> np.ndarray:
+        """Empirical ``p_b(v, r)`` for all pairs as a dense ``n × d`` matrix."""
+        counts = np.zeros((self.graph.n_nodes, self.graph.n_attributes))
+        for attr in range(self.graph.n_attributes):
+            if self._rc_csc[:, attr].nnz == 0:
+                continue
+            for _ in range(walks_per_attribute):
+                node = self.backward_walk(attr)
+                counts[node, attr] += 1
+        return counts / walks_per_attribute

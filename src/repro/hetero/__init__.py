@@ -1,0 +1,6 @@
+"""Heterogeneous (multiplex) attributed networks (paper Sec. 7 future work)."""
+
+from repro.hetero.multiplex import MultiplexAttributedGraph, MultiplexPANE
+from repro.hetero.generators import multiplex_sbm
+
+__all__ = ["MultiplexAttributedGraph", "MultiplexPANE", "multiplex_sbm"]

@@ -1,0 +1,6 @@
+"""Parallelization substrate: block partitioning and a thread-pool runner."""
+
+from repro.parallel.partitioning import partition_indices
+from repro.parallel.executor import run_blocks
+
+__all__ = ["partition_indices", "run_blocks"]

@@ -1,0 +1,36 @@
+"""Thread-pool execution of per-block work items.
+
+numpy's BLAS kernels release the GIL, so the paper's multi-core structure
+(one thread per node/attribute block) maps naturally onto Python threads.
+A single-block call is executed inline to keep stack traces simple and to
+make ``n_threads=1`` bit-identical to the serial algorithms.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def run_blocks(
+    work: Callable[[int, T], R],
+    blocks: Sequence[T],
+    *,
+    n_threads: int | None = None,
+) -> list[R]:
+    """Apply ``work(block_index, block)`` to every block, possibly in parallel.
+
+    Results are returned in block order regardless of completion order.
+    Exceptions raised in workers propagate to the caller.
+    """
+    if not blocks:
+        return []
+    n_threads = n_threads or len(blocks)
+    if len(blocks) == 1 or n_threads == 1:
+        return [work(i, block) for i, block in enumerate(blocks)]
+    with ThreadPoolExecutor(max_workers=min(n_threads, len(blocks))) as pool:
+        futures = [pool.submit(work, i, block) for i, block in enumerate(blocks)]
+        return [future.result() for future in futures]

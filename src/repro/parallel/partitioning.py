@@ -1,0 +1,37 @@
+"""Equal-size index partitioning (Alg. 5 lines 1–2).
+
+The paper randomly partitions the node set V and attribute set R into
+``nb`` equal subsets.  We partition *contiguously* by default so matrix
+blocks are slices (cheap views); a ``shuffle`` option reproduces the
+paper's random assignment for load balancing experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def partition_indices(
+    total: int,
+    n_blocks: int,
+    *,
+    shuffle: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Split ``range(total)`` into ``n_blocks`` near-equal index arrays.
+
+    Every index appears in exactly one block; blocks differ in size by at
+    most one.  Empty blocks are dropped, so fewer than ``n_blocks`` arrays
+    may be returned when ``total < n_blocks``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+    indices = np.arange(total)
+    if shuffle:
+        ensure_rng(seed).shuffle(indices)
+    blocks = np.array_split(indices, n_blocks)
+    return [block for block in blocks if block.size > 0]

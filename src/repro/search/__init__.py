@@ -1,0 +1,5 @@
+"""Similarity search over trained embeddings."""
+
+from repro.search.knn import top_k_similar, pairwise_cosine, batch_top_k
+
+__all__ = ["top_k_similar", "pairwise_cosine", "batch_top_k"]

@@ -1,0 +1,31 @@
+"""Evaluation tasks: attribute inference, link prediction, node classification."""
+
+from repro.tasks.attribute_inference import AttributeInferenceTask
+from repro.tasks.clustering import (
+    NodeClusteringTask,
+    kmeans,
+    normalized_mutual_information,
+)
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.metrics import (
+    area_under_roc,
+    average_precision,
+    f1_scores,
+    macro_f1,
+    micro_f1,
+)
+from repro.tasks.node_classification import NodeClassificationTask
+
+__all__ = [
+    "AttributeInferenceTask",
+    "LinkPredictionTask",
+    "NodeClassificationTask",
+    "NodeClusteringTask",
+    "kmeans",
+    "normalized_mutual_information",
+    "area_under_roc",
+    "average_precision",
+    "f1_scores",
+    "macro_f1",
+    "micro_f1",
+]

@@ -1,0 +1,83 @@
+"""Attribute inference (paper Sec. 5.2).
+
+Protocol: hold out 20% of the nonzero attribute entries, train the
+embedding on the remaining 80%, then rank held-out (node, attribute)
+positives against an equal number of sampled negatives with the
+Eq. (21) score.  Reported metrics: AUC and Average Precision.
+
+Only models producing *attribute* embeddings can run this task (PANE and
+CAN in the paper); the task checks for a ``score_attributes`` method on
+the fitted embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.tasks.metrics import area_under_roc, average_precision
+from repro.tasks.splits import AttributeSplit, split_attribute_entries
+
+
+@dataclass(frozen=True)
+class AttributeInferenceResult:
+    """AUC / AP of one method on one split."""
+
+    auc: float
+    ap: float
+
+    def as_row(self) -> dict[str, float]:
+        return {"AUC": self.auc, "AP": self.ap}
+
+
+class AttributeInferenceTask:
+    """Reusable attribute-inference evaluation on a fixed split.
+
+    Instantiating the task fixes the split (so all methods compare on
+    identical data); ``evaluate`` runs one model.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        *,
+        test_fraction: float = 0.2,
+        seed: int | None = 0,
+    ) -> None:
+        self.graph = graph
+        self.split: AttributeSplit = split_attribute_entries(
+            graph, test_fraction, seed=seed
+        )
+
+    def evaluate(self, model) -> AttributeInferenceResult:
+        """Fit ``model`` on the training graph and score the held-out pairs.
+
+        ``model`` must expose ``fit(graph)`` returning an embedding with
+        ``score_attributes(nodes, attributes)``.
+        """
+        embedding = model.fit(self.split.train_graph)
+        if not hasattr(embedding, "score_attributes"):
+            raise TypeError(
+                f"{type(model).__name__} does not produce attribute embeddings; "
+                "attribute inference is undefined for it"
+            )
+        scores = embedding.score_attributes(
+            self.split.test_nodes, self.split.test_attributes
+        )
+        return self._score(scores)
+
+    def evaluate_embedding(self, embedding) -> AttributeInferenceResult:
+        """Score an already-fitted embedding (must match the training split)."""
+        scores = embedding.score_attributes(
+            self.split.test_nodes, self.split.test_attributes
+        )
+        return self._score(scores)
+
+    def _score(self, scores: np.ndarray) -> AttributeInferenceResult:
+        labels = self.split.test_labels
+        return AttributeInferenceResult(
+            auc=area_under_roc(labels, scores),
+            ap=average_precision(labels, scores),
+        )

@@ -1,0 +1,129 @@
+"""Evaluation metrics implemented from first principles (no sklearn).
+
+- :func:`area_under_roc` — rank-based AUC (probability a random positive
+  outranks a random negative), with the standard tie correction.
+- :func:`average_precision` — area under the precision-recall curve using
+  the step-wise "AP" estimator the paper's tooling reports.
+- :func:`micro_f1` / :func:`macro_f1` — multi-class and multi-label F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_binary(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same length")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    unique = np.unique(y_true)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError("y_true must be binary (0/1)")
+    return y_true.astype(np.int64), scores
+
+
+def area_under_roc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """AUC via the rank statistic ``(Σ ranks⁺ − n⁺(n⁺+1)/2) / (n⁺ n⁻)``.
+
+    Ties receive average ranks, matching the trapezoidal ROC definition.
+    Raises ``ValueError`` when only one class is present.
+    """
+    y_true, scores = _validate_binary(y_true, scores)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires both positive and negative examples")
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    ranks = np.empty(scores.size, dtype=np.float64)
+    # average ranks over tied groups
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = float(ranks[y_true == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """AP = Σ_k (R_k − R_{k−1}) · P_k over the score-sorted ranking.
+
+    Equivalent to sklearn's ``average_precision_score`` (step-wise PR
+    integral, no interpolation).
+    """
+    y_true, scores = _validate_binary(y_true, scores)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise ValueError("AP requires at least one positive example")
+    order = np.argsort(-scores, kind="mergesort")
+    hits = y_true[order]
+    cum_hits = np.cumsum(hits)
+    precision = cum_hits / np.arange(1, hits.size + 1)
+    return float((precision * hits).sum() / n_pos)
+
+
+def f1_scores(
+    y_true: np.ndarray, y_pred: np.ndarray, n_labels: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-label (precision, recall, f1) arrays.
+
+    Accepts either 1-D integer class vectors or 2-D binary indicator
+    matrices (multi-label).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.ndim == 1:
+        if n_labels is None:
+            n_labels = int(max(y_true.max(), y_pred.max())) + 1
+        true_ind = np.zeros((y_true.size, n_labels), dtype=bool)
+        pred_ind = np.zeros_like(true_ind)
+        true_ind[np.arange(y_true.size), y_true] = True
+        pred_ind[np.arange(y_pred.size), y_pred] = True
+    else:
+        true_ind = y_true.astype(bool)
+        pred_ind = y_pred.astype(bool)
+    tp = (true_ind & pred_ind).sum(axis=0).astype(np.float64)
+    fp = (~true_ind & pred_ind).sum(axis=0).astype(np.float64)
+    fn = (true_ind & ~pred_ind).sum(axis=0).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+        recall = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+        f1 = np.where(
+            precision + recall > 0,
+            2 * precision * recall / (precision + recall),
+            0.0,
+        )
+    return precision, recall, f1
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Micro-averaged F1: pooled TP/FP/FN across labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim == 1:
+        # single-label multi-class: micro-F1 equals plain accuracy
+        return float(np.mean(y_true == y_pred))
+    true_ind = y_true.astype(bool)
+    pred_ind = y_pred.astype(bool)
+    tp = float((true_ind & pred_ind).sum())
+    fp = float((~true_ind & pred_ind).sum())
+    fn = float((true_ind & ~pred_ind).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_labels: int | None = None) -> float:
+    """Macro-averaged F1: unweighted mean of per-label F1."""
+    _, _, f1 = f1_scores(y_true, y_pred, n_labels)
+    return float(f1.mean())

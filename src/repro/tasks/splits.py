@@ -1,0 +1,188 @@
+"""Train/test split utilities for the three evaluation protocols (Sec. 5).
+
+- :func:`split_attribute_entries` — 80/20 split of the nonzero entries of
+  the attribute matrix R, plus sampled negative pairs (attribute inference).
+- :func:`split_edges` — remove a fraction of edges to form a residual
+  graph, plus an equal number of non-edges as negatives (link prediction).
+- :func:`split_nodes` — a stratified-free random node split for
+  classification at a given training percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class AttributeSplit:
+    """Output of :func:`split_attribute_entries`.
+
+    ``train_graph`` has the test associations removed from R; the test set
+    pairs positives (held-out entries) with uniformly sampled negative
+    (node, attribute) pairs that are nonzero nowhere in R.
+    """
+
+    train_graph: AttributedGraph
+    test_nodes: np.ndarray
+    test_attributes: np.ndarray
+    test_labels: np.ndarray  # 1 for held-out true entries, 0 for negatives
+
+
+@dataclass(frozen=True)
+class EdgeSplit:
+    """Output of :func:`split_edges` (residual graph + labeled edge pairs)."""
+
+    residual_graph: AttributedGraph
+    test_sources: np.ndarray
+    test_targets: np.ndarray
+    test_labels: np.ndarray
+
+
+def _sample_negative_pairs(
+    rng: np.random.Generator,
+    occupied: sp.csr_matrix,
+    count: int,
+    *,
+    forbid_diagonal: bool = False,
+    max_tries: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` (row, col) pairs that are zero in ``occupied``."""
+    n_rows, n_cols = occupied.shape
+    occupied = occupied.tocsr()
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    needed = count
+    for _ in range(max_tries):
+        if needed <= 0:
+            break
+        cand_rows = rng.integers(0, n_rows, size=2 * needed + 8)
+        cand_cols = rng.integers(0, n_cols, size=cand_rows.size)
+        values = np.asarray(
+            occupied[cand_rows, cand_cols]
+        ).ravel()
+        keep = values == 0
+        if forbid_diagonal:
+            keep &= cand_rows != cand_cols
+        cand_rows, cand_cols = cand_rows[keep], cand_cols[keep]
+        take = min(needed, cand_rows.size)
+        rows_out.append(cand_rows[:take])
+        cols_out.append(cand_cols[:take])
+        needed -= take
+    if needed > 0:
+        raise RuntimeError(
+            "could not sample enough negative pairs; matrix too dense"
+        )
+    return np.concatenate(rows_out), np.concatenate(cols_out)
+
+
+def split_attribute_entries(
+    graph: AttributedGraph,
+    test_fraction: float = 0.2,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> AttributeSplit:
+    """Hold out ``test_fraction`` of R's nonzeros (the paper's 20%).
+
+    Negative pairs are sampled uniformly from the zero entries of the
+    *full* attribute matrix, one per positive.
+    """
+    test_fraction = check_probability(test_fraction, "test_fraction")
+    rng = ensure_rng(seed)
+    coo = graph.attributes.tocoo()
+    n_entries = coo.nnz
+    if n_entries < 5:
+        raise ValueError("attribute matrix too sparse to split")
+    n_test = max(1, int(round(test_fraction * n_entries)))
+    perm = rng.permutation(n_entries)
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+
+    train_matrix = sp.csr_matrix(
+        (coo.data[train_idx], (coo.row[train_idx], coo.col[train_idx])),
+        shape=graph.attributes.shape,
+    )
+    pos_rows, pos_cols = coo.row[test_idx], coo.col[test_idx]
+    neg_rows, neg_cols = _sample_negative_pairs(rng, graph.attributes, n_test)
+
+    return AttributeSplit(
+        train_graph=graph.with_attributes(train_matrix),
+        test_nodes=np.concatenate([pos_rows, neg_rows]),
+        test_attributes=np.concatenate([pos_cols, neg_cols]),
+        test_labels=np.concatenate(
+            [np.ones(n_test, dtype=np.int64), np.zeros(n_test, dtype=np.int64)]
+        ),
+    )
+
+
+def split_edges(
+    graph: AttributedGraph,
+    test_fraction: float = 0.3,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> EdgeSplit:
+    """Remove ``test_fraction`` of edges (the paper's 30%) for link prediction.
+
+    For undirected graphs the split operates on the upper-triangle edge set
+    so both directions of an undirected edge leave the residual graph
+    together.  Negatives are non-edges sampled uniformly, one per positive.
+    """
+    test_fraction = check_probability(test_fraction, "test_fraction")
+    rng = ensure_rng(seed)
+    adjacency = graph.adjacency.tocoo()
+    if graph.directed:
+        rows, cols, data = adjacency.row, adjacency.col, adjacency.data
+    else:
+        upper = adjacency.row < adjacency.col
+        rows, cols, data = (
+            adjacency.row[upper],
+            adjacency.col[upper],
+            adjacency.data[upper],
+        )
+    n_edges = rows.size
+    if n_edges < 5:
+        raise ValueError("graph too small to split edges")
+    n_test = max(1, int(round(test_fraction * n_edges)))
+    perm = rng.permutation(n_edges)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+
+    residual = sp.csr_matrix(
+        (data[train_idx], (rows[train_idx], cols[train_idx])),
+        shape=graph.adjacency.shape,
+    )
+    if not graph.directed:
+        residual = residual.maximum(residual.T)
+
+    pos_src, pos_dst = rows[test_idx], cols[test_idx]
+    neg_src, neg_dst = _sample_negative_pairs(
+        rng, graph.adjacency, n_test, forbid_diagonal=True
+    )
+    return EdgeSplit(
+        residual_graph=graph.with_adjacency(residual),
+        test_sources=np.concatenate([pos_src, neg_src]),
+        test_targets=np.concatenate([pos_dst, neg_dst]),
+        test_labels=np.concatenate(
+            [np.ones(n_test, dtype=np.int64), np.zeros(n_test, dtype=np.int64)]
+        ),
+    )
+
+
+def split_nodes(
+    n_nodes: int,
+    train_fraction: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (train_indices, test_indices) split of ``range(n_nodes)``."""
+    train_fraction = check_probability(train_fraction, "train_fraction")
+    rng = ensure_rng(seed)
+    perm = rng.permutation(n_nodes)
+    n_train = max(1, int(round(train_fraction * n_nodes)))
+    n_train = min(n_train, n_nodes - 1)
+    return perm[:n_train], perm[n_train:]

@@ -1,0 +1,17 @@
+"""Shared low-level utilities: RNG handling, timing, validation, sparse helpers."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_embedding_dim,
+    check_probability,
+    check_positive,
+)
+
+__all__ = [
+    "ensure_rng",
+    "Timer",
+    "check_embedding_dim",
+    "check_probability",
+    "check_positive",
+]

@@ -1,0 +1,60 @@
+"""Sparse-matrix helpers used by the graph substrate and the core solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return a copy of ``matrix`` with every non-empty row scaled to sum 1.
+
+    Rows whose sum is zero are left as all-zero rows (the library-wide
+    dangling policy; see DESIGN.md §2).
+    """
+    matrix = matrix.tocsr().astype(np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inv = np.zeros_like(row_sums)
+    nonzero = row_sums != 0
+    inv[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.diags(inv) @ matrix
+
+
+def column_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return a copy of ``matrix`` with every non-empty column scaled to sum 1."""
+    matrix = matrix.tocsr().astype(np.float64)
+    col_sums = np.asarray(matrix.sum(axis=0)).ravel()
+    inv = np.zeros_like(col_sums)
+    nonzero = col_sums != 0
+    inv[nonzero] = 1.0 / col_sums[nonzero]
+    return matrix @ sp.diags(inv)
+
+
+def dense_row_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalize a dense matrix, leaving all-zero rows untouched."""
+    sums = matrix.sum(axis=1, keepdims=True)
+    safe = np.where(sums == 0, 1.0, sums)
+    return matrix / safe
+
+
+def dense_column_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Column-normalize a dense matrix, leaving all-zero columns untouched."""
+    sums = matrix.sum(axis=0, keepdims=True)
+    safe = np.where(sums == 0, 1.0, sums)
+    return matrix / safe
+
+
+def is_row_stochastic(matrix, atol: float = 1e-9) -> bool:
+    """True if every row of ``matrix`` sums to 1 or 0 (dangling allowed)."""
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    return bool(np.all((np.abs(sums - 1.0) <= atol) | (np.abs(sums) <= atol)))
+
+
+def sparse_equal(a: sp.spmatrix, b: sp.spmatrix, atol: float = 1e-12) -> bool:
+    """Structural + numerical equality check for two sparse matrices."""
+    if a.shape != b.shape:
+        return False
+    diff = (a - b).tocoo()
+    if diff.nnz == 0:
+        return True
+    return bool(np.max(np.abs(diff.data)) <= atol)

@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer.measure("phase1"):
+    ...     pass
+    >>> "phase1" in timer.laps
+    True
+    """
+
+    def __init__(self) -> None:
+        self.laps: dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the elapsed seconds of the block to ``laps``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps, in seconds."""
+        return sum(self.laps.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        laps = ", ".join(f"{k}={v:.3f}s" for k, v in self.laps.items())
+        return f"Timer({laps})"
+
+
+def time_call(func, *args, **kwargs) -> tuple[float, object]:
+    """Run ``func(*args, **kwargs)`` and return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - start, result

@@ -1,0 +1,127 @@
+"""Contract tests shared by every baseline method."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AANE,
+    BANE,
+    CANLite,
+    LQANR,
+    NRP,
+    NetMF,
+    RandomEmbedding,
+    SpectralConcat,
+    TADW,
+)
+
+ALL_BASELINES = [AANE, BANE, CANLite, LQANR, NRP, NetMF, RandomEmbedding,
+                 SpectralConcat, TADW]
+
+
+@pytest.fixture(scope="module")
+def fitted(sbm_graph):
+    """Fit every baseline once on the shared SBM graph."""
+    kwargs = {"k": 16, "seed": 0}
+    models = {}
+    for cls in ALL_BASELINES:
+        model = cls(**kwargs)
+        if isinstance(model, CANLite):
+            model = CANLite(k=16, seed=0, n_epochs=40)
+        models[cls.__name__] = model.fit(sbm_graph)
+    return models
+
+
+class TestContract:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_fit_returns_self(self, cls, sbm_graph):
+        model = cls(k=16, seed=0)
+        assert model.fit(sbm_graph) is model
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_feature_row_count(self, cls, fitted, sbm_graph):
+        features = fitted[cls.__name__].node_features()
+        assert features.shape[0] == sbm_graph.n_nodes
+        assert features.ndim == 2
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_features_finite(self, cls, fitted):
+        assert np.all(np.isfinite(fitted[cls.__name__].node_features()))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_link_scores_shape(self, cls, fitted):
+        model = fitted[cls.__name__]
+        sources = np.array([0, 1, 2])
+        targets = np.array([3, 4, 5])
+        scores = model.score_links(sources, targets)
+        assert scores.shape == (3,)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_unfitted_raises(self, cls):
+        with pytest.raises(RuntimeError):
+            cls(k=16, seed=0).node_features()
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_deterministic_for_seed(self, cls, sbm_graph):
+        kwargs = {"k": 16, "seed": 3}
+        if cls is CANLite:
+            kwargs["n_epochs"] = 20
+        a = cls(**kwargs).fit(sbm_graph).node_features()
+        b = cls(**kwargs).fit(sbm_graph).node_features()
+        assert np.allclose(a, b)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_invalid_k_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(k=0)
+
+
+class TestMethodSpecific:
+    def test_bane_features_binary(self, fitted):
+        features = fitted["BANE"].node_features()
+        assert set(np.unique(features)) <= {-1.0, 1.0}
+
+    def test_lqanr_features_quantized(self, fitted):
+        features = fitted["LQANR"].node_features()
+        scale = np.abs(features)[np.abs(features) > 0]
+        if scale.size:
+            quantum = scale.min()
+            ratio = features / quantum
+            assert np.allclose(ratio, np.round(ratio), atol=1e-6)
+
+    def test_nrp_scores_directed(self, fitted):
+        model = fitted["NRP"]
+        forward = model.score_links(np.array([0]), np.array([1]))
+        backward = model.score_links(np.array([1]), np.array([0]))
+        assert forward[0] != pytest.approx(backward[0], abs=1e-12)
+
+    def test_nrp_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            NRP(k=15)
+
+    def test_tadw_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            TADW(k=15)
+
+    def test_random_embedding_gaussian_stats(self, fitted):
+        features = fitted["RandomEmbedding"].node_features()
+        assert abs(features.mean()) < 0.1
+        assert abs(features.std() - 1.0) < 0.1
+
+
+class TestSignalQuality:
+    """Structured baselines must carry community signal; random must not."""
+
+    @pytest.mark.parametrize(
+        "name", ["NRP", "TADW", "BANE", "AANE", "NetMF", "SpectralConcat"]
+    )
+    def test_community_signal(self, name, fitted, sbm_graph):
+        from repro.tasks.node_classification import NodeClassificationTask
+
+        task = NodeClassificationTask(
+            sbm_graph, train_fractions=(0.5,), n_repeats=1, seed=0
+        )
+        result = task.evaluate_features(fitted[name].node_features())
+        chance = 1.0 / sbm_graph.n_labels
+        assert result.micro[0] > chance

@@ -1,0 +1,46 @@
+"""Tests for the BLA-style attribute-inference baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bla import BLA
+from repro.core.pane import PANE
+from repro.tasks.attribute_inference import AttributeInferenceTask
+
+
+class TestBLA:
+    def test_beats_chance(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        result = task.evaluate(BLA())
+        assert result.auc > 0.55
+
+    def test_pane_beats_bla(self, sbm_graph):
+        """Table 4's shape: PANE well ahead of BLA everywhere."""
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        pane = task.evaluate(PANE(k=16, seed=0))
+        bla = task.evaluate(BLA())
+        assert pane.auc > bla.auc - 0.02
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BLA().score_attributes(np.array([0]), np.array([0]))
+
+    def test_observed_attributes_score_high(self, sbm_graph):
+        model = BLA().fit(sbm_graph)
+        coo = sbm_graph.attributes.tocoo()
+        observed = model.score_attributes(coo.row[:50], coo.col[:50])
+        rng = np.random.default_rng(0)
+        random_pairs = model.score_attributes(
+            rng.integers(0, sbm_graph.n_nodes, 50),
+            rng.integers(0, sbm_graph.n_attributes, 50),
+        )
+        assert observed.mean() > random_pairs.mean()
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError):
+            BLA(damping=1.5)
+
+    def test_more_iterations_changes_scores(self, sbm_graph):
+        few = BLA(n_iterations=1).fit(sbm_graph)._scores
+        many = BLA(n_iterations=8).fit(sbm_graph)._scores
+        assert not np.allclose(few, many)

@@ -1,0 +1,62 @@
+"""Tests specific to the CANLite autoencoder baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.can_lite import CANLite, _Adam, _sigmoid
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.linspace(-100, 100, 50)
+        out = _sigmoid(x)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_midpoint(self):
+        assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow(self):
+        assert np.isfinite(_sigmoid(np.array([1e10, -1e10]))).all()
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        param = np.array([5.0])
+        adam = _Adam([param], lr=0.1)
+        for _ in range(300):
+            adam.step([2 * param])  # d/dx x^2
+        assert abs(param[0]) < 0.5
+
+    def test_multiple_params(self):
+        a, b = np.array([1.0]), np.array([-1.0])
+        adam = _Adam([a, b], lr=0.05)
+        for _ in range(200):
+            adam.step([2 * a, 2 * b])
+        assert abs(a[0]) < 0.5 and abs(b[0]) < 0.5
+
+
+class TestTraining:
+    def test_training_loss_decreases(self, sbm_graph):
+        """Adam on the BCE objective must reduce the training loss."""
+        model = CANLite(k=16, seed=0, n_epochs=80).fit(sbm_graph)
+        assert len(model.loss_history) == 80
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_beats_chance_on_link_prediction(self, sbm_graph):
+        from repro.tasks.link_prediction import LinkPredictionTask
+
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        result = task.evaluate(CANLite(k=16, seed=0, n_epochs=60))
+        assert result.auc > 0.6
+
+    def test_attribute_scores_available(self, sbm_graph):
+        model = CANLite(k=16, seed=0, n_epochs=20).fit(sbm_graph)
+        scores = model.score_attributes(np.array([0, 1]), np.array([0, 1]))
+        assert scores.shape == (2,)
+
+    def test_unfitted_scoring_raises(self):
+        model = CANLite(k=16, seed=0)
+        with pytest.raises(RuntimeError):
+            model.score_links(np.array([0]), np.array([1]))
+        with pytest.raises(RuntimeError):
+            model.score_attributes(np.array([0]), np.array([1]))

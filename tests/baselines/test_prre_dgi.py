@@ -1,0 +1,68 @@
+"""Tests for the PRRE and DGI-lite baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dgi_lite import DGILite
+from repro.baselines.prre import PRRE
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.node_classification import NodeClassificationTask
+
+
+class TestPRRE:
+    def test_fit_returns_self_and_shapes(self, sbm_graph):
+        model = PRRE(k=16, seed=0)
+        assert model.fit(sbm_graph) is model
+        assert model.node_features().shape[0] == sbm_graph.n_nodes
+
+    def test_features_finite(self, sbm_graph):
+        features = PRRE(k=16, seed=0, n_em_rounds=2).fit(sbm_graph).node_features()
+        assert np.all(np.isfinite(features))
+
+    def test_beats_chance_on_links(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        assert task.evaluate(PRRE(k=16, seed=0)).auc > 0.55
+
+    def test_carries_community_signal(self, sbm_graph):
+        task = NodeClassificationTask(
+            sbm_graph, train_fractions=(0.5,), n_repeats=1, seed=0
+        )
+        result = task.evaluate(PRRE(k=16, seed=0))
+        assert result.micro[0] > 1.0 / sbm_graph.n_labels
+
+    def test_deterministic(self, sbm_graph):
+        a = PRRE(k=16, seed=2, n_em_rounds=1).fit(sbm_graph).node_features()
+        b = PRRE(k=16, seed=2, n_em_rounds=1).fit(sbm_graph).node_features()
+        assert np.allclose(a, b)
+
+    def test_invalid_quantiles_rejected(self):
+        with pytest.raises(ValueError):
+            PRRE(k=16, positive_quantile=0.4, negative_quantile=0.6)
+
+
+class TestDGILite:
+    def test_fit_returns_self_and_shapes(self, sbm_graph):
+        model = DGILite(k=16, seed=0, n_epochs=30)
+        assert model.fit(sbm_graph) is model
+        assert model.node_features().shape == (sbm_graph.n_nodes, 16)
+
+    def test_features_finite(self, sbm_graph):
+        features = DGILite(k=16, seed=0, n_epochs=30).fit(sbm_graph).node_features()
+        assert np.all(np.isfinite(features))
+
+    def test_carries_community_signal(self, sbm_graph):
+        task = NodeClassificationTask(
+            sbm_graph, train_fractions=(0.5,), n_repeats=1, seed=0
+        )
+        result = task.evaluate(DGILite(k=16, seed=0, n_epochs=60))
+        chance = 1.0 / sbm_graph.n_labels
+        assert result.micro[0] > chance + 0.2
+
+    def test_beats_chance_on_links(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        assert task.evaluate(DGILite(k=16, seed=0, n_epochs=60)).auc > 0.55
+
+    def test_deterministic(self, sbm_graph):
+        a = DGILite(k=16, seed=1, n_epochs=10).fit(sbm_graph).node_features()
+        b = DGILite(k=16, seed=1, n_epochs=10).fit(sbm_graph).node_features()
+        assert np.allclose(a, b)

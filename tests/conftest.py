@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.generators import attributed_sbm, citation_graph
+from repro.graph.toy import running_example_graph
+
+
+@pytest.fixture(scope="session")
+def toy_graph() -> AttributedGraph:
+    """The paper's 6-node running example (Fig. 1)."""
+    return running_example_graph()
+
+
+@pytest.fixture(scope="session")
+def sbm_graph() -> AttributedGraph:
+    """A small, homophilous SBM used across unit tests."""
+    return attributed_sbm(
+        n_nodes=120, n_communities=3, n_attributes=30, p_in=0.1, p_out=0.01,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def citation() -> AttributedGraph:
+    """A small citation-style directed graph."""
+    return citation_graph(n_nodes=150, n_attributes=40, n_topics=4, seed=9)
+
+
+@pytest.fixture(scope="session")
+def undirected_graph() -> AttributedGraph:
+    """A small undirected multi-label SBM."""
+    return attributed_sbm(
+        n_nodes=100, n_communities=4, n_attributes=25, directed=False,
+        multilabel=True, seed=13,
+    )
+
+
+@pytest.fixture()
+def tiny_graph() -> AttributedGraph:
+    """Hand-built 4-node graph with known structure (fresh per test)."""
+    adjacency = sp.csr_matrix(
+        np.array(
+            [
+                [0, 1, 1, 0],
+                [0, 0, 1, 0],
+                [1, 0, 0, 1],
+                [0, 0, 0, 0],  # dangling node
+            ],
+            dtype=float,
+        )
+    )
+    attributes = sp.csr_matrix(
+        np.array(
+            [
+                [1.0, 0.0, 2.0],
+                [0.0, 1.0, 0.0],
+                [1.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0],  # attribute-less node
+            ]
+        )
+    )
+    labels = np.array([0, 1, 0, 1])
+    return AttributedGraph(adjacency=adjacency, attributes=attributes, labels=labels)

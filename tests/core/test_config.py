@@ -1,0 +1,47 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import PANEConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = PANEConfig()
+        assert cfg.k == 128
+        assert cfg.alpha == 0.5
+        assert cfg.epsilon == 0.015
+        assert cfg.n_threads == 1
+
+    def test_half_dim(self):
+        assert PANEConfig(k=64).half_dim == 32
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_k", [0, -2, 7, 15])
+    def test_bad_k_rejected(self, bad_k):
+        with pytest.raises(ValueError):
+            PANEConfig(k=bad_k)
+
+    @pytest.mark.parametrize("bad_alpha", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_alpha_rejected(self, bad_alpha):
+        with pytest.raises(ValueError):
+            PANEConfig(alpha=bad_alpha)
+
+    @pytest.mark.parametrize("bad_eps", [0.0, 1.0, -0.5])
+    def test_bad_epsilon_rejected(self, bad_eps):
+        with pytest.raises(ValueError):
+            PANEConfig(epsilon=bad_eps)
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(ValueError):
+            PANEConfig(n_threads=0)
+
+    def test_negative_ccd_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            PANEConfig(ccd_iterations=-1)
+
+    def test_frozen(self):
+        cfg = PANEConfig()
+        with pytest.raises(Exception):
+            cfg.k = 64

@@ -1,0 +1,38 @@
+"""Tests for PAPMI (Alg. 6) — parallel/serial equivalence (Lemma 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import apmi
+from repro.core.papmi import papmi
+
+
+class TestLemma41:
+    """PAPMI must return exactly the serial APMI matrices."""
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 3, 7])
+    def test_parallel_equals_serial(self, sbm_graph, n_threads):
+        serial = apmi(sbm_graph, alpha=0.5, epsilon=0.05)
+        parallel = papmi(sbm_graph, alpha=0.5, epsilon=0.05, n_threads=n_threads)
+        assert np.allclose(serial.forward, parallel.forward, atol=1e-12)
+        assert np.allclose(serial.backward, parallel.backward, atol=1e-12)
+
+    def test_more_threads_than_attributes(self, tiny_graph):
+        serial = apmi(tiny_graph, epsilon=0.1)
+        parallel = papmi(tiny_graph, epsilon=0.1, n_threads=16)
+        assert np.allclose(serial.forward, parallel.forward)
+
+    def test_probabilities_identical(self, sbm_graph):
+        serial = apmi(sbm_graph, epsilon=0.05)
+        parallel = papmi(sbm_graph, epsilon=0.05, n_threads=4)
+        assert np.allclose(
+            serial.forward_probabilities, parallel.forward_probabilities
+        )
+        assert np.allclose(
+            serial.backward_probabilities, parallel.backward_probabilities
+        )
+
+    def test_explicit_iterations(self, sbm_graph):
+        serial = apmi(sbm_graph, n_iterations=3)
+        parallel = papmi(sbm_graph, n_iterations=3, n_threads=2)
+        assert np.allclose(serial.forward, parallel.forward)

@@ -1,0 +1,80 @@
+"""Tests for the randomized SVD primitive."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.randsvd import randsvd
+
+
+def _low_rank_matrix(n=60, d=30, rank=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, rank)) @ rng.standard_normal((rank, d))
+
+
+class TestExactness:
+    def test_recovers_low_rank_matrix(self):
+        matrix = _low_rank_matrix(rank=5)
+        u, s, v = randsvd(matrix, 5, n_iter=7, seed=0)
+        assert np.allclose(u @ np.diag(s) @ v.T, matrix, atol=1e-6)
+
+    def test_exact_mode_matches_numpy(self):
+        matrix = _low_rank_matrix()
+        u, s, v = randsvd(matrix, 4, exact=True)
+        _, s_np, _ = np.linalg.svd(matrix)
+        assert np.allclose(s, s_np[:4])
+
+    def test_singular_values_descending(self):
+        matrix = _low_rank_matrix(rank=8)
+        _, s, _ = randsvd(matrix, 8, seed=0)
+        assert np.all(np.diff(s) <= 1e-9)
+
+    def test_close_to_optimal_truncation(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((50, 40))
+        rank = 10
+        u, s, v = randsvd(matrix, rank, n_iter=10, seed=0)
+        approx_error = np.linalg.norm(matrix - u @ np.diag(s) @ v.T)
+        _, s_full, _ = np.linalg.svd(matrix)
+        optimal_error = np.sqrt((s_full[rank:] ** 2).sum())
+        assert approx_error <= 1.1 * optimal_error
+
+
+class TestOrthonormality:
+    def test_v_columns_orthonormal(self):
+        matrix = _low_rank_matrix()
+        _, _, v = randsvd(matrix, 5, seed=0)
+        assert np.allclose(v.T @ v, np.eye(5), atol=1e-8)
+
+    def test_u_columns_orthonormal(self):
+        matrix = _low_rank_matrix()
+        u, _, _ = randsvd(matrix, 5, seed=0)
+        assert np.allclose(u.T @ u, np.eye(5), atol=1e-8)
+
+
+class TestInputs:
+    def test_sparse_input(self):
+        dense = _low_rank_matrix(rank=3)
+        sparse = sp.csr_matrix(dense)
+        u, s, v = randsvd(sparse, 3, n_iter=7, seed=0)
+        assert np.allclose(u @ np.diag(s) @ v.T, dense, atol=1e-6)
+
+    def test_deterministic_for_seed(self):
+        matrix = _low_rank_matrix()
+        a = randsvd(matrix, 4, seed=9)
+        b = randsvd(matrix, 4, seed=9)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ValueError):
+            randsvd(np.eye(4), 0)
+
+    def test_rank_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            randsvd(np.eye(4), 5)
+
+    def test_rank_equals_min_dim(self):
+        matrix = _low_rank_matrix(n=10, d=6, rank=6)
+        u, s, v = randsvd(matrix, 6, n_iter=8, seed=0)
+        assert np.allclose(u @ np.diag(s) @ v.T, matrix, atol=1e-5)

@@ -1,0 +1,79 @@
+"""Tests for CCD early stopping and objective tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import apmi
+from repro.core.greedy_init import greedy_init, random_init
+from repro.core.svd_ccd import (
+    cached_objective,
+    objective_value,
+    refine,
+    refine_tracked,
+)
+
+
+@pytest.fixture(scope="module")
+def problem(sbm_graph):
+    pair = apmi(sbm_graph, epsilon=0.05)
+    return pair.forward, pair.backward
+
+
+class TestCachedObjective:
+    def test_matches_full_recomputation(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        assert cached_objective(state) == pytest.approx(
+            objective_value(forward, backward, state)
+        )
+
+    def test_stays_in_sync_after_sweeps(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        refine(state, 3)
+        assert cached_objective(state) == pytest.approx(
+            objective_value(forward, backward, state), rel=1e-6
+        )
+
+
+class TestEarlyStopping:
+    def test_loose_tolerance_stops_before_budget(self, problem):
+        forward, backward = problem
+        eager = greedy_init(forward, backward, k=16, seed=0)
+        _, history = refine_tracked(eager, 20)
+        full_final = history[-1]
+
+        stopped = greedy_init(forward, backward, k=16, seed=0)
+        refine(stopped, 20, tolerance=0.5)  # very loose: stop almost at once
+        # loose tolerance means strictly less progress than the full run
+        assert cached_objective(stopped) >= full_final
+
+    def test_zero_tolerance_equivalent_to_full_run(self, problem):
+        forward, backward = problem
+        a = greedy_init(forward, backward, k=16, seed=0)
+        b = greedy_init(forward, backward, k=16, seed=0)
+        refine(a, 5)
+        refine(b, 5, tolerance=0.0)
+        assert np.allclose(a.x_forward, b.x_forward)
+
+
+class TestRefineTracked:
+    def test_history_length(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        _, history = refine_tracked(state, 4)
+        assert len(history) == 5
+
+    def test_history_monotone_decreasing(self, problem):
+        forward, backward = problem
+        state = random_init(forward, backward, k=16, seed=0)
+        _, history = refine_tracked(state, 6)
+        assert all(b <= a + 1e-8 for a, b in zip(history, history[1:]))
+
+    def test_parallel_history_matches_serial(self, problem):
+        forward, backward = problem
+        serial = greedy_init(forward, backward, k=16, seed=0)
+        parallel = greedy_init(forward, backward, k=16, seed=0)
+        _, h_serial = refine_tracked(serial, 3, n_threads=1)
+        _, h_parallel = refine_tracked(parallel, 3, n_threads=3)
+        assert np.allclose(h_serial, h_parallel, rtol=1e-9)

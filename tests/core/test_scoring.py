@@ -1,0 +1,78 @@
+"""Tests for the Eq. 21 / Eq. 22 scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    attribute_scores,
+    link_score_matrix,
+    link_scores,
+    node_attribute_score_matrix,
+)
+
+
+@pytest.fixture()
+def embeddings():
+    rng = np.random.default_rng(0)
+    n, d, half = 10, 6, 4
+    return (
+        rng.standard_normal((n, half)),
+        rng.standard_normal((n, half)),
+        rng.standard_normal((d, half)),
+    )
+
+
+class TestAttributeScores:
+    def test_equals_definition(self, embeddings):
+        xf, xb, y = embeddings
+        nodes = np.array([0, 3, 7])
+        attrs = np.array([1, 5, 2])
+        scores = attribute_scores(xf, xb, y, nodes, attrs)
+        for idx, (v, r) in enumerate(zip(nodes, attrs)):
+            expected = xf[v] @ y[r] + xb[v] @ y[r]
+            assert scores[idx] == pytest.approx(expected)
+
+    def test_matrix_agrees_with_pairs(self, embeddings):
+        xf, xb, y = embeddings
+        matrix = node_attribute_score_matrix(xf, xb, y)
+        nodes, attrs = np.meshgrid(np.arange(10), np.arange(6), indexing="ij")
+        pairs = attribute_scores(xf, xb, y, nodes.ravel(), attrs.ravel())
+        assert np.allclose(matrix.ravel(), pairs)
+
+    def test_shape_mismatch_rejected(self, embeddings):
+        xf, xb, y = embeddings
+        with pytest.raises(ValueError):
+            attribute_scores(xf, xb, y, np.array([0, 1]), np.array([0]))
+
+
+class TestLinkScores:
+    def test_equals_definition(self, embeddings):
+        """Eq. 22: p(u,v) = Σ_r (Xf[u]·Y[r]) (Xb[v]·Y[r])."""
+        xf, xb, y = embeddings
+        sources = np.array([0, 2])
+        targets = np.array([1, 9])
+        scores = link_scores(xf, xb, y, sources, targets)
+        for idx, (u, v) in enumerate(zip(sources, targets)):
+            expected = sum(
+                (xf[u] @ y[r]) * (xb[v] @ y[r]) for r in range(y.shape[0])
+            )
+            assert scores[idx] == pytest.approx(expected)
+
+    def test_matrix_agrees_with_pairs(self, embeddings):
+        xf, xb, y = embeddings
+        matrix = link_score_matrix(xf, xb, y)
+        us, vs = np.meshgrid(np.arange(10), np.arange(10), indexing="ij")
+        pairs = link_scores(xf, xb, y, us.ravel(), vs.ravel())
+        assert np.allclose(matrix.ravel(), pairs)
+
+    def test_asymmetric(self, embeddings):
+        """Directed scoring: p(u,v) ≠ p(v,u) in general."""
+        xf, xb, y = embeddings
+        forward = link_scores(xf, xb, y, np.array([0]), np.array([1]))
+        backward = link_scores(xf, xb, y, np.array([1]), np.array([0]))
+        assert forward[0] != pytest.approx(backward[0])
+
+    def test_shape_mismatch_rejected(self, embeddings):
+        xf, xb, y = embeddings
+        with pytest.raises(ValueError):
+            link_scores(xf, xb, y, np.array([0]), np.array([0, 1]))

@@ -1,0 +1,73 @@
+"""Tests for the memory-lean sparse PANE variant."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.affinity import apmi
+from repro.core.pane import PANE
+from repro.core.sparse_pane import SparsePANE, apmi_sparse
+
+
+class TestApmiSparse:
+    def test_zero_threshold_matches_dense(self, sbm_graph):
+        dense = apmi(sbm_graph, 0.5, 0.05)
+        sparse = apmi_sparse(sbm_graph, 0.5, 0.05, prune_threshold=0.0)
+        assert np.allclose(sparse.forward.toarray(), dense.forward, atol=1e-10)
+        assert np.allclose(sparse.backward.toarray(), dense.backward, atol=1e-10)
+
+    def test_pruning_bounds_error(self, sbm_graph):
+        dense = apmi(sbm_graph, 0.5, 0.05)
+        sparse = apmi_sparse(sbm_graph, 0.5, 0.05, prune_threshold=1e-3)
+        error = np.abs(sparse.forward.toarray() - dense.forward).max()
+        assert error < 0.25  # small entrywise drift from pruned mass
+
+    def test_pruning_reduces_nnz(self, sbm_graph):
+        exact = apmi_sparse(sbm_graph, 0.5, 0.015, prune_threshold=0.0)
+        pruned = apmi_sparse(sbm_graph, 0.5, 0.015, prune_threshold=1e-2)
+        assert pruned.forward.nnz < exact.forward.nnz
+
+    def test_density_metric(self, sbm_graph):
+        pair = apmi_sparse(sbm_graph, prune_threshold=1e-2)
+        assert 0.0 < pair.density <= 1.0
+
+    def test_stronger_pruning_lower_density(self, sbm_graph):
+        light = apmi_sparse(sbm_graph, prune_threshold=1e-4)
+        heavy = apmi_sparse(sbm_graph, prune_threshold=1e-1)
+        assert heavy.density <= light.density
+
+    def test_negative_threshold_rejected(self, sbm_graph):
+        with pytest.raises(ValueError):
+            apmi_sparse(sbm_graph, prune_threshold=-1.0)
+
+    def test_affinities_non_negative(self, sbm_graph):
+        pair = apmi_sparse(sbm_graph, prune_threshold=1e-3)
+        assert pair.forward.data.min() >= 0.0
+        assert pair.backward.data.min() >= 0.0
+
+
+class TestSparsePANE:
+    def test_embedding_shapes(self, sbm_graph):
+        embedding = SparsePANE(k=16, seed=0).fit(sbm_graph)
+        assert embedding.x_forward.shape == (sbm_graph.n_nodes, 8)
+        assert embedding.y.shape == (sbm_graph.n_attributes, 8)
+
+    def test_quality_close_to_init_only_dense(self, sbm_graph):
+        """SparsePANE ≈ dense PANE stopped at the GreedyInit point."""
+        from repro.tasks.link_prediction import LinkPredictionTask
+
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        sparse_auc = task.evaluate(SparsePANE(k=16, seed=0)).auc
+        dense_auc = task.evaluate(PANE(k=16, seed=0, ccd_iterations=0)).auc
+        assert abs(sparse_auc - dense_auc) < 0.08
+
+    def test_beats_chance(self, sbm_graph):
+        from repro.tasks.attribute_inference import AttributeInferenceTask
+
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        assert task.evaluate(SparsePANE(k=16, seed=0)).auc > 0.6
+
+    def test_deterministic(self, sbm_graph):
+        a = SparsePANE(k=16, seed=3).fit(sbm_graph)
+        b = SparsePANE(k=16, seed=3).fit(sbm_graph)
+        assert np.allclose(a.x_forward, b.x_forward)

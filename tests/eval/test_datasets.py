@@ -1,0 +1,59 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.eval.datasets import (
+    DATASETS,
+    large_datasets,
+    load_dataset,
+    small_datasets,
+)
+
+
+class TestRegistry:
+    def test_eight_datasets_registered(self):
+        assert len(DATASETS) == 8
+
+    def test_paper_names_covered(self):
+        paper_names = {spec.paper_name for spec in DATASETS.values()}
+        assert paper_names == {
+            "Cora", "Citeseer", "Facebook", "Pubmed",
+            "Flickr", "Google+", "TWeibo", "MAG",
+        }
+
+    def test_small_large_partition(self):
+        assert set(small_datasets()) | set(large_datasets()) == set(DATASETS)
+        assert not set(small_datasets()) & set(large_datasets())
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="cora_sim"):
+            load_dataset("nope")
+
+    def test_memoized(self):
+        assert load_dataset("cora_sim") is load_dataset("cora_sim")
+
+
+class TestDatasetProfiles:
+    """Structural properties must mirror the paper's Table 3 profiles."""
+
+    def test_facebook_undirected_multilabel(self):
+        graph = load_dataset("facebook_sim")
+        assert not graph.directed
+        assert graph.is_multilabel
+
+    def test_citation_datasets_directed(self):
+        for name in ("cora_sim", "citeseer_sim", "pubmed_sim"):
+            assert load_dataset(name).directed
+
+    def test_mag_is_largest(self):
+        sizes = {name: load_dataset(name).n_nodes for name in DATASETS}
+        assert max(sizes, key=sizes.get) == "mag_sim"
+
+    def test_all_labeled(self):
+        for name in DATASETS:
+            assert load_dataset(name).labels is not None
+
+    def test_all_have_attributes(self):
+        for name in DATASETS:
+            graph = load_dataset(name)
+            assert graph.n_associations > 0

@@ -1,0 +1,68 @@
+"""Tests for the parameter-sweep experiment helpers (Figs. 4-8)."""
+
+import pytest
+
+from repro.eval.figures import (
+    greedy_init_comparison,
+    speedup_from_seconds,
+    sweep_alpha,
+    sweep_epsilon,
+    sweep_k,
+    sweep_threads,
+)
+
+
+class TestSweeps:
+    def test_sweep_k_returns_requested_points(self):
+        result = sweep_k("cora_sim", (16, 32), task="link")
+        assert set(result) == {16.0, 32.0}
+        assert all(0.0 <= v <= 1.0 for v in result.values())
+
+    def test_sweep_k_skips_impossible_budgets(self):
+        # flickr_sim has 300 attrs; cora_sim has 200 -> k=512 impossible
+        result = sweep_k("cora_sim", (16, 512))
+        assert 512.0 not in result
+
+    def test_sweep_threads_quality_and_time(self):
+        quality, seconds = sweep_threads("cora_sim", (1, 2), k=16)
+        assert set(quality) == {1.0, 2.0}
+        assert all(s > 0 for s in seconds.values())
+
+    def test_sweep_epsilon_more_precision_not_worse(self):
+        quality, seconds = sweep_epsilon(
+            "cora_sim", (0.005, 0.25), k=16, task="link"
+        )
+        # tighter epsilon (more iterations) should not hurt quality much
+        assert quality[0.005] >= quality[0.25] - 0.05
+
+    def test_sweep_alpha_all_points(self):
+        result = sweep_alpha("cora_sim", (0.3, 0.7), k=16)
+        assert set(result) == {0.3, 0.7}
+
+    def test_invalid_task_rejected(self):
+        with pytest.raises(ValueError, match="task"):
+            sweep_k("cora_sim", (16,), task="bogus")
+
+
+class TestGreedyInitComparison:
+    def test_frontier_shape(self):
+        frontier = greedy_init_comparison("cora_sim", (1, 2), k=16)
+        assert set(frontier) == {"PANE", "PANE-R"}
+        assert len(frontier["PANE"]) == 2
+
+    def test_greedy_init_dominates_at_low_iterations(self):
+        """Sec. 5.7: at t=1, greedy-seeded PANE must beat PANE-R."""
+        frontier = greedy_init_comparison("cora_sim", (1,), k=16, task="link")
+        assert frontier["PANE"][0][1] > frontier["PANE-R"][0][1]
+
+
+class TestSpeedup:
+    def test_speedup_relative_to_single_thread(self):
+        speedups = speedup_from_seconds({1.0: 10.0, 2.0: 5.0, 4.0: 2.5})
+        assert speedups[1.0] == 1.0
+        assert speedups[2.0] == 2.0
+        assert speedups[4.0] == 4.0
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_from_seconds({2.0: 5.0})

@@ -1,0 +1,60 @@
+"""Tests for the experiment harness (smoke-level: tiny method roster)."""
+
+import pytest
+
+from repro.baselines import RandomEmbedding
+from repro.core.pane import PANE
+from repro.eval.harness import (
+    default_methods,
+    run_attribute_inference,
+    run_link_prediction,
+    run_node_classification,
+    time_methods,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_roster():
+    return {
+        "PANE": lambda: PANE(k=16, seed=0),
+        "Random": lambda: RandomEmbedding(k=16, seed=0),
+    }
+
+
+class TestDefaultMethods:
+    def test_contains_both_pane_variants(self):
+        methods = default_methods()
+        assert "PANE (single thread)" in methods
+        assert "PANE (parallel)" in methods
+
+    def test_include_slow_toggle(self):
+        fast = default_methods(include_slow=False)
+        full = default_methods(include_slow=True)
+        assert "TADW" not in fast and "TADW" in full
+
+    def test_factories_produce_fresh_models(self):
+        methods = default_methods()
+        assert methods["NRP"]() is not methods["NRP"]()
+
+
+class TestRunners:
+    def test_link_prediction_rows(self, tiny_roster):
+        rows = run_link_prediction("cora_sim", tiny_roster)
+        assert set(rows) == {"PANE", "Random"}
+        assert rows["PANE"]["AUC"] > rows["Random"]["AUC"]
+
+    def test_attribute_inference_skips_incapable(self, tiny_roster):
+        rows = run_attribute_inference("cora_sim", tiny_roster)
+        assert "PANE" in rows
+        assert "Random" not in rows  # no attribute embeddings -> skipped
+
+    def test_node_classification_series(self, tiny_roster):
+        rows = run_node_classification(
+            "cora_sim", {"PANE": tiny_roster["PANE"]},
+            train_fractions=(0.5,), n_repeats=1,
+        )
+        assert 0.0 <= rows["PANE"][0.5] <= 1.0
+
+    def test_time_methods_positive(self, tiny_roster):
+        timings = time_methods("cora_sim", tiny_roster)
+        assert all(t > 0 for t in timings.values())

@@ -1,0 +1,52 @@
+"""Consistency checks on the transcribed paper numbers."""
+
+from repro.eval.paper_numbers import (
+    MAG_HEADLINE,
+    TABLE2_BACKWARD,
+    TABLE2_FORWARD,
+    TABLE4_AUC,
+    TABLE5_AUC,
+)
+
+
+class TestTranscription:
+    def test_all_eight_datasets_present(self):
+        expected = {"Cora", "Citeseer", "Facebook", "Pubmed", "Flickr",
+                    "Google+", "TWeibo", "MAG"}
+        assert set(TABLE4_AUC) == expected
+        assert set(TABLE5_AUC) == expected
+
+    def test_auc_values_are_probabilities(self):
+        for table in (TABLE4_AUC, TABLE5_AUC):
+            for rows in table.values():
+                for value in rows.values():
+                    assert 0.0 < value <= 1.0
+
+    def test_pane_wins_table4_everywhere(self):
+        """The transcription must preserve the paper's headline claim."""
+        for rows in TABLE4_AUC.values():
+            best = max(rows, key=rows.get)
+            assert best == "PANE (single thread)"
+
+    def test_pane_wins_table5_except_google(self):
+        """Paper: NRP edges out PANE on Google+ only."""
+        for dataset, rows in TABLE5_AUC.items():
+            best = max(rows, key=rows.get)
+            if dataset == "Google+":
+                assert best == "NRP"
+            else:
+                assert best == "PANE (single thread)", dataset
+
+    def test_table2_rows_match_shape(self):
+        assert set(TABLE2_FORWARD) == set(TABLE2_BACKWARD)
+        for values in list(TABLE2_FORWARD.values()) + list(TABLE2_BACKWARD.values()):
+            assert len(values) == 3
+
+    def test_table2_v5_anomaly_encoded(self):
+        """Forward prefers r3, backward prefers r1 — the Sec. 2.3 example."""
+        assert TABLE2_FORWARD["v5"][2] > TABLE2_FORWARD["v5"][0]
+        assert TABLE2_BACKWARD["v5"][0] > TABLE2_BACKWARD["v5"][2]
+
+    def test_headline_values(self):
+        assert MAG_HEADLINE["link_prediction_ap"] == 0.965
+        assert MAG_HEADLINE["wall_hours_10_threads"] < 12

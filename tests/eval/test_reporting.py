@@ -1,0 +1,41 @@
+"""Tests for table/series text rendering."""
+
+from repro.eval.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        rows = {"PANE": {"AUC": 0.93, "AP": 0.91}, "NRP": {"AUC": 0.80, "AP": 0.78}}
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "PANE" in text and "NRP" in text
+        assert "0.930" in text and "0.780" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        rows = {"A": {"AUC": 0.9}, "B": {"AP": 0.8}}
+        text = format_table(rows)
+        assert "-" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table({})
+
+    def test_precision(self):
+        text = format_table({"A": {"x": 0.123456}}, precision=5)
+        assert "0.12346" in text
+
+
+class TestFormatSeries:
+    def test_contains_x_values_and_points(self):
+        series = {"PANE": {0.1: 0.7, 0.5: 0.8}}
+        text = format_series(series, x_label="train %")
+        assert "train %" in text
+        assert "0.1" in text and "0.5" in text
+        assert "0.700" in text and "0.800" in text
+
+    def test_x_values_sorted(self):
+        series = {"A": {0.9: 1.0, 0.1: 0.0}}
+        text = format_series(series)
+        assert text.find("0.1") < text.find("0.9")
+
+    def test_empty(self):
+        assert "(no series)" in format_series({})

@@ -1,0 +1,30 @@
+"""Smoke test for the one-command evaluation driver."""
+
+import io
+
+import pytest
+
+from repro.eval.run_all import run_full_evaluation
+
+
+class TestRunAll:
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_full_evaluation(16, scale="huge")
+
+    def test_small_scale_produces_all_sections(self, monkeypatch):
+        """Restrict the registry to one dataset and check every protocol
+        section appears in the report."""
+        import repro.eval.run_all as run_all_module
+
+        monkeypatch.setattr(
+            run_all_module, "small_datasets", lambda: ["cora_sim"]
+        )
+        buffer = io.StringIO()
+        run_full_evaluation(16, scale="small", stream=buffer)
+        text = buffer.getvalue()
+        assert "[Table 5] link prediction — cora_sim" in text
+        assert "[Table 4] attribute inference — cora_sim" in text
+        assert "[Figure 2] node classification — cora_sim" in text
+        assert "[Figure 3] embedding time — cora_sim" in text
+        assert "PANE (single thread)" in text

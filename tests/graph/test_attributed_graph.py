@@ -1,0 +1,99 @@
+"""Tests for repro.graph.attributed_graph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def _square(n=3):
+    return sp.csr_matrix((n, n))
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.n_nodes == 4
+        assert tiny_graph.n_edges == 5
+        assert tiny_graph.n_attributes == 3
+        assert tiny_graph.n_associations == 5
+
+    def test_non_square_adjacency_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            AttributedGraph(sp.csr_matrix((3, 4)), sp.csr_matrix((3, 2)))
+
+    def test_attribute_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            AttributedGraph(_square(3), sp.csr_matrix((4, 2)))
+
+    def test_negative_attribute_weight_rejected(self):
+        attrs = sp.csr_matrix(np.array([[1.0, -1.0], [0.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="non-negative"):
+            AttributedGraph(_square(3), attrs)
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            AttributedGraph(
+                _square(3), sp.csr_matrix((3, 2)), labels=np.array([0, 1])
+            )
+
+    def test_undirected_symmetrizes(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        graph = AttributedGraph(adjacency, sp.csr_matrix((2, 1)), directed=False)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_explicit_zeros_eliminated(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        adjacency[0, 1] = 0.0
+        graph = AttributedGraph(adjacency, sp.csr_matrix((2, 1)))
+        assert graph.n_edges == 0
+
+
+class TestProperties:
+    def test_out_degrees(self, tiny_graph):
+        assert np.allclose(tiny_graph.out_degrees, [2, 1, 2, 0])
+
+    def test_n_labels_single(self, tiny_graph):
+        assert tiny_graph.n_labels == 2
+        assert not tiny_graph.is_multilabel
+
+    def test_n_labels_multilabel(self):
+        labels = np.array([[1, 0, 1], [0, 1, 0]])
+        graph = AttributedGraph(_square(2), sp.csr_matrix((2, 1)), labels=labels)
+        assert graph.n_labels == 3
+        assert graph.is_multilabel
+
+    def test_n_labels_unlabeled(self):
+        graph = AttributedGraph(_square(2), sp.csr_matrix((2, 1)))
+        assert graph.n_labels == 0
+
+    def test_out_neighbors(self, tiny_graph):
+        assert set(tiny_graph.out_neighbors(0)) == {1, 2}
+        assert tiny_graph.out_neighbors(3).size == 0
+
+    def test_edge_list_round_trip(self, tiny_graph):
+        edges = tiny_graph.edge_list()
+        assert edges.shape == (tiny_graph.n_edges, 2)
+        for source, target in edges:
+            assert tiny_graph.has_edge(source, target)
+
+    def test_summary_contains_counts(self, tiny_graph):
+        text = tiny_graph.summary()
+        assert "n=4" in text and "d=3" in text
+
+
+class TestDerivedGraphs:
+    def test_with_adjacency_replaces_edges(self, tiny_graph):
+        new = tiny_graph.with_adjacency(sp.csr_matrix((4, 4)))
+        assert new.n_edges == 0
+        assert new.n_associations == tiny_graph.n_associations
+
+    def test_with_attributes_replaces_attributes(self, tiny_graph):
+        new = tiny_graph.with_attributes(sp.csr_matrix((4, 3)))
+        assert new.n_associations == 0
+        assert new.n_edges == tiny_graph.n_edges
+
+    def test_with_adjacency_keeps_labels(self, tiny_graph):
+        new = tiny_graph.with_adjacency(sp.csr_matrix((4, 4)))
+        assert np.array_equal(new.labels, tiny_graph.labels)

@@ -1,0 +1,107 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    attributed_sbm,
+    citation_graph,
+    power_law_attributed,
+    random_attributed_graph,
+)
+
+
+class TestAttributedSBM:
+    def test_dimensions(self):
+        graph = attributed_sbm(n_nodes=80, n_communities=4, n_attributes=16, seed=0)
+        assert graph.n_nodes == 80
+        assert graph.n_attributes == 16
+        assert graph.n_labels == 4
+
+    def test_deterministic_for_seed(self):
+        a = attributed_sbm(n_nodes=50, seed=3)
+        b = attributed_sbm(n_nodes=50, seed=3)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        assert (a.attributes != b.attributes).nnz == 0
+
+    def test_different_seeds_differ(self):
+        a = attributed_sbm(n_nodes=50, seed=1)
+        b = attributed_sbm(n_nodes=50, seed=2)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_homophily_intra_edges_dominate(self):
+        graph = attributed_sbm(
+            n_nodes=200, n_communities=4, p_in=0.1, p_out=0.005, seed=0
+        )
+        labels = graph.labels
+        edges = graph.edge_list()
+        intra = np.mean(labels[edges[:, 0]] == labels[edges[:, 1]])
+        assert intra > 0.5
+
+    def test_undirected_is_symmetric(self):
+        graph = attributed_sbm(n_nodes=60, directed=False, seed=0)
+        assert (graph.adjacency != graph.adjacency.T).nnz == 0
+
+    def test_multilabel_shape(self):
+        graph = attributed_sbm(n_nodes=60, n_communities=5, multilabel=True, seed=0)
+        assert graph.is_multilabel
+        assert graph.labels.shape == (60, 5)
+        assert np.all(graph.labels.sum(axis=1) >= 1)
+
+    def test_no_self_loops(self):
+        graph = attributed_sbm(n_nodes=60, seed=0)
+        assert graph.adjacency.diagonal().sum() == 0
+
+    def test_every_node_has_attributes(self):
+        graph = attributed_sbm(n_nodes=60, seed=0)
+        assert np.all(np.asarray(graph.attributes.sum(axis=1)).ravel() > 0)
+
+
+class TestPowerLaw:
+    def test_dimensions_and_direction(self):
+        graph = power_law_attributed(n_nodes=100, n_attributes=20, seed=0)
+        assert graph.n_nodes == 100
+        assert graph.directed
+
+    def test_degree_skew(self):
+        graph = power_law_attributed(n_nodes=300, out_degree=3, seed=0)
+        in_degrees = np.asarray(graph.adjacency.sum(axis=0)).ravel()
+        # preferential attachment: max in-degree far exceeds the median
+        assert in_degrees.max() > 5 * max(np.median(in_degrees), 1)
+
+    def test_deterministic(self):
+        a = power_law_attributed(n_nodes=80, seed=4)
+        b = power_law_attributed(n_nodes=80, seed=4)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+
+class TestCitationGraph:
+    def test_edges_point_backward_in_time(self):
+        graph = citation_graph(n_nodes=100, seed=0)
+        edges = graph.edge_list()
+        assert np.all(edges[:, 0] > edges[:, 1])  # papers cite earlier papers
+
+    def test_acyclic(self):
+        # backward-pointing edges imply a DAG by construction
+        graph = citation_graph(n_nodes=60, seed=1)
+        edges = graph.edge_list()
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_topic_homophily(self):
+        graph = citation_graph(n_nodes=300, recency_bias=0.8, seed=0)
+        edges = graph.edge_list()
+        same_topic = np.mean(graph.labels[edges[:, 0]] == graph.labels[edges[:, 1]])
+        assert same_topic > 0.5
+
+
+class TestRandomGraph:
+    def test_no_labels(self):
+        graph = random_attributed_graph(n_nodes=40, seed=0)
+        assert graph.labels is None
+
+    def test_density_close_to_parameter(self):
+        graph = random_attributed_graph(
+            n_nodes=200, edge_probability=0.05, seed=0
+        )
+        density = graph.n_edges / (200 * 199)
+        assert density == pytest.approx(0.05, abs=0.01)

@@ -1,0 +1,58 @@
+"""Round-trip tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import attributed_sbm
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+from repro.utils.sparse import sparse_equal
+
+
+@pytest.fixture(params=["single", "multi", "none"])
+def labeled_graph(request):
+    if request.param == "multi":
+        return attributed_sbm(n_nodes=40, multilabel=True, seed=5)
+    graph = attributed_sbm(n_nodes=40, seed=5)
+    if request.param == "none":
+        graph.labels = None
+    return graph
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, labeled_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(labeled_graph, path)
+        loaded = load_npz(path)
+        assert sparse_equal(loaded.adjacency, labeled_graph.adjacency)
+        assert sparse_equal(loaded.attributes, labeled_graph.attributes)
+        if labeled_graph.labels is None:
+            assert loaded.labels is None
+        else:
+            assert np.array_equal(loaded.labels, labeled_graph.labels)
+
+    def test_directedness_preserved(self, tmp_path):
+        graph = attributed_sbm(n_nodes=30, directed=False, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path).directed is False
+
+
+class TestTextRoundTrip:
+    def test_round_trip(self, labeled_graph, tmp_path):
+        save_text(labeled_graph, tmp_path / "g")
+        loaded = load_text(tmp_path / "g")
+        assert sparse_equal(loaded.adjacency, labeled_graph.adjacency)
+        assert sparse_equal(loaded.attributes, labeled_graph.attributes)
+        if labeled_graph.labels is not None:
+            assert np.array_equal(loaded.labels, labeled_graph.labels)
+
+    def test_files_created(self, tmp_path):
+        graph = attributed_sbm(n_nodes=20, seed=2)
+        save_text(graph, tmp_path / "out")
+        for name in ("edges.txt", "attributes.txt", "meta.json", "labels.txt"):
+            assert (tmp_path / "out" / name).exists()
+
+    def test_weights_preserved(self, tmp_path, tiny_graph):
+        save_text(tiny_graph, tmp_path / "t")
+        loaded = load_text(tmp_path / "t")
+        assert loaded.attributes[0, 2] == 2.0

@@ -1,0 +1,84 @@
+"""Tests for repro.graph.matrices — P, Rr, Rc, extended graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.matrices import (
+    extended_adjacency,
+    normalized_attribute_matrices,
+    random_walk_matrix,
+)
+from repro.utils.sparse import is_row_stochastic
+
+
+class TestRandomWalkMatrix:
+    def test_rows_stochastic_except_dangling(self, tiny_graph):
+        p = random_walk_matrix(tiny_graph)
+        assert is_row_stochastic(p)
+        assert np.asarray(p.sum(axis=1)).ravel()[3] == 0.0  # dangling
+
+    def test_self_loop_policy_makes_all_rows_stochastic(self, tiny_graph):
+        p = random_walk_matrix(tiny_graph, dangling="self")
+        sums = np.asarray(p.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+        assert p[3, 3] == 1.0
+
+    def test_unknown_policy_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="dangling"):
+            random_walk_matrix(tiny_graph, dangling="bogus")
+
+    def test_uniform_over_out_neighbors(self, tiny_graph):
+        p = random_walk_matrix(tiny_graph)
+        assert p[0, 1] == pytest.approx(0.5)
+        assert p[0, 2] == pytest.approx(0.5)
+        assert p[1, 2] == pytest.approx(1.0)
+
+
+class TestNormalizedAttributeMatrices:
+    def test_rr_rows_are_distributions(self, tiny_graph):
+        rr, _ = normalized_attribute_matrices(tiny_graph)
+        sums = np.asarray(rr.sum(axis=1)).ravel()
+        # node 3 has no attributes -> zero row
+        assert np.allclose(sums[:3], 1.0)
+        assert sums[3] == 0.0
+
+    def test_rc_columns_are_distributions(self, tiny_graph):
+        _, rc = normalized_attribute_matrices(tiny_graph)
+        sums = np.asarray(rc.sum(axis=0)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_rr_weights_proportional(self, tiny_graph):
+        # node 0 has weights (1, 0, 2) -> probabilities (1/3, 0, 2/3)
+        rr, _ = normalized_attribute_matrices(tiny_graph)
+        assert rr[0, 0] == pytest.approx(1 / 3)
+        assert rr[0, 2] == pytest.approx(2 / 3)
+
+    def test_rc_weights_proportional(self, tiny_graph):
+        # attribute 0 is owned by nodes 0 and 2 with weight 1 each
+        _, rc = normalized_attribute_matrices(tiny_graph)
+        assert rc[0, 0] == pytest.approx(0.5)
+        assert rc[2, 0] == pytest.approx(0.5)
+
+
+class TestExtendedAdjacency:
+    def test_shape(self, tiny_graph):
+        ext = extended_adjacency(tiny_graph)
+        n, d = tiny_graph.n_nodes, tiny_graph.n_attributes
+        assert ext.shape == (n + d, n + d)
+
+    def test_contains_original_edges(self, tiny_graph):
+        ext = extended_adjacency(tiny_graph)
+        for source, target in tiny_graph.edge_list():
+            assert ext[source, target] != 0
+
+    def test_attribute_edges_bidirectional(self, tiny_graph):
+        ext = extended_adjacency(tiny_graph)
+        n = tiny_graph.n_nodes
+        # node 0 - attribute 2 with weight 2 (both directions)
+        assert ext[0, n + 2] == 2.0
+        assert ext[n + 2, 0] == 2.0
+
+    def test_attribute_attribute_block_empty(self, tiny_graph):
+        ext = extended_adjacency(tiny_graph).toarray()
+        n = tiny_graph.n_nodes
+        assert np.all(ext[n:, n:] == 0)

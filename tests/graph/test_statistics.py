@@ -1,0 +1,90 @@
+"""Tests for the graph-statistics profiler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import attributed_sbm, power_law_attributed
+from repro.graph.statistics import (
+    compute_statistics,
+    edge_homophily,
+    gini_coefficient,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(50)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(40)
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 7.5)
+        )
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+
+class TestHomophily:
+    def test_homophilous_sbm_high(self):
+        graph = attributed_sbm(n_nodes=200, p_in=0.1, p_out=0.002, seed=0)
+        assert edge_homophily(graph) > 0.7
+
+    def test_unlabeled_is_none(self):
+        graph = attributed_sbm(n_nodes=50, seed=0)
+        graph.labels = None
+        assert edge_homophily(graph) is None
+
+    def test_multilabel_uses_overlap(self):
+        graph = attributed_sbm(
+            n_nodes=150, p_in=0.1, p_out=0.002, multilabel=True, seed=0
+        )
+        value = edge_homophily(graph)
+        assert 0.0 <= value <= 1.0
+
+
+class TestComputeStatistics:
+    def test_basic_fields(self, sbm_graph):
+        stats = compute_statistics(sbm_graph)
+        assert stats.n_nodes == sbm_graph.n_nodes
+        assert stats.n_edges == sbm_graph.n_edges
+        assert 0.0 < stats.density < 1.0
+        assert stats.mean_out_degree == pytest.approx(
+            sbm_graph.n_edges / sbm_graph.n_nodes
+        )
+
+    def test_power_law_more_skewed_than_sbm(self):
+        sbm = attributed_sbm(n_nodes=300, seed=0)
+        power = power_law_attributed(n_nodes=300, seed=0)
+        assert (
+            compute_statistics(power).degree_gini
+            > compute_statistics(sbm).degree_gini
+        )
+
+    def test_as_dict_keys(self, sbm_graph):
+        d = compute_statistics(sbm_graph).as_dict()
+        assert {"n", "m", "d", "density", "homophily"} <= set(d)
+
+    def test_registry_analogues_homophilous(self):
+        """The benchmark analogues must be learnable: homophily > chance."""
+        from repro.eval.datasets import load_dataset
+
+        for name in ("cora_sim", "facebook_sim", "tweibo_sim"):
+            graph = load_dataset(name)
+            stats = compute_statistics(graph)
+            chance = 1.0 / max(graph.n_labels, 1)
+            assert stats.edge_homophily > chance, name

@@ -1,0 +1,63 @@
+"""Tests for the Fig. 1 running example and its Table 2 properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import exact_affinity
+from repro.graph.toy import running_example_graph
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return running_example_graph()
+
+
+@pytest.fixture(scope="module")
+def affinity(toy):
+    return exact_affinity(toy, alpha=0.15)
+
+
+class TestStructure:
+    def test_dimensions(self, toy):
+        assert toy.n_nodes == 6
+        assert toy.n_attributes == 3
+
+    def test_v1_v2_have_no_attributes(self, toy):
+        sums = np.asarray(toy.attributes.sum(axis=1)).ravel()
+        assert sums[0] == 0 and sums[1] == 0
+
+    def test_v5_owns_r1_not_r3(self, toy):
+        assert toy.attributes[4, 0] == 1
+        assert toy.attributes[4, 2] == 0
+
+    def test_names(self, toy):
+        assert toy.node_names[0] == "v1"
+        assert toy.attribute_names[2] == "r3"
+
+
+class TestTable2Properties:
+    """Qualitative statements the paper makes about Table 2."""
+
+    def test_v1_affinity_r1_exceeds_r3(self, affinity):
+        # v1 connects to r1 "via many different intermediate nodes"
+        assert affinity.forward[0, 0] > affinity.forward[0, 2]
+        assert affinity.backward[0, 0] > affinity.backward[0, 2]
+
+    def test_v5_forward_prefers_r3_backward_prefers_r1(self, affinity):
+        # the paper's motivating anomaly: forward-only would mispredict v5
+        assert affinity.forward[4, 2] > affinity.forward[4, 0]
+        assert affinity.backward[4, 0] > affinity.backward[4, 2]
+
+    def test_v6_strongest_r3_affinity(self, affinity):
+        forward_r3 = affinity.forward[:, 2]
+        assert np.argmax(forward_r3) == 5
+
+    def test_combined_affinity_fixes_v5(self, affinity):
+        # F + B (the Eq. 21 predictor) must rank r1 above r3 for v5
+        combined = affinity.forward + affinity.backward
+        assert combined[4, 0] > combined[4, 2]
+
+    def test_affinities_positive(self, affinity):
+        # SPMI is strictly positive wherever the probability is nonzero
+        assert affinity.forward.min() >= 0.0
+        assert affinity.backward.min() >= 0.0

@@ -1,0 +1,125 @@
+"""Tests for multiplex attributed graphs and MultiplexPANE."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hetero.generators import multiplex_sbm
+from repro.hetero.multiplex import MultiplexAttributedGraph, MultiplexPANE
+
+
+@pytest.fixture(scope="module")
+def multiplex():
+    return multiplex_sbm(
+        n_nodes=150, n_communities=3, n_attributes=40,
+        edge_types=("follows", "mentions"), seed=5,
+    )
+
+
+class TestMultiplexGraph:
+    def test_generator_dimensions(self, multiplex):
+        assert multiplex.n_nodes == 150
+        assert multiplex.n_attributes == 40
+        assert multiplex.edge_types == ["follows", "mentions"]
+
+    def test_layers_differ(self, multiplex):
+        a = multiplex.layers["follows"]
+        b = multiplex.layers["mentions"]
+        assert (a != b).nnz > 0
+
+    def test_layer_graph_view(self, multiplex):
+        layer = multiplex.layer_graph("follows")
+        assert layer.n_nodes == 150
+        assert layer.attributes is multiplex.attributes
+
+    def test_unknown_layer_rejected(self, multiplex):
+        with pytest.raises(KeyError, match="mentions"):
+            multiplex.layer_graph("likes")
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplexAttributedGraph(layers={}, attributes=sp.csr_matrix((3, 2)))
+
+    def test_mismatched_layer_shapes_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            MultiplexAttributedGraph(
+                layers={"a": sp.csr_matrix((3, 3)), "b": sp.csr_matrix((4, 4))},
+                attributes=sp.csr_matrix((3, 2)),
+            )
+
+    def test_attribute_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row count"):
+            MultiplexAttributedGraph(
+                layers={"a": sp.csr_matrix((3, 3))},
+                attributes=sp.csr_matrix((4, 2)),
+            )
+
+
+class TestMultiplexPANE:
+    def test_feature_concatenation(self, multiplex):
+        embedding = MultiplexPANE(k=16, seed=0).fit(multiplex)
+        features = embedding.node_features()
+        assert features.shape == (150, 16 * 2)
+
+    def test_typed_link_scores(self, multiplex):
+        embedding = MultiplexPANE(k=16, seed=0).fit(multiplex)
+        sources = np.array([0, 1])
+        targets = np.array([2, 3])
+        follows = embedding.score_links("follows", sources, targets)
+        mentions = embedding.score_links("mentions", sources, targets)
+        assert follows.shape == (2,)
+        assert not np.allclose(follows, mentions)
+
+    def test_unknown_type_scoring_rejected(self, multiplex):
+        embedding = MultiplexPANE(k=16, seed=0).fit(multiplex)
+        with pytest.raises(KeyError):
+            embedding.score_links("likes", np.array([0]), np.array([1]))
+
+    def test_attribute_scores_averaged(self, multiplex):
+        embedding = MultiplexPANE(k=16, seed=0).fit(multiplex)
+        scores = embedding.score_attributes(np.array([0, 1]), np.array([0, 1]))
+        assert scores.shape == (2,)
+        assert np.all(np.isfinite(scores))
+
+    def test_typed_prediction_beats_wrong_layer(self, multiplex):
+        """Scoring a layer's held-out edges with that layer's embedding
+        must beat scoring them with the other layer's embedding."""
+        from repro.tasks.metrics import area_under_roc
+
+        layer = multiplex.layer_graph("follows")
+        from repro.tasks.splits import split_edges
+
+        split = split_edges(layer, 0.3, seed=0)
+        residual = MultiplexAttributedGraph(
+            layers={
+                "follows": split.residual_graph.adjacency,
+                "mentions": multiplex.layers["mentions"],
+            },
+            attributes=multiplex.attributes,
+            directed=True,
+        )
+        embedding = MultiplexPANE(k=16, seed=0).fit(residual)
+        right = area_under_roc(
+            split.test_labels,
+            embedding.score_links(
+                "follows", split.test_sources, split.test_targets
+            ),
+        )
+        wrong = area_under_roc(
+            split.test_labels,
+            embedding.score_links(
+                "mentions", split.test_sources, split.test_targets
+            ),
+        )
+        assert right > wrong
+
+    def test_classification_uses_all_layers(self, multiplex):
+        from repro.tasks.node_classification import NodeClassificationTask
+
+        layer = multiplex.layer_graph("follows")
+        task = NodeClassificationTask(
+            layer, train_fractions=(0.5,), n_repeats=1, seed=0
+        )
+        embedding = MultiplexPANE(k=16, seed=0).fit(multiplex)
+        result = task.evaluate_features(embedding.node_features())
+        assert result.micro[0] > 1.0 / 3 + 0.2

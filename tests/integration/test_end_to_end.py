@@ -1,0 +1,132 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipeline the way a user would: generate data →
+embed → evaluate → report, and assert the qualitative claims of the paper
+(PANE beats topology-only and random baselines; parallel ≈ serial; walks
+match closed form through the whole stack).
+"""
+
+import numpy as np
+import pytest
+
+from repro import PANE, attributed_sbm, citation_graph
+from repro.baselines import NRP, RandomEmbedding, SpectralConcat
+from repro.core.affinity import exact_affinity
+from repro.core.scoring import node_attribute_score_matrix
+from repro.eval.reporting import format_table
+from repro.graph.io import load_npz, save_npz
+from repro.tasks import (
+    AttributeInferenceTask,
+    LinkPredictionTask,
+    NodeClassificationTask,
+)
+
+
+@pytest.fixture(scope="module")
+def benchmark_graph():
+    return attributed_sbm(
+        n_nodes=250, n_communities=5, n_attributes=60, p_in=0.08,
+        p_out=0.005, seed=21,
+    )
+
+
+class TestPaperClaims:
+    def test_pane_beats_baselines_on_all_three_tasks(self, benchmark_graph):
+        """The headline claim: best on link, attribute and classification."""
+        graph = benchmark_graph
+        pane_factory = lambda: PANE(k=32, seed=0)
+
+        link = LinkPredictionTask(graph, seed=0)
+        pane_link = link.evaluate(pane_factory()).auc
+        nrp_link = link.evaluate(NRP(k=32, seed=0)).auc
+        random_link = link.evaluate(RandomEmbedding(k=32, seed=0)).auc
+        assert pane_link > nrp_link > random_link - 0.05
+
+        attr = AttributeInferenceTask(graph, seed=0)
+        assert attr.evaluate(pane_factory()).auc > 0.65
+
+        classify = NodeClassificationTask(
+            graph, train_fractions=(0.3,), n_repeats=2, seed=0
+        )
+        pane_f1 = classify.evaluate(pane_factory()).micro[0]
+        random_f1 = classify.evaluate(RandomEmbedding(k=32, seed=0)).micro[0]
+        assert pane_f1 > random_f1 + 0.2
+
+    def test_parallel_pipeline_close_to_serial(self, benchmark_graph):
+        """Sec. 5: parallel PANE loses almost no quality."""
+        task = LinkPredictionTask(benchmark_graph, seed=0)
+        serial = task.evaluate(PANE(k=32, seed=0)).auc
+        parallel = task.evaluate(PANE(k=32, seed=0, n_threads=4)).auc
+        assert abs(serial - parallel) < 0.05
+
+    def test_directed_scoring_helps_on_directed_graph(self):
+        """Forward+backward beats forward-only on a citation DAG."""
+        graph = citation_graph(n_nodes=250, n_attributes=60, seed=3)
+        task = LinkPredictionTask(graph, seed=0)
+        embedding = PANE(k=32, seed=0).fit(task.split.residual_graph)
+
+        full = task.evaluate_embedding(embedding).auc
+
+        # ablate: score with Xf only (symmetric inner product)
+        class ForwardOnly:
+            def score_links(self, s, t):
+                return np.einsum(
+                    "ij,ij->i",
+                    embedding.x_forward[np.asarray(s)],
+                    embedding.x_forward[np.asarray(t)],
+                )
+
+        from repro.tasks.metrics import area_under_roc
+
+        forward_only = area_under_roc(
+            task.split.test_labels,
+            ForwardOnly().score_links(
+                task.split.test_sources, task.split.test_targets
+            ),
+        )
+        assert full > forward_only
+
+    def test_embedding_approximates_exact_affinity(self, benchmark_graph):
+        """Xf·Yᵀ + Xb·Yᵀ correlates strongly with F + B (Eq. 21)."""
+        embedding = PANE(k=48, seed=0).fit(benchmark_graph)
+        exact = exact_affinity(benchmark_graph, alpha=0.5)
+        predicted = node_attribute_score_matrix(
+            embedding.x_forward, embedding.x_backward, embedding.y
+        )
+        target = exact.forward + exact.backward
+        correlation = np.corrcoef(predicted.ravel(), target.ravel())[0, 1]
+        assert correlation > 0.9
+
+
+class TestWorkflow:
+    def test_save_embed_reload_evaluate(self, benchmark_graph, tmp_path):
+        """Full persistence round trip keeps task metrics identical."""
+        task = LinkPredictionTask(benchmark_graph, seed=0)
+        embedding = PANE(k=32, seed=0).fit(task.split.residual_graph)
+        direct = task.evaluate_embedding(embedding).auc
+
+        path = tmp_path / "emb.npz"
+        embedding.save(path)
+        from repro import PANEEmbedding
+
+        reloaded = PANEEmbedding.load(path)
+        assert task.evaluate_embedding(reloaded).auc == pytest.approx(direct)
+
+    def test_graph_persistence_preserves_results(self, benchmark_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(benchmark_graph, path)
+        reloaded = load_npz(path)
+        a = PANE(k=16, seed=0).fit(benchmark_graph)
+        b = PANE(k=16, seed=0).fit(reloaded)
+        assert np.allclose(a.x_forward, b.x_forward)
+
+    def test_report_renders_full_comparison(self, benchmark_graph):
+        task = LinkPredictionTask(benchmark_graph, seed=0)
+        rows = {}
+        for name, model in (
+            ("PANE", PANE(k=16, seed=0)),
+            ("Spectral", SpectralConcat(k=16, seed=0)),
+        ):
+            rows[name] = task.evaluate(model).as_row()
+        text = format_table(rows, title="integration")
+        assert "PANE" in text and "AUC" in text

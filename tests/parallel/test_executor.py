@@ -1,0 +1,59 @@
+"""Tests for the thread-pool block runner."""
+
+import threading
+
+import pytest
+
+from repro.parallel.executor import run_blocks
+
+
+class TestRunBlocks:
+    def test_results_in_block_order(self):
+        import time
+
+        def work(i, block):
+            time.sleep(0.01 * (3 - i))  # later blocks finish first
+            return i * 10
+
+        assert run_blocks(work, ["a", "b", "c"], n_threads=3) == [0, 10, 20]
+
+    def test_receives_index_and_block(self):
+        received = []
+        run_blocks(lambda i, b: received.append((i, b)), ["x", "y"], n_threads=2)
+        assert sorted(received) == [(0, "x"), (1, "y")]
+
+    def test_empty_blocks(self):
+        assert run_blocks(lambda i, b: b, []) == []
+
+    def test_single_block_runs_inline(self):
+        thread_ids = []
+        run_blocks(lambda i, b: thread_ids.append(threading.get_ident()), ["only"])
+        assert thread_ids == [threading.get_ident()]
+
+    def test_single_thread_runs_inline(self):
+        thread_ids = []
+        run_blocks(
+            lambda i, b: thread_ids.append(threading.get_ident()),
+            ["a", "b"],
+            n_threads=1,
+        )
+        assert all(t == threading.get_ident() for t in thread_ids)
+
+    def test_worker_exception_propagates(self):
+        def explode(i, block):
+            raise RuntimeError("worker failed")
+
+        with pytest.raises(RuntimeError, match="worker failed"):
+            run_blocks(explode, ["a", "b"], n_threads=2)
+
+    def test_uses_multiple_threads(self):
+        import time
+
+        thread_ids = set()
+
+        def work(i, block):
+            thread_ids.add(threading.get_ident())
+            time.sleep(0.02)
+
+        run_blocks(work, list(range(4)), n_threads=4)
+        assert len(thread_ids) > 1

@@ -1,0 +1,48 @@
+"""Tests for block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partitioning import partition_indices
+
+
+class TestPartitionIndices:
+    def test_covers_all_indices_exactly_once(self):
+        blocks = partition_indices(17, 4)
+        combined = np.concatenate(blocks)
+        assert sorted(combined.tolist()) == list(range(17))
+
+    def test_near_equal_sizes(self):
+        blocks = partition_indices(17, 4)
+        sizes = [b.size for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_blocks(self):
+        blocks = partition_indices(2, 5)
+        assert len(blocks) == 2
+        assert all(b.size == 1 for b in blocks)
+
+    def test_single_block(self):
+        blocks = partition_indices(10, 1)
+        assert len(blocks) == 1
+        assert blocks[0].size == 10
+
+    def test_empty_total(self):
+        assert partition_indices(0, 3) == []
+
+    def test_shuffle_deterministic(self):
+        a = partition_indices(20, 3, shuffle=True, seed=1)
+        b = partition_indices(20, 3, shuffle=True, seed=1)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_shuffle_still_partitions(self):
+        blocks = partition_indices(20, 3, shuffle=True, seed=0)
+        combined = sorted(np.concatenate(blocks).tolist())
+        assert combined == list(range(20))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_indices(-1, 2)
+        with pytest.raises(ValueError):
+            partition_indices(5, 0)

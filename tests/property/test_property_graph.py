@@ -1,0 +1,86 @@
+"""Property-based tests on the graph substrate."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.io import load_npz, save_npz
+from repro.graph.matrices import normalized_attribute_matrices, random_walk_matrix
+from repro.parallel.partitioning import partition_indices
+from repro.utils.sparse import sparse_equal
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 15))
+    d = draw(st.integers(1, 6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    adjacency = (rng.random((n, n)) < draw(st.sampled_from([0.1, 0.3, 0.6]))).astype(
+        float
+    )
+    np.fill_diagonal(adjacency, 0.0)
+    attributes = (rng.random((n, d)) < 0.5).astype(float)
+    directed = draw(st.booleans())
+    return AttributedGraph(
+        adjacency=sp.csr_matrix(adjacency),
+        attributes=sp.csr_matrix(attributes),
+        directed=directed,
+    )
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_walk_matrix_rows_stochastic_or_zero(self, graph):
+        p = random_walk_matrix(graph)
+        sums = np.asarray(p.sum(axis=1)).ravel()
+        assert np.all((np.abs(sums - 1) < 1e-9) | (np.abs(sums) < 1e-9))
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_self_loop_policy_always_stochastic(self, graph):
+        p = random_walk_matrix(graph, dangling="self")
+        sums = np.asarray(p.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_undirected_graphs_symmetric(self, graph):
+        if not graph.directed:
+            assert (graph.adjacency != graph.adjacency.T).nnz == 0
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_normalizations_are_distributions(self, graph):
+        rr, rc = normalized_attribute_matrices(graph)
+        row_sums = np.asarray(rr.sum(axis=1)).ravel()
+        col_sums = np.asarray(rc.sum(axis=0)).ravel()
+        assert np.all((np.abs(row_sums - 1) < 1e-9) | (np.abs(row_sums) < 1e-9))
+        assert np.all((np.abs(col_sums - 1) < 1e-9) | (np.abs(col_sums) < 1e-9))
+
+    @given(graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_npz_round_trip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("io") / "g.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert sparse_equal(loaded.adjacency, graph.adjacency)
+        assert sparse_equal(loaded.attributes, graph.attributes)
+
+
+class TestPartitionProperties:
+    @given(st.integers(0, 200), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exact_cover(self, total, n_blocks):
+        blocks = partition_indices(total, n_blocks)
+        combined = np.concatenate(blocks) if blocks else np.array([], dtype=int)
+        assert sorted(combined.tolist()) == list(range(total))
+
+    @given(st.integers(1, 200), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_balanced(self, total, n_blocks):
+        blocks = partition_indices(total, n_blocks)
+        sizes = [b.size for b in blocks]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,109 @@
+"""Property-based tests for the metrics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tasks.metrics import area_under_roc, average_precision, micro_f1
+
+
+def _labels_and_scores(min_size=4, max_size=60):
+    """Binary labels (both classes present) with matching float scores."""
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.int64, n, elements=st.integers(0, 1)).filter(
+                lambda a: 0 < a.sum() < a.size
+            ),
+            hnp.arrays(
+                np.float64,
+                n,
+                elements=st.floats(-100, 100, allow_nan=False),
+            ),
+        )
+    )
+
+
+class TestAUCProperties:
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_in_unit_interval(self, data):
+        labels, scores = data
+        assert 0.0 <= area_under_roc(labels, scores) <= 1.0
+
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_complement_under_label_flip(self, data):
+        """Flipping the labels maps AUC to 1 − AUC."""
+        labels, scores = data
+        auc = area_under_roc(labels, scores)
+        flipped = area_under_roc(1 - labels, scores)
+        assert auc + flipped == np.float64(1.0) or abs(auc + flipped - 1) < 1e-9
+
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_invariant_to_monotone_transform(self, data):
+        """AUC is a rank statistic: an exact monotone rescale (×4, a power
+        of two, exact in IEEE floats) must not change it."""
+        labels, scores = data
+        original = area_under_roc(labels, scores)
+        transformed = area_under_roc(labels, scores * 4.0)
+        assert abs(original - transformed) < 1e-9
+
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_negation_reverses(self, data):
+        labels, scores = data
+        assert abs(
+            area_under_roc(labels, scores)
+            + area_under_roc(labels, -scores)
+            - 1.0
+        ) < 1e-9
+
+
+class TestAPProperties:
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_ap_bounds(self, data):
+        labels, scores = data
+        ap = average_precision(labels, scores)
+        prevalence = labels.sum() / labels.size
+        # AP of any ranking is at least ~prevalence/size and at most 1
+        assert 0.0 < ap <= 1.0
+        assert ap >= prevalence / labels.size
+
+    @given(_labels_and_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_ranking_is_optimal(self, data):
+        """Scoring positives above negatives maximizes AP."""
+        labels, scores = data
+        perfect = average_precision(labels, labels.astype(float))
+        actual = average_precision(labels, scores)
+        assert actual <= perfect + 1e-12
+        assert perfect == 1.0
+
+
+class TestF1Properties:
+    @given(
+        st.integers(2, 6).flatmap(
+            lambda n_labels: st.tuples(
+                st.just(n_labels),
+                hnp.arrays(
+                    np.int64,
+                    st.integers(4, 40),
+                    elements=st.integers(0, n_labels - 1),
+                ),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_micro_f1_perfect_prediction(self, data):
+        _, labels = data
+        assert micro_f1(labels, labels.copy()) == 1.0
+
+    @given(_labels_and_scores())
+    @settings(max_examples=40, deadline=None)
+    def test_micro_f1_bounded(self, data):
+        labels, _ = data
+        predictions = np.zeros_like(labels)
+        assert 0.0 <= micro_f1(labels, predictions) <= 1.0

@@ -1,0 +1,123 @@
+"""Property-based tests for scoring, search and the linear models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.scoring import attribute_scores, link_score_matrix, link_scores
+from repro.search.knn import pairwise_cosine, top_k_similar
+from repro.tasks.linear_model import LinearSVM, LogisticRegression
+
+
+@st.composite
+def embeddings(draw):
+    n = draw(st.integers(3, 12))
+    d = draw(st.integers(2, 6))
+    half = draw(st.integers(1, 4))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    return (
+        rng.standard_normal((n, half)),
+        rng.standard_normal((n, half)),
+        rng.standard_normal((d, half)),
+    )
+
+
+class TestScoringProperties:
+    @given(embeddings())
+    @settings(max_examples=40, deadline=None)
+    def test_attribute_score_linearity(self, emb):
+        """Eq. 21 is bilinear: doubling Y doubles every score."""
+        xf, xb, y = emb
+        nodes = np.arange(min(3, xf.shape[0]))
+        attrs = np.zeros_like(nodes)
+        base = attribute_scores(xf, xb, y, nodes, attrs)
+        doubled = attribute_scores(xf, xb, 2.0 * y, nodes, attrs)
+        assert np.allclose(doubled, 2.0 * base)
+
+    @given(embeddings())
+    @settings(max_examples=40, deadline=None)
+    def test_link_scores_consistent_with_matrix(self, emb):
+        xf, xb, y = emb
+        n = xf.shape[0]
+        matrix = link_score_matrix(xf, xb, y)
+        us = np.repeat(np.arange(n), n)
+        vs = np.tile(np.arange(n), n)
+        pairs = link_scores(xf, xb, y, us, vs)
+        assert np.allclose(matrix.ravel(), pairs, atol=1e-9)
+
+    @given(embeddings())
+    @settings(max_examples=40, deadline=None)
+    def test_link_score_transpose_swaps_roles(self, emb):
+        """Swapping Xf and Xb transposes the score matrix."""
+        xf, xb, y = emb
+        forward = link_score_matrix(xf, xb, y)
+        swapped = link_score_matrix(xb, xf, y)
+        assert np.allclose(forward, swapped.T, atol=1e-9)
+
+
+class TestSearchProperties:
+    @given(
+        st.integers(3, 15).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(0, 2**31 - 1),
+                st.integers(1, n - 1),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_bounds(self, params):
+        n, seed, k = params
+        features = np.random.default_rng(seed).standard_normal((n, 4))
+        neighbors, sims = top_k_similar(features, 0, k)
+        assert len(neighbors) == k
+        assert 0 not in neighbors
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+    @given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cosine_matrix_bounded_and_symmetric(self, n, seed):
+        features = np.random.default_rng(seed).standard_normal((n, 3))
+        sims = pairwise_cosine(features)
+        assert np.allclose(sims, sims.T, atol=1e-9)
+        assert sims.max() <= 1.0 + 1e-9
+        assert sims.min() >= -1.0 - 1e-9
+
+
+class TestLinearModelProperties:
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([LinearSVM, LogisticRegression]))
+    @settings(max_examples=20, deadline=None)
+    def test_label_flip_flips_decision(self, seed, model_cls):
+        """Training on negated labels negates the decision function."""
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((40, 3))
+        labels = (features @ rng.standard_normal(3) > 0).astype(np.int64)
+        if labels.sum() in (0, labels.size):
+            labels[0] = 1 - labels[0]
+        original = model_cls(regularization=0.1).fit(features, labels)
+        flipped = model_cls(regularization=0.1).fit(features, 1 - labels)
+        agreement = np.corrcoef(
+            original.decision_function(features),
+            -flipped.decision_function(features),
+        )[0, 1]
+        assert agreement > 0.99
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_feature_scaling_preserves_separability(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((50, 2))
+        labels = (features[:, 0] > 0).astype(np.int64)
+        if labels.sum() in (0, labels.size):
+            labels[0] = 1 - labels[0]
+        model = LogisticRegression(regularization=0.01)
+        acc_raw = np.mean(model.fit(features, labels).predict(features) == labels)
+        acc_scaled = np.mean(
+            LogisticRegression(regularization=0.01)
+            .fit(features * 10.0, labels)
+            .predict(features * 10.0)
+            == labels
+        )
+        assert abs(acc_raw - acc_scaled) < 0.15

@@ -1,0 +1,55 @@
+"""Tests for the attribute-inference task (Table 4 protocol)."""
+
+import pytest
+
+from repro.baselines import NRP, RandomEmbedding
+from repro.core.pane import PANE
+from repro.tasks.attribute_inference import AttributeInferenceTask
+
+
+class TestProtocol:
+    def test_pane_beats_random_chance(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        result = task.evaluate(PANE(k=16, seed=0))
+        assert result.auc > 0.6
+        assert result.ap > 0.6
+
+    def test_method_without_attribute_embeddings_rejected(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        with pytest.raises(TypeError, match="attribute"):
+            task.evaluate(NRP(k=16, seed=0))
+
+    def test_random_features_not_scoreable(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        with pytest.raises(TypeError):
+            task.evaluate(RandomEmbedding(k=16, seed=0))
+
+    def test_fixed_split_same_for_all_methods(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        a = task.evaluate(PANE(k=16, seed=0))
+        b = task.evaluate(PANE(k=16, seed=0))
+        assert a.auc == b.auc  # deterministic: same split, same model
+
+    def test_evaluate_embedding_matches_evaluate(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        model = PANE(k=16, seed=0)
+        direct = task.evaluate(model)
+        embedding = model.fit(task.split.train_graph)
+        indirect = task.evaluate_embedding(embedding)
+        assert direct.auc == pytest.approx(indirect.auc)
+
+    def test_as_row(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        row = task.evaluate(PANE(k=16, seed=0)).as_row()
+        assert set(row) == {"AUC", "AP"}
+
+
+class TestQualityOrdering:
+    def test_trained_beats_untrained(self, sbm_graph):
+        task = AttributeInferenceTask(sbm_graph, seed=0)
+        trained = task.evaluate(PANE(k=16, seed=0))
+        # ccd_iterations=0 with random init = untrained random factorization
+        untrained = task.evaluate(
+            PANE(k=16, seed=0, init="random", ccd_iterations=0)
+        )
+        assert trained.auc > untrained.auc

@@ -1,0 +1,101 @@
+"""Tests for k-means, NMI and the clustering task."""
+
+import numpy as np
+import pytest
+
+from repro.core.pane import PANE
+from repro.tasks.clustering import (
+    NodeClusteringTask,
+    kmeans,
+    normalized_mutual_information,
+)
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[5.0, 0.0], [-5.0, 0.0], [0.0, 5.0]])
+    labels = rng.integers(0, 3, size=90)
+    return centers[labels] + rng.standard_normal((90, 2)) * 0.3, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        features, labels = _blobs()
+        assignments, _ = kmeans(features, 3, seed=0)
+        assert normalized_mutual_information(assignments, labels) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self):
+        features, _ = _blobs()
+        _, inertia_2 = kmeans(features, 2, seed=0)
+        _, inertia_5 = kmeans(features, 5, seed=0)
+        assert inertia_5 < inertia_2
+
+    def test_single_cluster(self):
+        features, _ = _blobs()
+        assignments, _ = kmeans(features, 1, seed=0)
+        assert np.all(assignments == 0)
+
+    def test_deterministic_for_seed(self):
+        features, _ = _blobs()
+        a, _ = kmeans(features, 3, seed=5)
+        b, _ = kmeans(features, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_cluster_count(self):
+        features, _ = _blobs()
+        with pytest.raises(ValueError):
+            kmeans(features, 0)
+        with pytest.raises(ValueError):
+            kmeans(features, 1000)
+
+
+class TestNMI:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])  # same partition, renamed
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 4, size=100)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0, 1], [0, 1, 2])
+
+    def test_constant_labelings(self):
+        assert normalized_mutual_information([1, 1, 1], [2, 2, 2]) == 1.0
+
+
+class TestNodeClusteringTask:
+    def test_pane_recovers_communities(self, sbm_graph):
+        task = NodeClusteringTask(sbm_graph, seed=0)
+        result = task.evaluate(PANE(k=16, seed=0))
+        assert result.nmi > 0.3
+
+    def test_pane_beats_random_features(self, sbm_graph):
+        task = NodeClusteringTask(sbm_graph, seed=0)
+        pane_nmi = task.evaluate(PANE(k=16, seed=0)).nmi
+        rng = np.random.default_rng(0)
+        random_nmi = task.evaluate_features(
+            rng.standard_normal((sbm_graph.n_nodes, 16))
+        ).nmi
+        assert pane_nmi > random_nmi
+
+    def test_multilabel_rejected(self, undirected_graph):
+        with pytest.raises(ValueError, match="single-label"):
+            NodeClusteringTask(undirected_graph)

@@ -1,0 +1,119 @@
+"""Tests for the from-scratch linear classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.linear_model import (
+    LinearSVM,
+    LogisticRegression,
+    OneVsRestClassifier,
+)
+
+
+def _separable(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((n, 2))
+    labels = (features[:, 0] + features[:, 1] > 0).astype(np.int64)
+    return features, labels
+
+
+class TestBinaryModels:
+    @pytest.mark.parametrize("model_cls", [LogisticRegression, LinearSVM])
+    def test_learns_separable_data(self, model_cls):
+        features, labels = _separable()
+        model = model_cls(regularization=0.01).fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.95
+
+    @pytest.mark.parametrize("model_cls", [LogisticRegression, LinearSVM])
+    def test_unfitted_raises(self, model_cls):
+        with pytest.raises(RuntimeError):
+            model_cls().decision_function(np.zeros((1, 2)))
+
+    def test_logistic_proba_in_unit_interval(self):
+        features, labels = _separable()
+        model = LogisticRegression().fit(features, labels)
+        proba = model.predict_proba(features)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_logistic_gradient_correct(self):
+        """Analytic gradient must match finite differences."""
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((20, 3))
+        targets = np.where(rng.random(20) > 0.5, 1.0, -1.0)
+        model = LogisticRegression(regularization=0.5)
+        params = rng.standard_normal(4) * 0.1
+        loss, grad = model._loss_grad(params, features, targets)
+        eps = 1e-6
+        for i in range(4):
+            shifted = params.copy()
+            shifted[i] += eps
+            loss_hi, _ = model._loss_grad(shifted, features, targets)
+            numeric = (loss_hi - loss) / eps
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_svm_gradient_correct(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((20, 3))
+        targets = np.where(rng.random(20) > 0.5, 1.0, -1.0)
+        model = LinearSVM(regularization=0.5)
+        params = rng.standard_normal(4) * 0.1
+        loss, grad = model._loss_grad(params, features, targets)
+        eps = 1e-6
+        for i in range(4):
+            shifted = params.copy()
+            shifted[i] += eps
+            loss_hi, _ = model._loss_grad(shifted, features, targets)
+            numeric = (loss_hi - loss) / eps
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_regularization_shrinks_weights(self):
+        features, labels = _separable()
+        weak = LogisticRegression(regularization=0.001).fit(features, labels)
+        strong = LogisticRegression(regularization=100.0).fit(features, labels)
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(regularization=-1.0)
+
+
+class TestOneVsRest:
+    def test_multiclass_accuracy(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[3, 0], [-3, 0], [0, 3]])
+        labels = rng.integers(0, 3, size=120)
+        features = centers[labels] + rng.standard_normal((120, 2)) * 0.5
+        clf = OneVsRestClassifier("svm").fit(features, labels)
+        assert np.mean(clf.predict(features) == labels) > 0.95
+
+    def test_multilabel_predictions_respect_cardinality(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((40, 3))
+        labels = (rng.random((40, 4)) < 0.4).astype(np.int64)
+        labels[:, 0] = 1  # never-empty
+        clf = OneVsRestClassifier("logistic").fit(features, labels)
+        cardinality = np.full(40, 2)
+        predictions = clf.predict(features, cardinality=cardinality)
+        assert np.all(predictions.sum(axis=1) == 2)
+
+    def test_degenerate_label_handled(self):
+        """A label absent from training must not crash or dominate."""
+        features = np.random.default_rng(2).standard_normal((30, 2))
+        labels = np.zeros((30, 3), dtype=np.int64)
+        labels[:, 0] = 1  # labels 1 and 2 never appear
+        clf = OneVsRestClassifier("svm").fit(features, labels)
+        predictions = clf.predict(features, cardinality=np.ones(30, dtype=int))
+        assert np.all(predictions[:, 0] == 1)
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier("forest")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier().decision_matrix(np.zeros((1, 2)))
+
+    def test_decision_matrix_shape(self):
+        features, labels = _separable()
+        clf = OneVsRestClassifier("svm").fit(features, labels)
+        assert clf.decision_matrix(features).shape == (features.shape[0], 2)

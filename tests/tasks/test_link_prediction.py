@@ -1,0 +1,45 @@
+"""Tests for the link-prediction task (Table 5 protocol)."""
+
+import pytest
+
+from repro.baselines import RandomEmbedding
+from repro.core.pane import PANE
+from repro.tasks.link_prediction import LinkPredictionTask
+
+
+class TestProtocol:
+    def test_pane_beats_chance_directed(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        result = task.evaluate(PANE(k=16, seed=0))
+        assert result.auc > 0.6
+
+    def test_pane_beats_chance_undirected(self, undirected_graph):
+        task = LinkPredictionTask(undirected_graph, seed=0)
+        result = task.evaluate(PANE(k=16, seed=0))
+        assert result.auc > 0.6
+
+    def test_random_embedding_near_chance(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        result = task.evaluate(RandomEmbedding(k=16, seed=0))
+        assert result.auc == pytest.approx(0.5, abs=0.1)
+
+    def test_pane_beats_random(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        pane = task.evaluate(PANE(k=16, seed=0))
+        random = task.evaluate(RandomEmbedding(k=16, seed=0))
+        assert pane.auc > random.auc
+
+    def test_trained_on_residual_not_full_graph(self, sbm_graph):
+        """The embedding must be fit on the residual graph (no leakage)."""
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        assert task.split.residual_graph.n_edges < sbm_graph.n_edges
+
+    def test_deterministic(self, sbm_graph):
+        a = LinkPredictionTask(sbm_graph, seed=3).evaluate(PANE(k=16, seed=0))
+        b = LinkPredictionTask(sbm_graph, seed=3).evaluate(PANE(k=16, seed=0))
+        assert a.auc == b.auc
+
+    def test_as_row(self, sbm_graph):
+        task = LinkPredictionTask(sbm_graph, seed=0)
+        row = task.evaluate(PANE(k=16, seed=0)).as_row()
+        assert set(row) == {"AUC", "AP"}

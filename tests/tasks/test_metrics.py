@@ -1,0 +1,135 @@
+"""Tests for the from-scratch metrics (AUC, AP, F1)."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.metrics import (
+    area_under_roc,
+    average_precision,
+    f1_scores,
+    macro_f1,
+    micro_f1,
+)
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert area_under_roc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert area_under_roc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert area_under_roc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_half_credit(self):
+        # one positive and one negative with equal scores -> AUC 0.5
+        assert area_under_roc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=60)
+        labels[:2] = [0, 1]  # ensure both classes
+        scores = rng.random(60)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert area_under_roc(labels, scores) == pytest.approx(expected)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_roc([1, 1], [0.1, 0.2])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_roc([0, 2], [0.1, 0.2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_roc([0, 1], [0.1])
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([0, 1, 1], [0.1, 0.8, 0.9]) == 1.0
+
+    def test_known_small_case(self):
+        # ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2
+        labels = [1, 0, 1]
+        scores = [0.9, 0.8, 0.7]
+        assert average_precision(labels, scores) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_all_negatives_first_is_low(self):
+        ap = average_precision([1, 0, 0, 0], [0.1, 0.5, 0.6, 0.7])
+        assert ap == pytest.approx(0.25)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            average_precision([0, 0], [0.5, 0.6])
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=200)
+        labels[0] = 1
+        ap = average_precision(labels, rng.random(200))
+        assert 0.0 < ap <= 1.0
+
+
+class TestMicroF1:
+    def test_single_label_equals_accuracy(self):
+        y_true = np.array([0, 1, 2, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        assert micro_f1(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_multilabel_perfect(self):
+        y = np.array([[1, 0], [0, 1]])
+        assert micro_f1(y, y) == 1.0
+
+    def test_multilabel_known_value(self):
+        y_true = np.array([[1, 0, 1], [0, 1, 0]])
+        y_pred = np.array([[1, 0, 0], [0, 1, 1]])
+        # tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3 -> f1=2/3
+        assert micro_f1(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_all_wrong_is_zero(self):
+        y_true = np.array([[1, 0]])
+        y_pred = np.array([[0, 1]])
+        assert micro_f1(y_true, y_pred) == 0.0
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert macro_f1(y, y) == 1.0
+
+    def test_penalizes_minority_errors_more_than_micro(self):
+        # 9 correct of class 0, 1 wrong class-1 sample
+        y_true = np.array([0] * 9 + [1])
+        y_pred = np.array([0] * 10)
+        assert micro_f1(y_true, y_pred) == pytest.approx(0.9)
+        assert macro_f1(y_true, y_pred) < 0.6
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            f1_scores(np.array([0, 1]), np.array([[0, 1]]))
+
+
+class TestF1Scores:
+    def test_per_label_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        precision, recall, f1 = f1_scores(y_true, y_pred)
+        assert precision[0] == 1.0 and recall[0] == 0.5
+        assert precision[1] == pytest.approx(2 / 3) and recall[1] == 1.0
+
+    def test_absent_label_zero_not_nan(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        _, _, f1 = f1_scores(y_true, y_pred, n_labels=3)
+        assert f1[2] == 0.0
+        assert np.all(np.isfinite(f1))

@@ -1,0 +1,106 @@
+"""Tests for the train/test split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.splits import split_attribute_entries, split_edges, split_nodes
+
+
+class TestAttributeSplit:
+    def test_fraction_held_out(self, sbm_graph):
+        split = split_attribute_entries(sbm_graph, 0.2, seed=0)
+        n_total = sbm_graph.n_associations
+        n_train = split.train_graph.n_associations
+        n_pos = int(split.test_labels.sum())
+        assert n_train + n_pos == n_total
+        assert n_pos == pytest.approx(0.2 * n_total, rel=0.1)
+
+    def test_equal_negatives(self, sbm_graph):
+        split = split_attribute_entries(sbm_graph, 0.2, seed=0)
+        n_pos = int(split.test_labels.sum())
+        assert split.test_labels.size == 2 * n_pos
+
+    def test_negatives_are_true_zeros(self, sbm_graph):
+        split = split_attribute_entries(sbm_graph, 0.2, seed=0)
+        negatives = split.test_labels == 0
+        values = np.asarray(
+            sbm_graph.attributes[
+                split.test_nodes[negatives], split.test_attributes[negatives]
+            ]
+        ).ravel()
+        assert np.all(values == 0)
+
+    def test_positives_removed_from_train(self, sbm_graph):
+        split = split_attribute_entries(sbm_graph, 0.2, seed=0)
+        positives = split.test_labels == 1
+        values = np.asarray(
+            split.train_graph.attributes[
+                split.test_nodes[positives], split.test_attributes[positives]
+            ]
+        ).ravel()
+        assert np.all(values == 0)
+
+    def test_deterministic(self, sbm_graph):
+        a = split_attribute_entries(sbm_graph, 0.2, seed=7)
+        b = split_attribute_entries(sbm_graph, 0.2, seed=7)
+        assert np.array_equal(a.test_nodes, b.test_nodes)
+
+    def test_too_sparse_rejected(self, tiny_graph):
+        import scipy.sparse as sp
+
+        graph = tiny_graph.with_attributes(sp.csr_matrix((4, 3)))
+        with pytest.raises(ValueError):
+            split_attribute_entries(graph, 0.2, seed=0)
+
+
+class TestEdgeSplit:
+    def test_residual_plus_test_equals_total_directed(self, sbm_graph):
+        split = split_edges(sbm_graph, 0.3, seed=0)
+        n_pos = int(split.test_labels.sum())
+        assert split.residual_graph.n_edges + n_pos == sbm_graph.n_edges
+
+    def test_removed_edges_absent_from_residual(self, sbm_graph):
+        split = split_edges(sbm_graph, 0.3, seed=0)
+        positives = split.test_labels == 1
+        for u, v in zip(
+            split.test_sources[positives], split.test_targets[positives]
+        ):
+            assert not split.residual_graph.has_edge(u, v)
+
+    def test_negatives_are_non_edges(self, sbm_graph):
+        split = split_edges(sbm_graph, 0.3, seed=0)
+        negatives = split.test_labels == 0
+        for u, v in zip(
+            split.test_sources[negatives], split.test_targets[negatives]
+        ):
+            assert not sbm_graph.has_edge(u, v)
+            assert u != v
+
+    def test_undirected_residual_symmetric(self, undirected_graph):
+        split = split_edges(undirected_graph, 0.3, seed=0)
+        residual = split.residual_graph.adjacency
+        assert (residual != residual.T).nnz == 0
+
+    def test_attributes_shared(self, sbm_graph):
+        split = split_edges(sbm_graph, 0.3, seed=0)
+        assert split.residual_graph.attributes is sbm_graph.attributes
+
+
+class TestNodeSplit:
+    def test_partition(self):
+        train, test = split_nodes(100, 0.3, seed=0)
+        assert len(train) + len(test) == 100
+        assert len(set(train) & set(test)) == 0
+
+    def test_fraction(self):
+        train, _ = split_nodes(100, 0.3, seed=0)
+        assert len(train) == 30
+
+    def test_never_empty_test(self):
+        train, test = split_nodes(10, 0.99, seed=0)
+        assert len(test) >= 1
+
+    def test_deterministic(self):
+        a = split_nodes(50, 0.5, seed=4)
+        b = split_nodes(50, 0.5, seed=4)
+        assert np.array_equal(a[0], b[0])

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import attributed_sbm
+from repro.graph.io import save_npz
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph = attributed_sbm(n_nodes=80, n_attributes=20, seed=0)
+    path = tmp_path / "graph.npz"
+    save_npz(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(
+            ["embed", "--graph", "g.npz", "--out", "e.npz"]
+        )
+        assert args.k == 128
+        assert args.alpha == 0.5
+        assert args.threads == 1
+
+    def test_evaluate_task_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--graph", "g.npz", "--task", "bogus"]
+            )
+
+
+class TestCommands:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora_sim" in out and "mag_sim" in out
+
+    def test_generate_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        assert main(["generate", "--dataset", "cora_sim", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_embed_writes_embedding(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "emb.npz"
+        code = main(
+            ["embed", "--graph", str(graph_file), "--out", str(out), "--k", "8"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "objective" in capsys.readouterr().out
+
+    def test_evaluate_link(self, graph_file, capsys):
+        code = main(
+            ["evaluate", "--graph", str(graph_file), "--task", "link", "--k", "8"]
+        )
+        assert code == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_evaluate_attribute(self, graph_file, capsys):
+        code = main(
+            ["evaluate", "--graph", str(graph_file), "--task", "attribute", "--k", "8"]
+        )
+        assert code == 0
+        assert "attribute inference" in capsys.readouterr().out
+
+    def test_evaluate_classify(self, graph_file, capsys):
+        code = main(
+            ["evaluate", "--graph", str(graph_file), "--task", "classify", "--k", "8"]
+        )
+        assert code == 0
+        assert "micro-F1" in capsys.readouterr().out
+
+    def test_neighbors(self, graph_file, tmp_path, capsys):
+        emb = tmp_path / "emb.npz"
+        main(["embed", "--graph", str(graph_file), "--out", str(emb), "--k", "8"])
+        capsys.readouterr()
+        code = main(
+            ["neighbors", "--embedding", str(emb), "--node", "0", "--k", "3"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3

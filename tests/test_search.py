@@ -1,0 +1,75 @@
+"""Tests for the similarity-search utilities."""
+
+import numpy as np
+import pytest
+
+from repro.search.knn import batch_top_k, pairwise_cosine, top_k_similar
+
+
+@pytest.fixture()
+def features():
+    # three tight groups along distinct axes
+    return np.array(
+        [
+            [1.0, 0.0], [0.9, 0.1],   # group A
+            [0.0, 1.0], [0.1, 0.9],   # group B
+            [-1.0, 0.0],              # lone
+        ]
+    )
+
+
+class TestTopK:
+    def test_nearest_is_groupmate(self, features):
+        neighbors, sims = top_k_similar(features, 0, k=1)
+        assert neighbors[0] == 1
+        assert sims[0] > 0.9
+
+    def test_self_excluded(self, features):
+        neighbors, _ = top_k_similar(features, 2, k=4)
+        assert 2 not in neighbors
+
+    def test_sorted_descending(self, features):
+        _, sims = top_k_similar(features, 0, k=4)
+        assert np.all(np.diff(sims) <= 1e-12)
+
+    def test_k_clamped_to_population(self, features):
+        neighbors, _ = top_k_similar(features, 0, k=100)
+        assert len(neighbors) == features.shape[0] - 1
+
+    def test_bad_node_rejected(self, features):
+        with pytest.raises(IndexError):
+            top_k_similar(features, 99, k=1)
+
+    def test_bad_k_rejected(self, features):
+        with pytest.raises(ValueError):
+            top_k_similar(features, 0, k=0)
+
+
+class TestPairwiseCosine:
+    def test_diagonal_ones(self, features):
+        sims = pairwise_cosine(features)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self, features):
+        sims = pairwise_cosine(features)
+        assert np.allclose(sims, sims.T)
+
+    def test_opposite_vectors(self, features):
+        sims = pairwise_cosine(features)
+        assert sims[0, 4] == pytest.approx(-1.0)
+
+    def test_zero_row_safe(self):
+        sims = pairwise_cosine(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert np.all(np.isfinite(sims))
+
+
+class TestBatchTopK:
+    def test_shapes(self, features):
+        indices, sims = batch_top_k(features, np.array([0, 2]), k=2)
+        assert indices.shape == (2, 2)
+        assert sims.shape == (2, 2)
+
+    def test_matches_single(self, features):
+        indices, _ = batch_top_k(features, np.array([0]), k=3)
+        single, _ = top_k_similar(features, 0, k=3)
+        assert np.array_equal(indices[0], single)

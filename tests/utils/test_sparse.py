@@ -1,0 +1,77 @@
+"""Tests for repro.utils.sparse."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.sparse import (
+    column_normalize,
+    dense_column_normalize,
+    dense_row_normalize,
+    is_row_stochastic,
+    row_normalize,
+    sparse_equal,
+)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        m = sp.csr_matrix(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        out = row_normalize(m)
+        assert np.allclose(np.asarray(out.sum(axis=1)).ravel(), 1.0)
+
+    def test_zero_row_stays_zero(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        out = row_normalize(m).toarray()
+        assert np.all(out[0] == 0)
+
+    def test_proportions_preserved(self):
+        m = sp.csr_matrix(np.array([[1.0, 3.0]]))
+        out = row_normalize(m).toarray()
+        assert np.allclose(out, [[0.25, 0.75]])
+
+
+class TestColumnNormalize:
+    def test_columns_sum_to_one(self):
+        m = sp.csr_matrix(np.array([[1.0, 0.0], [3.0, 2.0]]))
+        out = column_normalize(m)
+        assert np.allclose(np.asarray(out.sum(axis=0)).ravel(), 1.0)
+
+    def test_zero_column_stays_zero(self):
+        m = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 1.0]]))
+        out = column_normalize(m).toarray()
+        assert np.all(out[:, 0] == 0)
+
+
+class TestDenseNormalizers:
+    def test_dense_row_matches_sparse(self):
+        m = np.array([[1.0, 3.0], [0.0, 0.0], [2.0, 2.0]])
+        sparse_result = row_normalize(sp.csr_matrix(m)).toarray()
+        assert np.allclose(dense_row_normalize(m), sparse_result)
+
+    def test_dense_column_matches_sparse(self):
+        m = np.array([[1.0, 0.0], [3.0, 2.0]])
+        sparse_result = column_normalize(sp.csr_matrix(m)).toarray()
+        assert np.allclose(dense_column_normalize(m), sparse_result)
+
+
+class TestPredicates:
+    def test_is_row_stochastic_true(self):
+        m = sp.csr_matrix(np.array([[0.5, 0.5], [0.0, 0.0]]))
+        assert is_row_stochastic(m)
+
+    def test_is_row_stochastic_false(self):
+        m = sp.csr_matrix(np.array([[0.5, 0.6]]))
+        assert not is_row_stochastic(m)
+
+    def test_sparse_equal_identical(self):
+        m = sp.random(10, 10, density=0.3, random_state=0)
+        assert sparse_equal(m.tocsr(), m.tocsr())
+
+    def test_sparse_equal_shape_mismatch(self):
+        assert not sparse_equal(sp.eye(3).tocsr(), sp.eye(4).tocsr())
+
+    def test_sparse_equal_value_mismatch(self):
+        a = sp.eye(3).tocsr()
+        b = a.copy()
+        b[0, 0] = 2.0
+        assert not sparse_equal(a, b)

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Timer, time_call
+
+
+def test_timer_records_lap():
+    timer = Timer()
+    with timer.measure("work"):
+        time.sleep(0.01)
+    assert timer.laps["work"] >= 0.01
+
+
+def test_timer_accumulates_same_name():
+    timer = Timer()
+    for _ in range(2):
+        with timer.measure("phase"):
+            time.sleep(0.005)
+    assert timer.laps["phase"] >= 0.01
+
+
+def test_timer_total_sums_laps():
+    timer = Timer()
+    with timer.measure("a"):
+        pass
+    with timer.measure("b"):
+        pass
+    assert timer.total == timer.laps["a"] + timer.laps["b"]
+
+
+def test_timer_records_on_exception():
+    timer = Timer()
+    try:
+        with timer.measure("boom"):
+            raise RuntimeError
+    except RuntimeError:
+        pass
+    assert "boom" in timer.laps
+
+
+def test_time_call_returns_elapsed_and_result():
+    elapsed, result = time_call(lambda x: x * 2, 21)
+    assert result == 42
+    assert elapsed >= 0.0
