@@ -36,7 +36,7 @@ class AANE(BaseEmbeddingModel):
         self.learning_rate = learning_rate
 
     def fit(self, graph: AttributedGraph) -> "AANE":
-        attributes = np.asarray(graph.attributes.todense())
+        attributes = graph.attributes.toarray()
         normed = l2_normalize_rows(attributes)
         similarity = normed @ normed.T  # n × n cosine similarity
 

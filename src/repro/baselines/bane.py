@@ -42,7 +42,7 @@ class BANE(BaseEmbeddingModel):
 
         n = graph.n_nodes
         smoother = row_normalize(graph.adjacency + sp.eye(n, format="csr"))
-        fused = np.asarray(graph.attributes.todense())
+        fused = graph.attributes.toarray()
         for _ in range(self.wl_iterations):
             fused = np.asarray(smoother @ fused)
 

@@ -36,7 +36,7 @@ class BLA:
     def fit(self, graph: AttributedGraph) -> "BLA":
         transition = random_walk_matrix(graph)
         transition_t = transition.T.tocsr()
-        observed = np.asarray(graph.attributes.todense())
+        observed = graph.attributes.toarray()
         observed = observed / max(observed.max(), 1e-12)
 
         smoothed = observed.copy()

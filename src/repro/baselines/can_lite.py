@@ -86,12 +86,10 @@ class CANLite(BaseEmbeddingModel):
         inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
         a_hat = inv_sqrt @ undirected @ inv_sqrt
 
-        features = np.asarray(graph.attributes.todense())
+        features = graph.attributes.toarray()
         smoothed = np.asarray(a_hat @ np.asarray(a_hat @ features))  # Â² X
 
-        adjacency_target = np.asarray(
-            graph.adjacency.maximum(graph.adjacency.T).todense()
-        )
+        adjacency_target = graph.adjacency.maximum(graph.adjacency.T).toarray()
         adjacency_target = (adjacency_target > 0).astype(np.float64)
         attribute_target = (features > 0).astype(np.float64)
 

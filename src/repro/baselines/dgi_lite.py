@@ -52,7 +52,7 @@ class DGILite(BaseEmbeddingModel):
         inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
         a_hat = (inv_sqrt @ undirected @ inv_sqrt).tocsr()
 
-        features = np.asarray(graph.attributes.todense())
+        features = graph.attributes.toarray()
         smoothed = np.asarray(a_hat @ features)  # Â X, n × d
 
         k = min(self.k, d)

@@ -39,7 +39,7 @@ class LQANR(BaseEmbeddingModel):
     def fit(self, graph: AttributedGraph) -> "LQANR":
         n = graph.n_nodes
         smoother = row_normalize(graph.adjacency + sp.eye(n, format="csr"))
-        attributes = np.asarray(graph.attributes.todense())
+        attributes = graph.attributes.toarray()
         proximity = attributes.copy()
         hop = attributes
         for _ in range(self.order):

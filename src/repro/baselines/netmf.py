@@ -43,7 +43,7 @@ class NetMF(BaseEmbeddingModel):
         # does for directed inputs.
         undirected = graph.adjacency.maximum(graph.adjacency.T)
         symmetric_graph = graph.with_adjacency(undirected)
-        transition = np.asarray(random_walk_matrix(symmetric_graph).todense())
+        transition = random_walk_matrix(symmetric_graph).toarray()
         degrees = np.asarray(undirected.sum(axis=1)).ravel()
         volume = float(degrees.sum())
 

@@ -57,10 +57,10 @@ class PRRE(BaseEmbeddingModel):
 
     def fit(self, graph: AttributedGraph) -> "PRRE":
         n = graph.n_nodes
-        transition = np.asarray(random_walk_matrix(graph).todense())
+        transition = random_walk_matrix(graph).toarray()
         topo = transition + transition @ transition  # 1- and 2-hop reach
         topo = 0.5 * (topo + topo.T)
-        attrs = l2_normalize_rows(np.asarray(graph.attributes.todense()))
+        attrs = l2_normalize_rows(graph.attributes.toarray())
         proximity = 0.5 * topo / max(topo.max(), 1e-12) + 0.5 * (attrs @ attrs.T)
 
         off_diag = proximity[~np.eye(n, dtype=bool)]

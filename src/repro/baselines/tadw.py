@@ -43,7 +43,7 @@ class TADW(BaseEmbeddingModel):
 
     def fit(self, graph: AttributedGraph) -> "TADW":
         transition = random_walk_matrix(graph)
-        dense_p = np.asarray(transition.todense())
+        dense_p = transition.toarray()
         proximity = 0.5 * (dense_p + dense_p @ dense_p)  # M, n × n
 
         # Reduced attribute features T (f × n), as in the original paper's

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.randsvd import randsvd
 from repro.parallel.executor import run_blocks
 from repro.parallel.partitioning import partition_indices
+from repro.parallel.pool import WorkerPool
 
 
 @dataclass
@@ -82,13 +83,15 @@ def sm_greedy_init(
     svd_iterations: int = 5,
     seed: int | np.random.Generator | None = None,
     exact: bool = False,
+    pool: WorkerPool | None = None,
 ) -> InitState:
     """SMGreedyInit — split-merge parallel initialization (Algorithm 7).
 
     Row blocks of ``F′`` are factorized independently (lines 1–3); the
     stacked right factors are re-factorized to merge them into one shared
     attribute basis ``Y`` (lines 4–6); finally per-block embeddings and
-    residuals are assembled (lines 7–11).
+    residuals are assembled (lines 7–11).  ``pool`` reuses a persistent
+    :class:`~repro.parallel.pool.WorkerPool` for both parallel stages.
     """
     n, _ = forward.shape
     half = k // 2
@@ -105,7 +108,7 @@ def sm_greedy_init(
         )
         return u_block * sigma, v_block
 
-    factored = run_blocks(factor_block, node_blocks, n_threads=n_threads)
+    factored = run_blocks(factor_block, node_blocks, n_threads=n_threads, pool=pool)
     u_blocks = [u for u, _ in factored]
     # V ← [V1 · · · Vnb]ᵀ  ∈ R^{(nb·k/2) × d}
     stacked = np.vstack([v.T for _, v in factored])
@@ -128,7 +131,7 @@ def sm_greedy_init(
         s_forward[rows] = x_forward[rows] @ y.T - forward[rows]
         s_backward[rows] = x_backward[rows] @ y.T - backward[rows]
 
-    run_blocks(assemble, node_blocks, n_threads=n_threads)
+    run_blocks(assemble, node_blocks, n_threads=n_threads, pool=pool)
     return InitState(x_forward, x_backward, y, s_forward, s_backward)
 
 

@@ -1,0 +1,510 @@
+"""Allocation-free blocked compute kernels for the PANE pipeline.
+
+The hot loops of PANE — CCD residual updates (Alg. 4/8) and the Eq. (6)
+affinity recurrence (Alg. 2/6) — are memory-bandwidth bound, so the seed
+implementation's habit of materializing a fresh ``n × d`` temporary per
+rank-1 update (``np.outer``) or per propagation hop dominated their run
+time.  This module provides the cache-aware replacements that everything
+in :mod:`repro.core` is wired through:
+
+- :class:`CCDScratch` — one preallocated buffer set reused across sweeps,
+  eliminating every ``O(n·d)`` and ``O(n·B)`` temporary (``out=``
+  everywhere).
+- :func:`ccd_sweep_exact` / :func:`ccd_sweep_exact_parallel` — the
+  ``B = 1`` path, bit-identical to the per-coordinate Alg. 4 updates.
+- :func:`ccd_sweep_blocked` / :func:`ccd_sweep_blocked_parallel` — the
+  ``B > 1`` path, replacing ``2·k`` rank-1 updates per sweep with
+  ``2·k/B`` rank-``B`` GEMM updates.  Coordinates are grouped into blocks
+  and each block is minimized *exactly* (block Gauss–Seidel): the block
+  step ``M = S·Y_B·(Y_Bᵀ Y_B)⁺`` is the least-squares minimizer of the
+  Eq. (4) objective over the block, so the objective is monotonically
+  non-increasing for every ``B``; the pseudo-inverse makes dead or
+  collinear coordinates a silent no-op, matching the ``B = 1`` skip rule.
+  For ``B = 1`` the formula degenerates to the paper's coordinate update,
+  which is why the two paths agree in exact arithmetic.
+- :func:`propagate_recurrence` — the shared Eq. (6) ping-pong evaluator
+  used by APMI, PAPMI, and (in sparse form,
+  :func:`propagate_recurrence_sparse`) the pruned sparse variant; two
+  preallocated buffers per direction replace one allocation per hop.
+- :func:`spmm_into` — sparse·dense product into a caller-owned output
+  buffer (CSR fast path via ``scipy.sparse._sparsetools.csr_matvecs``,
+  transparent fallback when unavailable).
+
+See ``docs/PERFORMANCE.md`` for measured speedups and the
+``benchmarks/bench_kernels.py`` record format.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.parallel.executor import run_blocks
+from repro.parallel.partitioning import partition_spans
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.greedy_init import InitState
+    from repro.parallel.pool import WorkerPool
+
+#: Denominators below this are treated as a dead coordinate and skipped.
+_EPS_DENOM = 1e-300
+
+try:  # CSR kernels shipped with scipy; private but stable since 2008.
+    from scipy.sparse import _sparsetools
+
+    _HAVE_CSR_MATVECS = hasattr(_sparsetools, "csr_matvecs")
+except ImportError:  # pragma: no cover - depends on scipy build
+    _sparsetools = None
+    _HAVE_CSR_MATVECS = False
+
+
+# ---------------------------------------------------------------------------
+# Sparse propagation kernels (Eq. 6)
+# ---------------------------------------------------------------------------
+
+
+def spmm_into(matrix, dense: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out ← matrix @ dense`` without allocating the product.
+
+    The CSR fast path writes straight into ``out`` (bit-identical to
+    ``matrix @ dense``, which calls the same scipy kernel); any other
+    matrix type or memory layout falls back to an allocating product
+    copied into ``out``.
+    """
+    if matrix.shape[1] != dense.shape[0] or out.shape != (
+        matrix.shape[0],
+        dense.shape[1],
+    ):
+        raise ValueError(
+            f"shape mismatch: {matrix.shape} @ {dense.shape} -> {out.shape}"
+        )
+    if (
+        _HAVE_CSR_MATVECS
+        and sp.issparse(matrix)
+        and matrix.format == "csr"
+        and matrix.dtype == np.float64
+        and dense.dtype == np.float64
+        and out.dtype == np.float64
+        and dense.flags.c_contiguous
+        and out.flags.c_contiguous
+    ):
+        out.fill(0.0)
+        _sparsetools.csr_matvecs(
+            matrix.shape[0],
+            matrix.shape[1],
+            dense.shape[1],
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            dense.ravel(),
+            out.ravel(),
+        )
+        return out
+    np.copyto(out, np.asarray(matrix @ dense))
+    return out
+
+
+def propagate_recurrence(
+    transition,
+    p0: np.ndarray,
+    alpha: float,
+    t: int,
+    *,
+    buffers: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Evaluate the Alg. 2 recurrence ``p ← (1−α)·T·p + α·p0`` for ``t`` hops.
+
+    Starting from ``p = α·p0``, this computes Eq. (6)'s truncated series
+    exactly (seeding with ``α·Rr`` rather than the printed ``Rr`` — see
+    :func:`repro.core.affinity.apmi`).  Instead of allocating a fresh
+    ``n × c`` matrix per hop, the recurrence ping-pongs between two
+    preallocated buffers.
+
+    ``p0`` is scaled by ``alpha`` **in place** and serves as the constant
+    restart term, so the caller must own it (both call sites densify a
+    sparse seed immediately before calling).  Returns one of the two
+    propagation buffers; ``p0`` holds ``α·p0`` afterwards.
+    """
+    p0 *= alpha
+    if buffers is None:
+        current, scratch = np.empty_like(p0), np.empty_like(p0)
+    else:
+        current, scratch = buffers
+    np.copyto(current, p0)
+    decay = 1.0 - alpha
+    for _ in range(t):
+        spmm_into(transition, current, scratch)
+        scratch *= decay
+        scratch += p0
+        current, scratch = scratch, current
+    return current
+
+
+def prune_sparse(matrix: sp.csr_matrix, threshold: float) -> sp.csr_matrix:
+    """Drop entries with magnitude below ``threshold``."""
+    if threshold <= 0:
+        return matrix
+    matrix = matrix.tocsr()
+    matrix.data[np.abs(matrix.data) < threshold] = 0.0
+    matrix.eliminate_zeros()
+    return matrix
+
+
+def propagate_recurrence_sparse(
+    transition,
+    restart: sp.csr_matrix,
+    alpha: float,
+    t: int,
+    *,
+    prune_threshold: float = 0.0,
+) -> sp.csr_matrix:
+    """Sparse form of :func:`propagate_recurrence` with per-hop pruning.
+
+    ``restart`` is the already ``α``-scaled seed (``α·Rr`` as CSR); each
+    hop computes ``(1−α)·T·p + restart`` and prunes entries below
+    ``prune_threshold``, so memory tracks the support of the affinity
+    rather than ``n·d``.  With ``prune_threshold=0`` the result equals
+    the dense recurrence on the same inputs.
+    """
+    current = restart.copy()
+    decay = 1.0 - alpha
+    for _ in range(t):
+        current = prune_sparse(
+            (decay * (transition @ current) + restart).tocsr(), prune_threshold
+        )
+    return current
+
+
+# ---------------------------------------------------------------------------
+# CCD sweep kernels (Alg. 4 / Alg. 8)
+# ---------------------------------------------------------------------------
+
+
+class CCDScratch:
+    """Preallocated buffers for allocation-free CCD sweeps.
+
+    One instance is sized to a factorization problem (``n`` nodes, ``d``
+    attributes, ``k/2`` coordinates, block size ``B``) and reused across
+    every sweep of a :func:`repro.core.svd_ccd.refine` call, so the hot
+    loop performs no ``O(n·d)`` or ``O(n·B)`` allocations at all.  The
+    parallel sweeps share the same buffers: workers operate on disjoint
+    row/column spans, so each slices its own region out of ``update`` and
+    the coefficient buffers.
+    """
+
+    def __init__(self, n: int, d: int, half: int, block_size: int = 1) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        b = max(1, min(block_size, half))
+        self.n, self.d, self.half = n, d, half
+        self.block_size = b
+        # Staging area for rank-B updates Mu @ Ybᵀ (and outer products).
+        self.update = np.empty((n, d))
+        # X phase: C = S @ Yb and Mu = C @ G⁺ (n × B each).
+        self.coef_n = np.empty((n, b))
+        self.mu_n = np.empty((n, b))
+        # Y phase: C = Xᵀ S per direction and Mu (B × d each).
+        self.coef_d = np.empty((b, d))
+        self.coef_d2 = np.empty((b, d))
+        self.mu_d = np.empty((b, d))
+        # B = 1 exact path: contiguous 1-D μ vectors.
+        self.vec_n = np.empty(n)
+        self.vec_n2 = np.empty(n)
+        self.vec_d = np.empty(d)
+        self.vec_d2 = np.empty(d)
+        # Column-norm caches for the parallel exact sweep.
+        self.denoms = np.empty(half)
+        self.denoms2 = np.empty(half)
+        # Block Gram matrices (B × B).
+        self.gram = np.empty((b, b))
+        self.gram2 = np.empty((b, b))
+
+    @classmethod
+    def for_state(cls, state: "InitState", block_size: int = 1) -> "CCDScratch":
+        """Size a scratch set for ``state``'s factorization problem."""
+        n, half = state.x_forward.shape
+        d = state.y.shape[0]
+        return cls(n, d, half, block_size)
+
+    def fits(self, state: "InitState") -> bool:
+        """Whether this scratch matches ``state``'s dimensions."""
+        n, half = state.x_forward.shape
+        return self.n == n and self.half == half and self.d == state.y.shape[0]
+
+
+def ccd_sweep_exact(state: "InitState", scratch: CCDScratch) -> None:
+    """Serial allocation-free CCD sweep, bit-identical to the seed Alg. 4 path.
+
+    Performs exactly the per-coordinate updates of Eqs. (13)–(20) in the
+    seed's operation order — dot, scalar divide, outer product, subtract —
+    but stages every intermediate in ``scratch`` instead of allocating.
+    """
+    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
+    s_forward, s_backward = state.s_forward, state.s_backward
+    half = y.shape[1]
+    mu_f, mu_b = scratch.vec_n, scratch.vec_n2
+    update = scratch.update
+
+    for l in range(half):
+        y_col = y[:, l]
+        denom = float(y_col @ y_col)
+        if denom <= _EPS_DENOM:
+            continue
+        np.dot(s_forward, y_col, out=mu_f)  # Eq. 16, all rows at once
+        mu_f /= denom
+        np.dot(s_backward, y_col, out=mu_b)
+        mu_b /= denom
+        x_forward[:, l] -= mu_f  # Eq. 13
+        x_backward[:, l] -= mu_b  # Eq. 14
+        np.multiply(mu_f[:, None], y_col[None, :], out=update)  # Eq. 18
+        np.subtract(s_forward, update, out=s_forward)
+        np.multiply(mu_b[:, None], y_col[None, :], out=update)  # Eq. 19
+        np.subtract(s_backward, update, out=s_backward)
+
+    mu_y, tmp_d = scratch.vec_d, scratch.vec_d2
+    for l in range(half):
+        xf_col = x_forward[:, l]
+        xb_col = x_backward[:, l]
+        denom = float(xf_col @ xf_col + xb_col @ xb_col)
+        if denom <= _EPS_DENOM:
+            continue
+        np.dot(xf_col, s_forward, out=mu_y)  # Eq. 17
+        np.dot(xb_col, s_backward, out=tmp_d)
+        mu_y += tmp_d
+        mu_y /= denom
+        y[:, l] -= mu_y  # Eq. 15
+        np.multiply(xf_col[:, None], mu_y[None, :], out=update)  # Eq. 20
+        np.subtract(s_forward, update, out=s_forward)
+        np.multiply(xb_col[:, None], mu_y[None, :], out=update)
+        np.subtract(s_backward, update, out=s_backward)
+
+
+def _block_ranges(half: int, block_size: int) -> list[tuple[int, int]]:
+    """Coordinate blocks ``[start, stop)`` covering ``range(half)``."""
+    return [
+        (start, min(start + block_size, half))
+        for start in range(0, half, block_size)
+    ]
+
+
+def _gram_pinv(gram: np.ndarray) -> np.ndarray:
+    """Pseudo-inverse of a block Gram matrix.
+
+    ``pinv`` zeroes singular values below the relative cutoff, so dead or
+    collinear coordinates inside a block contribute a zero update — the
+    rank-``B`` generalization of the ``denom <= _EPS_DENOM`` skip.
+    """
+    return np.linalg.pinv(gram, hermitian=True)
+
+
+def ccd_sweep_blocked(state: "InitState", scratch: CCDScratch) -> None:
+    """Serial blocked CCD sweep: ``2·k/B`` rank-``B`` GEMM updates (Eq. 18–20).
+
+    Each coordinate block is minimized exactly via its Gram pseudo-inverse
+    (block Gauss–Seidel), so the Eq. (4) objective is monotonically
+    non-increasing; for ``B = 1`` the math reduces to the exact path.
+    """
+    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
+    s_forward, s_backward = state.s_forward, state.s_backward
+    half = y.shape[1]
+    b = scratch.block_size
+    update = scratch.update
+
+    for start, stop in _block_ranges(half, b):
+        bb = stop - start
+        yb = y[:, start:stop]
+        gram = scratch.gram[:bb, :bb]
+        np.matmul(yb.T, yb, out=gram)
+        ginv = _gram_pinv(gram)
+        coef = scratch.coef_n[:, :bb]
+        mu = scratch.mu_n[:, :bb]
+        for x_half, s_half in ((x_forward, s_forward), (x_backward, s_backward)):
+            np.matmul(s_half, yb, out=coef)
+            np.matmul(coef, ginv, out=mu)
+            x_half[:, start:stop] -= mu
+            np.matmul(mu, yb.T, out=update)
+            np.subtract(s_half, update, out=s_half)
+
+    for start, stop in _block_ranges(half, b):
+        bb = stop - start
+        xfb = x_forward[:, start:stop]
+        xbb = x_backward[:, start:stop]
+        gram = scratch.gram[:bb, :bb]
+        gram2 = scratch.gram2[:bb, :bb]
+        np.matmul(xfb.T, xfb, out=gram)
+        np.matmul(xbb.T, xbb, out=gram2)
+        gram += gram2
+        ginv = _gram_pinv(gram)
+        coef = scratch.coef_d[:bb]
+        coef2 = scratch.coef_d2[:bb]
+        mu = scratch.mu_d[:bb]
+        np.matmul(xfb.T, s_forward, out=coef)
+        np.matmul(xbb.T, s_backward, out=coef2)
+        coef += coef2
+        np.matmul(ginv, coef, out=mu)
+        y[:, start:stop] -= mu.T
+        np.matmul(xfb, mu, out=update)
+        np.subtract(s_forward, update, out=s_forward)
+        np.matmul(xbb, mu, out=update)
+        np.subtract(s_backward, update, out=s_backward)
+
+
+def ccd_sweep_exact_parallel(
+    state: "InitState",
+    scratch: CCDScratch,
+    *,
+    n_threads: int,
+    pool: "WorkerPool | None" = None,
+) -> None:
+    """Parallel exact (``B = 1``) CCD sweep over disjoint row/column spans.
+
+    Workers slice their own region out of the shared scratch buffers, so
+    the parallel sweep is allocation-free as well.  Spans are disjoint
+    and the updates row/column-local, so the result equals the serial
+    sweep (Alg. 8).
+    """
+    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
+    s_forward, s_backward = state.s_forward, state.s_backward
+    n = x_forward.shape[0]
+    d = y.shape[0]
+    half = y.shape[1]
+
+    # Y is fixed during the X phase: cache the column norms once.
+    y_denoms = np.einsum("ij,ij->j", y, y, out=scratch.denoms)
+
+    def update_rows(_: int, span: slice) -> None:
+        sf = s_forward[span]
+        sb = s_backward[span]
+        mu_f = scratch.vec_n[span]
+        mu_b = scratch.vec_n2[span]
+        update = scratch.update[span]
+        for l in range(half):
+            denom = y_denoms[l]
+            if denom <= _EPS_DENOM:
+                continue
+            y_col = y[:, l]
+            np.dot(sf, y_col, out=mu_f)
+            mu_f /= denom
+            np.dot(sb, y_col, out=mu_b)
+            mu_b /= denom
+            x_forward[span, l] -= mu_f
+            x_backward[span, l] -= mu_b
+            np.multiply(mu_f[:, None], y_col[None, :], out=update)
+            np.subtract(sf, update, out=sf)
+            np.multiply(mu_b[:, None], y_col[None, :], out=update)
+            np.subtract(sb, update, out=sb)
+
+    run_blocks(
+        update_rows, partition_spans(n, n_threads), n_threads=n_threads, pool=pool
+    )
+
+    # X is fixed during the Y phase.
+    x_denoms = np.einsum("ij,ij->j", x_forward, x_forward, out=scratch.denoms)
+    x_denoms += np.einsum("ij,ij->j", x_backward, x_backward, out=scratch.denoms2)
+
+    def update_columns(_: int, span: slice) -> None:
+        sf = s_forward[:, span]
+        sb = s_backward[:, span]
+        mu_y = scratch.vec_d[span]
+        tmp = scratch.vec_d2[span]
+        update = scratch.update[:, span]
+        for l in range(half):
+            denom = x_denoms[l]
+            if denom <= _EPS_DENOM:
+                continue
+            xf_col = x_forward[:, l]
+            xb_col = x_backward[:, l]
+            np.dot(xf_col, sf, out=mu_y)
+            np.dot(xb_col, sb, out=tmp)
+            mu_y += tmp
+            mu_y /= denom
+            y[span, l] -= mu_y
+            np.multiply(xf_col[:, None], mu_y[None, :], out=update)
+            np.subtract(sf, update, out=sf)
+            np.multiply(xb_col[:, None], mu_y[None, :], out=update)
+            np.subtract(sb, update, out=sb)
+
+    run_blocks(
+        update_columns, partition_spans(d, n_threads), n_threads=n_threads, pool=pool
+    )
+
+
+def ccd_sweep_blocked_parallel(
+    state: "InitState",
+    scratch: CCDScratch,
+    *,
+    n_threads: int,
+    pool: "WorkerPool | None" = None,
+) -> None:
+    """Parallel blocked CCD sweep: rank-``B`` GEMMs on disjoint spans.
+
+    The block Gram pseudo-inverses depend only on the factor held fixed
+    during each phase, so they are computed once up front and shared by
+    all workers; each worker then runs pure GEMM + subtract on its span's
+    slice of the scratch buffers.
+    """
+    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
+    s_forward, s_backward = state.s_forward, state.s_backward
+    n = x_forward.shape[0]
+    d = y.shape[0]
+    half = y.shape[1]
+    blocks = _block_ranges(half, scratch.block_size)
+
+    ginvs = [
+        _gram_pinv(y[:, start:stop].T @ y[:, start:stop]) for start, stop in blocks
+    ]
+
+    def update_rows(_: int, span: slice) -> None:
+        sf = s_forward[span]
+        sb = s_backward[span]
+        update = scratch.update[span]
+        for (start, stop), ginv in zip(blocks, ginvs):
+            bb = stop - start
+            yb = y[:, start:stop]
+            coef = scratch.coef_n[span, :bb]
+            mu = scratch.mu_n[span, :bb]
+            for x_half, s_half in ((x_forward, sf), (x_backward, sb)):
+                np.matmul(s_half, yb, out=coef)
+                np.matmul(coef, ginv, out=mu)
+                x_half[span, start:stop] -= mu
+                np.matmul(mu, yb.T, out=update)
+                np.subtract(s_half, update, out=s_half)
+
+    run_blocks(
+        update_rows, partition_spans(n, n_threads), n_threads=n_threads, pool=pool
+    )
+
+    ginvs = [
+        _gram_pinv(
+            x_forward[:, start:stop].T @ x_forward[:, start:stop]
+            + x_backward[:, start:stop].T @ x_backward[:, start:stop]
+        )
+        for start, stop in blocks
+    ]
+
+    def update_columns(_: int, span: slice) -> None:
+        sf = s_forward[:, span]
+        sb = s_backward[:, span]
+        update = scratch.update[:, span]
+        for (start, stop), ginv in zip(blocks, ginvs):
+            bb = stop - start
+            xfb = x_forward[:, start:stop]
+            xbb = x_backward[:, start:stop]
+            coef = scratch.coef_d[:bb, span]
+            coef2 = scratch.coef_d2[:bb, span]
+            mu = scratch.mu_d[:bb, span]
+            np.matmul(xfb.T, sf, out=coef)
+            np.matmul(xbb.T, sb, out=coef2)
+            coef += coef2
+            np.matmul(ginv, coef, out=mu)
+            y[span, start:stop] -= mu.T
+            np.matmul(xfb, mu, out=update)
+            np.subtract(sf, update, out=sf)
+            np.matmul(xbb, mu, out=update)
+            np.subtract(sb, update, out=sb)
+
+    run_blocks(
+        update_columns, partition_spans(d, n_threads), n_threads=n_threads, pool=pool
+    )

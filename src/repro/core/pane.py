@@ -13,11 +13,20 @@ Usage::
 SVDCCD); ``n_threads>1`` the parallel one (PAPMI → SMGreedyInit →
 PSVDCCD).  The two differ only through the split-merge SVD, whose small
 accuracy cost the paper quantifies in Sec. 5.5–5.6.
+
+Performance notes: ``fit`` acquires one persistent
+:class:`~repro.parallel.pool.WorkerPool` and threads it through every
+parallel phase (the seed tore down two thread pools per CCD sweep), and
+``ccd_block_size`` selects the CCD kernel — ``1`` for the exact
+bit-identical path, ``B > 1`` for rank-``B`` GEMM sweeps (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +38,7 @@ from repro.core.papmi import papmi
 from repro.core.scoring import attribute_scores, link_scores
 from repro.core.svd_ccd import objective_value, refine
 from repro.graph.attributed_graph import AttributedGraph
+from repro.parallel.pool import WorkerPool
 from repro.utils.timing import Timer
 from repro.utils.validation import check_embedding_dim
 
@@ -94,12 +104,20 @@ class PANEEmbedding:
         return link_scores(self.x_forward, self.x_backward, self.y, sources, targets)
 
     def save(self, path: str | Path) -> None:
-        """Persist the embedding to ``.npz``."""
+        """Persist the embedding to ``.npz``.
+
+        The full :class:`PANEConfig` is serialized (as JSON) so the
+        round trip preserves every hyper-parameter — including
+        ``n_threads``, ``ccd_iterations``, ``svd_power_iterations``,
+        ``dangling``, and ``ccd_block_size``.  The legacy scalar keys
+        are written too so older readers keep working.
+        """
         np.savez_compressed(
             Path(path),
             x_forward=self.x_forward,
             x_backward=self.x_backward,
             y=self.y,
+            config_json=np.array(json.dumps(asdict(self.config))),
             k=np.array(self.config.k),
             alpha=np.array(self.config.alpha),
             epsilon=np.array(self.config.epsilon),
@@ -107,13 +125,27 @@ class PANEEmbedding:
 
     @classmethod
     def load(cls, path: str | Path) -> "PANEEmbedding":
-        """Load an embedding previously written by :meth:`save`."""
+        """Load an embedding previously written by :meth:`save`.
+
+        Archives written before the full-config format (no
+        ``config_json`` key) fall back to the legacy scalar fields with
+        defaults for the rest.
+        """
         with np.load(Path(path)) as archive:
-            config = PANEConfig(
-                k=int(archive["k"]),
-                alpha=float(archive["alpha"]),
-                epsilon=float(archive["epsilon"]),
-            )
+            if "config_json" in archive.files:
+                stored = json.loads(str(archive["config_json"]))
+                # Ignore fields added by newer versions so their archives
+                # still load (mirrors the legacy keys kept for old readers).
+                known = {f.name for f in dataclass_fields(PANEConfig)}
+                config = PANEConfig(
+                    **{key: value for key, value in stored.items() if key in known}
+                )
+            else:
+                config = PANEConfig(
+                    k=int(archive["k"]),
+                    alpha=float(archive["alpha"]),
+                    epsilon=float(archive["epsilon"]),
+                )
             return cls(
                 x_forward=archive["x_forward"],
                 x_backward=archive["x_backward"],
@@ -153,6 +185,7 @@ class PANE:
         svd_power_iterations: int = 5,
         dangling: str = "zero",
         seed: int | None = 0,
+        ccd_block_size: int = 1,
         init: str = "greedy",
         config: PANEConfig | None = None,
     ) -> None:
@@ -166,6 +199,7 @@ class PANE:
                 svd_power_iterations=svd_power_iterations,
                 dangling=dangling,
                 seed=seed,
+                ccd_block_size=ccd_block_size,
             )
         if init not in ("greedy", "random"):
             raise ValueError(f"init must be 'greedy' or 'random', got {init!r}")
@@ -173,7 +207,9 @@ class PANE:
         self.init = init
 
     # ------------------------------------------------------------------
-    def compute_affinity(self, graph: AttributedGraph) -> AffinityPair:
+    def compute_affinity(
+        self, graph: AttributedGraph, *, pool: WorkerPool | None = None
+    ) -> AffinityPair:
         """Phase 1: approximate affinity matrices (APMI or PAPMI)."""
         cfg = self.config
         if cfg.n_threads > 1:
@@ -183,6 +219,7 @@ class PANE:
                 cfg.epsilon,
                 n_threads=cfg.n_threads,
                 dangling=cfg.dangling,
+                pool=pool,
             )
         return apmi(graph, cfg.alpha, cfg.epsilon, dangling=cfg.dangling)
 
@@ -203,34 +240,49 @@ class PANE:
         n_sweeps = cfg.ccd_iterations if cfg.ccd_iterations is not None else t
         timer = Timer()
 
-        with timer.measure("affinity"):
-            affinity = self.compute_affinity(graph)
+        # One persistent pool for every parallel phase: PAPMI, the two
+        # SMGreedyInit stages, and all PSVDCCD sweeps share its threads
+        # instead of each creating (and tearing down) their own pools.
+        pool = WorkerPool(cfg.n_threads) if cfg.n_threads > 1 else None
+        try:
+            with timer.measure("affinity"):
+                affinity = self.compute_affinity(graph, pool=pool)
 
-        with timer.measure("init"):
-            if self.init == "random":
-                state = random_init(
-                    affinity.forward, affinity.backward, cfg.k, seed=cfg.seed
-                )
-            elif cfg.n_threads > 1:
-                state = sm_greedy_init(
-                    affinity.forward,
-                    affinity.backward,
-                    cfg.k,
+            with timer.measure("init"):
+                if self.init == "random":
+                    state = random_init(
+                        affinity.forward, affinity.backward, cfg.k, seed=cfg.seed
+                    )
+                elif cfg.n_threads > 1:
+                    state = sm_greedy_init(
+                        affinity.forward,
+                        affinity.backward,
+                        cfg.k,
+                        n_threads=cfg.n_threads,
+                        svd_iterations=cfg.svd_power_iterations,
+                        seed=cfg.seed,
+                        pool=pool,
+                    )
+                else:
+                    state = greedy_init(
+                        affinity.forward,
+                        affinity.backward,
+                        cfg.k,
+                        svd_iterations=cfg.svd_power_iterations,
+                        seed=cfg.seed,
+                    )
+
+            with timer.measure("ccd"):
+                refine(
+                    state,
+                    n_sweeps,
                     n_threads=cfg.n_threads,
-                    svd_iterations=cfg.svd_power_iterations,
-                    seed=cfg.seed,
+                    block_size=cfg.ccd_block_size,
+                    pool=pool,
                 )
-            else:
-                state = greedy_init(
-                    affinity.forward,
-                    affinity.backward,
-                    cfg.k,
-                    svd_iterations=cfg.svd_power_iterations,
-                    seed=cfg.seed,
-                )
-
-        with timer.measure("ccd"):
-            refine(state, n_sweeps, n_threads=cfg.n_threads)
+        finally:
+            if pool is not None:
+                pool.close()
 
         objective = None
         if compute_objective:

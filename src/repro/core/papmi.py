@@ -4,6 +4,12 @@ The attribute set R is partitioned into ``nb`` blocks; thread ``i`` runs the
 APMI recurrence on its column block of ``Rr`` / ``Rc``.  Because the blocks
 are disjoint column slices, concatenating the per-thread results reproduces
 the serial matrices exactly (Lemma 4.1) — verified in tests.
+
+Each block runs the shared ping-pong propagation kernel
+(:func:`repro.core.kernels.propagate_recurrence`), so a block's hop loop
+reuses two preallocated buffers instead of allocating per hop.  Pass a
+persistent :class:`repro.parallel.pool.WorkerPool` via ``pool=`` to avoid
+spinning up a fresh thread pool for the call (``PANE.fit`` does).
 """
 
 from __future__ import annotations
@@ -15,10 +21,12 @@ from repro.core.affinity import (
     _affinity_from_probabilities,
     iterations_for_epsilon,
 )
+from repro.core.kernels import propagate_recurrence
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.matrices import normalized_attribute_matrices, random_walk_matrix
 from repro.parallel.executor import run_blocks
 from repro.parallel.partitioning import partition_indices
+from repro.parallel.pool import WorkerPool
 from repro.utils.validation import check_probability
 
 
@@ -30,6 +38,7 @@ def papmi(
     n_threads: int = 2,
     n_iterations: int | None = None,
     dangling: str = "zero",
+    pool: WorkerPool | None = None,
 ) -> AffinityPair:
     """Parallel APMI over ``n_threads`` attribute blocks (Algorithm 6).
 
@@ -41,23 +50,19 @@ def papmi(
     transition = random_walk_matrix(graph, dangling=dangling)
     transition_t = transition.T.tocsr()
     rr, rc = normalized_attribute_matrices(graph)
-    rr_dense = np.asarray(rr.todense())
-    rc_dense = np.asarray(rc.todense())
+    rr_dense = rr.toarray()
+    rc_dense = rc.toarray()
 
     attr_blocks = partition_indices(graph.n_attributes, n_threads)
 
     def propagate(_: int, columns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        pf0 = rr_dense[:, columns]
-        pb0 = rc_dense[:, columns]
-        # α·Rr initialization — see the matching comment in affinity.apmi.
-        pf = alpha * pf0
-        pb = alpha * pb0
-        for _ in range(t):
-            pf = (1.0 - alpha) * np.asarray(transition @ pf) + alpha * pf0
-            pb = (1.0 - alpha) * np.asarray(transition_t @ pb) + alpha * pb0
+        # Fancy indexing copies the column block, so the propagation
+        # kernel may scale it in place as its α·Rr restart term.
+        pf = propagate_recurrence(transition, rr_dense[:, columns], alpha, t)
+        pb = propagate_recurrence(transition_t, rc_dense[:, columns], alpha, t)
         return pf, pb
 
-    results = run_blocks(propagate, attr_blocks, n_threads=n_threads)
+    results = run_blocks(propagate, attr_blocks, n_threads=n_threads, pool=pool)
     pf = np.concatenate([r[0] for r in results], axis=1)
     pb = np.concatenate([r[1] for r in results], axis=1)
 

@@ -5,9 +5,11 @@ memory, which is exactly why the paper's MAG run needs a 1TB-RAM server
 (59M × 2000 doubles ≈ 0.9TB).  This module provides the natural
 memory-constrained alternative:
 
-- ``apmi_sparse`` runs the Eq. (6) propagation on scipy sparse matrices,
-  pruning entries below ``prune_threshold`` after every hop, so memory
-  tracks the *support* of the affinity rather than ``n·d``;
+- ``apmi_sparse`` runs the Eq. (6) propagation on scipy sparse matrices
+  (through the shared kernel
+  :func:`repro.core.kernels.propagate_recurrence_sparse`), pruning
+  entries below ``prune_threshold`` after every hop, so memory tracks
+  the *support* of the affinity rather than ``n·d``;
 - ``SparsePANE`` embeds from the pruned matrices with GreedyInit only
   (rank-``k/2`` SVD of sparse ``F′`` + ``Xb = B′Y``), skipping the CCD
   refinement whose residual caches are inherently dense.
@@ -26,6 +28,7 @@ import scipy.sparse as sp
 
 from repro.core.affinity import iterations_for_epsilon
 from repro.core.config import PANEConfig
+from repro.core.kernels import propagate_recurrence_sparse, prune_sparse
 from repro.core.pane import PANEEmbedding
 from repro.core.randsvd import randsvd
 from repro.graph.attributed_graph import AttributedGraph
@@ -49,14 +52,8 @@ class SparseAffinityPair:
         return (self.forward.nnz + self.backward.nnz) / (2.0 * n * d)
 
 
-def _prune(matrix: sp.csr_matrix, threshold: float) -> sp.csr_matrix:
-    """Drop entries with magnitude below ``threshold``."""
-    if threshold <= 0:
-        return matrix
-    matrix = matrix.tocsr()
-    matrix.data[np.abs(matrix.data) < threshold] = 0.0
-    matrix.eliminate_zeros()
-    return matrix
+# Pruning lives in the shared kernel layer; re-exported for back-compat.
+_prune = prune_sparse
 
 
 def apmi_sparse(
@@ -86,16 +83,13 @@ def apmi_sparse(
     transition_t = transition.T.tocsr()
     rr, rc = normalized_attribute_matrices(graph)
 
-    pf = (alpha * rr).tocsr()
-    pb = (alpha * rc).tocsr()
-    pf0, pb0 = pf.copy(), pb.copy()
-    for _ in range(t):
-        pf = _prune(
-            ((1.0 - alpha) * (transition @ pf) + pf0).tocsr(), prune_threshold
-        )
-        pb = _prune(
-            ((1.0 - alpha) * (transition_t @ pb) + pb0).tocsr(), prune_threshold
-        )
+    # Same Eq. (6) recurrence as APMI/PAPMI, via the shared sparse kernel.
+    pf = propagate_recurrence_sparse(
+        transition, (alpha * rr).tocsr(), alpha, t, prune_threshold=prune_threshold
+    )
+    pb = propagate_recurrence_sparse(
+        transition_t, (alpha * rc).tocsr(), alpha, t, prune_threshold=prune_threshold
+    )
 
     n, d = graph.n_nodes, graph.n_attributes
     pf_hat = column_normalize(pf)

@@ -12,9 +12,21 @@ results to the paper's row-by-row order.  The same holds for ``Y`` columns.
 ``ccd_sweep_reference`` below is the literal per-entry transcription used
 by tests to verify this equivalence.
 
+Kernel layer: the sweeps execute through the allocation-free blocked
+kernels in :mod:`repro.core.kernels`.  ``block_size=1`` (the default) is
+the exact path, bit-identical to the seed per-coordinate updates;
+``block_size=B>1`` groups coordinates into blocks and replaces ``2·k``
+rank-1 residual updates per sweep with ``2·k/B`` rank-``B`` GEMMs.  Each
+block is minimized exactly (block Gauss–Seidel via the block Gram
+pseudo-inverse), so the objective stays monotonically non-increasing for
+every ``B`` — the variants differ only in update order, trading the exact
+coordinate sequence for cache-resident GEMM throughput.
+
 ``PSVDCCD`` (Algorithm 8) runs the same sweeps with rows/columns split
 into blocks handled by a thread pool; since blocks are disjoint the result
-matches the serial sweep exactly.
+matches the serial sweep exactly.  Pass a persistent
+:class:`repro.parallel.pool.WorkerPool` to amortize thread start-up
+across sweeps (``PANE.fit`` does).
 """
 
 from __future__ import annotations
@@ -22,41 +34,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.greedy_init import InitState
-from repro.parallel.executor import run_blocks
-from repro.parallel.partitioning import partition_indices
+from repro.core.kernels import (
+    _EPS_DENOM,
+    CCDScratch,
+    ccd_sweep_blocked,
+    ccd_sweep_blocked_parallel,
+    ccd_sweep_exact,
+    ccd_sweep_exact_parallel,
+)
+from repro.parallel.pool import WorkerPool
 
-#: Denominators below this are treated as a dead coordinate and skipped.
-_EPS_DENOM = 1e-300
+
+def _scratch_for(
+    state: InitState, block_size: int, scratch: CCDScratch | None
+) -> CCDScratch:
+    """Reuse ``scratch`` when compatible, else size a fresh one."""
+    if (
+        scratch is not None
+        and scratch.fits(state)
+        and scratch.block_size == max(1, min(block_size, state.y.shape[1]))
+    ):
+        return scratch
+    return CCDScratch.for_state(state, block_size)
 
 
-def ccd_sweep(state: InitState) -> None:
-    """One full in-place CCD sweep (lines 3–14 of Alg. 4), vectorized."""
-    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
-    s_forward, s_backward = state.s_forward, state.s_backward
-    half = y.shape[1]
+def ccd_sweep(
+    state: InitState,
+    *,
+    block_size: int = 1,
+    scratch: CCDScratch | None = None,
+) -> None:
+    """One full in-place CCD sweep (lines 3–14 of Alg. 4), vectorized.
 
-    for l in range(half):
-        y_col = y[:, l]
-        denom = float(y_col @ y_col)
-        if denom <= _EPS_DENOM:
-            continue
-        mu_f = (s_forward @ y_col) / denom  # Eq. 16, all rows at once
-        mu_b = (s_backward @ y_col) / denom
-        x_forward[:, l] -= mu_f  # Eq. 13
-        x_backward[:, l] -= mu_b  # Eq. 14
-        s_forward -= np.outer(mu_f, y_col)  # Eq. 18
-        s_backward -= np.outer(mu_b, y_col)  # Eq. 19
-
-    for l in range(half):
-        xf_col = x_forward[:, l]
-        xb_col = x_backward[:, l]
-        denom = float(xf_col @ xf_col + xb_col @ xb_col)
-        if denom <= _EPS_DENOM:
-            continue
-        mu_y = (xf_col @ s_forward + xb_col @ s_backward) / denom  # Eq. 17
-        y[:, l] -= mu_y  # Eq. 15
-        s_forward -= np.outer(xf_col, mu_y)  # Eq. 20
-        s_backward -= np.outer(xb_col, mu_y)
+    ``block_size=1`` is bit-identical to the seed implementation;
+    ``block_size>1`` selects the rank-``B`` GEMM variant.  Pass a
+    :class:`CCDScratch` to reuse buffers across sweeps (``refine`` does).
+    """
+    scratch = _scratch_for(state, block_size, scratch)
+    if scratch.block_size == 1:
+        ccd_sweep_exact(state, scratch)
+    else:
+        ccd_sweep_blocked(state, scratch)
 
 
 def ccd_sweep_reference(state: InitState) -> None:
@@ -98,65 +116,28 @@ def ccd_sweep_reference(state: InitState) -> None:
             s_backward[:, rj] -= mu_y * xb_col
 
 
-def ccd_sweep_parallel(state: InitState, *, n_threads: int = 2) -> None:
+def ccd_sweep_parallel(
+    state: InitState,
+    *,
+    n_threads: int = 2,
+    block_size: int = 1,
+    scratch: CCDScratch | None = None,
+    pool: WorkerPool | None = None,
+) -> None:
     """One CCD sweep with blockwise parallel X and Y phases (Alg. 8 body).
 
     Row blocks of ``Xf/Xb`` (and their ``Sf/Sb`` rows) are updated by
     separate threads while ``Y`` is fixed, then column blocks of ``Y``
     while ``Xf/Xb`` are fixed.  Blocks are disjoint, so the result equals
-    the serial sweep.
+    the serial sweep.  ``pool`` reuses a persistent
+    :class:`~repro.parallel.pool.WorkerPool` instead of spinning up two
+    ephemeral pools per sweep.
     """
-    x_forward, x_backward, y = state.x_forward, state.x_backward, state.y
-    s_forward, s_backward = state.s_forward, state.s_backward
-    n = x_forward.shape[0]
-    d = y.shape[0]
-    half = y.shape[1]
-
-    # Pre-compute the column norms once; Y is fixed during the X phase.
-    y_denoms = np.einsum("ij,ij->j", y, y)
-
-    def update_rows(_: int, rows: np.ndarray) -> None:
-        sf = s_forward[rows]
-        sb = s_backward[rows]
-        for l in range(half):
-            denom = y_denoms[l]
-            if denom <= _EPS_DENOM:
-                continue
-            y_col = y[:, l]
-            mu_f = (sf @ y_col) / denom
-            mu_b = (sb @ y_col) / denom
-            x_forward[rows, l] -= mu_f
-            x_backward[rows, l] -= mu_b
-            sf -= np.outer(mu_f, y_col)
-            sb -= np.outer(mu_b, y_col)
-        s_forward[rows] = sf
-        s_backward[rows] = sb
-
-    run_blocks(update_rows, partition_indices(n, n_threads), n_threads=n_threads)
-
-    # X is fixed during the Y phase.
-    x_denoms = (
-        np.einsum("ij,ij->j", x_forward, x_forward)
-        + np.einsum("ij,ij->j", x_backward, x_backward)
-    )
-
-    def update_columns(_: int, columns: np.ndarray) -> None:
-        sf = s_forward[:, columns]
-        sb = s_backward[:, columns]
-        for l in range(half):
-            denom = x_denoms[l]
-            if denom <= _EPS_DENOM:
-                continue
-            xf_col = x_forward[:, l]
-            xb_col = x_backward[:, l]
-            mu_y = (xf_col @ sf + xb_col @ sb) / denom
-            y[columns, l] -= mu_y
-            sf -= np.outer(xf_col, mu_y)
-            sb -= np.outer(xb_col, mu_y)
-        s_forward[:, columns] = sf
-        s_backward[:, columns] = sb
-
-    run_blocks(update_columns, partition_indices(d, n_threads), n_threads=n_threads)
+    scratch = _scratch_for(state, block_size, scratch)
+    if scratch.block_size == 1:
+        ccd_sweep_exact_parallel(state, scratch, n_threads=n_threads, pool=pool)
+    else:
+        ccd_sweep_blocked_parallel(state, scratch, n_threads=n_threads, pool=pool)
 
 
 def objective_value(
@@ -185,19 +166,34 @@ def refine(
     *,
     n_threads: int = 1,
     tolerance: float | None = None,
+    block_size: int = 1,
+    pool: WorkerPool | None = None,
 ) -> InitState:
     """Run up to ``n_sweeps`` CCD sweeps in place and return the state.
 
     ``n_threads > 1`` selects the parallel sweep (PSVDCCD); both variants
-    compute identical updates.  With ``tolerance`` set, sweeps stop early
-    once the relative objective improvement of a sweep falls below it.
+    compute identical updates.  ``block_size > 1`` selects the rank-``B``
+    GEMM kernel (see the module docstring).  With ``tolerance`` set,
+    sweeps stop early once the relative objective improvement of a sweep
+    falls below it.  Scratch buffers are allocated once and reused by
+    every sweep; ``pool`` threads a persistent worker pool through the
+    parallel sweeps.
     """
+    if n_sweeps <= 0:
+        return state
+    scratch = CCDScratch.for_state(state, block_size)
     previous = cached_objective(state) if tolerance is not None else None
     for _ in range(n_sweeps):
         if n_threads > 1:
-            ccd_sweep_parallel(state, n_threads=n_threads)
+            ccd_sweep_parallel(
+                state,
+                n_threads=n_threads,
+                block_size=block_size,
+                scratch=scratch,
+                pool=pool,
+            )
         else:
-            ccd_sweep(state)
+            ccd_sweep(state, block_size=block_size, scratch=scratch)
         if tolerance is not None:
             current = cached_objective(state)
             if previous > 0 and (previous - current) / previous < tolerance:
@@ -211,6 +207,8 @@ def refine_tracked(
     n_sweeps: int,
     *,
     n_threads: int = 1,
+    block_size: int = 1,
+    pool: WorkerPool | None = None,
 ) -> tuple[InitState, list[float]]:
     """Like :func:`refine`, also returning the objective after every sweep.
 
@@ -218,10 +216,17 @@ def refine_tracked(
     has ``n_sweeps + 1`` entries.
     """
     history = [cached_objective(state)]
+    scratch = CCDScratch.for_state(state, block_size) if n_sweeps > 0 else None
     for _ in range(n_sweeps):
         if n_threads > 1:
-            ccd_sweep_parallel(state, n_threads=n_threads)
+            ccd_sweep_parallel(
+                state,
+                n_threads=n_threads,
+                block_size=block_size,
+                scratch=scratch,
+                pool=pool,
+            )
         else:
-            ccd_sweep(state)
+            ccd_sweep(state, block_size=block_size, scratch=scratch)
         history.append(cached_objective(state))
     return state, history

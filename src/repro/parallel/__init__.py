@@ -1,6 +1,7 @@
-"""Parallelization substrate: block partitioning and a thread-pool runner."""
+"""Parallelization substrate: partitioning, a thread-pool runner, and the pool."""
 
-from repro.parallel.partitioning import partition_indices
 from repro.parallel.executor import run_blocks
+from repro.parallel.partitioning import partition_indices, partition_spans
+from repro.parallel.pool import WorkerPool
 
-__all__ = ["partition_indices", "run_blocks"]
+__all__ = ["WorkerPool", "partition_indices", "partition_spans", "run_blocks"]

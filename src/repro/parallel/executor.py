@@ -4,12 +4,21 @@ numpy's BLAS kernels release the GIL, so the paper's multi-core structure
 (one thread per node/attribute block) maps naturally onto Python threads.
 A single-block call is executed inline to keep stack traces simple and to
 make ``n_threads=1`` bit-identical to the serial algorithms.
+
+Callers inside a multi-phase pipeline should pass a persistent
+:class:`repro.parallel.pool.WorkerPool` via ``pool=`` so thread
+spawn/join cost is paid once per ``fit`` instead of once per call; with
+``pool=None`` an ephemeral pool is created per call (the original seed
+behavior, still right for one-shot callers).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.pool import WorkerPool
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -20,17 +29,26 @@ def run_blocks(
     blocks: Sequence[T],
     *,
     n_threads: int | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[R]:
     """Apply ``work(block_index, block)`` to every block, possibly in parallel.
 
     Results are returned in block order regardless of completion order.
-    Exceptions raised in workers propagate to the caller.
+    Exceptions raised in workers propagate to the caller.  With ``pool``
+    given, execution is delegated to that persistent pool and
+    ``n_threads`` is ignored; otherwise ``n_threads=None`` defaults to
+    one thread per block and non-positive values raise.
     """
     if not blocks:
         return []
-    n_threads = n_threads or len(blocks)
+    if pool is not None:
+        return pool.run_blocks(work, blocks)
+    if n_threads is None:
+        n_threads = len(blocks)
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
     if len(blocks) == 1 or n_threads == 1:
         return [work(i, block) for i, block in enumerate(blocks)]
-    with ThreadPoolExecutor(max_workers=min(n_threads, len(blocks))) as pool:
-        futures = [pool.submit(work, i, block) for i, block in enumerate(blocks)]
+    with ThreadPoolExecutor(max_workers=min(n_threads, len(blocks))) as executor:
+        futures = [executor.submit(work, i, block) for i, block in enumerate(blocks)]
         return [future.result() for future in futures]

@@ -35,3 +35,17 @@ def partition_indices(
         ensure_rng(seed).shuffle(indices)
     blocks = np.array_split(indices, n_blocks)
     return [block for block in blocks if block.size > 0]
+
+
+def partition_spans(total: int, n_blocks: int) -> list[slice]:
+    """Split ``range(total)`` into contiguous ``slice`` objects.
+
+    The same near-equal partition as :func:`partition_indices` without
+    shuffling, but expressed as slices so that indexing a matrix block
+    yields a *view* rather than a fancy-indexing copy — the form the
+    allocation-free kernels in :mod:`repro.core.kernels` require.
+    """
+    return [
+        slice(int(block[0]), int(block[-1]) + 1)
+        for block in partition_indices(total, n_blocks)
+    ]

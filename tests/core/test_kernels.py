@@ -1,0 +1,268 @@
+"""Tests for the allocation-free kernel layer (repro.core.kernels)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.affinity import apmi
+from repro.core.greedy_init import InitState, greedy_init, random_init
+from repro.core.kernels import (
+    CCDScratch,
+    propagate_recurrence,
+    propagate_recurrence_sparse,
+    prune_sparse,
+    spmm_into,
+)
+from repro.core.svd_ccd import (
+    cached_objective,
+    ccd_sweep,
+    ccd_sweep_parallel,
+    objective_value,
+    refine,
+)
+
+
+def _clone(state: InitState) -> InitState:
+    return InitState(
+        state.x_forward.copy(),
+        state.x_backward.copy(),
+        state.y.copy(),
+        state.s_forward.copy(),
+        state.s_backward.copy(),
+    )
+
+
+@pytest.fixture(scope="module")
+def problem(sbm_graph):
+    pair = apmi(sbm_graph, alpha=0.5, epsilon=0.05)
+    return pair.forward, pair.backward
+
+
+class TestSpmmInto:
+    def test_matches_matmul_csr(self):
+        rng = np.random.default_rng(0)
+        matrix = sp.random(40, 40, density=0.2, format="csr", random_state=1)
+        dense = rng.random((40, 9))
+        out = np.empty((40, 9))
+        spmm_into(matrix, dense, out)
+        assert np.array_equal(out, np.asarray(matrix @ dense))
+
+    def test_fallback_non_csr(self):
+        rng = np.random.default_rng(0)
+        matrix = sp.random(30, 30, density=0.2, format="csc", random_state=1)
+        dense = rng.random((30, 5))
+        out = np.empty((30, 5))
+        spmm_into(matrix, dense, out)
+        assert np.allclose(out, np.asarray(matrix @ dense))
+
+    def test_overwrites_stale_output(self):
+        matrix = sp.identity(10, format="csr")
+        dense = np.arange(20.0).reshape(10, 2)
+        out = np.full((10, 2), 99.0)
+        spmm_into(matrix, dense, out)
+        assert np.array_equal(out, dense)
+
+    def test_shape_mismatch_raises(self):
+        """Wrong-shaped buffers must raise, not corrupt the heap."""
+        matrix = sp.identity(10, format="csr")
+        dense = np.zeros((10, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            spmm_into(matrix, dense, np.empty((4, 2)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            spmm_into(matrix, np.zeros((7, 2)), np.empty((10, 2)))
+
+
+class TestPropagateRecurrence:
+    """The ping-pong kernel must reproduce the seed per-hop-allocating loop."""
+
+    def _seed_loop(self, transition, p0, alpha, t):
+        p = alpha * p0
+        for _ in range(t):
+            p = (1.0 - alpha) * np.asarray(transition @ p) + alpha * p0
+        return p
+
+    @pytest.mark.parametrize("t", [0, 1, 4])
+    def test_matches_seed_loop(self, t):
+        rng = np.random.default_rng(2)
+        transition = sp.random(25, 25, density=0.3, format="csr", random_state=3)
+        p0 = rng.random((25, 6))
+        expected = self._seed_loop(transition, p0, 0.5, t)
+        produced = propagate_recurrence(transition, p0.copy(), 0.5, t)
+        assert np.array_equal(produced, expected)
+
+    def test_scales_seed_in_place(self):
+        transition = sp.identity(4, format="csr")
+        p0 = np.ones((4, 2))
+        propagate_recurrence(transition, p0, 0.25, 2)
+        assert np.allclose(p0, 0.25)  # now holds the α-scaled restart term
+
+    def test_caller_buffers_are_used(self):
+        rng = np.random.default_rng(4)
+        transition = sp.random(12, 12, density=0.4, format="csr", random_state=5)
+        p0 = rng.random((12, 3))
+        buffers = (np.empty_like(p0), np.empty_like(p0))
+        result = propagate_recurrence(transition, p0.copy(), 0.5, 3, buffers=buffers)
+        assert result is buffers[0] or result is buffers[1]
+
+    def test_sparse_matches_dense_when_unpruned(self):
+        rng = np.random.default_rng(6)
+        transition = sp.random(20, 20, density=0.3, format="csr", random_state=7)
+        seed = sp.random(20, 5, density=0.5, format="csr", random_state=8)
+        alpha, t = 0.5, 3
+        dense = propagate_recurrence(transition, seed.toarray(), alpha, t)
+        sparse = propagate_recurrence_sparse(
+            transition, (alpha * seed).tocsr(), alpha, t
+        )
+        assert np.allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_prune_sparse_drops_small_entries(self):
+        matrix = sp.csr_matrix(np.array([[0.5, 1e-6], [0.0, 0.2]]))
+        pruned = prune_sparse(matrix, 1e-4)
+        assert pruned.nnz == 2
+        assert prune_sparse(matrix, 0.0).nnz == pruned.nnz  # no-op threshold
+
+
+class TestCCDScratch:
+    def test_block_size_clamped_to_half(self):
+        scratch = CCDScratch(10, 6, 4, block_size=64)
+        assert scratch.block_size == 4
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            CCDScratch(10, 6, 4, block_size=0)
+
+    def test_fits(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=8, seed=0)
+        scratch = CCDScratch.for_state(state, block_size=2)
+        assert scratch.fits(state)
+        other = random_init(forward[:50], backward[:50], k=8, seed=0)
+        assert not scratch.fits(other)
+
+
+class TestBlockedSweep:
+    """The B>1 rank-B GEMM path: monotone objective, near-exact updates."""
+
+    @pytest.mark.parametrize("block_size", [2, 3, 8, 64])
+    def test_objective_monotone_decrease(self, problem, block_size):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        values = [objective_value(forward, backward, state)]
+        for _ in range(5):
+            ccd_sweep(state, block_size=block_size)
+            values.append(objective_value(forward, backward, state))
+        diffs = np.diff(values)
+        assert np.all(diffs <= 1e-8)
+
+    @pytest.mark.parametrize("block_size", [2, 4])
+    def test_monotone_from_random_init(self, problem, block_size):
+        forward, backward = problem
+        state = random_init(forward, backward, k=16, seed=0)
+        _, history = _tracked_blocked(state, 6, block_size)
+        assert all(b <= a + 1e-8 for a, b in zip(history, history[1:]))
+
+    def test_block_one_is_bit_identical_to_exact(self, problem):
+        forward, backward = problem
+        base = greedy_init(forward, backward, k=16, seed=0)
+        # Clone both sides so memory layout matches bit-for-bit.
+        exact = _clone(base)
+        blocked = _clone(base)
+        for _ in range(3):
+            ccd_sweep(exact)
+            ccd_sweep(blocked, block_size=1)
+        assert np.array_equal(exact.x_forward, blocked.x_forward)
+        assert np.array_equal(exact.y, blocked.y)
+        assert np.array_equal(exact.s_forward, blocked.s_forward)
+
+    def test_blocked_tracks_exact_objective(self, problem):
+        """Block Gauss–Seidel reaches an objective close to the exact path."""
+        forward, backward = problem
+        exact = greedy_init(forward, backward, k=16, seed=0)
+        blocked = _clone(exact)
+        refine(exact, 5)
+        refine(blocked, 5, block_size=4)
+        exact_obj = objective_value(forward, backward, exact)
+        blocked_obj = objective_value(forward, backward, blocked)
+        assert blocked_obj <= exact_obj * 1.01 + 1e-12
+
+    def test_residual_caches_stay_consistent(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        refine(state, 3, block_size=4)
+        assert np.allclose(
+            state.s_forward, state.x_forward @ state.y.T - forward, atol=1e-8
+        )
+        assert np.allclose(
+            state.s_backward, state.x_backward @ state.y.T - backward, atol=1e-8
+        )
+
+    @pytest.mark.parametrize("n_threads", [2, 3])
+    def test_parallel_blocked_matches_serial_blocked(self, problem, n_threads):
+        forward, backward = problem
+        serial = greedy_init(forward, backward, k=16, seed=0)
+        parallel = _clone(serial)
+        for _ in range(2):
+            ccd_sweep(serial, block_size=4)
+            ccd_sweep_parallel(parallel, n_threads=n_threads, block_size=4)
+        assert np.allclose(serial.x_forward, parallel.x_forward, atol=1e-10)
+        assert np.allclose(serial.y, parallel.y, atol=1e-10)
+        assert np.allclose(serial.s_forward, parallel.s_forward, atol=1e-10)
+
+    def test_dead_coordinate_is_noop(self):
+        """A zero Y column inside a block must not produce NaNs."""
+        rng = np.random.default_rng(0)
+        forward = rng.random((12, 6))
+        backward = rng.random((12, 6))
+        state = random_init(forward, backward, k=8, seed=0)
+        state.y[:, 1] = 0.0
+        state.s_forward = state.x_forward @ state.y.T - forward
+        state.s_backward = state.x_backward @ state.y.T - backward
+        ccd_sweep(state, block_size=4)
+        assert np.all(np.isfinite(state.x_forward))
+        assert np.all(np.isfinite(state.y))
+
+    def test_scratch_reused_across_sweeps(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        scratch = CCDScratch.for_state(state, block_size=4)
+        before = objective_value(forward, backward, state)
+        for _ in range(2):
+            ccd_sweep(state, block_size=4, scratch=scratch)
+        assert objective_value(forward, backward, state) < before
+
+    def test_uneven_tail_block(self, problem):
+        """half=8 with B=3 leaves a tail block of 2 — must stay monotone."""
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        values = [cached_objective(state)]
+        for _ in range(3):
+            ccd_sweep(state, block_size=3)
+            values.append(cached_objective(state))
+        assert all(b <= a + 1e-8 for a, b in zip(values, values[1:]))
+
+
+def _tracked_blocked(state, sweeps, block_size):
+    history = [cached_objective(state)]
+    for _ in range(sweeps):
+        ccd_sweep(state, block_size=block_size)
+        history.append(cached_objective(state))
+    return state, history
+
+
+class TestBlockedDownstreamParity:
+    """Acceptance: blocked-path AUC within 1% of the exact path."""
+
+    @pytest.mark.parametrize("task_name", ["link", "attribute"])
+    def test_auc_within_one_percent(self, sbm_graph, task_name):
+        from repro.core.pane import PANE
+        from repro.tasks.attribute_inference import AttributeInferenceTask
+        from repro.tasks.link_prediction import LinkPredictionTask
+
+        task_cls = (
+            LinkPredictionTask if task_name == "link" else AttributeInferenceTask
+        )
+        exact = task_cls(sbm_graph, seed=0).evaluate(PANE(k=16, seed=0))
+        blocked = task_cls(sbm_graph, seed=0).evaluate(
+            PANE(k=16, seed=0, ccd_block_size=4)
+        )
+        assert blocked.auc >= exact.auc - 0.01 * max(exact.auc, 1e-12)

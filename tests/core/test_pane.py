@@ -110,6 +110,70 @@ class TestEmbeddingObject:
         assert np.allclose(loaded.y, embedding.y)
         assert loaded.config.k == 16
 
+    def test_save_load_preserves_full_config(self, sbm_graph, tmp_path):
+        """Every PANEConfig field must survive the round trip."""
+        embedding = PANE(
+            k=16,
+            alpha=0.4,
+            epsilon=0.05,
+            n_threads=3,
+            ccd_iterations=2,
+            svd_power_iterations=7,
+            dangling="self",
+            seed=11,
+            ccd_block_size=4,
+        ).fit(sbm_graph)
+        path = tmp_path / "emb_full.npz"
+        embedding.save(path)
+        loaded = PANEEmbedding.load(path)
+        assert loaded.config == embedding.config
+
+    def test_save_load_preserves_none_fields(self, sbm_graph, tmp_path):
+        """ccd_iterations=None and seed=None must round-trip as None."""
+        embedding = PANE(k=16, seed=None, ccd_iterations=None).fit(sbm_graph)
+        path = tmp_path / "emb_none.npz"
+        embedding.save(path)
+        loaded = PANEEmbedding.load(path)
+        assert loaded.config.ccd_iterations is None
+        assert loaded.config.seed is None
+
+    def test_load_ignores_unknown_config_fields(self, sbm_graph, tmp_path):
+        """Archives from newer versions (extra config keys) must still load."""
+        import json
+
+        embedding = PANE(k=16, seed=0).fit(sbm_graph)
+        path = tmp_path / "emb_future.npz"
+        future = dict(
+            k=16, alpha=0.5, epsilon=0.015, some_future_field="whatever"
+        )
+        np.savez_compressed(
+            path,
+            x_forward=embedding.x_forward,
+            x_backward=embedding.x_backward,
+            y=embedding.y,
+            config_json=np.array(json.dumps(future)),
+        )
+        loaded = PANEEmbedding.load(path)
+        assert loaded.config.k == 16
+
+    def test_load_legacy_archive(self, sbm_graph, tmp_path):
+        """Archives written before the full-config format still load."""
+        embedding = PANE(k=16, seed=0).fit(sbm_graph)
+        path = tmp_path / "emb_legacy.npz"
+        np.savez_compressed(  # the seed save() format: scalar keys only
+            path,
+            x_forward=embedding.x_forward,
+            x_backward=embedding.x_backward,
+            y=embedding.y,
+            k=np.array(embedding.config.k),
+            alpha=np.array(embedding.config.alpha),
+            epsilon=np.array(embedding.config.epsilon),
+        )
+        loaded = PANEEmbedding.load(path)
+        assert loaded.config.k == 16
+        assert loaded.config.alpha == embedding.config.alpha
+        assert np.allclose(loaded.x_forward, embedding.x_forward)
+
     def test_attribute_embeddings_alias(self, sbm_graph):
         embedding = PANE(k=16, seed=0).fit(sbm_graph)
         assert embedding.attribute_embeddings is embedding.y

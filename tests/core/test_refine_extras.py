@@ -57,6 +57,61 @@ class TestEarlyStopping:
         assert np.allclose(a.x_forward, b.x_forward)
 
 
+class TestToleranceEdgeCases:
+    def test_stops_when_improvement_falls_below_tolerance(self, problem):
+        """A loose tolerance must stop after the first sweep."""
+        forward, backward = problem
+        one_sweep = greedy_init(forward, backward, k=16, seed=0)
+        refine(one_sweep, 1)
+
+        stopped = greedy_init(forward, backward, k=16, seed=0)
+        refine(stopped, 20, tolerance=0.9)  # relative gain per sweep << 0.9
+        assert cached_objective(stopped) == pytest.approx(
+            cached_objective(one_sweep), rel=1e-12
+        )
+
+    def test_runs_all_sweeps_when_improvement_stays_above(self, problem):
+        """With an unreachable tolerance the full budget is spent."""
+        forward, backward = problem
+        full = greedy_init(forward, backward, k=16, seed=0)
+        refine(full, 4)
+
+        tolerant = greedy_init(forward, backward, k=16, seed=0)
+        refine(tolerant, 4, tolerance=1e-300)  # never triggers
+        assert np.allclose(tolerant.x_forward, full.x_forward)
+        assert np.allclose(tolerant.y, full.y)
+
+    def test_zero_initial_objective_does_not_crash(self):
+        """An exact factorization (S = 0) must survive tolerance checks."""
+        from repro.core.greedy_init import InitState
+
+        rng = np.random.default_rng(0)
+        x_forward = rng.random((10, 3))
+        x_backward = rng.random((10, 3))
+        y = rng.random((5, 3))
+        forward = x_forward @ y.T
+        backward = x_backward @ y.T
+        state = InitState(
+            x_forward.copy(),
+            x_backward.copy(),
+            y.copy(),
+            np.zeros_like(forward),
+            np.zeros_like(backward),
+        )
+        refine(state, 3, tolerance=0.1)  # previous == 0: must not divide
+        assert np.all(np.isfinite(state.x_forward))
+        assert np.all(np.isfinite(state.y))
+        # Zero residuals mean zero updates: the factors are untouched.
+        assert np.allclose(state.x_forward, x_forward)
+        assert np.allclose(state.y, y)
+
+    def test_tolerance_with_blocked_kernel(self, problem):
+        forward, backward = problem
+        state = greedy_init(forward, backward, k=16, seed=0)
+        refine(state, 20, tolerance=0.9, block_size=4)
+        assert np.all(np.isfinite(state.x_forward))
+
+
 class TestRefineTracked:
     def test_history_length(self, problem):
         forward, backward = problem

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel.partitioning import partition_indices
+from repro.parallel.partitioning import partition_indices, partition_spans
 
 
 class TestPartitionIndices:
@@ -46,3 +46,23 @@ class TestPartitionIndices:
             partition_indices(-1, 2)
         with pytest.raises(ValueError):
             partition_indices(5, 0)
+
+
+class TestPartitionSpans:
+    def test_matches_partition_indices(self):
+        spans = partition_spans(17, 4)
+        blocks = partition_indices(17, 4)
+        assert len(spans) == len(blocks)
+        for span, block in zip(spans, blocks):
+            assert np.array_equal(np.arange(17)[span], block)
+
+    def test_spans_give_views(self):
+        matrix = np.zeros((10, 2))
+        for span in partition_spans(10, 3):
+            block = matrix[span]
+            assert block.base is matrix  # a view, not a fancy-index copy
+            block += 1.0
+        assert np.all(matrix == 1.0)
+
+    def test_empty_total(self):
+        assert partition_spans(0, 3) == []

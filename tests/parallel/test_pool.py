@@ -1,0 +1,111 @@
+"""Tests for the persistent WorkerPool and its run_blocks integration."""
+
+import threading
+
+import pytest
+
+from repro.parallel.executor import run_blocks
+from repro.parallel.pool import WorkerPool
+
+
+class TestWorkerPool:
+    def test_invalid_thread_count(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="n_threads"):
+                WorkerPool(bad)
+
+    def test_results_in_block_order(self):
+        import time
+
+        def work(i, block):
+            time.sleep(0.01 * (3 - i))
+            return i * 10
+
+        with WorkerPool(3) as pool:
+            assert pool.run_blocks(work, ["a", "b", "c"]) == [0, 10, 20]
+
+    def test_lazy_thread_start(self):
+        pool = WorkerPool(4)
+        assert not pool.is_active  # no executor until a parallel call
+        pool.run_blocks(lambda i, b: b, ["only"])  # inline, still lazy
+        assert not pool.is_active
+        pool.run_blocks(lambda i, b: b, ["a", "b"])
+        assert pool.is_active
+        pool.close()
+        assert not pool.is_active
+
+    def test_threads_reused_across_calls(self):
+        seen: set[int] = set()
+
+        def work(i, block):
+            seen.add(threading.get_ident())
+
+        with WorkerPool(2) as pool:
+            for _ in range(5):
+                pool.run_blocks(work, ["a", "b"])
+        # One persistent pool: at most n_threads distinct workers over
+        # all five phases (an ephemeral-pool design would show up to 10).
+        assert len(seen) <= 2
+
+    def test_single_thread_runs_inline(self):
+        with WorkerPool(1) as pool:
+            thread_ids = []
+            pool.run_blocks(
+                lambda i, b: thread_ids.append(threading.get_ident()), ["a", "b"]
+            )
+        assert all(t == threading.get_ident() for t in thread_ids)
+
+    def test_empty_blocks(self):
+        with WorkerPool(2) as pool:
+            assert pool.run_blocks(lambda i, b: b, []) == []
+
+    def test_closed_pool_rejects_parallel_work(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_blocks(lambda i, b: b, ["a", "b"])
+        # Inline single-block calls still work after close.
+        assert pool.run_blocks(lambda i, b: b, ["x"]) == ["x"]
+
+    def test_worker_exception_propagates(self):
+        def explode(i, block):
+            raise RuntimeError("worker failed")
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="worker failed"):
+                pool.run_blocks(explode, ["a", "b"])
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(2)
+        pool.run_blocks(lambda i, b: b, ["a", "b"])
+        pool.close()
+        pool.close()
+
+
+class TestRunBlocksPoolIntegration:
+    def test_pool_delegation(self):
+        with WorkerPool(2) as pool:
+            assert run_blocks(lambda i, b: b * 2, [1, 2, 3], pool=pool) == [2, 4, 6]
+
+    def test_pool_overrides_n_threads(self):
+        """With pool given, n_threads is ignored (the pool's count rules)."""
+        with WorkerPool(2) as pool:
+            result = run_blocks(lambda i, b: b, ["a", "b"], n_threads=0, pool=pool)
+        assert result == ["a", "b"]
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_threads_raise(self, bad):
+        with pytest.raises(ValueError, match="n_threads"):
+            run_blocks(lambda i, b: b, ["a", "b"], n_threads=bad)
+
+    def test_none_defaults_to_one_thread_per_block(self):
+        seen: set[int] = set()
+
+        def work(i, block):
+            import time
+
+            seen.add(threading.get_ident())
+            time.sleep(0.02)
+
+        run_blocks(work, list(range(4)))
+        assert len(seen) > 1

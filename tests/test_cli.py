@@ -28,6 +28,13 @@ class TestParser:
         assert args.k == 128
         assert args.alpha == 0.5
         assert args.threads == 1
+        assert args.ccd_block_size == 1
+
+    def test_embed_block_size_flag(self):
+        args = build_parser().parse_args(
+            ["embed", "--graph", "g.npz", "--out", "e.npz", "--ccd-block-size", "32"]
+        )
+        assert args.ccd_block_size == 32
 
     def test_evaluate_task_choices(self):
         with pytest.raises(SystemExit):
@@ -55,6 +62,27 @@ class TestCommands:
         assert code == 0
         assert out.exists()
         assert "objective" in capsys.readouterr().out
+
+    def test_embed_blocked_kernel(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "emb_blocked.npz"
+        code = main(
+            [
+                "embed",
+                "--graph",
+                str(graph_file),
+                "--out",
+                str(out),
+                "--k",
+                "8",
+                "--ccd-block-size",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.core.pane import PANEEmbedding
+
+        assert PANEEmbedding.load(out).config.ccd_block_size == 4
 
     def test_evaluate_link(self, graph_file, capsys):
         code = main(
