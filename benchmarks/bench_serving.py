@@ -1,0 +1,270 @@
+"""Serving-layer benchmarks — emits a ``BENCH_serving.json`` perf record.
+
+Measures the IVF ANN backend of :mod:`repro.serving.index` against the
+brute-force exact backend on a seeded clustered dataset shaped like real
+embedding matrices (cluster centers + Gaussian noise, unit rows):
+
+- ``exact``   — batched brute-force QPS (tiled GEMM + argpartition) and
+  single-query latency; the ground truth for recall.
+- ``ivf``     — index build time, batched QPS at the default ``nprobe``,
+  recall@10 vs exact, and the QPS/recall curve over a few ``nprobe``s.
+- ``service`` — a :class:`~repro.serving.service.QueryService` smoke: store
+  publish → cold query → cached query → version swap, so the bench fails
+  fast if the serving path itself regresses.
+
+Run as a script (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full record
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI-sized
+
+The full configuration (n=131072) asserts the acceptance floor: IVF at
+the default ``nprobe`` must hold recall@10 ≥ 0.9 while serving ≥ 5× the
+exact backend's QPS.  The JSON record (schema ``bench_serving/v1``)
+stores machine info, parameters, per-backend numbers, and the speedup so
+future PRs have a regression trajectory next to ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from repro.serving.index import ExactBackend, IVFIndex
+from repro.serving.synth import clustered_unit_vectors
+
+
+def recall_at_k(truth_ids: np.ndarray, test_ids: np.ndarray) -> float:
+    """Mean fraction of each truth row recovered by the test row."""
+    hits = sum(
+        np.intersect1d(truth_ids[row], test_ids[row]).shape[0]
+        for row in range(truth_ids.shape[0])
+    )
+    return hits / truth_ids.size
+
+
+def bench_exact(features: np.ndarray, query_nodes: np.ndarray, k: int) -> dict:
+    backend = ExactBackend(features)
+    queries = features[query_nodes]
+
+    start = time.perf_counter()
+    ids, _ = backend.search(queries, k, exclude=query_nodes)
+    batch_seconds = time.perf_counter() - start
+
+    # Single-query latency over a subsample (the per-request serving path).
+    sample = query_nodes[:64]
+    latencies = []
+    for node in sample:
+        tick = time.perf_counter()
+        backend.search(features[node], k, exclude=np.array([node]))
+        latencies.append(time.perf_counter() - tick)
+
+    return {
+        "truth_ids": ids,
+        "record": {
+            "batch_seconds": batch_seconds,
+            "qps_batch": query_nodes.size / batch_seconds,
+            "p50_single_ms": float(np.percentile(latencies, 50) * 1e3),
+        },
+    }
+
+
+def bench_ivf(
+    features: np.ndarray,
+    query_nodes: np.ndarray,
+    k: int,
+    truth_ids: np.ndarray,
+    exact_qps: float,
+    *,
+    nlist: int,
+    nprobe: int,
+    nprobe_sweep: tuple[int, ...],
+    seed: int,
+) -> dict:
+    start = time.perf_counter()
+    index = IVFIndex(features, nlist=nlist, nprobe=nprobe, seed=seed)
+    build_seconds = time.perf_counter() - start
+    queries = features[query_nodes]
+
+    def run(probe: int) -> tuple[float, float]:
+        tick = time.perf_counter()
+        ids, _ = index.search(queries, k, exclude=query_nodes, nprobe=probe)
+        seconds = time.perf_counter() - tick
+        return query_nodes.size / seconds, recall_at_k(truth_ids, ids)
+
+    qps, recall = run(nprobe)
+    sweep = {}
+    for probe in nprobe_sweep:
+        probe_qps, probe_recall = run(probe)
+        sweep[str(probe)] = {
+            "qps_batch": probe_qps,
+            "recall_at_k": probe_recall,
+        }
+    sizes = index.list_sizes()
+    return {
+        "build_seconds": build_seconds,
+        "nlist": index.nlist,
+        "nprobe": nprobe,
+        "list_size_mean": float(sizes.mean()),
+        "list_size_max": int(sizes.max()),
+        "qps_batch": qps,
+        "recall_at_k": recall,
+        "speedup_vs_exact": qps / exact_qps,
+        "nprobe_sweep": sweep,
+    }
+
+
+def bench_service(features_n: int, dim: int, k: int, seed: int) -> dict:
+    """Publish → query → cached query → swap through the real service."""
+    from repro.core.config import PANEConfig
+    from repro.core.pane import PANEEmbedding
+    from repro.serving.service import QueryService
+    from repro.serving.store import EmbeddingStore
+
+    half = max(2, dim // 2)
+    rng = np.random.default_rng(seed)
+    embedding = PANEEmbedding(
+        x_forward=rng.standard_normal((features_n, half)),
+        x_backward=rng.standard_normal((features_n, half)),
+        y=rng.standard_normal((max(4, half), half)),
+        config=PANEConfig(k=2 * half),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = EmbeddingStore(tmp)
+        start = time.perf_counter()
+        store.publish(embedding)
+        publish_seconds = time.perf_counter() - start
+        with QueryService(store, backend="exact") as service:
+            tick = time.perf_counter()
+            cold = service.top_k(0, k)
+            cold_ms = (time.perf_counter() - tick) * 1e3
+            tick = time.perf_counter()
+            warm = service.top_k(0, k)
+            warm_ms = (time.perf_counter() - tick) * 1e3
+            assert warm.cached and np.array_equal(cold.ids, warm.ids)
+            store.publish(embedding)
+            tick = time.perf_counter()
+            service.refresh_to_latest()
+            swap_ms = (time.perf_counter() - tick) * 1e3
+            assert service.version == "v00000002"
+    return {
+        "publish_seconds": publish_seconds,
+        "cold_query_ms": cold_ms,
+        "cached_query_ms": warm_ms,
+        "swap_ms": swap_ms,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=131_072, help="vectors")
+    parser.add_argument("--dim", type=int, default=64, help="embedding dim")
+    parser.add_argument("--clusters", type=int, default=256, help="data clusters")
+    parser.add_argument("--queries", type=int, default=1024)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--nlist", type=int, default=512)
+    parser.add_argument("--nprobe", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (n=8192); skips the 5x speedup assertion "
+        "(exact GEMM is too fast at toy sizes for IVF to beat from python)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n, args.dim, args.clusters = 8_192, 32, 64
+        args.queries, args.nlist, args.nprobe = 256, 64, 8
+
+    record = {
+        "meta": {
+            "schema": "bench_serving/v1",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+            "platform": platform.platform(),
+            "smoke": bool(args.smoke),
+        },
+        "params": {
+            "n": args.n,
+            "dim": args.dim,
+            "clusters": args.clusters,
+            "queries": args.queries,
+            "k": args.k,
+            "nlist": args.nlist,
+            "nprobe": args.nprobe,
+            "seed": args.seed,
+        },
+    }
+
+    print(
+        f"dataset: n={args.n} dim={args.dim} clusters={args.clusters}",
+        flush=True,
+    )
+    features = clustered_unit_vectors(
+        args.n, args.dim, args.clusters, seed=args.seed
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    query_nodes = np.sort(rng.choice(args.n, size=args.queries, replace=False))
+
+    print("exact backend...", flush=True)
+    exact = bench_exact(features, query_nodes, args.k)
+    record["exact"] = exact["record"]
+
+    print("ivf backend...", flush=True)
+    record["ivf"] = bench_ivf(
+        features,
+        query_nodes,
+        args.k,
+        exact["truth_ids"],
+        exact["record"]["qps_batch"],
+        nlist=args.nlist,
+        nprobe=args.nprobe,
+        nprobe_sweep=(1, 4, 16),
+        seed=args.seed,
+    )
+
+    print("query service...", flush=True)
+    record["service"] = bench_service(
+        min(args.n, 20_000), args.dim, args.k, args.seed
+    )
+
+    recall = record["ivf"]["recall_at_k"]
+    speedup = record["ivf"]["speedup_vs_exact"]
+    assert recall >= 0.9, f"IVF recall@{args.k} = {recall:.3f} < 0.9"
+    if not args.smoke:
+        assert speedup >= 5.0, f"IVF speedup {speedup:.1f}x < 5x"
+
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"exact    {record['exact']['qps_batch']:10.0f} QPS  "
+        f"(p50 single {record['exact']['p50_single_ms']:.2f} ms)"
+    )
+    print(
+        f"ivf      {record['ivf']['qps_batch']:10.0f} QPS  "
+        f"recall@{args.k}={recall:.3f}  ({speedup:.1f}x vs exact, "
+        f"build {record['ivf']['build_seconds']:.1f}s)"
+    )
+    print(
+        f"service  cold {record['service']['cold_query_ms']:.2f} ms, "
+        f"cached {record['service']['cached_query_ms']:.3f} ms, "
+        f"swap {record['service']['swap_ms']:.1f} ms"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Public API highlights:
   prediction, node classification).
 - Competitor methods in :mod:`repro.baselines`.
 - The paper's experiment harness in :mod:`repro.eval`.
+- The serving subsystem in :mod:`repro.serving` (versioned store, IVF
+  index, batched query service, online refresh — see ``docs/SERVING.md``).
 """
 
 from repro.core import PANE, PANEConfig, PANEEmbedding, apmi, exact_affinity, randsvd

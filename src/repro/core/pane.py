@@ -39,6 +39,7 @@ from repro.core.scoring import attribute_scores, link_scores
 from repro.core.svd_ccd import objective_value, refine
 from repro.graph.attributed_graph import AttributedGraph
 from repro.parallel.pool import WorkerPool
+from repro.utils.fs import atomic_write
 from repro.utils.timing import Timer
 from repro.utils.validation import check_embedding_dim
 
@@ -111,16 +112,30 @@ class PANEEmbedding:
         ``n_threads``, ``ccd_iterations``, ``svd_power_iterations``,
         ``dangling``, and ``ccd_block_size``.  The legacy scalar keys
         are written too so older readers keep working.
+
+        The archive is written to a temporary file in the destination
+        directory and moved into place with ``os.replace``, so a crash
+        mid-save can never leave a truncated archive at ``path`` (the
+        same atomic-publish semantics as
+        :meth:`repro.serving.store.EmbeddingStore.publish`).
         """
-        np.savez_compressed(
-            Path(path),
-            x_forward=self.x_forward,
-            x_backward=self.x_backward,
-            y=self.y,
-            config_json=np.array(json.dumps(asdict(self.config))),
-            k=np.array(self.config.k),
-            alpha=np.array(self.config.alpha),
-            epsilon=np.array(self.config.epsilon),
+        path = Path(path)
+        if path.suffix != ".npz":
+            # np.savez appends ".npz" when missing; do the same up front so
+            # the atomic rename targets the file a reader will load.
+            path = Path(str(path) + ".npz")
+        atomic_write(
+            path,
+            lambda handle: np.savez_compressed(
+                handle,
+                x_forward=self.x_forward,
+                x_backward=self.x_backward,
+                y=self.y,
+                config_json=np.array(json.dumps(asdict(self.config))),
+                k=np.array(self.config.k),
+                alpha=np.array(self.config.alpha),
+                epsilon=np.array(self.config.epsilon),
+            ),
         )
 
     @classmethod

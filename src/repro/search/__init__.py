@@ -1,5 +1,19 @@
 """Similarity search over trained embeddings."""
 
-from repro.search.knn import top_k_similar, pairwise_cosine, batch_top_k
+from repro.search.knn import (
+    batch_top_k,
+    exact_top_k,
+    normalize_rows,
+    pairwise_cosine,
+    top_k_similar,
+    top_k_sorted_indices,
+)
 
-__all__ = ["top_k_similar", "pairwise_cosine", "batch_top_k"]
+__all__ = [
+    "top_k_similar",
+    "pairwise_cosine",
+    "batch_top_k",
+    "exact_top_k",
+    "normalize_rows",
+    "top_k_sorted_indices",
+]

@@ -1,0 +1,46 @@
+"""Embedding serving: versioned store, ANN index, query service, refresh.
+
+The subsystem that turns a trained :class:`~repro.core.pane.PANEEmbedding`
+into something that answers similarity queries under load:
+
+- :class:`EmbeddingStore` — durable, versioned, memory-mapped storage with
+  atomic publish and rollback (``store.py``);
+- :class:`IVFIndex` / :class:`ExactBackend` — approximate and brute-force
+  search behind one :class:`SearchBackend` interface (``index.py``);
+- :class:`QueryService` — batched, cached, latency-tracked query serving
+  with atomic version swaps (``service.py``);
+- :class:`OnlineRefresher` — delta update → republish → incremental index
+  rebuild → swap, without downtime (``refresh.py``).
+
+See ``docs/SERVING.md`` for the operational guide.
+"""
+
+from repro.serving.index import (
+    AUTO_EXACT_THRESHOLD,
+    ExactBackend,
+    IVFIndex,
+    IVFRebuildStats,
+    SearchBackend,
+    make_backend,
+)
+from repro.serving.refresh import OnlineRefresher, RefreshReport
+from repro.serving.service import QueryResult, QueryService
+from repro.serving.stats import LatencyStats
+from repro.serving.store import EmbeddingStore, StoredEmbedding, search_features
+
+__all__ = [
+    "AUTO_EXACT_THRESHOLD",
+    "EmbeddingStore",
+    "ExactBackend",
+    "IVFIndex",
+    "IVFRebuildStats",
+    "LatencyStats",
+    "OnlineRefresher",
+    "QueryResult",
+    "QueryService",
+    "RefreshReport",
+    "SearchBackend",
+    "StoredEmbedding",
+    "make_backend",
+    "search_features",
+]

@@ -1,0 +1,478 @@
+"""The in-memory query half of the serving split: ``QueryService``.
+
+A :class:`QueryService` serves cosine top-k (node side) and Eq. (21)
+affinity (attribute side) queries from the *active version* of an
+:class:`~repro.serving.store.EmbeddingStore`, through a pluggable
+:class:`~repro.serving.index.SearchBackend` (IVF or exact).
+
+Concurrency model — how a version swap can never serve a torn result:
+all state needed to answer a query (version name, mmapped arrays, search
+backend) lives in one immutable ``_ActiveVersion`` snapshot object, and
+every query reads ``self._active`` exactly once.  :meth:`activate`
+publishes a fully constructed snapshot with a single reference assignment,
+so a query thread sees either the old version or the new one, end to end —
+never the new backend with the old matrix.  The result cache is keyed by
+``(version, node, k, nprobe)``, so entries can never bleed across versions
+either; rollback re-activates an older version and its keys simply miss.
+
+Throughput comes from three places:
+
+- ``batch_top_k`` fans a node batch out over a persistent
+  :class:`~repro.parallel.pool.WorkerPool` in contiguous chunks;
+- an optional micro-batcher (``batch_window_s > 0``) coalesces *concurrent*
+  single-node ``top_k`` calls into one backend batch: the first arrival
+  becomes the leader, sleeps out the window, and executes everything that
+  queued up behind it against one consistent snapshot;
+- an LRU result cache absorbs repeated queries entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool
+from repro.search.knn import normalize_rows, top_k_sorted_indices
+from repro.serving.index import IVFIndex, SearchBackend, make_backend
+from repro.serving.stats import LatencyStats
+from repro.serving.store import EmbeddingStore, StoredEmbedding
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query (or one stacked batch): ids and similarities.
+
+    ``version`` names the store version that produced the answer, so
+    callers can detect which side of a swap they were served from.
+    """
+
+    version: str
+    ids: np.ndarray
+    scores: np.ndarray
+    latency_s: float
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class _ActiveVersion:
+    """Immutable serving snapshot; swapped atomically by ``activate``."""
+
+    version: str
+    stored: StoredEmbedding
+    backend: SearchBackend
+
+
+class QueryService:
+    """Query server over the latest (or a pinned) store version.
+
+    Parameters
+    ----------
+    store:
+        The :class:`EmbeddingStore` to serve from.
+    backend:
+        ``"ivf"``, ``"exact"``, or ``"auto"`` (IVF above
+        :data:`repro.serving.index.AUTO_EXACT_THRESHOLD` vectors).
+    nlist / nprobe / seed:
+        IVF construction parameters (see :class:`IVFIndex`).
+    cache_size:
+        LRU entries kept across all versions (0 disables caching).
+    n_threads:
+        Workers in the persistent pool used by :meth:`batch_top_k`.
+    batch_window_s:
+        Micro-batching window for concurrent :meth:`top_k` calls;
+        ``0`` (default) answers immediately.
+    version:
+        Pin an explicit store version instead of ``latest()``.
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        *,
+        backend: str = "auto",
+        nlist: int | None = None,
+        nprobe: int = 8,
+        seed: int | None = 0,
+        cache_size: int = 4096,
+        n_threads: int = 1,
+        batch_window_s: float = 0.0,
+        version: str | None = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._store = store
+        self._backend_kind = backend
+        self._nlist = nlist
+        self._nprobe = nprobe
+        self._seed = seed
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self.stats = LatencyStats()
+        self.pool = WorkerPool(max(1, n_threads))
+        self._batcher = (
+            _MicroBatcher(batch_window_s, self._execute_microbatch)
+            if batch_window_s > 0
+            else None
+        )
+        self._active: _ActiveVersion | None = None
+        self.activate(version)
+
+    # -- version management --------------------------------------------
+    @property
+    def version(self) -> str:
+        """The currently served store version."""
+        return self._snapshot().version
+
+    @property
+    def backend(self) -> SearchBackend:
+        return self._snapshot().backend
+
+    def activate(self, version: str | None = None, *, index: SearchBackend | None = None) -> str:
+        """Build and atomically swap in a serving snapshot for ``version``.
+
+        ``version=None`` follows the store's ``LATEST`` pointer.  ``index``
+        lets a refresher hand over an incrementally rebuilt backend (its
+        ``features`` must belong to the version being activated); otherwise
+        a backend is constructed from the stored ``features`` matrix.
+        Queries in flight keep the snapshot they started with.
+        """
+        with self._swap_lock:
+            stored = self._store.open(version)
+            backend = index
+            if backend is None:
+                backend = make_backend(
+                    stored.features,
+                    self._backend_kind,
+                    nlist=self._nlist,
+                    nprobe=self._nprobe,
+                    seed=self._seed,
+                )
+            self._active = _ActiveVersion(
+                version=stored.version, stored=stored, backend=backend
+            )
+            return stored.version
+
+    def refresh_to_latest(self) -> str:
+        """Re-activate if the store's ``LATEST`` moved; returns the version."""
+        latest = self._store.latest()
+        current = self._snapshot()
+        if latest is not None and latest != current.version:
+            return self.activate(latest)
+        return current.version
+
+    # -- queries -------------------------------------------------------
+    def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
+        """The ``k`` nodes most similar to ``node`` under the active version."""
+        start = time.perf_counter()
+        active = self._snapshot()
+        self._check_node(active, node)
+        key = (active.version, "node", int(node), int(k), nprobe)
+        hit = self._cache_get(key)
+        if hit is not None:
+            latency = time.perf_counter() - start
+            self.stats.record(latency, cached=True)
+            return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
+        if self._batcher is not None:
+            result = self._batcher.submit(int(node), int(k), nprobe)
+            # The caller's latency includes the coalescing window it slept
+            # out, not just its share of the backend batch — report what the
+            # client actually experienced or batch_window_s tuning is blind.
+            latency = time.perf_counter() - start
+            self.stats.record(latency)
+            return replace(result, latency_s=latency)
+        query = np.asarray(active.stored.features[node], dtype=np.float64)
+        ids, scores = _search(active.backend, query[np.newaxis], k, np.array([node]), nprobe)
+        self._cache_put(key, ids[0], scores[0])
+        latency = time.perf_counter() - start
+        self.stats.record(latency)
+        return QueryResult(active.version, ids[0], scores[0], latency)
+
+    def batch_top_k(
+        self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
+    ) -> QueryResult:
+        """Top-k for many nodes at once, fanned out over the worker pool.
+
+        Returns one stacked :class:`QueryResult` with ``ids``/``scores`` of
+        shape ``(len(nodes), k)``.  The whole batch is answered from a
+        single snapshot, so every row reflects the same version.
+        """
+        start = time.perf_counter()
+        active = self._snapshot()
+        nodes = np.asarray(nodes, dtype=np.intp).ravel()
+        if nodes.size == 0:
+            raise ValueError("batch_top_k needs at least one node")
+        for node in (int(nodes.min()), int(nodes.max())):
+            self._check_node(active, node)
+
+        n_chunks = min(self.pool.n_threads, nodes.size)
+        chunks = np.array_split(nodes, n_chunks)
+
+        def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
+            return _search(active.backend, queries, k, chunk, nprobe)
+
+        parts = self.pool.run_blocks(work, chunks)
+        ids = np.vstack([part[0] for part in parts])
+        scores = np.vstack([part[1] for part in parts])
+        for row, node in enumerate(nodes):
+            self._cache_put(
+                (active.version, "node", int(node), int(k), nprobe),
+                ids[row],
+                scores[row],
+            )
+        latency = time.perf_counter() - start
+        self.stats.record(latency, queries=nodes.size)
+        return QueryResult(active.version, ids, scores, latency)
+
+    def similar_by_vector(
+        self, vector: np.ndarray, k: int = 10, *, nprobe: int | None = None
+    ) -> QueryResult:
+        """Top-k nodes for an arbitrary query vector (normalized here)."""
+        start = time.perf_counter()
+        active = self._snapshot()
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != active.backend.dim:
+            raise ValueError(
+                f"query vector has dim {vector.shape[0]}, expected {active.backend.dim}"
+            )
+        query = normalize_rows(vector[np.newaxis])[0]
+        ids, scores = _search(active.backend, query[np.newaxis], k, None, nprobe)
+        latency = time.perf_counter() - start
+        self.stats.record(latency)
+        return QueryResult(active.version, ids[0], scores[0], latency)
+
+    def top_attributes(self, node: int, k: int = 10) -> QueryResult:
+        """Attributes with the highest Eq. (21) affinity to ``node``.
+
+        Scores are ``(Xf[v] + Xb[v]) · Y[r]`` over all attributes ``r`` —
+        the attribute-side query the paper's inference task ranks by.
+        """
+        start = time.perf_counter()
+        active = self._snapshot()
+        self._check_node(active, node)
+        key = (active.version, "attr", int(node), int(k), None)
+        hit = self._cache_get(key)
+        if hit is not None:
+            latency = time.perf_counter() - start
+            self.stats.record(latency, cached=True)
+            return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
+        stored = active.stored
+        combined = np.asarray(stored.x_forward[node]) + np.asarray(stored.x_backward[node])
+        scores = stored.y @ combined
+        top = top_k_sorted_indices(scores, k)
+        self._cache_put(key, top, scores[top])
+        latency = time.perf_counter() - start
+        self.stats.record(latency)
+        return QueryResult(active.version, top, scores[top], latency)
+
+    def top_nodes_for_attribute(self, attribute: int, k: int = 10) -> QueryResult:
+        """Nodes with the highest Eq. (21) affinity to ``attribute``."""
+        start = time.perf_counter()
+        active = self._snapshot()
+        stored = active.stored
+        if not 0 <= attribute < stored.n_attributes:
+            raise IndexError(
+                f"attribute {attribute} out of range [0, {stored.n_attributes})"
+            )
+        key = (active.version, "attr_nodes", int(attribute), int(k), None)
+        hit = self._cache_get(key)
+        if hit is not None:
+            latency = time.perf_counter() - start
+            self.stats.record(latency, cached=True)
+            return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
+        y_row = np.asarray(stored.y[attribute], dtype=np.float64)
+        scores = stored.x_forward @ y_row + stored.x_backward @ y_row
+        top = top_k_sorted_indices(scores, k)
+        self._cache_put(key, top, scores[top])
+        latency = time.perf_counter() - start
+        self.stats.record(latency)
+        return QueryResult(active.version, top, scores[top], latency)
+
+    # -- introspection / lifecycle -------------------------------------
+    def describe(self) -> dict:
+        """Serving state + latency counters, JSON-serializable."""
+        active = self._snapshot()
+        backend = active.backend
+        info = {
+            "version": active.version,
+            "n_nodes": active.stored.n_nodes,
+            "n_attributes": active.stored.n_attributes,
+            "backend": type(backend).__name__,
+            "cache_entries": len(self._cache),
+            "cache_size": self._cache_size,
+            "latency": self.stats.snapshot(),
+        }
+        if isinstance(backend, IVFIndex):
+            info["ivf"] = {"nlist": backend.nlist, "nprobe": backend.nprobe}
+        return info
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> _ActiveVersion:
+        active = self._active
+        if active is None:
+            raise RuntimeError("QueryService has no active version")
+        return active
+
+    @staticmethod
+    def _check_node(active: _ActiveVersion, node: int) -> None:
+        n = active.stored.n_nodes
+        if not 0 <= node < n:
+            raise IndexError(f"node {node} out of range [0, {n})")
+
+    def _cache_get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        if self._cache_size == 0:
+            return None
+        with self._cache_lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+            return hit
+
+    def _cache_put(self, key: tuple, ids: np.ndarray, scores: np.ndarray) -> None:
+        if self._cache_size == 0:
+            return
+        # Decouple the cache from the arrays handed to callers: a caller
+        # mutating its result (or the batch matrix these rows view into)
+        # must not silently poison what later queries are served.  Hits
+        # return the frozen copies.
+        ids = ids.copy()
+        scores = scores.copy()
+        ids.flags.writeable = False
+        scores.flags.writeable = False
+        with self._cache_lock:
+            self._cache[key] = (ids, scores)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _execute_microbatch(self, requests: list["_BatchRequest"]) -> None:
+        """Answer a coalesced batch of top_k requests from one snapshot."""
+        active = self._snapshot()
+        by_params: dict[tuple[int, int | None], list[_BatchRequest]] = {}
+        for request in requests:
+            try:
+                # Re-validate against *this* snapshot: a version swap between
+                # the caller's check and the leader's drain may have shrunk
+                # the embedding, and one stale node must fail alone rather
+                # than taking down every request coalesced with it.
+                self._check_node(active, request.node)
+            except IndexError as error:
+                request.error = error
+                request.event.set()
+                continue
+            by_params.setdefault((request.k, request.nprobe), []).append(request)
+        for (k, nprobe), group in by_params.items():
+            start = time.perf_counter()
+            nodes = np.array([request.node for request in group], dtype=np.intp)
+            try:
+                queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
+                ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+            except BaseException as error:  # propagate to every waiter
+                for request in group:
+                    request.error = error
+                    request.event.set()
+                continue
+            latency = time.perf_counter() - start
+            for row, request in enumerate(group):
+                self._cache_put(
+                    (active.version, "node", request.node, k, nprobe),
+                    ids[row],
+                    scores[row],
+                )
+                request.result = QueryResult(
+                    active.version, ids[row], scores[row], latency / len(group)
+                )
+                request.event.set()
+
+
+def _search(
+    backend: SearchBackend,
+    queries: np.ndarray,
+    k: int,
+    exclude: np.ndarray | None,
+    nprobe: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(backend, IVFIndex):
+        return backend.search(queries, k, exclude=exclude, nprobe=nprobe)
+    return backend.search(queries, k, exclude=exclude)
+
+
+@dataclass
+class _BatchRequest:
+    node: int
+    k: int
+    nprobe: int | None
+    event: threading.Event = field(default_factory=threading.Event)
+    result: QueryResult | None = None
+    error: BaseException | None = None
+
+
+class _MicroBatcher:
+    """Leader/follower coalescing of concurrent single queries.
+
+    The first thread to submit becomes the leader: it sleeps out the
+    window, then drains everything that queued up meanwhile and executes
+    it as one batch.  Followers block on a per-request event.  Payoff is
+    one backend batch (and one snapshot read) per burst instead of one
+    per request.
+    """
+
+    def __init__(self, window_s: float, execute) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self._window_s = window_s
+        self._execute = execute
+        self._lock = threading.Lock()
+        self._pending: list[_BatchRequest] = []
+        self._has_leader = False
+
+    def submit(self, node: int, k: int, nprobe: int | None) -> QueryResult:
+        request = _BatchRequest(node=node, k=k, nprobe=nprobe)
+        with self._lock:
+            self._pending.append(request)
+            is_leader = not self._has_leader
+            if is_leader:
+                self._has_leader = True
+        if is_leader:
+            try:
+                try:
+                    time.sleep(self._window_s)
+                finally:
+                    # Even if the sleep is interrupted (KeyboardInterrupt in
+                    # the leading thread), the leadership slot must be freed
+                    # and the queue drained, or every later submit() would
+                    # become a follower blocking on an event nobody will set.
+                    with self._lock:
+                        batch, self._pending = self._pending, []
+                        self._has_leader = False
+                self._execute(batch)
+            except BaseException as error:
+                # _execute reports per-group search errors itself; this
+                # catches everything outside that handling (the snapshot
+                # read, an interrupted sleep) so followers always wake.
+                for queued in batch:
+                    if not queued.event.is_set():
+                        queued.error = error
+                        queued.event.set()
+                raise
+        request.event.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result

@@ -1,0 +1,58 @@
+"""Thread-safe per-query latency and cache accounting for the query service."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+
+class LatencyStats:
+    """Rolling latency window plus lifetime counters.
+
+    ``record`` is called once per serviced request; a batch contributes its
+    per-query mean as **one** window sample (so a single huge ``batch_top_k``
+    cannot flush the whole window with copies of one number) while the
+    lifetime counters still count every batch member.  ``snapshot`` returns
+    a plain dict so callers can log or JSON-serialize it without holding
+    the lock.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._cache_hits = 0
+        self._total_seconds = 0.0
+
+    def record(self, seconds: float, *, cached: bool = False, queries: int = 1) -> None:
+        with self._lock:
+            self._count += queries
+            self._total_seconds += seconds
+            if cached:
+                self._cache_hits += queries
+            self._recent.append(seconds / max(1, queries))
+
+    def snapshot(self) -> dict:
+        """Counters plus p50/p95/max over the rolling window (seconds)."""
+        with self._lock:
+            recent = list(self._recent)
+            count, hits, total = self._count, self._cache_hits, self._total_seconds
+        result = {
+            "queries": count,
+            "cache_hits": hits,
+            "cache_hit_rate": hits / count if count else 0.0,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+        }
+        if recent:
+            window = np.asarray(recent)
+            result.update(
+                p50_seconds=float(np.percentile(window, 50)),
+                p95_seconds=float(np.percentile(window, 95)),
+                max_seconds=float(window.max()),
+            )
+        return result

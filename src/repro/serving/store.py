@@ -1,0 +1,266 @@
+"""Versioned, memory-mapped embedding store.
+
+The durable half of the serving split: :class:`EmbeddingStore` persists
+trained :class:`~repro.core.pane.PANEEmbedding`s as immutable, numbered
+versions that the in-memory :class:`~repro.serving.service.QueryService`
+maps and serves.  Layout under the store root::
+
+    <root>/
+      LATEST                     # pointer file, swapped with os.replace
+      versions/
+        v00000001/
+          manifest.json          # config + shapes + metadata
+          x_forward.npy          # raw Xf (n × k/2)
+          x_backward.npy         # raw Xb
+          y.npy                  # raw Y  (d × k/2)
+          features.npy           # unit-row [Xf̂ ‖ X̂b] search matrix
+
+Design notes:
+
+- **One ``.npy`` per array, not a single ``.npz``.**  ``np.load`` only
+  honors ``mmap_mode`` for bare ``.npy`` files (zip members are read into
+  memory), and the whole point of the store is that a multi-million-node
+  matrix is paged in on demand rather than resident.
+- **Atomic publish.**  A version is staged in a temp directory in the
+  store root and ``os.rename``d into ``versions/`` — readers either see a
+  complete version or none.  The ``LATEST`` pointer is a one-line file
+  replaced with ``os.replace``, so "latest" flips atomically and
+  :meth:`rollback` is just pointing it at an older version.
+- **``features`` is precomputed at publish time**: each k/2 half is
+  row-normalized, concatenated, and the concatenation normalized again —
+  exactly the rows :func:`repro.search.knn.top_k_similar` scores — so
+  the serving path never re-normalizes an ``n × k`` matrix per query.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import PANEConfig
+from repro.core.pane import PANEEmbedding
+from repro.search.knn import normalize_rows
+from repro.utils.fs import atomic_write, chmod_default_dir
+
+MANIFEST_SCHEMA = "repro.serving.store/v1"
+_ARRAY_FILES = ("x_forward", "x_backward", "y", "features")
+
+
+@dataclass(frozen=True)
+class StoredEmbedding:
+    """A published version opened for serving (arrays are read-only mmaps)."""
+
+    version: str
+    path: Path
+    manifest: dict
+    config: PANEConfig
+    x_forward: np.ndarray
+    x_backward: np.ndarray
+    y: np.ndarray
+    features: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.y.shape[0]
+
+    def to_embedding(self) -> PANEEmbedding:
+        """Materialize an in-memory :class:`PANEEmbedding` (copies the mmaps)."""
+        return PANEEmbedding(
+            x_forward=np.array(self.x_forward),
+            x_backward=np.array(self.x_backward),
+            y=np.array(self.y),
+            config=self.config,
+        )
+
+
+def search_features(embedding: PANEEmbedding) -> np.ndarray:
+    """The unit-row ``[Xf̂ ‖ X̂b]`` matrix the serving layer searches.
+
+    Matches :meth:`PANEEmbedding.node_embeddings(normalize=True)` followed
+    by row normalization, i.e. cosine similarity over these rows equals
+    cosine similarity over ``node_embeddings()``.
+    """
+    return normalize_rows(embedding.node_embeddings(normalize=True))
+
+
+class EmbeddingStore:
+    """Versioned on-disk embedding store with atomic publish and rollback.
+
+    Examples
+    --------
+    >>> store = EmbeddingStore(tmp_dir)          # doctest: +SKIP
+    >>> v1 = store.publish(embedding)            # doctest: +SKIP
+    >>> stored = store.open()                    # latest   # doctest: +SKIP
+    >>> store.rollback()                         # back to the previous version
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        (self.root / "versions").mkdir(parents=True, exist_ok=True)
+
+    # -- queries -------------------------------------------------------
+    def versions(self) -> list[str]:
+        """All published version names, oldest first."""
+        return sorted(
+            entry.name
+            for entry in (self.root / "versions").iterdir()
+            if entry.is_dir() and entry.name.startswith("v")
+        )
+
+    def latest(self) -> str | None:
+        """The version the ``LATEST`` pointer names (``None`` if empty)."""
+        pointer = self.root / "LATEST"
+        if not pointer.exists():
+            return None
+        name = pointer.read_text().strip()
+        return name or None
+
+    def manifest(self, version: str) -> dict:
+        return json.loads((self._version_dir(version) / "manifest.json").read_text())
+
+    # -- publish / open ------------------------------------------------
+    def publish(
+        self,
+        embedding: PANEEmbedding,
+        *,
+        metadata: dict | None = None,
+        set_latest: bool = True,
+    ) -> str:
+        """Persist ``embedding`` as a new immutable version; return its name.
+
+        The version is staged in a temp directory and renamed into place,
+        so concurrent readers never observe a partially written version.
+        Concurrent *publishers* are safe too: if another publish claims the
+        computed version id first, the rename fails and this one retries
+        with the next id (so the returned name is authoritative, not the
+        pre-computed one).  With ``set_latest`` (default) the ``LATEST``
+        pointer is swapped to the new version afterwards.
+        """
+        existing = self.versions()
+        next_id = 1 + (int(existing[-1][1:]) if existing else 0)
+        version = f"v{next_id:08d}"
+
+        arrays = {
+            "x_forward": np.ascontiguousarray(embedding.x_forward, dtype=np.float64),
+            "x_backward": np.ascontiguousarray(embedding.x_backward, dtype=np.float64),
+            "y": np.ascontiguousarray(embedding.y, dtype=np.float64),
+            "features": search_features(embedding),
+        }
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "version": version,
+            "created_at": time.time(),
+            "n_nodes": int(arrays["features"].shape[0]),
+            "n_attributes": int(arrays["y"].shape[0]),
+            "k": int(embedding.config.k),
+            "config": asdict(embedding.config),
+            "arrays": {
+                name: {"shape": list(array.shape), "dtype": str(array.dtype)}
+                for name, array in arrays.items()
+            },
+            "metadata": metadata or {},
+        }
+
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".staging.{version}.", dir=self.root)
+        )
+        try:
+            # mkdtemp creates 0700; published versions must be readable by
+            # serving processes that may run under a different uid.
+            chmod_default_dir(staging)
+            for name, array in arrays.items():
+                np.save(staging / f"{name}.npy", array)
+            while True:
+                manifest["version"] = version
+                (staging / "manifest.json").write_text(
+                    json.dumps(manifest, indent=2)
+                )
+                target = self._version_dir(version)
+                try:
+                    os.rename(staging, target)
+                    break
+                except OSError as error:
+                    claimed = error.errno in (errno.EEXIST, errno.ENOTEMPTY)
+                    if not (claimed and target.is_dir()):
+                        raise
+                    # A concurrent publish won the race for this id between
+                    # our versions() read and the rename; take the next slot.
+                    version = f"v{int(version[1:]) + 1:08d}"
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if set_latest:
+            self.set_latest(version)
+        return version
+
+    def open(self, version: str | None = None) -> StoredEmbedding:
+        """Open a version (default: latest) with memory-mapped arrays."""
+        if version is None:
+            version = self.latest()
+            if version is None:
+                raise FileNotFoundError(f"store at {self.root} has no versions")
+        directory = self._version_dir(version)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"version {version!r} not found in {self.root}")
+        manifest = self.manifest(version)
+        arrays = {
+            name: np.load(directory / f"{name}.npy", mmap_mode="r")
+            for name in _ARRAY_FILES
+        }
+        known = {f.name for f in dataclass_fields(PANEConfig)}
+        config = PANEConfig(
+            **{k: v for k, v in manifest["config"].items() if k in known}
+        )
+        return StoredEmbedding(
+            version=version,
+            path=directory,
+            manifest=manifest,
+            config=config,
+            **arrays,
+        )
+
+    # -- pointer management --------------------------------------------
+    def set_latest(self, version: str) -> None:
+        """Atomically point ``LATEST`` at ``version`` (must exist)."""
+        if not self._version_dir(version).is_dir():
+            raise FileNotFoundError(f"version {version!r} not found in {self.root}")
+        atomic_write(
+            self.root / "LATEST",
+            lambda handle: handle.write(version + "\n"),
+            text=True,
+        )
+
+    def rollback(self, to: str | None = None) -> str:
+        """Point ``LATEST`` at ``to`` (default: the version before latest).
+
+        Versions are never deleted by rollback, so rolling forward again is
+        just another :meth:`set_latest`.  Returns the new latest version.
+        """
+        if to is None:
+            versions = self.versions()
+            current = self.latest()
+            if current not in versions:
+                raise ValueError("cannot infer rollback target: no latest version")
+            position = versions.index(current)
+            if position == 0:
+                raise ValueError(f"{current} is the oldest version; nothing to roll back to")
+            to = versions[position - 1]
+        self.set_latest(to)
+        return to
+
+    # ------------------------------------------------------------------
+    def _version_dir(self, version: str) -> Path:
+        return self.root / "versions" / version

@@ -1,0 +1,27 @@
+"""Synthetic datasets for exercising the serving layer.
+
+Shared by ``benchmarks/bench_serving.py`` and ``tests/serving/`` so the
+distribution the recall properties are *tested* on is the same one the
+acceptance numbers are *benchmarked* on — two copies would drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.knn import normalize_rows
+
+
+def clustered_unit_vectors(
+    n: int, dim: int, n_clusters: int, *, noise: float = 0.25, seed: int = 0
+) -> np.ndarray:
+    """Seeded random-projection dataset: cluster centers + Gaussian noise.
+
+    The shape ANN indexes are built for — embeddings concentrate around
+    community structure — normalized to unit rows like stored features.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_clusters, dim))
+    assign = rng.integers(n_clusters, size=n)
+    points = centers[assign] + noise * rng.standard_normal((n, dim))
+    return normalize_rows(points)

@@ -1,5 +1,6 @@
 """Shared low-level utilities: RNG handling, timing, validation, sparse helpers."""
 
+from repro.utils.fs import atomic_write, chmod_default_dir, chmod_default_file
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -9,6 +10,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write",
+    "chmod_default_dir",
+    "chmod_default_file",
     "ensure_rng",
     "Timer",
     "check_embedding_dim",

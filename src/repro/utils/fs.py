@@ -1,0 +1,66 @@
+"""Filesystem helpers for atomic writes.
+
+``tempfile.mkstemp``/``mkdtemp`` deliberately create private files
+(mode 0600/0700).  Code that stages through a temp name and
+``os.replace``s it into place wants the *destination* to carry the
+ordinary creation mode instead — otherwise an atomically-written
+embedding archive or store pointer silently becomes unreadable to every
+other uid, a regression from plain ``open()`` semantics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, IO
+
+# Read once at import: os.umask can only be *read* by setting it, and doing
+# the set-and-restore dance per call would leave a window where concurrent
+# threads (QueryService refresh + a parallel save) create world-writable
+# files.  Processes that change their umask mid-run are on their own.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+def chmod_default_file(fd: int) -> None:
+    """Give an mkstemp fd the mode a plain ``open(..., 'w')`` would get."""
+    if hasattr(os, "fchmod"):
+        # Absent on Windows, where mkstemp files carry no POSIX 0600
+        # restriction to undo in the first place.
+        os.fchmod(fd, 0o666 & ~_UMASK)
+
+
+def chmod_default_dir(path: str | os.PathLike) -> None:
+    """Give an mkdtemp directory the mode a plain ``os.mkdir`` would get."""
+    os.chmod(path, 0o777 & ~_UMASK)
+
+
+def atomic_write(
+    path: str | os.PathLike,
+    writer: Callable[[IO], None],
+    *,
+    text: bool = False,
+) -> None:
+    """Write ``path`` via a same-directory temp file + ``os.replace``.
+
+    ``writer`` receives the open temp file object.  Readers see either the
+    old content or the complete new content — never a torn write, even if
+    the process dies mid-``writer`` — and the destination ends up with the
+    mode a plain ``open()`` would have given it.  The temp file is removed
+    on any failure.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        chmod_default_file(fd)
+        with os.fdopen(fd, "w" if text else "wb") as handle:
+            writer(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise

@@ -110,6 +110,27 @@ class TestEmbeddingObject:
         assert np.allclose(loaded.y, embedding.y)
         assert loaded.config.k == 16
 
+    def test_save_is_atomic_no_temp_left(self, sbm_graph, tmp_path):
+        """save writes via temp + os.replace: no stray files, suffix appended."""
+        embedding = PANE(k=16, seed=0).fit(sbm_graph)
+        embedding.save(tmp_path / "emb.npz")
+        embedding.save(tmp_path / "emb.npz")  # overwrite is atomic too
+        embedding.save(tmp_path / "bare")  # legacy: .npz appended when missing
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["bare.npz", "emb.npz"]
+        loaded = PANEEmbedding.load(tmp_path / "emb.npz")
+        assert np.allclose(loaded.x_forward, embedding.x_forward)
+
+    def test_save_keeps_default_file_mode(self, sbm_graph, tmp_path):
+        """The mkstemp staging file must not leak its 0600 mode: the saved
+        archive should be as readable as one written by plain open()."""
+        embedding = PANE(k=16, seed=0).fit(sbm_graph)
+        control = tmp_path / "control.txt"
+        control.write_text("x")
+        embedding.save(tmp_path / "emb.npz")
+        archive_mode = (tmp_path / "emb.npz").stat().st_mode & 0o777
+        assert archive_mode == control.stat().st_mode & 0o777
+
     def test_save_load_preserves_full_config(self, sbm_graph, tmp_path):
         """Every PANEConfig field must survive the round trip."""
         embedding = PANE(

@@ -1,0 +1,31 @@
+"""Shared fixtures for the serving-subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pane import PANE, PANEEmbedding
+from repro.graph.generators import attributed_sbm
+from repro.serving.store import EmbeddingStore
+from repro.serving.synth import clustered_unit_vectors as _clustered_unit_vectors
+
+
+@pytest.fixture(scope="session")
+def trained_embedding() -> PANEEmbedding:
+    """A small trained embedding shared across serving tests."""
+    graph = attributed_sbm(n_nodes=120, n_attributes=30, seed=3)
+    return PANE(k=16, seed=0).fit(graph)
+
+
+@pytest.fixture()
+def store(tmp_path, trained_embedding) -> EmbeddingStore:
+    """A store with the trained embedding published as v00000001."""
+    store = EmbeddingStore(tmp_path / "store")
+    store.publish(trained_embedding)
+    return store
+
+
+@pytest.fixture(scope="session")
+def clustered_unit_vectors():
+    """Factory fixture for seeded clustered unit-vector datasets."""
+    return _clustered_unit_vectors

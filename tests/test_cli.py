@@ -115,3 +115,98 @@ class TestCommands:
         assert code == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 3
+
+
+class TestServeQuery:
+    """`embed` → `serve --publish` → `query` round trip (toy-sized graph)."""
+
+    @pytest.fixture()
+    def embedding_file(self, graph_file, tmp_path, capsys):
+        emb = tmp_path / "emb.npz"
+        main(["embed", "--graph", str(graph_file), "--out", str(emb), "--k", "8"])
+        capsys.readouterr()
+        return emb
+
+    def test_round_trip_matches_knn(self, embedding_file, tmp_path, capsys):
+        from repro.core.pane import PANEEmbedding
+        from repro.search.knn import top_k_similar
+
+        store = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+        ) == 0
+        assert "published v00000001" in capsys.readouterr().out
+        code = main(
+            [
+                "query", "--store", str(store), "--node", "0", "--k", "5",
+                "--backend", "exact",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# version=v00000001")
+        served = [int(line.split("\t")[0]) for line in lines[1:]]
+        embedding = PANEEmbedding.load(embedding_file)
+        expected, _ = top_k_similar(embedding.node_embeddings(), 0, 5)
+        assert served == expected.tolist()
+
+    def test_serve_lists_versions(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        capsys.readouterr()
+        assert main(["serve", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "v00000001" in out
+        assert "v00000002 (latest)" in out
+
+    def test_publish_rollback_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["serve", "--store", str(tmp_path / "s"),
+                 "--publish", "emb.npz", "--rollback"]
+            )
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_query_defaults_to_exact_backend(self):
+        # A one-shot CLI query must not pay an IVF build per invocation.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["query", "--store", "s"])
+        assert args.backend == "exact"
+
+    def test_serve_rollback(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        capsys.readouterr()
+        assert main(["serve", "--store", str(store), "--rollback"]) == 0
+        assert "rolled back to v00000001" in capsys.readouterr().out
+
+    def test_serve_rollback_oldest_errors_cleanly(
+        self, embedding_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        capsys.readouterr()
+        assert main(["serve", "--store", str(store), "--rollback"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_attribute_mode(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main(["serve", "--store", str(store), "--publish", str(embedding_file)])
+        capsys.readouterr()
+        code = main(
+            [
+                "query", "--store", str(store), "--attribute", "0", "--k", "3",
+                "--backend", "exact",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows
+
+    def test_query_empty_store_errors(self, tmp_path, capsys):
+        assert main(["query", "--store", str(tmp_path / "empty"), "--node", "0"]) == 2
+        assert "no published versions" in capsys.readouterr().err

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.search.knn import batch_top_k, pairwise_cosine, top_k_similar
+from repro.search.knn import (
+    batch_top_k,
+    exact_top_k,
+    normalize_rows,
+    pairwise_cosine,
+    top_k_similar,
+)
 
 
 @pytest.fixture()
@@ -44,6 +50,13 @@ class TestTopK:
         with pytest.raises(ValueError):
             top_k_similar(features, 0, k=0)
 
+    def test_single_row_matrix_returns_empty(self):
+        """A one-node matrix has no neighbors — empty result, not an error."""
+        ids, sims = top_k_similar(np.array([[1.0, 0.0]]), 0, 5)
+        assert ids.shape == (0,) and sims.shape == (0,)
+        batch_ids, batch_sims = batch_top_k(np.array([[1.0, 0.0]]), [0], 5)
+        assert batch_ids.shape == (1, 0) and batch_sims.shape == (1, 0)
+
 
 class TestPairwiseCosine:
     def test_diagonal_ones(self, features):
@@ -62,6 +75,16 @@ class TestPairwiseCosine:
         sims = pairwise_cosine(np.array([[0.0, 0.0], [1.0, 0.0]]))
         assert np.all(np.isfinite(sims))
 
+    def test_size_guard_refuses_large(self):
+        big = np.ones((100, 2))
+        with pytest.raises(ValueError, match="max_elements"):
+            pairwise_cosine(big, max_elements=100 * 100 - 1)
+
+    def test_size_guard_override(self):
+        big = np.ones((100, 2))
+        sims = pairwise_cosine(big, max_elements=None)
+        assert sims.shape == (100, 100)
+
 
 class TestBatchTopK:
     def test_shapes(self, features):
@@ -73,3 +96,103 @@ class TestBatchTopK:
         indices, _ = batch_top_k(features, np.array([0]), k=3)
         single, _ = top_k_similar(features, 0, k=3)
         assert np.array_equal(indices[0], single)
+
+    def test_self_excluded_per_query(self, features):
+        indices, _ = batch_top_k(features, np.arange(5), k=3)
+        for row in range(5):
+            assert row not in indices[row]
+
+    def test_bad_query_node_rejected(self, features):
+        with pytest.raises(IndexError):
+            batch_top_k(features, np.array([0, 99]), k=2)
+
+    def test_small_tile_size_consistent(self, features):
+        direct, _ = batch_top_k(features, np.arange(5), k=2)
+        tiled, _ = batch_top_k(features, np.arange(5), k=2, tile_size=2)
+        assert np.array_equal(direct, tiled)
+
+
+class TestNormalizedInputs:
+    """`assume_normalized=True` skips re-normalization without changing results."""
+
+    def test_top_k_matches(self, features):
+        normalized = normalize_rows(features)
+        default_ids, default_sims = top_k_similar(features, 0, k=3)
+        fast_ids, fast_sims = top_k_similar(normalized, 0, k=3, assume_normalized=True)
+        assert np.array_equal(default_ids, fast_ids)
+        assert np.allclose(default_sims, fast_sims)
+
+    def test_batch_matches(self, features):
+        normalized = normalize_rows(features)
+        default_ids, _ = batch_top_k(features, np.arange(4), k=2)
+        fast_ids, _ = batch_top_k(
+            normalized, np.arange(4), k=2, assume_normalized=True
+        )
+        assert np.array_equal(default_ids, fast_ids)
+
+    def test_normalize_rows_unit_norm(self, features):
+        norms = np.linalg.norm(normalize_rows(features), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_normalize_rows_zero_row(self):
+        normalized = normalize_rows(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert np.array_equal(normalized[0], [0.0, 0.0])
+
+
+class TestExactTopK:
+    """The vector-query engine shared with the serving backends."""
+
+    def test_single_vector_query(self, features):
+        normalized = normalize_rows(features)
+        ids, sims = exact_top_k(normalized, normalized[0], 2, assume_normalized=True)
+        assert ids[0] == 0  # no exclusion: self comes back first
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_exclusion_masks_one_row_per_query(self, features):
+        normalized = normalize_rows(features)
+        ids, _ = exact_top_k(
+            normalized,
+            normalized[:3],
+            3,
+            assume_normalized=True,
+            exclude=np.array([0, 1, 2]),
+        )
+        for row in range(3):
+            assert row not in ids[row]
+
+    def test_unnormalized_inputs_normalized(self, features):
+        ids, sims = exact_top_k(features, features[0] * 7.0, 2)
+        assert ids[0] == 0
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_bad_k_rejected(self, features):
+        with pytest.raises(ValueError):
+            exact_top_k(features, features[0], 0)
+
+    def test_bad_exclude_shape_rejected(self, features):
+        with pytest.raises(ValueError):
+            exact_top_k(features, features[:2], 2, exclude=np.array([0]))
+
+    def test_exclude_minus_one_keeps_full_population(self, features):
+        """``exclude=-1`` means no exclusion: all n results stay reachable."""
+        n = features.shape[0]
+        normalized = normalize_rows(features)
+        ids, sims = exact_top_k(
+            normalized, normalized[0], n, assume_normalized=True,
+            exclude=np.array([-1]),
+        )
+        assert sorted(ids) == list(range(n))
+        assert np.all(np.isfinite(sims))
+
+    def test_mixed_exclude_pads_excluded_row_only(self, features):
+        """k = n with exclude [-1, 3]: row 0 is full, row 1 pads its tail."""
+        n = features.shape[0]
+        normalized = normalize_rows(features)
+        ids, sims = exact_top_k(
+            normalized, normalized[:2], n, assume_normalized=True,
+            exclude=np.array([-1, 3]),
+        )
+        assert sorted(ids[0]) == list(range(n))
+        assert ids[1, -1] == -1 and sims[1, -1] == -np.inf
+        assert 3 not in ids[1]
+        assert sorted(ids[1, :-1]) == sorted(set(range(n)) - {3})
