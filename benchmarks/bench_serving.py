@@ -8,6 +8,12 @@ embedding matrices (cluster centers + Gaussian noise, unit rows):
   single-query latency; the ground truth for recall.
 - ``ivf``     — index build time, batched QPS at the default ``nprobe``,
   recall@10 vs exact, and the QPS/recall curve over a few ``nprobe``s.
+- ``sharded`` — exact scatter-gather through a
+  :class:`~repro.serving.sharding.router.ShardRouter` over range-partitioned
+  shards; asserts the results are **bit-identical** to unsharded exact.
+- ``pq``      — product quantization: codec train/encode time, flat-ADC
+  QPS, recall@10 after exact rescoring, and the resident-memory
+  compression ratio vs the float64 matrix.
 - ``service`` — a :class:`~repro.serving.service.QueryService` smoke: store
   publish → cold query → cached query → version swap, so the bench fails
   fast if the serving path itself regresses.
@@ -17,9 +23,12 @@ Run as a script (not under pytest)::
     PYTHONPATH=src python benchmarks/bench_serving.py           # full record
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI-sized
 
-The full configuration (n=131072) asserts the acceptance floor: IVF at
+The full configuration (n=131072) asserts the acceptance floors: IVF at
 the default ``nprobe`` must hold recall@10 ≥ 0.9 while serving ≥ 5× the
-exact backend's QPS.  The JSON record (schema ``bench_serving/v1``)
+exact backend's QPS, and PQ must hold recall@10 ≥ 0.9 at ≥ 8× resident
+compression.  Sharded bit-identity is asserted at every size, smoke
+included — it is exact arithmetic, not a tuning property.  The JSON
+record (schema ``bench_serving/v2``; v1 + ``sharded``/``pq`` sections)
 stores machine info, parameters, per-backend numbers, and the speedup so
 future PRs have a regression trajectory next to ``BENCH_kernels.json``.
 """
@@ -37,7 +46,9 @@ from pathlib import Path
 import numpy as np
 import scipy
 
+from repro.parallel.pool import WorkerPool
 from repro.serving.index import ExactBackend, IVFIndex
+from repro.serving.sharding import Partitioner, PQBackend, PQCodec, ShardRouter
 from repro.serving.synth import clustered_unit_vectors
 
 
@@ -55,7 +66,7 @@ def bench_exact(features: np.ndarray, query_nodes: np.ndarray, k: int) -> dict:
     queries = features[query_nodes]
 
     start = time.perf_counter()
-    ids, _ = backend.search(queries, k, exclude=query_nodes)
+    ids, scores = backend.search(queries, k, exclude=query_nodes)
     batch_seconds = time.perf_counter() - start
 
     # Single-query latency over a subsample (the per-request serving path).
@@ -68,6 +79,7 @@ def bench_exact(features: np.ndarray, query_nodes: np.ndarray, k: int) -> dict:
 
     return {
         "truth_ids": ids,
+        "truth_scores": scores,
         "record": {
             "batch_seconds": batch_seconds,
             "qps_batch": query_nodes.size / batch_seconds,
@@ -121,6 +133,87 @@ def bench_ivf(
     }
 
 
+def bench_sharded(
+    features: np.ndarray,
+    query_nodes: np.ndarray,
+    k: int,
+    truth_ids: np.ndarray,
+    truth_scores: np.ndarray,
+    exact_qps: float,
+    *,
+    n_shards: int,
+    n_threads: int,
+) -> dict:
+    """Exact scatter-gather over ``n_shards`` range shards.
+
+    Asserts bit-identity with the unsharded exact ground truth — the
+    property the canonical scoring engine guarantees — then reports the
+    batched QPS of the scatter (one worker task per shard).
+    """
+    partitioner = Partitioner.build("range", n_shards, features.shape[0])
+    backends = [
+        ExactBackend(np.ascontiguousarray(features[partitioner.shard_members(s)]))
+        for s in range(n_shards)
+    ]
+    queries = features[query_nodes]
+    with WorkerPool(n_threads) as pool:
+        router = ShardRouter(backends, partitioner, pool=pool)
+        start = time.perf_counter()
+        ids, scores = router.search(queries, k, exclude=query_nodes)
+        batch_seconds = time.perf_counter() - start
+    identical = bool(
+        np.array_equal(ids, truth_ids) and np.array_equal(scores, truth_scores)
+    )
+    assert identical, "sharded exact search diverged from unsharded exact"
+    return {
+        "n_shards": n_shards,
+        "n_threads": n_threads,
+        "partition": "range",
+        "qps_batch": query_nodes.size / batch_seconds,
+        "speedup_vs_exact": (query_nodes.size / batch_seconds) / exact_qps,
+        "identical_to_exact": identical,
+    }
+
+
+def bench_pq(
+    features: np.ndarray,
+    query_nodes: np.ndarray,
+    k: int,
+    truth_ids: np.ndarray,
+    exact_qps: float,
+    *,
+    pq_subspaces: int,
+    seed: int,
+) -> dict:
+    """Flat PQ: train/encode cost, ADC-scan QPS, recall, compression."""
+    start = time.perf_counter()
+    codec = PQCodec.fit(features, n_subspaces=pq_subspaces, seed=seed)
+    train_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    backend = PQBackend(features, codec)
+    encode_seconds = time.perf_counter() - start
+    queries = features[query_nodes]
+    start = time.perf_counter()
+    ids, _ = backend.search(queries, k, exclude=query_nodes)
+    batch_seconds = time.perf_counter() - start
+    qps = query_nodes.size / batch_seconds
+    memory = backend.memory_info()
+    return {
+        "n_subspaces": codec.n_subspaces,
+        "n_bits": codec.n_bits,
+        "rescore_factor": backend.rescore_factor,
+        "train_seconds": train_seconds,
+        "encode_seconds": encode_seconds,
+        "qps_batch": qps,
+        "speedup_vs_exact": qps / exact_qps,
+        "recall_at_k": recall_at_k(truth_ids, ids),
+        "code_bytes": memory["code_bytes"],
+        "resident_bytes": memory["resident_bytes"],
+        "float_bytes": memory["float_bytes"],
+        "compression_ratio": memory["compression_ratio"],
+    }
+
+
 def bench_service(features_n: int, dim: int, k: int, seed: int) -> dict:
     """Publish → query → cached query → swap through the real service."""
     from repro.core.config import PANEConfig
@@ -171,6 +264,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--nlist", type=int, default=512)
     parser.add_argument("--nprobe", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=4, help="router shards")
+    parser.add_argument(
+        "--shard-threads", type=int, default=4, help="scatter worker threads"
+    )
+    parser.add_argument(
+        "--pq-subspaces",
+        type=int,
+        default=0,
+        help="PQ subspaces (0 = dim//8, the codec default)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_serving.json")
     parser.add_argument(
@@ -187,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "meta": {
-            "schema": "bench_serving/v1",
+            "schema": "bench_serving/v2",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy.__version__,
@@ -203,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             "k": args.k,
             "nlist": args.nlist,
             "nprobe": args.nprobe,
+            "shards": args.shards,
+            "pq_subspaces": args.pq_subspaces or None,
             "seed": args.seed,
         },
     }
@@ -234,6 +339,29 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
 
+    print("sharded exact router...", flush=True)
+    record["sharded"] = bench_sharded(
+        features,
+        query_nodes,
+        args.k,
+        exact["truth_ids"],
+        exact["truth_scores"],
+        exact["record"]["qps_batch"],
+        n_shards=args.shards,
+        n_threads=args.shard_threads,
+    )
+
+    print("pq backend...", flush=True)
+    record["pq"] = bench_pq(
+        features,
+        query_nodes,
+        args.k,
+        exact["truth_ids"],
+        exact["record"]["qps_batch"],
+        pq_subspaces=args.pq_subspaces or max(1, args.dim // 8),
+        seed=args.seed,
+    )
+
     print("query service...", flush=True)
     record["service"] = bench_service(
         min(args.n, 20_000), args.dim, args.k, args.seed
@@ -242,8 +370,12 @@ def main(argv: list[str] | None = None) -> int:
     recall = record["ivf"]["recall_at_k"]
     speedup = record["ivf"]["speedup_vs_exact"]
     assert recall >= 0.9, f"IVF recall@{args.k} = {recall:.3f} < 0.9"
+    pq_recall = record["pq"]["recall_at_k"]
+    pq_compression = record["pq"]["compression_ratio"]
+    assert pq_compression >= 8.0, f"PQ compression {pq_compression:.1f}x < 8x"
     if not args.smoke:
         assert speedup >= 5.0, f"IVF speedup {speedup:.1f}x < 5x"
+        assert pq_recall >= 0.9, f"PQ recall@{args.k} = {pq_recall:.3f} < 0.9"
 
     out = Path(args.out)
     out.write_text(json.dumps(record, indent=2) + "\n")
@@ -256,6 +388,18 @@ def main(argv: list[str] | None = None) -> int:
         f"ivf      {record['ivf']['qps_batch']:10.0f} QPS  "
         f"recall@{args.k}={recall:.3f}  ({speedup:.1f}x vs exact, "
         f"build {record['ivf']['build_seconds']:.1f}s)"
+    )
+    print(
+        f"sharded  {record['sharded']['qps_batch']:10.0f} QPS  "
+        f"({record['sharded']['n_shards']} shards, bit-identical to exact, "
+        f"{record['sharded']['speedup_vs_exact']:.1f}x)"
+    )
+    print(
+        f"pq       {record['pq']['qps_batch']:10.0f} QPS  "
+        f"recall@{args.k}={pq_recall:.3f}  "
+        f"({pq_compression:.0f}x resident compression, "
+        f"m={record['pq']['n_subspaces']}, "
+        f"train {record['pq']['train_seconds']:.1f}s)"
     )
     print(
         f"service  cold {record['service']['cold_query_ms']:.2f} ms, "

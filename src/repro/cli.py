@@ -6,8 +6,12 @@ Usage::
     python -m repro.cli embed --graph graph.npz --out emb.npz --k 64 --threads 4
     python -m repro.cli evaluate --graph graph.npz --task link --k 64
     python -m repro.cli serve --store store/ --publish emb.npz
+    python -m repro.cli serve --store store/ --publish emb.npz --shards 4
     python -m repro.cli query --store store/ --node 0 --k 5
     python -m repro.cli datasets
+
+``query`` auto-detects sharded store roots (created with ``serve
+--shards N``) and scatter-gathers across the segments.
 
 The CLI wraps the same public API the examples use; it exists so the
 embedding pipeline can run without writing Python.
@@ -118,10 +122,53 @@ def _cmd_neighbors(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _open_store(root: str, *, shards: int = 0, partition: str | None = None):
+    """A plain or sharded store handle for ``root``.
+
+    Existing sharded roots are auto-detected (their ``sharding.json`` is
+    authoritative); ``--shards N`` creates a new sharded root.  A layout
+    request that conflicts with an existing store — shards on a plain
+    store, or a different shard count / partitioning on a sharded one —
+    is an error rather than a silent reinterpretation.
+    """
+    from repro.serving.sharding.store import ShardedEmbeddingStore
     from repro.serving.store import EmbeddingStore
 
-    store = EmbeddingStore(args.store)
+    if ShardedEmbeddingStore.is_sharded_root(root):
+        # Forward any explicit layout request so the store's own conflict
+        # checks fire instead of quietly serving the recorded layout.
+        return ShardedEmbeddingStore(
+            root, n_shards=shards or None, partition=partition
+        )
+    if partition is not None and shards == 0:
+        raise ValueError(
+            "--partition only applies to sharded stores; pass --shards N "
+            "to create one (or point --store at an existing sharded root)"
+        )
+    if shards > 0:
+        from pathlib import Path
+
+        if (Path(root) / "versions").is_dir():
+            raise ValueError(
+                f"{root} is an existing unsharded store; --shards only "
+                "applies when creating a new store root"
+            )
+        return ShardedEmbeddingStore(root, n_shards=shards, partition=partition)
+    return EmbeddingStore(root)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.sharding.store import ShardedEmbeddingStore
+
+    try:
+        store = _open_store(
+            args.store, shards=args.shards, partition=args.partition
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sharded = isinstance(store, ShardedEmbeddingStore)
+    layout = f" [{store.n_shards} {store.partition} shards]" if sharded else ""
     if args.publish:
         from repro.core.pane import PANEEmbedding
 
@@ -129,7 +176,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         version = store.publish(embedding)
         manifest = store.manifest(version)
         print(
-            f"published {version}: n={manifest['n_nodes']} "
+            f"published {version}{layout}: n={manifest['n_nodes']} "
             f"d={manifest['n_attributes']} k={manifest['k']}"
         )
     if args.rollback:
@@ -143,12 +190,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         latest = store.latest()
         versions = store.versions()
         if not versions:
-            print(f"store {args.store}: empty")
+            print(f"store {args.store}{layout}: empty")
         for name in versions:
             marker = " (latest)" if name == latest else ""
             manifest = store.manifest(name)
             print(
-                f"{name}{marker}: n={manifest['n_nodes']} "
+                f"{name}{marker}{layout}: n={manifest['n_nodes']} "
                 f"d={manifest['n_attributes']} k={manifest['k']}"
             )
     return 0
@@ -156,9 +203,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serving.service import QueryService
-    from repro.serving.store import EmbeddingStore
 
-    store = EmbeddingStore(args.store)
+    store = _open_store(args.store)
     if store.latest() is None:
         print("error: store has no published versions", file=sys.stderr)
         return 2
@@ -167,6 +213,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         backend=args.backend,
         nprobe=args.nprobe,
         version=args.version,
+        # Persist trained IVF/PQ artifacts into the version directory so a
+        # one-shot CLI process loads them instead of retraining per query.
+        index_cache=True,
     ) as service:
         if args.attribute is not None:
             result = service.top_nodes_for_attribute(args.attribute, args.k)
@@ -237,6 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_action.add_argument(
         "--rollback", action="store_true", help="point LATEST at the previous version"
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="create the store root sharded across N mmap segments "
+        "(0 = unsharded; existing sharded roots are auto-detected)",
+    )
+    serve.add_argument(
+        "--partition",
+        choices=("range", "hash"),
+        default=None,
+        help="row partitioning for a new sharded store (default range; "
+        "must match the recorded layout of an existing sharded root)",
+    )
 
     query = sub.add_parser("query", help="query a published embedding store")
     query.add_argument("--store", required=True, help="store root directory")
@@ -250,13 +313,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=10)
     query.add_argument(
         "--backend",
-        choices=("auto", "exact", "ivf"),
-        # A one-shot CLI process answers a single query and exits, so paying
-        # an IVF build (seconds at scale) to save milliseconds of scoring is
-        # never worth it — "auto" is for the long-lived QueryService.
+        choices=("auto", "exact", "ivf", "pq", "ivfpq"),
+        # A one-shot CLI process answers a single query and exits; exact
+        # stays the default, but non-exact backends now persist their
+        # trained artifacts into the store version directory on first use
+        # and load them afterwards, so --backend ivf/pq only pays the
+        # build once per version instead of per invocation.
         default="exact",
-        help="search backend (default exact; ivf rebuilds its index per "
-        "invocation and only pays off inside a long-lived service)",
+        help="search backend (default exact; ivf/pq/ivfpq train once per "
+        "store version, persist the artifact, and reload it afterwards)",
     )
     query.add_argument(
         "--nprobe", type=int, default=8, help="IVF cells probed per query"

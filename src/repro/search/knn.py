@@ -11,6 +11,17 @@ All entry points accept ``assume_normalized=True`` for inputs whose rows
 are already unit-length (e.g. matrices published by
 :class:`repro.serving.store.EmbeddingStore`), which skips the per-call
 re-normalization of the full matrix.
+
+Returned similarities are **canonical**: candidates are *selected* with a
+BLAS GEMM (fast, but its partial edge tiles make element values depend on
+the matrix's row count), then the selected ``k`` rows are *rescored* with
+:func:`rowwise_inner`, whose reduction depends only on the row bytes.  Two
+engines scoring the same (row, query) pair therefore return the same
+float64 bits regardless of how many other rows sit in their matrices —
+the property the sharded scatter-gather router
+(:mod:`repro.serving.sharding.router`) relies on to merge per-shard
+results into a global top-k bit-identical to unsharded search.  Ties are
+broken by ascending row id, which is partition-invariant too.
 """
 
 from __future__ import annotations
@@ -25,6 +36,10 @@ MAX_PAIRWISE_ELEMENTS = 2**27
 # ``tile × n`` score block (128 × 1M nodes ≈ 1 GiB) independent of batch size.
 DEFAULT_TILE_SIZE = 128
 
+# Elements gathered per canonical-rescore chunk (bounds the ``rows × dim``
+# copy when k is a large fraction of n).
+_RESCORE_CHUNK_ELEMENTS = 2**22
+
 
 def _normalize(features: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(features, axis=1, keepdims=True)
@@ -36,16 +51,61 @@ def normalize_rows(features: np.ndarray) -> np.ndarray:
     return _normalize(np.asarray(features, dtype=np.float64))
 
 
+def rowwise_inner(rows: np.ndarray, others: np.ndarray) -> np.ndarray:
+    """Per-row inner products whose bits depend only on each row's bytes.
+
+    ``np.einsum('ij,ij->i')`` reduces every row independently with a fixed
+    sequential kernel, so — unlike a BLAS GEMM, whose partial edge tiles
+    compute the last ``n % tile`` rows with a different instruction mix —
+    the result for a given (row, other) pair is identical no matter how
+    the rows are batched or which sub-matrix they were sliced from.  Both
+    operands are made contiguous so stride games can't change the kernel.
+    """
+    return np.einsum(
+        "ij,ij->i", np.ascontiguousarray(rows), np.ascontiguousarray(others)
+    )
+
+
+def canonical_scores(
+    features: np.ndarray, ids: np.ndarray, query: np.ndarray
+) -> np.ndarray:
+    """Canonical cosine scores of ``features[ids]`` against one ``query``.
+
+    The single-query convenience over :func:`rowwise_inner` used by the
+    IVF and PQ backends to rescore candidate sets: the returned floats are
+    bit-identical to what :func:`exact_top_k` reports for the same rows.
+    A fancy-index gather always yields a fresh contiguous array, so the
+    einsum runs directly on it (this sits on per-query hot paths; the
+    generic :func:`rowwise_inner` wrapper calls are measurable there).
+    """
+    rows = features[ids]
+    repeated = np.empty_like(rows)
+    repeated[:] = query
+    return np.einsum("ij,ij->i", rows, repeated)
+
+
 def top_k_sorted_indices(scores: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` largest entries of a 1-D score vector, descending.
 
     ``argpartition`` + a sort of only the selected ``k`` — O(n + k log k)
-    instead of the O(n log n) full sort.
+    instead of the O(n log n) full sort.  Fully deterministic: equal
+    scores order by ascending index, *including* ties that straddle the
+    selection boundary (``argpartition`` picks those arbitrarily, so they
+    are repaired against the boundary value) — the property that keeps
+    results identical no matter how the corpus is sliced into shards.
     """
     k = min(k, scores.shape[0])
     if k <= 0:
         return np.empty(0, dtype=np.intp)
     top = np.argpartition(-scores, k - 1)[:k]
+    boundary = scores[top].min()
+    if np.count_nonzero(scores == boundary) > np.count_nonzero(
+        scores[top] == boundary
+    ):
+        definite = np.nonzero(scores > boundary)[0]
+        tied = np.nonzero(scores == boundary)[0][: k - definite.size]
+        top = np.concatenate([definite, tied])
+    top = np.sort(top)  # ascending index, so the stable sort breaks ties by it
     return top[np.argsort(-scores[top], kind="stable")]
 
 
@@ -81,10 +141,13 @@ def exact_top_k(
 
     Returns
     -------
-    ``(ids, scores)`` of shape ``(q, k)``, similarity-descending.  A single
-    1-D query returns 1-D arrays.  A row whose exclusion leaves fewer than
-    ``k`` candidates pads the tail with id ``-1`` / similarity ``-inf``
-    (the same convention as the serving backends).
+    ``(ids, scores)`` of shape ``(q, k)``, similarity-descending with ties
+    broken by ascending id.  A single 1-D query returns 1-D arrays.  A row
+    whose exclusion leaves fewer than ``k`` candidates pads the tail with
+    id ``-1`` / similarity ``-inf`` (the same convention as the serving
+    backends).  Scores are canonical (:func:`rowwise_inner` over the
+    selected rows), so they are bit-identical across engines scoring the
+    same rows — see the module docstring.
     """
     single = np.ndim(queries) == 1
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -94,11 +157,16 @@ def exact_top_k(
     n = features.shape[0]
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    n_queries = queries.shape[0]
+    if n == 0:
+        # An empty population (e.g. an empty shard of a sharded store)
+        # has nothing to rank: zero-width results, not an error.
+        empty = (np.empty((n_queries, 0), dtype=np.intp), np.empty((n_queries, 0)))
+        return (empty[0][0], empty[1][0]) if single else empty
     # Clamp to the population, not n - 1: an exclude entry of -1 means "no
     # exclusion" for that row, so it may legitimately fill all n slots.
     # Rows that do exclude an id pad their last slot instead (below).
     k = min(k, n)
-    n_queries = queries.shape[0]
     if exclude is not None:
         exclude = np.asarray(exclude, dtype=np.intp)
         if exclude.shape != (n_queries,):
@@ -120,9 +188,46 @@ def exact_top_k(
         np.negative(block, out=block)
         top = np.argpartition(block, k - 1, axis=1)[:, :k]
         part = np.take_along_axis(block, top, axis=1)
-        order = np.argsort(part, axis=1, kind="stable")
-        ids[start:stop] = np.take_along_axis(top, order, axis=1)
-        scores[start:stop] = -np.take_along_axis(part, order, axis=1)
+        # Boundary-tie repair: argpartition picks arbitrarily among rows
+        # tied at the k-th score, and that choice differs between a full
+        # matrix and a shard slice (duplicate rows are the realistic
+        # case — e.g. zero-feature isolated nodes).  Detect rows whose
+        # ties extend past the selection and redo them deterministically:
+        # everything strictly better, then the smallest ids among ties.
+        worst = part.max(axis=1, keepdims=True)
+        overflow = np.nonzero(
+            (block == worst).sum(axis=1) > (part == worst[:, :1]).sum(axis=1)
+        )[0]
+        for row in overflow:
+            boundary = worst[row, 0]
+            definite = np.nonzero(block[row] < boundary)[0]
+            tied = np.nonzero(block[row] == boundary)[0][: k - definite.size]
+            top[row] = np.concatenate([definite, tied])
+            part[row] = block[row][top[row]]
+        # Canonical rescore of the k selected rows: the GEMM above only
+        # *selects*; the returned scores come from the partition-invariant
+        # row-wise reduction.  Candidates are first ordered by ascending id
+        # so the stable score sort breaks exact ties by id — both steps are
+        # what makes sharded scatter-gather bit-identical to this engine.
+        id_order = np.argsort(top, axis=1)
+        sel = np.take_along_axis(top, id_order, axis=1)
+        sel_part = np.take_along_axis(part, id_order, axis=1)
+        canon = np.empty_like(sel_part)
+        tile_rows = stop - start
+        step = max(1, _RESCORE_CHUNK_ELEMENTS // max(1, k * features.shape[1]))
+        for row0 in range(0, tile_rows, step):
+            row1 = min(row0 + step, tile_rows)
+            chunk_ids = sel[row0:row1].ravel()
+            chunk_queries = np.repeat(queries[start + row0 : start + row1], k, axis=0)
+            canon[row0:row1] = rowwise_inner(
+                features[chunk_ids], chunk_queries
+            ).reshape(row1 - row0, k)
+        # Excluded candidates were forced in only when the row ran out of
+        # real ones (k = n with an exclusion); keep them -inf, not rescored.
+        canon[~np.isfinite(sel_part)] = -np.inf
+        order = np.argsort(-canon, axis=1, kind="stable")
+        ids[start:stop] = np.take_along_axis(sel, order, axis=1)
+        scores[start:stop] = np.take_along_axis(canon, order, axis=1)
     if exclude is not None:
         # A masked id can only reach the result when a row had fewer than k
         # real candidates (k = n with an exclusion); rewrite it as padding.

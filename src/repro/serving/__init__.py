@@ -10,7 +10,10 @@ into something that answers similarity queries under load:
 - :class:`QueryService` — batched, cached, latency-tracked query serving
   with atomic version swaps (``service.py``);
 - :class:`OnlineRefresher` — delta update → republish → incremental index
-  rebuild → swap, without downtime (``refresh.py``).
+  rebuild → swap, without downtime (``refresh.py``);
+- :mod:`~repro.serving.sharding` — multi-segment sharded stores, PQ
+  compression, and the scatter-gather :class:`ShardRouter`
+  (``sharding/``).
 
 See ``docs/SERVING.md`` for the operational guide.
 """
@@ -22,9 +25,19 @@ from repro.serving.index import (
     IVFRebuildStats,
     SearchBackend,
     make_backend,
+    resolve_kind,
 )
 from repro.serving.refresh import OnlineRefresher, RefreshReport
 from repro.serving.service import QueryResult, QueryService
+from repro.serving.sharding import (
+    IVFPQBackend,
+    Partitioner,
+    PQBackend,
+    PQCodec,
+    ShardedEmbeddingStore,
+    ShardedStoredEmbedding,
+    ShardRouter,
+)
 from repro.serving.stats import LatencyStats
 from repro.serving.store import EmbeddingStore, StoredEmbedding, search_features
 
@@ -33,14 +46,22 @@ __all__ = [
     "EmbeddingStore",
     "ExactBackend",
     "IVFIndex",
+    "IVFPQBackend",
     "IVFRebuildStats",
     "LatencyStats",
     "OnlineRefresher",
+    "PQBackend",
+    "PQCodec",
+    "Partitioner",
     "QueryResult",
     "QueryService",
     "RefreshReport",
     "SearchBackend",
+    "ShardRouter",
+    "ShardedEmbeddingStore",
+    "ShardedStoredEmbedding",
     "StoredEmbedding",
     "make_backend",
+    "resolve_kind",
     "search_features",
 ]

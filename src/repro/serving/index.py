@@ -26,7 +26,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.search.knn import exact_top_k, normalize_rows, top_k_sorted_indices
+from repro.search.knn import (
+    canonical_scores,
+    exact_top_k,
+    normalize_rows,
+    top_k_sorted_indices,
+)
 from repro.utils.rng import ensure_rng
 
 # Below this many vectors an IVF's python-level per-query overhead beats no
@@ -40,6 +45,11 @@ class SearchBackend(abc.ABC):
     """Cosine top-k search over a fixed matrix of unit-norm rows."""
 
     features: np.ndarray  # (n, dim), unit rows
+
+    # Whether search() accepts the per-query ``nprobe`` recall knob; the
+    # QueryService dispatches on this instead of isinstance checks so new
+    # backends (IVF-PQ, the shard router) opt in with one attribute.
+    SUPPORTS_NPROBE = False
 
     @property
     def n_vectors(self) -> int:
@@ -101,6 +111,8 @@ class IVFRebuildStats:
 class IVFIndex(SearchBackend):
     """Inverted-file ANN index with a spherical k-means coarse quantizer.
 
+    ``SUPPORTS_NPROBE`` — ``search`` takes a per-query ``nprobe``.
+
     Parameters
     ----------
     features:
@@ -121,6 +133,8 @@ class IVFIndex(SearchBackend):
     n_iter:
         Lloyd iterations.
     """
+
+    SUPPORTS_NPROBE = True
 
     def __init__(
         self,
@@ -207,13 +221,23 @@ class IVFIndex(SearchBackend):
 
         k = min(k, self.n_vectors)
         centroid_sims = queries @ self.centroids.T  # (q, nlist)
+        # Probe selection for the whole batch in one argpartition: probe
+        # *order* is irrelevant (candidates are re-sorted), so the k-wide
+        # sort per row of top_k_sorted_indices would be pure overhead.
+        if nprobe >= self.nlist:
+            probes_all = np.broadcast_to(
+                np.arange(self.nlist), (n_queries, self.nlist)
+            )
+        else:
+            probes_all = np.argpartition(-centroid_sims, nprobe - 1, axis=1)[
+                :, :nprobe
+            ]
         ids = np.full((n_queries, k), -1, dtype=np.intp)
         scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
         for row in range(n_queries):
-            probes = top_k_sorted_indices(centroid_sims[row], nprobe)
             excluded = -1 if exclude is None else int(exclude[row])
             row_ids, row_scores = self._search_one(
-                queries[row], k, probes, centroid_sims[row], excluded, rescore
+                queries[row], k, probes_all[row], centroid_sims[row], excluded, rescore
             )
             ids[row, : row_ids.shape[0]] = row_ids
             scores[row, : row_scores.shape[0]] = row_scores
@@ -234,11 +258,16 @@ class IVFIndex(SearchBackend):
             # Full coverage without rescoring still scores exactly: ranking
             # every vector by its cell centroid would be strictly worse for
             # the same cost, so there is nothing coarser to fall back to.
+            # GEMV selects; the winners are rescored canonically like every
+            # other exact path (see repro.search.knn module docstring).
             candidate_scores = self.features @ query
             if excluded >= 0:
                 candidate_scores[excluded] = -np.inf
-            top = top_k_sorted_indices(candidate_scores, k)
-            return top, candidate_scores[top]
+            prelim = top_k_sorted_indices(candidate_scores, k)
+            canon = canonical_scores(self.features, prelim, query)
+            canon[candidate_scores[prelim] == -np.inf] = -np.inf
+            order = np.lexsort((prelim, -canon))
+            return prelim[order], canon[order]
 
         candidates = np.sort(np.concatenate([self._lists[j] for j in probes]))
         if excluded >= 0:
@@ -248,9 +277,17 @@ class IVFIndex(SearchBackend):
         if candidates.shape[0] == 0:
             return np.empty(0, dtype=np.intp), np.empty(0)
         if rescore:
-            candidate_scores = self.features[candidates] @ query
-        else:
-            candidate_scores = centroid_sims[self.assignments[candidates]]
+            # GEMV *selects* (fast over the whole candidate set), then only
+            # the k winners are rescored canonically — same split as the
+            # exact engine, so returned bits and tie order (ascending id,
+            # via the lexsort secondary key) match it for the same rows.
+            selector = self.features[candidates] @ query
+            top = top_k_sorted_indices(selector, min(k, candidates.shape[0]))
+            chosen = candidates[top]
+            canon = canonical_scores(self.features, chosen, query)
+            order = np.lexsort((chosen, -canon))
+            return chosen[order], canon[order]
+        candidate_scores = centroid_sims[self.assignments[candidates]]
         top = top_k_sorted_indices(candidate_scores, min(k, candidates.shape[0]))
         return candidates[top], candidate_scores[top]
 
@@ -294,6 +331,47 @@ class IVFIndex(SearchBackend):
         )
         return clone
 
+    # -- persistence ---------------------------------------------------
+    def save_arrays(self) -> dict[str, np.ndarray]:
+        """The arrays that reconstruct this index next to its ``features``.
+
+        The inverted lists are *not* saved: they are a deterministic
+        function of ``assignments`` (:func:`_build_lists`), cheap to
+        rebuild at load time and redundant on disk.
+        """
+        return {
+            "centroids": self.centroids,
+            "assignments": self.assignments,
+            "nprobe": np.array(self.nprobe, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, features: np.ndarray, arrays: dict[str, np.ndarray]
+    ) -> "IVFIndex":
+        """Rebuild an index from :meth:`save_arrays` output + the matrix."""
+        assignments = np.asarray(arrays["assignments"], dtype=np.intp)
+        if assignments.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"saved index covers {assignments.shape[0]} vectors, "
+                f"features has {features.shape[0]}"
+            )
+        index = object.__new__(cls)
+        index.features = features
+        index.centroids = np.asarray(arrays["centroids"], dtype=np.float64)
+        index.nprobe = int(arrays["nprobe"])
+        index.assignments = assignments
+        index._lists = _build_lists(assignments, index.centroids.shape[0])
+        index.last_rebuild = None
+        return index
+
+
+def resolve_kind(kind: str, n_vectors: int) -> str:
+    """Resolve ``"auto"`` to a concrete backend kind for ``n_vectors``."""
+    if kind == "auto":
+        return "exact" if n_vectors < AUTO_EXACT_THRESHOLD else "ivf"
+    return kind
+
 
 def make_backend(
     features: np.ndarray,
@@ -302,19 +380,39 @@ def make_backend(
     nlist: int | None = None,
     nprobe: int = 8,
     seed: int | np.random.Generator | None = 0,
+    pq_subspaces: int | None = None,
+    pq_bits: int = 8,
 ) -> SearchBackend:
-    """Backend factory: ``"exact"``, ``"ivf"``, or ``"auto"``.
+    """Backend factory: ``"exact"``, ``"ivf"``, ``"pq"``, ``"ivfpq"``, ``"auto"``.
 
     ``"auto"`` serves brute force below :data:`AUTO_EXACT_THRESHOLD`
     vectors (where IVF's per-query overhead wins nothing) and IVF above.
+    The PQ kinds trade exactness for ~16-32x smaller resident vectors —
+    see :mod:`repro.serving.sharding.pq`.
     """
-    if kind == "auto":
-        kind = "exact" if features.shape[0] < AUTO_EXACT_THRESHOLD else "ivf"
-    if kind == "exact":
+    kind = resolve_kind(kind, features.shape[0])
+    if kind == "exact" or features.shape[0] == 0:
+        # Nothing to quantize in an empty matrix (an empty shard of a
+        # sharded store); brute force over zero rows is the only backend
+        # that degenerates gracefully.
         return ExactBackend(features)
     if kind == "ivf":
         return IVFIndex(features, nlist=nlist, nprobe=nprobe, seed=seed)
-    raise ValueError(f"unknown backend kind {kind!r} (expected exact/ivf/auto)")
+    if kind in ("pq", "ivfpq"):
+        # Local import: sharding.pq imports this module for SearchBackend.
+        from repro.serving.sharding.pq import IVFPQBackend, PQBackend, PQCodec
+
+        codec = PQCodec.fit(
+            features, n_subspaces=pq_subspaces, n_bits=pq_bits, seed=seed
+        )
+        if kind == "pq":
+            return PQBackend(features, codec)
+        return IVFPQBackend(
+            features, codec, nlist=nlist, nprobe=nprobe, seed=seed
+        )
+    raise ValueError(
+        f"unknown backend kind {kind!r} (expected exact/ivf/pq/ivfpq/auto)"
+    )
 
 
 # ---------------------------------------------------------------------------

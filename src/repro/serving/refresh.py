@@ -26,6 +26,9 @@ from repro.dynamic.incremental import GraphDelta, IncrementalPANE
 from repro.graph.attributed_graph import AttributedGraph
 from repro.serving.index import IVFIndex
 from repro.serving.service import QueryService
+from repro.serving.sharding.pq import PQBackend
+from repro.serving.sharding.router import ShardRouter
+from repro.serving.sharding.store import ShardedEmbeddingStore
 from repro.serving.store import EmbeddingStore
 from repro.utils.timing import Timer
 
@@ -56,7 +59,7 @@ class OnlineRefresher:
     def __init__(
         self,
         model: IncrementalPANE,
-        store: EmbeddingStore,
+        store: EmbeddingStore | ShardedEmbeddingStore,
         service: QueryService | None = None,
     ) -> None:
         self.model = model
@@ -85,7 +88,21 @@ class OnlineRefresher:
             with timer.measure("index"):
                 stored = self.store.open(version)
                 backend = self.service.backend
-                if isinstance(backend, IVFIndex) and (
+                if isinstance(backend, ShardRouter):
+                    # Per-shard incremental refresh: each IVF shard keeps
+                    # its quantizer and rebuilds only its changed lists; a
+                    # changed partition layout (node count) falls through
+                    # to a full router rebuild inside activate().
+                    try:
+                        new_index = backend.refresh(stored)
+                    except ValueError:
+                        new_index = None
+                    else:
+                        assert new_index.last_rebuild is not None
+                        n_moved = new_index.last_rebuild.n_moved
+                        n_rebuilt = new_index.last_rebuild.n_lists_rebuilt
+                        n_lists = new_index.last_rebuild.n_lists_total
+                elif isinstance(backend, IVFIndex) and (
                     backend.features.shape == stored.features.shape
                 ):
                     new_index = backend.refresh(stored.features)
@@ -93,6 +110,12 @@ class OnlineRefresher:
                     n_moved = new_index.last_rebuild.n_moved
                     n_rebuilt = new_index.last_rebuild.n_lists_rebuilt
                     n_lists = new_index.last_rebuild.n_lists_total
+                elif isinstance(backend, PQBackend) and (
+                    backend.features.shape == stored.features.shape
+                ):
+                    # Keep the trained codec (and coarse quantizer for
+                    # IVF-PQ); only codes/assignments are re-derived.
+                    new_index = backend.refresh(stored.features)
             with timer.measure("swap"):
                 self.service.activate(version, index=new_index)
 

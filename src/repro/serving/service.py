@@ -38,9 +38,20 @@ import numpy as np
 
 from repro.parallel.pool import WorkerPool
 from repro.search.knn import normalize_rows, top_k_sorted_indices
-from repro.serving.index import IVFIndex, SearchBackend, make_backend
+from repro.serving.index import (
+    IVFIndex,
+    SearchBackend,
+    make_backend,
+    resolve_kind,
+)
+from repro.serving.sharding.pq import IVFPQBackend, PQBackend
+from repro.serving.sharding.router import ShardRouter
+from repro.serving.sharding.store import (
+    ShardedEmbeddingStore,
+    ShardedStoredEmbedding,
+)
 from repro.serving.stats import LatencyStats
-from repro.serving.store import EmbeddingStore, StoredEmbedding
+from repro.serving.store import _ARRAY_FILES, EmbeddingStore, StoredEmbedding
 
 
 @dataclass(frozen=True)
@@ -60,10 +71,17 @@ class QueryResult:
 
 @dataclass(frozen=True)
 class _ActiveVersion:
-    """Immutable serving snapshot; swapped atomically by ``activate``."""
+    """Immutable serving snapshot; swapped atomically by ``activate``.
+
+    ``stored`` is a :class:`StoredEmbedding` or — when the service fronts
+    a :class:`~repro.serving.sharding.store.ShardedEmbeddingStore` — a
+    :class:`~repro.serving.sharding.store.ShardedStoredEmbedding`, whose
+    gather views answer the same row reads; ``backend`` is then a
+    :class:`~repro.serving.sharding.router.ShardRouter`.
+    """
 
     version: str
-    stored: StoredEmbedding
+    stored: StoredEmbedding | ShardedStoredEmbedding
     backend: SearchBackend
 
 
@@ -73,35 +91,51 @@ class QueryService:
     Parameters
     ----------
     store:
-        The :class:`EmbeddingStore` to serve from.
+        The :class:`EmbeddingStore` (or
+        :class:`~repro.serving.sharding.store.ShardedEmbeddingStore`) to
+        serve from.  A sharded store gets per-shard backends behind a
+        :class:`ShardRouter`; everything else is transparent.
     backend:
-        ``"ivf"``, ``"exact"``, or ``"auto"`` (IVF above
-        :data:`repro.serving.index.AUTO_EXACT_THRESHOLD` vectors).
+        ``"ivf"``, ``"exact"``, ``"pq"``, ``"ivfpq"``, or ``"auto"``
+        (IVF above :data:`repro.serving.index.AUTO_EXACT_THRESHOLD`
+        vectors).  For a sharded store this picks the *per-shard* backend
+        kind (``"auto"`` resolves on the total corpus size).
     nlist / nprobe / seed:
         IVF construction parameters (see :class:`IVFIndex`).
+    pq_subspaces / pq_bits:
+        PQ codec shape for the ``pq``/``ivfpq`` kinds (see
+        :class:`~repro.serving.sharding.pq.PQCodec`).
     cache_size:
         LRU entries kept across all versions (0 disables caching).
     n_threads:
-        Workers in the persistent pool used by :meth:`batch_top_k`.
+        Workers in the persistent pool used by :meth:`batch_top_k` (and
+        by the shard router's scatter fan-out).
     batch_window_s:
         Micro-batching window for concurrent :meth:`top_k` calls;
         ``0`` (default) answers immediately.
     version:
         Pin an explicit store version instead of ``latest()``.
+    index_cache:
+        Persist built IVF/PQ index artifacts into the store's version
+        directory and load them on later activations, so short-lived
+        processes (the CLI) stop retraining quantizers per invocation.
     """
 
     def __init__(
         self,
-        store: EmbeddingStore,
+        store: EmbeddingStore | ShardedEmbeddingStore,
         *,
         backend: str = "auto",
         nlist: int | None = None,
         nprobe: int = 8,
         seed: int | None = 0,
+        pq_subspaces: int | None = None,
+        pq_bits: int = 8,
         cache_size: int = 4096,
         n_threads: int = 1,
         batch_window_s: float = 0.0,
         version: str | None = None,
+        index_cache: bool = False,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -110,6 +144,9 @@ class QueryService:
         self._nlist = nlist
         self._nprobe = nprobe
         self._seed = seed
+        self._pq_subspaces = pq_subspaces
+        self._pq_bits = pq_bits
+        self._index_cache = index_cache
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_lock = threading.Lock()
@@ -147,17 +184,64 @@ class QueryService:
             stored = self._store.open(version)
             backend = index
             if backend is None:
-                backend = make_backend(
-                    stored.features,
-                    self._backend_kind,
-                    nlist=self._nlist,
-                    nprobe=self._nprobe,
-                    seed=self._seed,
-                )
+                if isinstance(stored, ShardedStoredEmbedding):
+                    backend = self._build_router(stored)
+                else:
+                    backend = self._build_backend(stored)
             self._active = _ActiveVersion(
                 version=stored.version, stored=stored, backend=backend
             )
             return stored.version
+
+    def _make_backend(self, features, kind: str) -> SearchBackend:
+        return make_backend(
+            features,
+            kind,
+            nlist=self._nlist,
+            nprobe=self._nprobe,
+            seed=self._seed,
+            pq_subspaces=self._pq_subspaces,
+            pq_bits=self._pq_bits,
+        )
+
+    def _build_backend(self, stored: StoredEmbedding) -> SearchBackend:
+        """Backend for an unsharded snapshot, via the artifact cache if on."""
+        kind = resolve_kind(self._backend_kind, stored.features.shape[0])
+        if self._index_cache and kind != "exact":
+            loaded = self._store.load_index(stored.version, kind, stored.features)
+            if loaded is not None:
+                return loaded
+        backend = self._make_backend(stored.features, kind)
+        if self._index_cache and kind != "exact":
+            self._store.save_index(stored.version, backend)
+        return backend
+
+    def _build_router(self, stored: ShardedStoredEmbedding) -> ShardRouter:
+        """Per-shard backends behind a scatter-gather router.
+
+        ``"auto"`` resolves on the *total* corpus size so a sharded and an
+        unsharded deployment of the same corpus pick the same kind; each
+        shard then builds (or loads) its own index over its segment.
+        """
+        kind = resolve_kind(self._backend_kind, stored.n_nodes)
+        loaded = (
+            self._store.load_shard_indexes(stored, kind)
+            if self._index_cache and kind != "exact"
+            else [None] * stored.n_shards
+        )
+        backends: list[SearchBackend] = []
+        built: list[SearchBackend | None] = []
+        for shard, segment in enumerate(stored.shards):
+            backend = loaded[shard]
+            if backend is None:
+                backend = self._make_backend(segment.features, kind)
+                built.append(backend)
+            else:
+                built.append(None)  # already persisted; skip the rewrite
+            backends.append(backend)
+        if self._index_cache and kind != "exact" and any(b is not None for b in built):
+            self._store.save_shard_indexes(stored.version, built)
+        return ShardRouter(backends, stored.partitioner, pool=self.pool)
 
     def refresh_to_latest(self) -> str:
         """Re-activate if the store's ``LATEST`` moved; returns the version."""
@@ -211,16 +295,25 @@ class QueryService:
         for node in (int(nodes.min()), int(nodes.max())):
             self._check_node(active, node)
 
-        n_chunks = min(self.pool.n_threads, nodes.size)
-        chunks = np.array_split(nodes, n_chunks)
+        if isinstance(active.backend, ShardRouter):
+            # The router owns the fan-out: one scatter task per shard on
+            # this service's pool.  Wrapping its calls in pool tasks here
+            # would have the scatter wait on workers occupied by its own
+            # callers — parallelism across shards replaces parallelism
+            # across query chunks.
+            queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
+            ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+        else:
+            n_chunks = min(self.pool.n_threads, nodes.size)
+            chunks = np.array_split(nodes, n_chunks)
 
-        def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
-            return _search(active.backend, queries, k, chunk, nprobe)
+            def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+                queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
+                return _search(active.backend, queries, k, chunk, nprobe)
 
-        parts = self.pool.run_blocks(work, chunks)
-        ids = np.vstack([part[0] for part in parts])
-        scores = np.vstack([part[1] for part in parts])
+            parts = self.pool.run_blocks(work, chunks)
+            ids = np.vstack([part[0] for part in parts])
+            scores = np.vstack([part[1] for part in parts])
         for row, node in enumerate(nodes):
             self._cache_put(
                 (active.version, "node", int(node), int(k), nprobe),
@@ -297,7 +390,21 @@ class QueryService:
 
     # -- introspection / lifecycle -------------------------------------
     def describe(self) -> dict:
-        """Serving state + latency counters, JSON-serializable."""
+        """Serving state, memory accounting, latency counters (JSON-safe).
+
+        ``memory`` reports the mapped bytes behind every stored array (what
+        the OS *could* page in, not resident set; for a sharded snapshot
+        the replicated ``y`` counts every segment's copy) plus, for PQ
+        backends, the resident code bytes and the compression ratio they
+        buy.  A sharded snapshot adds a ``sharding`` section with
+        per-shard sizes and the merged per-shard latency view (see
+        :meth:`LatencyStats.merge`).  Units there are **per-shard
+        searches**: every logical query is scattered to all shards, so
+        the merged ``queries`` reads ``n_shards ×`` the service-level
+        count — each shard search is still recorded exactly once (the
+        streams are disjoint), and cache hits only ever appear in the
+        service-level ``latency``.
+        """
         active = self._snapshot()
         backend = active.backend
         info = {
@@ -309,8 +416,61 @@ class QueryService:
             "cache_size": self._cache_size,
             "latency": self.stats.snapshot(),
         }
+        mapped = {
+            name: int(getattr(active.stored, name).nbytes)
+            for name in _ARRAY_FILES
+        }
+        if isinstance(active.stored, ShardedStoredEmbedding):
+            # The row-partitioned arrays already sum across segments via
+            # their gather views, but Y is *replicated* per segment — count
+            # every mapped replica so total_mapped_bytes agrees with the
+            # per-shard sums reported below.
+            mapped["y"] = sum(
+                int(segment.y.nbytes) for segment in active.stored.shards
+            )
+        memory: dict = {
+            "mapped_bytes": mapped,
+            "total_mapped_bytes": sum(mapped.values()),
+        }
+        pq_backends = [b for b in _leaf_backends(backend) if isinstance(b, PQBackend)]
+        if pq_backends:
+            parts = [b.memory_info() for b in pq_backends]
+            resident = sum(part["resident_bytes"] for part in parts)
+            float_bytes = sum(part["float_bytes"] for part in parts)
+            memory["pq"] = {
+                "code_bytes": sum(part["code_bytes"] for part in parts),
+                "codebook_bytes": sum(part["codebook_bytes"] for part in parts),
+                "resident_bytes": resident,
+                "float_bytes": float_bytes,
+                "compression_ratio": float_bytes / resident if resident else 0.0,
+            }
+        info["memory"] = memory
         if isinstance(backend, IVFIndex):
             info["ivf"] = {"nlist": backend.nlist, "nprobe": backend.nprobe}
+        elif isinstance(backend, IVFPQBackend):
+            info["ivf"] = {"nlist": backend.nlist, "nprobe": backend.nprobe}
+        if isinstance(backend, ShardRouter):
+            stored: ShardedStoredEmbedding = active.stored
+            memory["per_shard_bytes"] = [
+                sum(
+                    int(getattr(segment, name).nbytes) for name in _ARRAY_FILES
+                )
+                for segment in stored.shards
+            ]
+            info["sharding"] = {
+                "n_shards": backend.n_shards,
+                "partition": stored.partitioner.kind,
+                "per_shard": [
+                    {
+                        "shard": shard,
+                        "n_nodes": segment.n_nodes,
+                        "backend": type(backend.backends[shard]).__name__,
+                        "version": segment.version,
+                    }
+                    for shard, segment in enumerate(stored.shards)
+                ],
+                "latency": LatencyStats.merge(backend.shard_stats).snapshot(),
+            }
         return info
 
     def close(self) -> None:
@@ -408,9 +568,16 @@ def _search(
     exclude: np.ndarray | None,
     nprobe: int | None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    if isinstance(backend, IVFIndex):
+    if getattr(backend, "SUPPORTS_NPROBE", False):
         return backend.search(queries, k, exclude=exclude, nprobe=nprobe)
     return backend.search(queries, k, exclude=exclude)
+
+
+def _leaf_backends(backend: SearchBackend) -> list[SearchBackend]:
+    """A backend's concrete leaves (a router's shards, else itself)."""
+    if isinstance(backend, ShardRouter):
+        return list(backend.backends)
+    return [backend]
 
 
 @dataclass

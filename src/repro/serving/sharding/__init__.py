@@ -1,0 +1,35 @@
+"""Sharded serving: multi-segment stores, PQ compression, scatter-gather.
+
+Scales the PR-2 serving layer past one mmap segment and one resident
+float64 matrix:
+
+- :class:`ShardedEmbeddingStore` — rows partitioned across N independent
+  :class:`~repro.serving.store.EmbeddingStore` segments, published as one
+  atomic logical version (``store.py``);
+- :class:`PQCodec` / :class:`PQBackend` / :class:`IVFPQBackend` — product
+  quantization: uint8 codes + ADC scan + exact rescoring, ~16-64x smaller
+  resident vectors (``pq.py``);
+- :class:`ShardRouter` — scatter-gather over per-shard backends with a
+  heap merge that is bit-identical to unsharded exact search
+  (``router.py``).
+
+See the sharding section of ``docs/SERVING.md``.
+"""
+
+from repro.serving.sharding.pq import IVFPQBackend, PQBackend, PQCodec
+from repro.serving.sharding.router import ShardRouter
+from repro.serving.sharding.store import (
+    Partitioner,
+    ShardedEmbeddingStore,
+    ShardedStoredEmbedding,
+)
+
+__all__ = [
+    "IVFPQBackend",
+    "PQBackend",
+    "PQCodec",
+    "Partitioner",
+    "ShardRouter",
+    "ShardedEmbeddingStore",
+    "ShardedStoredEmbedding",
+]

@@ -1,0 +1,564 @@
+"""Product quantization: compressed-resident search backends.
+
+For memory-bound corpora the float64 feature matrix is the cost driver:
+``n × dim × 8`` bytes must stay hot for brute-force or IVF serving.
+:class:`PQCodec` cuts the *resident* requirement ~16-64x by splitting the
+``dim`` dimensions into ``m`` subspaces and k-means-quantizing each to
+``2**n_bits`` codewords — a row becomes ``m`` uint8 codes; the float
+matrix stays on disk, memory-mapped, and is only paged in for the handful
+of rows a query actually rescores.
+
+Search is the classic two-stage ADC (asymmetric distance computation)
+pipeline:
+
+1. **ADC scan** — per query, one ``m × 2**bits`` lookup table of
+   query-subvector · codeword inner products turns scoring a row into
+   ``m`` table gathers + adds over uint8 codes (no float rows touched);
+2. **exact rescore** — the top ``rescore_factor × k`` ADC candidates are
+   rescored against the full-precision (mmapped) rows with
+   :func:`repro.search.knn.canonical_scores`, so returned scores carry
+   the same bits as the exact engine for the same rows.
+
+:class:`PQBackend` scans all codes; :class:`IVFPQBackend` adds the same
+spherical-k-means coarse quantizer the IVF index uses and ADC-scans only
+the probed cells.  Both backends persist to a single ``.npz`` via
+``save_arrays``/``from_arrays`` (see ``EmbeddingStore.save_index``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.knn import canonical_scores, top_k_sorted_indices
+from repro.serving.index import (
+    SearchBackend,
+    _assign,
+    _build_lists,
+    _train_spherical_kmeans,
+)
+from repro.utils.rng import ensure_rng
+
+# Query rows per chunk in the batched ADC scan: bounds the transient
+# (chunk × n) float32 accumulator (64 × 1M rows = 256 MB) per chunk.
+_ADC_QUERY_CHUNK = 64
+
+_ENCODE_CHUNK = 8192  # rows per chunk when encoding / assigning codewords
+
+
+class PQCodec:
+    """Subspace k-means codebooks: encode/decode and ADC lookup tables.
+
+    Attributes
+    ----------
+    boundaries:
+        Subspace split points over the ``dim`` axis (length ``m + 1``);
+        subspaces may differ by one dimension when ``m ∤ dim``.
+    codebooks:
+        One ``(ksub, dsub_j)`` float64 array per subspace.
+    n_bits:
+        Bits per code; ``ksub = 2**n_bits`` (≤ 8 so codes fit uint8).
+    """
+
+    def __init__(self, boundaries: np.ndarray, codebooks: list[np.ndarray], n_bits: int) -> None:
+        self.boundaries = np.asarray(boundaries, dtype=np.intp)
+        self.codebooks = [np.asarray(c, dtype=np.float64) for c in codebooks]
+        self.n_bits = int(n_bits)
+
+    @property
+    def n_subspaces(self) -> int:
+        return len(self.codebooks)
+
+    @property
+    def dim(self) -> int:
+        return int(self.boundaries[-1])
+
+    @property
+    def ksub(self) -> int:
+        return self.codebooks[0].shape[0]
+
+    def codebook_bytes(self) -> int:
+        return sum(int(c.nbytes) for c in self.codebooks)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        *,
+        n_subspaces: int | None = None,
+        n_bits: int = 8,
+        seed: int | np.random.Generator | None = 0,
+        train_size: int = 65536,
+        n_iter: int = 15,
+    ) -> "PQCodec":
+        """Train subspace codebooks on (a sample of) ``features``.
+
+        ``n_subspaces`` defaults to ``dim // 8`` (8 dimensions per code,
+        64x fewer resident bytes than float64), clamped to ``[1, dim]``.
+        """
+        features = np.asarray(features)
+        n, dim = features.shape
+        if n == 0:
+            raise ValueError("cannot train a codec on an empty matrix")
+        if not 1 <= n_bits <= 8:
+            raise ValueError(f"n_bits must be in [1, 8], got {n_bits}")
+        if n_subspaces is None:
+            n_subspaces = max(1, min(dim, dim // 8))
+        if not 1 <= n_subspaces <= dim:
+            raise ValueError(f"n_subspaces must be in [1, {dim}], got {n_subspaces}")
+        rng = ensure_rng(seed)
+        if n > train_size:
+            sample = np.sort(rng.choice(n, size=train_size, replace=False))
+            train = np.asarray(features[sample], dtype=np.float64)
+        else:
+            train = np.asarray(features, dtype=np.float64)
+        sizes = [len(block) for block in np.array_split(np.arange(dim), n_subspaces)]
+        boundaries = np.concatenate([[0], np.cumsum(sizes)]).astype(np.intp)
+        ksub = min(2**n_bits, train.shape[0])
+        codebooks = [
+            _train_kmeans(
+                train[:, boundaries[j] : boundaries[j + 1]], ksub, rng, n_iter
+            )
+            for j in range(n_subspaces)
+        ]
+        return cls(boundaries, codebooks, n_bits)
+
+    # ------------------------------------------------------------------
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize rows to ``(n, m)`` uint8 codes (nearest codeword each)."""
+        vectors = np.asarray(vectors)
+        n = vectors.shape[0]
+        codes = np.empty((n, self.n_subspaces), dtype=np.uint8)
+        for j, codebook in enumerate(self.codebooks):
+            lo, hi = self.boundaries[j], self.boundaries[j + 1]
+            sq = (codebook**2).sum(axis=1)
+            for start in range(0, n, _ENCODE_CHUNK):
+                stop = min(start + _ENCODE_CHUNK, n)
+                block = np.asarray(vectors[start:stop, lo:hi], dtype=np.float64)
+                # argmin ||x - c||² = argmin ||c||² - 2 x·c (x² is constant)
+                dists = sq[np.newaxis, :] - 2.0 * (block @ codebook.T)
+                codes[start:stop, j] = np.argmin(dists, axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) float rows from codes."""
+        codes = np.asarray(codes)
+        out = np.empty((codes.shape[0], self.dim), dtype=np.float64)
+        for j, codebook in enumerate(self.codebooks):
+            out[:, self.boundaries[j] : self.boundaries[j + 1]] = codebook[codes[:, j]]
+        return out
+
+    def adc_tables(self, queries: np.ndarray) -> list[np.ndarray]:
+        """Per-subspace ``(q, ksub)`` inner-product lookup tables.
+
+        ``score(query, row) ≈ Σ_j tables[j][query, codes[row, j]]`` — the
+        asymmetric part: queries stay full precision, rows are codes.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [
+            queries[:, self.boundaries[j] : self.boundaries[j + 1]] @ codebook.T
+            for j, codebook in enumerate(self.codebooks)
+        ]
+
+    def reconstruction_error(self, vectors: np.ndarray) -> float:
+        """Mean squared L2 reconstruction error over ``vectors``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        delta = vectors - self.decode(self.encode(vectors))
+        return float((delta**2).sum(axis=1).mean())
+
+    # -- persistence ----------------------------------------------------
+    def save_arrays(self) -> dict[str, np.ndarray]:
+        arrays = {
+            "pq_boundaries": self.boundaries,
+            "pq_bits": np.array(self.n_bits, dtype=np.int64),
+        }
+        for j, codebook in enumerate(self.codebooks):
+            arrays[f"pq_codebook_{j}"] = codebook
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PQCodec":
+        boundaries = np.asarray(arrays["pq_boundaries"], dtype=np.intp)
+        codebooks = [
+            np.asarray(arrays[f"pq_codebook_{j}"], dtype=np.float64)
+            for j in range(len(boundaries) - 1)
+        ]
+        return cls(boundaries, codebooks, int(arrays["pq_bits"]))
+
+
+class PQBackend(SearchBackend):
+    """Flat ADC scan over PQ codes with exact rescoring of candidates.
+
+    The float ``features`` matrix is kept only as the rescoring source —
+    when it is a store mmap, queries page in just the shortlisted
+    candidate rows, so the resident working set is the uint8 code matrix
+    plus codebooks (:meth:`memory_info` reports the ratio).
+
+    The shortlist is ``max(rescore_factor × k, min_rescore)`` rows.  The
+    floor matters on clustered data: quantization collapses intra-cluster
+    distinctions, so ADC can rank *clusters* but not reliably rank rows
+    *within* the query's own cluster — the shortlist must roughly cover
+    it.  Rescoring is a per-row dot over the shortlist, orders of
+    magnitude cheaper than the O(n·m) scan that produced it, so a
+    four-digit floor costs little and decouples recall from ``k``.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        codec: PQCodec,
+        *,
+        rescore_factor: int = 8,
+        min_rescore: int = 1024,
+        codes: np.ndarray | None = None,
+    ) -> None:
+        if codec.dim != features.shape[1]:
+            raise ValueError(
+                f"codec dim {codec.dim} != features dim {features.shape[1]}"
+            )
+        if rescore_factor < 1:
+            raise ValueError(f"rescore_factor must be >= 1, got {rescore_factor}")
+        if min_rescore < 1:
+            raise ValueError(f"min_rescore must be >= 1, got {min_rescore}")
+        self.features = features
+        self.codec = codec
+        self.rescore_factor = rescore_factor
+        self.min_rescore = min_rescore
+        if codes is None:
+            codes = codec.encode(features)
+        elif codes.shape != (features.shape[0], codec.n_subspaces):
+            raise ValueError(
+                f"codes shape {codes.shape} != "
+                f"({features.shape[0]}, {codec.n_subspaces})"
+            )
+        self.codes = np.asarray(codes, dtype=np.uint8)
+        # Column-contiguous code columns: the ADC scan gathers one column
+        # per subspace, and strided uint8 gathers are measurably slower.
+        self._code_columns = [
+            np.ascontiguousarray(self.codes[:, j])
+            for j in range(codec.n_subspaces)
+        ]
+
+    # ------------------------------------------------------------------
+    def memory_info(self) -> dict:
+        """Resident bytes (codes + codebooks) vs full-precision bytes."""
+        code_bytes = int(self.codes.nbytes)
+        codebook_bytes = self.codec.codebook_bytes()
+        float_bytes = int(
+            self.features.shape[0] * self.features.shape[1] * 8
+        )
+        resident = code_bytes + codebook_bytes
+        return {
+            "code_bytes": code_bytes,
+            "codebook_bytes": codebook_bytes,
+            "resident_bytes": resident,
+            "float_bytes": float_bytes,
+            "compression_ratio": float_bytes / resident if resident else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        exclude: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        single = np.ndim(queries) == 1
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp)
+            if exclude.shape != (n_queries,):
+                raise ValueError("exclude must have one entry per query")
+        k = min(k, self.n_vectors)
+        ids = np.full((n_queries, k), -1, dtype=np.intp)
+        scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
+        n_candidates = min(self.n_vectors, self._shortlist_size(k))
+        for start in range(0, n_queries, _ADC_QUERY_CHUNK):
+            stop = min(start + _ADC_QUERY_CHUNK, n_queries)
+            adc = self._adc_scan(queries[start:stop])
+            if exclude is not None:
+                chunk_exclude = exclude[start:stop]
+                masked = chunk_exclude >= 0
+                adc[np.nonzero(masked)[0], chunk_exclude[masked]] = -np.inf
+            shortlist = np.argpartition(-adc, n_candidates - 1, axis=1)[
+                :, :n_candidates
+            ]
+            for row in range(stop - start):
+                candidates = shortlist[row]
+                if exclude is not None and exclude[start + row] >= 0:
+                    candidates = candidates[candidates != exclude[start + row]]
+                row_ids, row_scores = self._rescore(
+                    queries[start + row], np.sort(candidates), k
+                )
+                ids[start + row, : row_ids.shape[0]] = row_ids
+                scores[start + row, : row_scores.shape[0]] = row_scores
+        if single:
+            return ids[0], scores[0]
+        return ids, scores
+
+    def _shortlist_size(self, k: int) -> int:
+        return max(k * self.rescore_factor, self.min_rescore)
+
+    def _adc_scan(self, queries: np.ndarray) -> np.ndarray:
+        """``(q, n)`` approximate inner products from the code columns.
+
+        float32 accumulation: the scan only *selects* candidates (exact
+        float64 rescoring orders the final k), so half-width adds are free
+        precision to give away for 2x memory bandwidth.
+        """
+        tables = self.codec.adc_tables(queries)
+        acc = np.zeros((queries.shape[0], self.n_vectors), dtype=np.float32)
+        for table, column in zip(tables, self._code_columns):
+            acc += table.astype(np.float32)[:, column]
+        return acc
+
+    def _rescore(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact canonical top-k among ascending candidate ids."""
+        if candidates.shape[0] == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0)
+        exact = canonical_scores(self.features, candidates, query)
+        top = top_k_sorted_indices(exact, min(k, candidates.shape[0]))
+        return candidates[top], exact[top]
+
+    # ------------------------------------------------------------------
+    def refresh(self, features: np.ndarray) -> "PQBackend":
+        """A new backend over updated ``features``, keeping the codec.
+
+        Online-refresh companion to :meth:`IVFIndex.refresh`: codebook
+        training (the expensive part) is reused; only the uint8 codes are
+        re-derived in one chunked encode pass.  Requires an unchanged
+        shape — node count changes need a full rebuild.
+        """
+        features = np.asarray(features)
+        if features.shape != (self.n_vectors, self.dim):
+            raise ValueError(
+                f"refresh features shape {features.shape} != "
+                f"{(self.n_vectors, self.dim)} (requires a full rebuild)"
+            )
+        return PQBackend(
+            features,
+            self.codec,
+            rescore_factor=self.rescore_factor,
+            min_rescore=self.min_rescore,
+        )
+
+    # -- persistence ----------------------------------------------------
+    def save_arrays(self) -> dict[str, np.ndarray]:
+        arrays = self.codec.save_arrays()
+        arrays["codes"] = self.codes
+        arrays["rescore_factor"] = np.array(self.rescore_factor, dtype=np.int64)
+        arrays["min_rescore"] = np.array(self.min_rescore, dtype=np.int64)
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, features: np.ndarray, arrays: dict[str, np.ndarray]
+    ) -> "PQBackend":
+        codes = np.asarray(arrays["codes"], dtype=np.uint8)
+        if codes.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"saved codes cover {codes.shape[0]} vectors, "
+                f"features has {features.shape[0]}"
+            )
+        return cls(
+            features,
+            PQCodec.from_arrays(arrays),
+            rescore_factor=int(arrays["rescore_factor"]),
+            min_rescore=int(arrays["min_rescore"]),
+            codes=codes,
+        )
+
+
+class IVFPQBackend(PQBackend):
+    """IVF-PQ: coarse cells bound the ADC scan to the probed lists.
+
+    The same spherical k-means coarse quantizer as
+    :class:`~repro.serving.index.IVFIndex` partitions rows into ``nlist``
+    cells; a query ADC-scores only the codes in its ``nprobe`` nearest
+    cells, then exact-rescores the shortlist.  ``nprobe`` is the same
+    recall/latency knob (``SUPPORTS_NPROBE``).
+    """
+
+    SUPPORTS_NPROBE = True
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        codec: PQCodec,
+        *,
+        nlist: int | None = None,
+        nprobe: int = 8,
+        seed: int | np.random.Generator | None = 0,
+        rescore_factor: int = 8,
+        min_rescore: int = 1024,
+        codes: np.ndarray | None = None,
+        centroids: np.ndarray | None = None,
+        assignments: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(
+            features,
+            codec,
+            rescore_factor=rescore_factor,
+            min_rescore=min_rescore,
+            codes=codes,
+        )
+        n = features.shape[0]
+        if centroids is None:
+            if nlist is None:
+                nlist = max(1, min(n, int(round(np.sqrt(n)))))
+            if not 1 <= nlist <= n:
+                raise ValueError(f"nlist must be in [1, {n}], got {nlist}")
+            rng = ensure_rng(seed)
+            centroids = _train_spherical_kmeans(
+                features, nlist, rng, train_size=max(65536, nlist), n_iter=10
+            )
+        self.centroids = np.asarray(centroids, dtype=np.float64)
+        if assignments is None:
+            assignments = _assign(features, self.centroids)
+        self.assignments = np.asarray(assignments, dtype=np.intp)
+        self._lists = _build_lists(self.assignments, self.centroids.shape[0])
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        self.nprobe = min(nprobe, self.nlist)
+
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        exclude: np.ndarray | None = None,
+        nprobe: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        nprobe = self.nprobe if nprobe is None else min(max(1, nprobe), self.nlist)
+        single = np.ndim(queries) == 1
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_queries = queries.shape[0]
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.intp)
+            if exclude.shape != (n_queries,):
+                raise ValueError("exclude must have one entry per query")
+        k = min(k, self.n_vectors)
+        n_candidates = self._shortlist_size(k)
+        centroid_sims = queries @ self.centroids.T
+        tables = self.codec.adc_tables(queries)
+        ids = np.full((n_queries, k), -1, dtype=np.intp)
+        scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
+        for row in range(n_queries):
+            probes = top_k_sorted_indices(centroid_sims[row], nprobe)
+            candidates = np.sort(
+                np.concatenate([self._lists[cell] for cell in probes])
+            )
+            if exclude is not None and exclude[row] >= 0:
+                position = np.searchsorted(candidates, exclude[row])
+                if (
+                    position < candidates.shape[0]
+                    and candidates[position] == exclude[row]
+                ):
+                    candidates = np.delete(candidates, position)
+            if candidates.shape[0] == 0:
+                continue
+            adc = np.zeros(candidates.shape[0], dtype=np.float32)
+            candidate_codes = self.codes[candidates]
+            for j, table in enumerate(tables):
+                adc += table[row].astype(np.float32)[candidate_codes[:, j]]
+            keep = top_k_sorted_indices(
+                adc, min(n_candidates, candidates.shape[0])
+            )
+            row_ids, row_scores = self._rescore(
+                queries[row], np.sort(candidates[keep]), k
+            )
+            ids[row, : row_ids.shape[0]] = row_ids
+            scores[row, : row_scores.shape[0]] = row_scores
+        if single:
+            return ids[0], scores[0]
+        return ids, scores
+
+    # ------------------------------------------------------------------
+    def refresh(self, features: np.ndarray) -> "IVFPQBackend":
+        """Keep the codec *and* the coarse quantizer; re-encode + re-assign."""
+        features = np.asarray(features)
+        if features.shape != (self.n_vectors, self.dim):
+            raise ValueError(
+                f"refresh features shape {features.shape} != "
+                f"{(self.n_vectors, self.dim)} (requires a full rebuild)"
+            )
+        return IVFPQBackend(
+            features,
+            self.codec,
+            nprobe=self.nprobe,
+            rescore_factor=self.rescore_factor,
+            min_rescore=self.min_rescore,
+            centroids=self.centroids,
+        )
+
+    # -- persistence ----------------------------------------------------
+    def save_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super().save_arrays()
+        arrays["coarse_centroids"] = self.centroids
+        arrays["coarse_assignments"] = self.assignments
+        arrays["nprobe"] = np.array(self.nprobe, dtype=np.int64)
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, features: np.ndarray, arrays: dict[str, np.ndarray]
+    ) -> "IVFPQBackend":
+        codes = np.asarray(arrays["codes"], dtype=np.uint8)
+        if codes.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"saved codes cover {codes.shape[0]} vectors, "
+                f"features has {features.shape[0]}"
+            )
+        return cls(
+            features,
+            PQCodec.from_arrays(arrays),
+            nprobe=int(arrays["nprobe"]),
+            rescore_factor=int(arrays["rescore_factor"]),
+            min_rescore=int(arrays["min_rescore"]),
+            codes=codes,
+            centroids=np.asarray(arrays["coarse_centroids"], dtype=np.float64),
+            assignments=np.asarray(arrays["coarse_assignments"], dtype=np.intp),
+        )
+
+
+def _train_kmeans(
+    train: np.ndarray, ksub: int, rng: np.random.Generator, n_iter: int
+) -> np.ndarray:
+    """Plain (Euclidean) Lloyd k-means for one PQ subspace."""
+    m = train.shape[0]
+    if ksub >= m:
+        # Degenerate: every training row is its own codeword.
+        return train[:ksub].copy() if ksub == m else np.pad(
+            train, ((0, ksub - m), (0, 0)), mode="edge"
+        )
+    centroids = train[np.sort(rng.choice(m, size=ksub, replace=False))].copy()
+    assignments = np.full(m, -1, dtype=np.intp)
+    for _ in range(max(1, n_iter)):
+        sq = (centroids**2).sum(axis=1)
+        new_assignments = np.empty(m, dtype=np.intp)
+        for start in range(0, m, _ENCODE_CHUNK):
+            stop = min(start + _ENCODE_CHUNK, m)
+            dists = sq[np.newaxis, :] - 2.0 * (train[start:stop] @ centroids.T)
+            new_assignments[start:stop] = np.argmin(dists, axis=1)
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for cell in range(ksub):
+            members = train[assignments == cell]
+            if members.shape[0] == 0:
+                centroids[cell] = train[int(rng.integers(m))]
+            else:
+                centroids[cell] = members.mean(axis=0)
+    return centroids

@@ -36,6 +36,42 @@ class LatencyStats:
                 self._cache_hits += queries
             self._recent.append(seconds / max(1, queries))
 
+    @classmethod
+    def merge(cls, parts: "list[LatencyStats]", *, window: int = 2048) -> "LatencyStats":
+        """Aggregate stats recorded on **disjoint** request streams.
+
+        Built for fan-in views: per-shard stats under one router, or
+        per-replica stats under one load balancer, where each recorded
+        event was recorded by exactly one part.  Counters (queries, cache
+        hits, total seconds) sum; the rolling windows concatenate in part
+        order and keep the trailing ``window`` samples, so percentiles of
+        the merged object are over a sample mix, not a time-ordered tail.
+        Mind the *unit* of the parts: a scatter-gather router records one
+        event per shard per logical query, so its merged ``queries``
+        counts per-shard searches (``n_shards ×`` the logical volume) —
+        summing is still sound, the streams just aren't logical requests.
+
+        Do **not** merge overlapping streams — e.g. a service's own stats
+        with its shards', or a stats object with itself: every query (and
+        every cache hit) would be counted once per appearance, inflating
+        totals and hit rates.  Summing is only sound when the streams
+        partition the requests.
+        """
+        merged = cls(window=window)
+        for part in parts:
+            with part._lock:
+                recent = list(part._recent)
+                count, hits, total = (
+                    part._count,
+                    part._cache_hits,
+                    part._total_seconds,
+                )
+            merged._count += count
+            merged._cache_hits += hits
+            merged._total_seconds += total
+            merged._recent.extend(recent)
+        return merged
+
     def snapshot(self) -> dict:
         """Counters plus p50/p95/max over the rolling window (seconds)."""
         with self._lock:

@@ -261,6 +261,64 @@ class EmbeddingStore:
         self.set_latest(to)
         return to
 
+    # -- index artifact persistence ------------------------------------
+    def index_path(self, version: str, kind: str) -> Path:
+        """Where a ``kind`` (ivf/pq/ivfpq) index artifact lives for ``version``."""
+        return self._version_dir(version) / f"index_{kind}.npz"
+
+    def save_index(self, version: str, backend) -> Path | None:
+        """Persist a built search index next to the version's arrays.
+
+        One atomically written ``index_<kind>.npz`` per backend kind, so a
+        later ``cli query`` (or service activation with ``index_cache``)
+        loads the trained quantizer/codebooks instead of rebuilding them
+        per invocation.  Exact backends have no trained state and return
+        ``None``.  The artifact is derived data: deleting it only costs a
+        rebuild.
+        """
+        from repro.serving.index import IVFIndex
+        from repro.serving.sharding.pq import IVFPQBackend, PQBackend
+
+        if isinstance(backend, IVFIndex):
+            kind, arrays = "ivf", backend.save_arrays()
+        elif isinstance(backend, IVFPQBackend):
+            kind, arrays = "ivfpq", backend.save_arrays()
+        elif isinstance(backend, PQBackend):
+            kind, arrays = "pq", backend.save_arrays()
+        else:
+            return None
+        if not self._version_dir(version).is_dir():
+            raise FileNotFoundError(f"version {version!r} not found in {self.root}")
+        path = self.index_path(version, kind)
+        atomic_write(path, lambda handle: np.savez(handle, **arrays))
+        return path
+
+    def load_index(self, version: str, kind: str, features: np.ndarray):
+        """Reconstruct a persisted ``kind`` index over ``features``.
+
+        Returns ``None`` when no artifact exists (or it covers a different
+        row count — impossible for untouched version dirs, cheap to guard).
+        """
+        from repro.serving.index import IVFIndex
+        from repro.serving.sharding.pq import IVFPQBackend, PQBackend
+
+        loaders = {
+            "ivf": IVFIndex.from_arrays,
+            "pq": PQBackend.from_arrays,
+            "ivfpq": IVFPQBackend.from_arrays,
+        }
+        if kind not in loaders:
+            return None
+        path = self.index_path(version, kind)
+        if not path.is_file():
+            return None
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        try:
+            return loaders[kind](features, arrays)
+        except ValueError:
+            return None
+
     # ------------------------------------------------------------------
     def _version_dir(self, version: str) -> Path:
         return self.root / "versions" / version

@@ -115,3 +115,65 @@ class TestApply:
         report = refresher.apply(_delta())
         assert report.version == "v00000002"
         assert store.latest() == "v00000002"
+
+
+class TestShardedApply:
+    """Per-shard refresh through a ShardedEmbeddingStore + ShardRouter."""
+
+    @pytest.fixture()
+    def sharded_rig(self, tmp_path, graph):
+        from repro.serving.sharding import ShardedEmbeddingStore
+
+        store = ShardedEmbeddingStore(tmp_path / "store", n_shards=3)
+        model = IncrementalPANE(k=16, seed=0, update_sweeps=2)
+        refresher = OnlineRefresher(model, store)
+        refresher.bootstrap(graph)
+        service = QueryService(store, backend="ivf", nlist=5, nprobe=5, seed=0)
+        refresher.service = service
+        yield refresher, store, service
+        service.close()
+
+    def test_sharded_apply_publishes_and_swaps(self, sharded_rig):
+        from repro.serving.sharding import ShardRouter
+
+        refresher, store, service = sharded_rig
+        assert isinstance(service.backend, ShardRouter)
+        report = refresher.apply(_delta())
+        assert report.version == "v00000002"
+        assert store.latest() == "v00000002"
+        assert service.version == "v00000002"
+
+    def test_sharded_refresh_keeps_per_shard_quantizers(self, sharded_rig):
+        refresher, _, service = sharded_rig
+        old_router = service.backend
+        report = refresher.apply(_delta())
+        new_router = service.backend
+        assert new_router is not old_router
+        for old, new in zip(old_router.backends, new_router.backends):
+            assert isinstance(old, IVFIndex) and isinstance(new, IVFIndex)
+            assert np.array_equal(new.centroids, old.centroids)
+        # Aggregated rebuild accounting spans all shards' lists.
+        assert report.n_lists_total == sum(
+            backend.nlist for backend in old_router.backends
+        )
+        assert report.n_lists_rebuilt <= report.n_lists_total
+
+    def test_sharded_queries_reflect_new_embedding(self, sharded_rig):
+        refresher, _, service = sharded_rig
+        refresher.apply(_delta())
+        result = service.top_k(0, 5, nprobe=5)
+        expected = refresher.model.embedding
+        from repro.search.knn import top_k_similar
+
+        knn_ids, _ = top_k_similar(expected.node_embeddings(), 0, 5)
+        assert np.array_equal(result.ids, knn_ids)
+
+    def test_sharded_rollback_after_refresh(self, sharded_rig):
+        refresher, store, service = sharded_rig
+        before = service.top_k(3, 5, nprobe=5)
+        refresher.apply(_delta())
+        store.rollback()
+        service.refresh_to_latest()
+        restored = service.top_k(3, 5, nprobe=5)
+        assert restored.version == "v00000001"
+        assert np.array_equal(restored.ids, before.ids)

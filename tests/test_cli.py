@@ -210,3 +210,116 @@ class TestServeQuery:
     def test_query_empty_store_errors(self, tmp_path, capsys):
         assert main(["query", "--store", str(tmp_path / "empty"), "--node", "0"]) == 2
         assert "no published versions" in capsys.readouterr().err
+
+
+class TestShardedServeQuery:
+    """`serve --shards N` → auto-detected scatter-gather `query`."""
+
+    @pytest.fixture()
+    def embedding_file(self, graph_file, tmp_path, capsys):
+        emb = tmp_path / "emb.npz"
+        main(["embed", "--graph", str(graph_file), "--out", str(emb), "--k", "8"])
+        capsys.readouterr()
+        return emb
+
+    def _publish(self, store, embedding_file, *extra):
+        return main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+            + list(extra)
+        )
+
+    def test_sharded_publish_and_list(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._publish(store, embedding_file, "--shards", "3") == 0
+        out = capsys.readouterr().out
+        assert "published v00000001 [3 range shards]" in out
+        assert main(["serve", "--store", str(store)]) == 0
+        assert "[3 range shards]" in capsys.readouterr().out
+
+    def test_sharded_query_matches_plain(self, embedding_file, tmp_path, capsys):
+        plain = tmp_path / "plain"
+        sharded = tmp_path / "sharded"
+        self._publish(plain, embedding_file)
+        self._publish(sharded, embedding_file, "--shards", "3", "--partition", "hash")
+        capsys.readouterr()
+        assert main(["query", "--store", str(plain), "--node", "5", "--k", "5"]) == 0
+        plain_out = capsys.readouterr().out.strip().splitlines()[1:]
+        assert main(["query", "--store", str(sharded), "--node", "5", "--k", "5"]) == 0
+        sharded_out = capsys.readouterr().out.strip().splitlines()[1:]
+        assert sharded_out == plain_out  # ids AND printed scores identical
+
+    def test_sharded_rollback(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._publish(store, embedding_file, "--shards", "2")
+        self._publish(store, embedding_file)
+        capsys.readouterr()
+        assert main(["serve", "--store", str(store), "--rollback"]) == 0
+        assert "rolled back to v00000001" in capsys.readouterr().out
+
+    def test_shards_on_existing_plain_store_errors(
+        self, embedding_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        self._publish(store, embedding_file)
+        capsys.readouterr()
+        assert self._publish(store, embedding_file, "--shards", "2") == 2
+        assert "existing unsharded store" in capsys.readouterr().err
+
+    def test_partition_without_shards_errors(
+        self, embedding_file, tmp_path, capsys
+    ):
+        # --partition on a would-be plain store must not be silently
+        # dropped: the user asked for a sharded layout.
+        store = tmp_path / "store"
+        assert self._publish(store, embedding_file, "--partition", "hash") == 2
+        assert "--partition only applies" in capsys.readouterr().err
+        assert not store.exists() or not any(store.iterdir())
+
+    def test_conflicting_layout_on_sharded_store_errors(
+        self, embedding_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        self._publish(store, embedding_file, "--shards", "4")
+        capsys.readouterr()
+        # Different shard count: refused, not silently reinterpreted.
+        assert self._publish(store, embedding_file, "--shards", "8") == 2
+        assert "cannot reopen with n_shards=8" in capsys.readouterr().err
+        # Different partitioning: refused too.
+        assert self._publish(
+            store, embedding_file, "--shards", "4", "--partition", "hash"
+        ) == 2
+        assert "range-partitioned" in capsys.readouterr().err
+        # Matching layout (or none at all) still publishes.
+        assert self._publish(store, embedding_file, "--shards", "4") == 0
+
+    def test_query_ivf_persists_index_artifact(
+        self, embedding_file, tmp_path, capsys
+    ):
+        from repro.serving.store import EmbeddingStore
+
+        store = tmp_path / "store"
+        self._publish(store, embedding_file)
+        capsys.readouterr()
+        args = ["query", "--store", str(store), "--node", "0", "--k", "3",
+                "--backend", "ivf"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        artifact = EmbeddingStore(store).index_path("v00000001", "ivf")
+        assert artifact.is_file()
+        # Second invocation loads the artifact and answers identically.
+        assert main(args) == 0
+        assert capsys.readouterr().out.splitlines()[1:] == first.splitlines()[1:]
+
+    def test_query_pq_backend_on_sharded_store(
+        self, embedding_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        self._publish(store, embedding_file, "--shards", "2")
+        capsys.readouterr()
+        code = main(
+            ["query", "--store", str(store), "--node", "0", "--k", "3",
+             "--backend", "pq"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows
