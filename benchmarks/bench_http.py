@@ -1,0 +1,251 @@
+"""HTTP serving benchmarks — emits a ``BENCH_http.json`` perf record.
+
+Measures the network front-end (:mod:`repro.serving.http`) over
+localhost for three deployments of the same corpus:
+
+- ``exact``   — unsharded brute-force backend;
+- ``ivf``     — the IVF ANN backend at its default ``nprobe``;
+- ``sharded`` — a 4-shard range-partitioned store behind the
+  scatter-gather router (exact per shard).
+
+For each, a closed-loop load generator (:func:`repro.serving.http.run_load`)
+drives ``POST /v1/topk`` and ``POST /v1/topk:batch`` through a real
+:class:`ServingClient` and records client-observed QPS, p50 and p99 —
+so the numbers include JSON encode/decode and the localhost wire, i.e.
+what a remote caller would actually see minus network distance.
+
+Correctness is asserted on **every** run (``--smoke`` included):
+
+- ``GET /healthz`` answers 200 with the active version;
+- exact top-k over HTTP is **bit-identical** to the in-process
+  ``QueryService.top_k`` answer (ids equal, score bytes equal) — floats
+  survive the JSON round trip exactly;
+- graceful shutdown drains in-flight requests: a burst is fired, the
+  server is closed mid-burst, and every request must either complete
+  with 200 or be rejected with a structured 503 — never a 500, and the
+  drain must complete inside the timeout.
+
+Run as a script (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_http.py           # full record
+    PYTHONPATH=src python benchmarks/bench_http.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from repro.serving.http import EmbeddingServer, ServingClient, run_load
+from repro.serving.http.loadgen import DrainBurst, assert_bit_identical
+from repro.serving.service import QueryService
+from repro.serving.sharding.store import ShardedEmbeddingStore
+from repro.serving.store import EmbeddingStore
+from repro.serving.synth import synthetic_embedding
+
+
+def check_drain(url: str, n_nodes: int, server: EmbeddingServer, k: int) -> dict:
+    """Close the server under fire; no request may see a 500.
+
+    Fires a burst of concurrent batch requests, waits until at least one
+    is executing inside the server, then closes it.  Every request must
+    end in a 200 (drained in-flight work) or a structured 503/connection
+    error (arrived after drain began) — a 500 fails the benchmark.
+    """
+    # Quiesce first: the load phase that ran before this check can leave
+    # one final request between writing its response (its client is long
+    # satisfied) and decrementing the in-flight counter.  Observing that
+    # straggler would make the loop below close the server before any
+    # burst request got inside.  After sustained zero — with no other
+    # client left — in_flight > 0 can only mean a burst request entered.
+    deadline = time.monotonic() + 5.0
+    quiet = 0
+    while quiet < 10 and time.monotonic() < deadline:
+        quiet = quiet + 1 if server.in_flight == 0 else 0
+        time.sleep(0.0005)
+    assert quiet >= 10, "server never quiesced before the drain burst"
+
+    burst = DrainBurst(url, n_nodes=n_nodes, k=k)
+    burst.started.wait(5.0)
+    while server.in_flight == 0 and burst.any_alive():
+        time.sleep(0.0005)  # let at least one request get inside
+    in_flight_seen = server.in_flight
+    drained = server.close()
+    outcomes = burst.join(timeout_s=30.0)
+    assert drained, "drain timed out with requests still in flight"
+    assert len(outcomes) == burst.n_requests, "a drain-burst request never returned"
+    assert not burst.server_errors(), (
+        f"drain produced server errors: {burst.server_errors()}"
+    )
+    if in_flight_seen > 0:
+        # The drain contract: a request observed executing when close()
+        # began must finish with its real (successful) status.
+        assert burst.completed >= 1, f"in-flight work was dropped: {outcomes}"
+    return {
+        "drained": True,
+        "requests": len(outcomes),
+        "in_flight_at_close": in_flight_seen,
+        "completed": burst.completed,
+        "rejected_or_refused": len(outcomes) - burst.completed,
+        "outcomes": sorted(outcomes),
+    }
+
+
+def bench_deployment(
+    name: str,
+    store,
+    backend: str,
+    args: argparse.Namespace,
+    *,
+    check_identity: bool,
+) -> dict:
+    with QueryService(
+        store, backend=backend, nprobe=args.nprobe, n_threads=args.threads
+    ) as service:
+        server = EmbeddingServer(service, drain_timeout_s=30.0).start()
+        url = server.url
+        client = ServingClient(url)
+        health = client.healthz()
+        assert health["status"] == "ok", health
+        assert health["version"] == service.version
+
+        record: dict = {
+            "backend": backend,
+            "backend_kind": service.describe()["backend_kind"],
+        }
+        if check_identity:
+            rng = np.random.default_rng(args.seed + 7)
+            sample = rng.choice(args.n, size=args.identity_sample, replace=False)
+            record["bit_identical_nodes"] = assert_bit_identical(
+                client, service, sample, args.k
+            )
+
+        single = run_load(
+            url,
+            n_nodes=args.n,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            k=args.k,
+            seed=args.seed,
+        )
+        assert single.errors == 0, single.error_messages[:3]
+        batch = run_load(
+            url,
+            n_nodes=args.n,
+            requests=max(8, args.requests // args.batch_size),
+            concurrency=args.concurrency,
+            k=args.k,
+            batch=args.batch_size,
+            seed=args.seed + 1,
+        )
+        assert batch.errors == 0, batch.error_messages[:3]
+        record["single"] = single.as_dict()
+        record["batch"] = batch.as_dict()
+
+        # Drain-under-fire closes this server; each deployment gets its own.
+        record["drain"] = check_drain(url, args.n, server, args.k)
+        print(
+            f"{name:8s} single {single.qps:7.0f} req/s "
+            f"(p50 {single.p50_ms:.2f} ms, p99 {single.p99_ms:.2f} ms)  "
+            f"batch[{args.batch_size}] {batch.query_qps:8.0f} q/s  "
+            f"drain ok ({record['drain']['completed']}/"
+            f"{record['drain']['requests']} completed)",
+            flush=True,
+        )
+        return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=131_072, help="vectors")
+    parser.add_argument("--dim", type=int, default=64, help="embedding dim")
+    parser.add_argument("--requests", type=int, default=2048)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--nprobe", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4, help="service pool")
+    parser.add_argument(
+        "--identity-sample",
+        type=int,
+        default=64,
+        help="nodes checked for HTTP vs in-process bit-identity",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_http.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (n=4096); all correctness assertions still run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n, args.dim = 4096, 32
+        args.requests, args.concurrency = 192, 4
+        args.batch_size, args.identity_sample = 32, 24
+        args.shards, args.threads = 2, 2
+
+    record = {
+        "meta": {
+            "schema": "bench_http/v1",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+            "platform": platform.platform(),
+            "smoke": bool(args.smoke),
+        },
+        "params": {
+            "n": args.n,
+            "dim": args.dim,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "batch_size": args.batch_size,
+            "k": args.k,
+            "nprobe": args.nprobe,
+            "shards": args.shards,
+            "threads": args.threads,
+            "seed": args.seed,
+        },
+    }
+
+    print(f"dataset: n={args.n} dim={args.dim}", flush=True)
+    embedding = synthetic_embedding(args.n, args.dim, seed=args.seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plain = EmbeddingStore(Path(tmp) / "plain")
+        plain.publish(embedding)
+        record["exact"] = bench_deployment(
+            "exact", plain, "exact", args, check_identity=True
+        )
+        record["ivf"] = bench_deployment(
+            "ivf", plain, "ivf", args, check_identity=False
+        )
+        sharded = ShardedEmbeddingStore(
+            Path(tmp) / "sharded", n_shards=args.shards
+        )
+        sharded.publish(embedding)
+        # Sharded exact returns canonical scores, so the HTTP answers must
+        # be bit-identical to the in-process *sharded* service too.
+        record["sharded"] = bench_deployment(
+            "sharded", sharded, "exact", args, check_identity=True
+        )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

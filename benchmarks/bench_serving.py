@@ -216,19 +216,11 @@ def bench_pq(
 
 def bench_service(features_n: int, dim: int, k: int, seed: int) -> dict:
     """Publish → query → cached query → swap through the real service."""
-    from repro.core.config import PANEConfig
-    from repro.core.pane import PANEEmbedding
     from repro.serving.service import QueryService
     from repro.serving.store import EmbeddingStore
+    from repro.serving.synth import synthetic_embedding
 
-    half = max(2, dim // 2)
-    rng = np.random.default_rng(seed)
-    embedding = PANEEmbedding(
-        x_forward=rng.standard_normal((features_n, half)),
-        x_backward=rng.standard_normal((features_n, half)),
-        y=rng.standard_normal((max(4, half), half)),
-        config=PANEConfig(k=2 * half),
-    )
+    embedding = synthetic_embedding(features_n, dim, seed=seed)
     with tempfile.TemporaryDirectory() as tmp:
         store = EmbeddingStore(tmp)
         start = time.perf_counter()

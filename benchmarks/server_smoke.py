@@ -1,0 +1,175 @@
+"""End-to-end server smoke: CLI process boundary, curl, refresh, drain.
+
+The CI ``server-smoke`` step runs this script.  Unlike
+``bench_http.py`` (which hosts the server in-process), everything here
+crosses a real process boundary, exactly like a deployment:
+
+1. build a tiny embedding, save it, publish it with
+   ``repro serve --publish`` (one CLI process);
+2. start ``repro serve --http 0`` as a **subprocess** and parse the
+   bound URL from its stdout;
+3. hit ``/healthz`` with real ``curl`` (falling back to urllib where
+   curl is not installed) and require HTTP 200;
+4. query through :class:`ServingClient` and require the exact top-k
+   answers to be **bit-identical** to an in-process
+   :class:`QueryService` over the same store — ids equal, score bytes
+   equal;
+5. publish a second version out-of-band, drive ``POST /admin/refresh``,
+   and require the server to swap and serve the new version
+   bit-identically too (query → refresh → query);
+6. SIGTERM the server while a burst of batch requests is in flight and
+   require: no response with a 5xx status other than the structured 503
+   ``draining``, and a clean exit code from the drained process.
+
+Exit code 0 = pass.  Run::
+
+    PYTHONPATH=src python benchmarks/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.serving.http import ServingClient  # noqa: E402
+from repro.serving.http.loadgen import (  # noqa: E402
+    assert_bit_identical,
+    cli_subprocess_env,
+    spawn_cli_server,
+)
+from repro.serving.service import QueryService  # noqa: E402
+from repro.serving.store import EmbeddingStore  # noqa: E402
+from repro.serving.synth import synthetic_embedding  # noqa: E402
+
+N_NODES, DIM, K = 512, 16, 10
+SAMPLE = 32
+
+
+def run_cli(*args: str) -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=cli_subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if result.returncode != 0:
+        raise AssertionError(
+            f"cli {' '.join(args)} failed rc={result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+
+
+def curl_healthz(url: str) -> None:
+    """200 from /healthz, via real curl when available."""
+    target = f"{url}/healthz"
+    if shutil.which("curl"):
+        result = subprocess.run(
+            ["curl", "-fsS", "-m", "10", target],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0, f"curl {target} failed: {result.stderr}"
+        body = result.stdout
+    else:
+        with urllib.request.urlopen(target, timeout=10) as response:
+            assert response.status == 200, response.status
+            body = response.read().decode()
+    assert '"status":"ok"' in body.replace(" ", ""), body
+    print(f"  healthz ok: {body.strip()}")
+
+
+def check_bit_identical(
+    client: ServingClient, service: QueryService, label: str
+) -> None:
+    nodes = np.random.default_rng(7).choice(N_NODES, size=SAMPLE, replace=False)
+    checked = assert_bit_identical(client, service, nodes, K)
+    print(f"  {label}: {checked} nodes bit-identical over HTTP")
+
+
+def drain_under_fire(url: str, server: subprocess.Popen) -> None:
+    """SIGTERM mid-burst: in-flight completes, nothing answers 5xx≠503."""
+    from repro.serving.http.loadgen import DrainBurst
+
+    burst = DrainBurst(url, n_nodes=N_NODES, k=K)
+    burst.started.wait(5.0)
+    time.sleep(0.05)  # let the burst reach the server
+    server.send_signal(signal.SIGTERM)
+    outcomes = burst.join(timeout_s=60.0)
+    rc = server.wait(timeout=60)
+    assert not burst.server_errors(), (
+        f"drain produced server errors: {burst.server_errors()}"
+    )
+    assert len(outcomes) == burst.n_requests, "a request never returned"
+    assert rc == 0, f"server exited rc={rc} after SIGTERM"
+    print(
+        f"  drain ok: {burst.completed}/{len(outcomes)} completed, "
+        f"{len(outcomes) - burst.completed} rejected cleanly, server rc=0"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        store_dir = tmp_path / "store"
+        emb1, emb2 = tmp_path / "emb1.npz", tmp_path / "emb2.npz"
+        synthetic_embedding(N_NODES, DIM, seed=0).save(emb1)
+        synthetic_embedding(N_NODES, DIM, seed=1).save(emb2)
+
+        print("publishing v1 through the CLI...")
+        run_cli("serve", "--store", str(store_dir), "--publish", str(emb1))
+
+        print("starting repro serve --http 0 subprocess...")
+        server, url = spawn_cli_server(
+            store_dir, "--backend", "exact", "--threads", "2"
+        )
+        try:
+            print(f"  server up at {url}")
+
+            curl_healthz(url)
+            client = ServingClient(url)
+
+            store = EmbeddingStore(store_dir)
+            with QueryService(store, backend="exact") as local:
+                check_bit_identical(client, local, "v1 exact")
+
+            print("publishing v2 + POST /admin/refresh...")
+            run_cli("serve", "--store", str(store_dir), "--publish", str(emb2))
+            before = client.describe()["version"]
+            report = client.refresh()
+            assert report["swapped"], report
+            assert report["previous_version"] == before == "v00000001", report
+            assert report["version"] == "v00000002", report
+
+            with QueryService(store, backend="exact") as local:
+                assert local.version == "v00000002"
+                check_bit_identical(client, local, "v2 exact after refresh")
+
+            metrics = client.metrics()
+            assert metrics["service"]["queries"] > 0, metrics
+
+            print("SIGTERM under fire...")
+            drain_under_fire(url, server)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+    print("server smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

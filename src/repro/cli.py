@@ -7,11 +7,16 @@ Usage::
     python -m repro.cli evaluate --graph graph.npz --task link --k 64
     python -m repro.cli serve --store store/ --publish emb.npz
     python -m repro.cli serve --store store/ --publish emb.npz --shards 4
+    python -m repro.cli serve --store store/ --http 8080
     python -m repro.cli query --store store/ --node 0 --k 5
+    python -m repro.cli bench-http --url http://127.0.0.1:8080 --requests 512
     python -m repro.cli datasets
 
 ``query`` auto-detects sharded store roots (created with ``serve
---shards N``) and scatter-gathers across the segments.
+--shards N``) and scatter-gathers across the segments.  ``serve --http
+PORT`` exposes the store over the JSON HTTP API (see
+``docs/SERVING.md``); ``bench-http`` is the matching client-side load
+generator.
 
 The CLI wraps the same public API the examples use; it exists so the
 embedding pipeline can run without writing Python.
@@ -186,6 +191,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(f"rolled back to {version}")
+    if args.http is not None:
+        return _serve_http(store, args)
     if not args.publish and not args.rollback:
         latest = store.latest()
         versions = store.versions()
@@ -199,6 +206,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"d={manifest['n_attributes']} k={manifest['k']}"
             )
     return 0
+
+
+def _serve_http(store, args: argparse.Namespace) -> int:
+    """Block serving the store over HTTP until SIGTERM/SIGINT.
+
+    The server owns a :class:`QueryService` built from the CLI knobs and
+    drains gracefully on shutdown: in-flight requests complete, late
+    arrivals get a structured 503.
+    """
+    from repro.serving.http import EmbeddingServer
+    from repro.serving.service import QueryService
+
+    if store.latest() is None:
+        print("error: store has no published versions", file=sys.stderr)
+        return 2
+    with QueryService(
+        store,
+        backend=args.backend,
+        nprobe=args.nprobe,
+        n_threads=args.threads,
+        index_cache=True,
+    ) as service:
+        server = EmbeddingServer(
+            service,
+            host=args.http_host,
+            port=args.http,
+            drain_timeout_s=args.drain_timeout,
+            log=args.log_requests,
+        )
+        # One parsable line so wrappers (CI smoke, scripts) can discover
+        # the bound port when --http 0 asked for an ephemeral one.
+        print(
+            f"serving {args.store} [{service.describe()['backend_kind']}] "
+            f"on {server.url}",
+            flush=True,
+        )
+        if server.run():
+            print("drained and stopped", flush=True)
+            return 0
+        print(
+            "error: drain timed out; in-flight requests were abandoned",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+
+
+def _cmd_bench_http(args: argparse.Namespace) -> int:
+    """Client-side load generator against running embedding servers."""
+    from repro.serving.http import ApiError, ServingClient, run_load
+
+    client = ServingClient(args.url, timeout_s=args.timeout)
+    try:
+        n_nodes = args.nodes or int(client.describe()["n_nodes"])
+    except (ApiError, OSError) as error:
+        print(f"error: cannot reach server: {error}", file=sys.stderr)
+        return 2
+    report = run_load(
+        args.url,
+        n_nodes=n_nodes,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        k=args.k,
+        nprobe=args.nprobe,
+        batch=args.batch,
+        timeout_s=args.timeout,
+        seed=args.seed,
+    )
+    shape = f"batch={args.batch}" if args.batch else "single"
+    print(
+        f"{report.requests} requests ({shape}, c={report.concurrency}) in "
+        f"{report.seconds:.2f}s: {report.qps:.0f} req/s "
+        f"({report.query_qps:.0f} queries/s)  "
+        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
+        f"errors={report.errors}"
+    )
+    for message in report.error_messages[:5]:
+        print(f"  error: {message}", file=sys.stderr)
+    return 0 if report.errors == 0 else 1
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -300,6 +386,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="row partitioning for a new sharded store (default range; "
         "must match the recorded layout of an existing sharded root)",
     )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the store over the JSON HTTP API on this port "
+        "(0 = ephemeral; the bound URL is printed) until SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind address for --http (default loopback only)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "exact", "ivf", "pq", "ivfpq"),
+        default="exact",
+        help="search backend behind --http (default exact; trained "
+        "artifacts persist into the store version directory)",
+    )
+    serve.add_argument(
+        "--nprobe", type=int, default=8, help="IVF cells probed per query"
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="worker threads for batch fan-out behind --http",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
 
     query = sub.add_parser("query", help="query a published embedding store")
     query.add_argument("--store", required=True, help="store root directory")
@@ -330,6 +456,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", default=None, help="pin a store version (default: latest)"
     )
 
+    bench_http = sub.add_parser(
+        "bench-http", help="load-generate against running embedding servers"
+    )
+    bench_http.add_argument(
+        "--url",
+        action="append",
+        required=True,
+        help="server base URL (repeat for replicas; batches fan out)",
+    )
+    bench_http.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        help="query-id range (default: the server's n_nodes via /v1/describe)",
+    )
+    bench_http.add_argument("--requests", type=int, default=512)
+    bench_http.add_argument("--concurrency", type=int, default=4)
+    bench_http.add_argument("--k", type=int, default=10)
+    bench_http.add_argument(
+        "--nprobe", type=int, default=None, help="IVF cells probed per query"
+    )
+    bench_http.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="nodes per request via /v1/topk:batch (0 = single-node /v1/topk)",
+    )
+    bench_http.add_argument("--timeout", type=float, default=30.0)
+    bench_http.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -341,6 +497,7 @@ _COMMANDS = {
     "neighbors": _cmd_neighbors,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "bench-http": _cmd_bench_http,
 }
 
 

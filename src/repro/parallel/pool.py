@@ -19,6 +19,7 @@ but still executes single-block/single-thread calls inline, mirroring
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
@@ -41,6 +42,10 @@ class WorkerPool:
         self.n_threads = n_threads
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
+        # Guards the lazy executor creation: concurrent first callers (e.g.
+        # HTTP handler threads fanning out batch queries) must agree on one
+        # executor instead of racing two into existence and leaking one.
+        self._init_lock = threading.Lock()
 
     @property
     def is_active(self) -> bool:
@@ -55,23 +60,30 @@ class WorkerPool:
             return []
         if len(blocks) == 1 or self.n_threads == 1:
             return [work(i, block) for i, block in enumerate(blocks)]
-        if self._closed:
-            raise RuntimeError("WorkerPool is closed")
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.n_threads, thread_name_prefix="pane-worker"
-            )
-        futures = [
-            self._executor.submit(work, i, block) for i, block in enumerate(blocks)
-        ]
+        with self._init_lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_threads, thread_name_prefix="pane-worker"
+                )
+            # Submit under the lock: a concurrent close() between the
+            # closed-check and the submits would shut the executor down
+            # and turn them into opaque RuntimeErrors.  Submission only
+            # enqueues (cheap); the blocking result() waits stay outside.
+            futures = [
+                self._executor.submit(work, i, block)
+                for i, block in enumerate(blocks)
+            ]
         return [future.result() for future in futures]
 
     def close(self) -> None:
         """Join the worker threads; further parallel calls raise."""
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._init_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -13,7 +13,11 @@ into something that answers similarity queries under load:
   rebuild → swap, without downtime (``refresh.py``);
 - :mod:`~repro.serving.sharding` — multi-segment sharded stores, PQ
   compression, and the scatter-gather :class:`ShardRouter`
-  (``sharding/``).
+  (``sharding/``);
+- :mod:`~repro.serving.http` — the stdlib HTTP front-end
+  (:class:`~repro.serving.http.EmbeddingServer`) and its retrying,
+  replica-fanning :class:`~repro.serving.http.ServingClient`
+  (``http/``; imported lazily — ``from repro.serving.http import ...``).
 
 See ``docs/SERVING.md`` for the operational guide.
 """
@@ -28,7 +32,13 @@ from repro.serving.index import (
     resolve_kind,
 )
 from repro.serving.refresh import OnlineRefresher, RefreshReport
-from repro.serving.service import QueryResult, QueryService
+from repro.serving.service import (
+    PinnedView,
+    QueryResult,
+    QueryService,
+    backend_kind_name,
+    json_safe,
+)
 from repro.serving.sharding import (
     IVFPQBackend,
     Partitioner,
@@ -53,6 +63,7 @@ __all__ = [
     "PQBackend",
     "PQCodec",
     "Partitioner",
+    "PinnedView",
     "QueryResult",
     "QueryService",
     "RefreshReport",
@@ -61,6 +72,8 @@ __all__ = [
     "ShardedEmbeddingStore",
     "ShardedStoredEmbedding",
     "StoredEmbedding",
+    "backend_kind_name",
+    "json_safe",
     "make_backend",
     "resolve_kind",
     "search_features",

@@ -1,0 +1,36 @@
+"""HTTP serving front-end: server, wire protocol, client, load generator.
+
+The network layer over :class:`~repro.serving.service.QueryService`:
+
+- :class:`EmbeddingServer` — threaded stdlib HTTP server with JSON
+  endpoints, structured errors, and graceful drain (``server.py``);
+- :mod:`~repro.serving.http.protocol` — the wire schema both sides
+  share: validation, error envelope, bit-exact score encoding;
+- :class:`ServingClient` — retrying, replica-fanning client with
+  :meth:`~repro.serving.stats.LatencyStats.merge` fan-in stats
+  (``client.py``);
+- :func:`run_load` — the closed-loop load generator behind
+  ``repro bench-http`` and ``benchmarks/bench_http.py`` (``loadgen.py``).
+
+Everything is standard library + numpy — no new dependencies.
+"""
+
+from repro.serving.http.client import (
+    HTTPQueryResult,
+    ServingClient,
+    ServingUnavailable,
+)
+from repro.serving.http.loadgen import LoadReport, run_load
+from repro.serving.http.protocol import PROTOCOL_SCHEMA, ApiError
+from repro.serving.http.server import EmbeddingServer
+
+__all__ = [
+    "ApiError",
+    "EmbeddingServer",
+    "HTTPQueryResult",
+    "LoadReport",
+    "PROTOCOL_SCHEMA",
+    "ServingClient",
+    "ServingUnavailable",
+    "run_load",
+]

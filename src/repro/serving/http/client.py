@@ -1,0 +1,360 @@
+"""HTTP client for the embedding server: retries, replicas, fan-out.
+
+:class:`ServingClient` is the reference consumer of the wire protocol in
+:mod:`repro.serving.http.protocol`:
+
+- **Idempotent-read retries.**  Every read endpoint (top-k, describe,
+  health, metrics) only reads an immutable snapshot server-side, so a
+  connection error or a 503 (a draining replica) is safely retried on
+  the next replica with a small backoff.  ``/admin/refresh`` mutates
+  serving state and is never retried — a timeout there must surface to
+  the caller, who knows whether re-applying is safe.
+- **Replica fan-out.**  ``batch_top_k`` splits a node batch into
+  contiguous chunks, one per healthy replica, issues them concurrently,
+  and reassembles the rows in caller order.  Replicas must answer from
+  the same store version (the chunks are one logical batch); a version
+  skew — one replica mid-swap — raises ``replica_version_skew`` so the
+  caller can retry the batch rather than silently mixing versions.
+- **Fan-in stats.**  One :class:`~repro.serving.stats.LatencyStats` per
+  replica, merged on demand with :meth:`LatencyStats.merge` — the same
+  disjoint-stream fan-in the shard router uses, one level up.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.serving.http import protocol
+from repro.serving.http.protocol import ApiError
+from repro.serving.stats import LatencyStats
+
+
+class ServingUnavailable(ApiError):
+    """No replica could answer: connection failures / 503s all around."""
+
+    def __init__(self, message: str, details: dict | None = None) -> None:
+        super().__init__(503, "unavailable", message, details)
+
+
+@dataclass(frozen=True)
+class HTTPQueryResult:
+    """A query answer as observed by the client.
+
+    ``latency_s`` is the client-side wall time (network included);
+    ``server_latency_s`` is what the server measured for the backend
+    work, so the gap between the two is the wire + queueing cost.
+    """
+
+    version: str
+    ids: np.ndarray
+    scores: np.ndarray
+    latency_s: float
+    server_latency_s: float
+    cached: bool = False
+
+
+class _Replica:
+    """One base URL plus its private latency stream."""
+
+    def __init__(self, base_url: str) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme != "http":
+            raise ValueError(f"only http:// replicas are supported, got {base_url!r}")
+        if split.hostname is None:
+            raise ValueError(f"replica URL needs a host: {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        # A path component is a mount prefix (reverse proxy); endpoint
+        # paths are appended to it.
+        self.prefix = split.path.rstrip("/")
+        self.base_url = f"http://{self.host}:{self.port}{self.prefix}"
+        self.stats = LatencyStats()
+
+    def request(
+        self, method: str, path: str, body: dict | None, timeout_s: float
+    ) -> tuple[int, dict]:
+        """One HTTP exchange; returns (status, parsed JSON body).
+
+        A fresh connection per request keeps the replica object safe to
+        share across fan-out threads (http.client connections are not).
+        """
+        payload = protocol.dump_json(body) if body is not None else None
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout_s
+        )
+        start = time.perf_counter()
+        try:
+            headers = {"Accept": "application/json", "Connection": "close"}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(
+                method, self.prefix + path, body=payload, headers=headers
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        self.stats.record(time.perf_counter() - start)
+        return status, protocol.parse_json_body(raw)
+
+
+class ServingClient:
+    """Client over one or more :class:`EmbeddingServer` replicas.
+
+    Parameters
+    ----------
+    base_urls:
+        One URL or a sequence (``"http://127.0.0.1:8080"`` or
+        ``"127.0.0.1:8080"``).  Order seeds the preference; reads rotate
+        onto later replicas when earlier ones fail.
+    timeout_s / retries / backoff_s:
+        Per-request socket timeout; extra attempts per *read* request
+        beyond the first (spread across replicas); sleep between
+        attempts, doubled each retry.
+    """
+
+    def __init__(
+        self,
+        base_urls: str | Sequence[str],
+        *,
+        timeout_s: float = 10.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ) -> None:
+        if isinstance(base_urls, str):
+            base_urls = [base_urls]
+        if not base_urls:
+            raise ValueError("ServingClient needs at least one replica URL")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.replicas = [_Replica(url) for url in base_urls]
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def stats(self) -> dict:
+        """The merged per-replica latency view (disjoint-stream fan-in)."""
+        merged = LatencyStats.merge([r.stats for r in self.replicas])
+        return {
+            "replicas": {
+                r.base_url: r.stats.snapshot() for r in self.replicas
+            },
+            "merged": merged.snapshot(),
+        }
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        prefer: int = 0,
+    ) -> dict:
+        """Issue a request, retrying reads across replicas.
+
+        ``prefer`` rotates the replica order so fan-out chunks spread
+        across replicas instead of all hammering the first.  Retryable
+        outcomes — connection errors, timeouts, 503 — move on to the
+        next replica; protocol errors (4xx) raise immediately, they
+        would fail identically everywhere.  Non-read endpoints get
+        exactly one attempt on the preferred replica.
+        """
+        idempotent = path in protocol.READ_ENDPOINTS
+        attempts = 1 + (self.retries if idempotent else 0)
+        prefer %= len(self.replicas)
+        candidates = self.replicas[prefer:] + self.replicas[:prefer]
+        failures: dict[str, str] = {}
+        last_503: ApiError | None = None
+        backoff = self.backoff_s
+        for attempt in range(attempts):
+            target = candidates[attempt % len(candidates)]
+            try:
+                status, payload = target.request(
+                    method, path, body, self.timeout_s
+                )
+            except (OSError, http.client.HTTPException) as error:
+                failures[target.base_url] = f"{type(error).__name__}: {error}"
+                if not idempotent:
+                    raise ServingUnavailable(
+                        f"{path} failed and is not retryable", failures
+                    ) from error
+            else:
+                if status < 400:
+                    return payload
+                error = ApiError.from_body(status, payload)
+                if status != 503:
+                    raise error
+                last_503 = error
+                failures[target.base_url] = f"503 {error.code}"
+            if attempt + 1 < attempts and backoff > 0:
+                time.sleep(backoff)
+                backoff *= 2
+        if last_503 is not None:
+            # The server's structured refusal (e.g. ``draining``) beats a
+            # generic wrapper — callers can branch on its code.
+            raise last_503
+        raise ServingUnavailable(
+            f"all {attempts} attempt(s) at {path} failed", failures
+        )
+
+    # -- read endpoints ------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", protocol.HEALTHZ)
+
+    def describe(self) -> dict:
+        return self._request("GET", protocol.DESCRIBE)
+
+    def metrics(self) -> dict:
+        return self._request("GET", protocol.METRICS)
+
+    def top_k(
+        self, node: int, k: int = 10, *, nprobe: int | None = None
+    ) -> HTTPQueryResult:
+        start = time.perf_counter()
+        body = {"node": int(node), "k": int(k)}
+        if nprobe is not None:
+            body["nprobe"] = int(nprobe)
+        payload = self._request("POST", protocol.TOPK, body)
+        return HTTPQueryResult(
+            version=payload["version"],
+            ids=np.asarray(payload["ids"], dtype=np.intp),
+            scores=protocol.decode_scores(payload["scores"]),
+            latency_s=time.perf_counter() - start,
+            server_latency_s=float(payload["latency_s"]),
+            cached=bool(payload.get("cached", False)),
+        )
+
+    def similar_by_vector(
+        self,
+        vector: np.ndarray | Sequence[float],
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+    ) -> HTTPQueryResult:
+        start = time.perf_counter()
+        body = {
+            "vector": [float(x) for x in np.asarray(vector).ravel().tolist()],
+            "k": int(k),
+        }
+        if nprobe is not None:
+            body["nprobe"] = int(nprobe)
+        payload = self._request("POST", protocol.SIMILAR, body)
+        return HTTPQueryResult(
+            version=payload["version"],
+            ids=np.asarray(payload["ids"], dtype=np.intp),
+            scores=protocol.decode_scores(payload["scores"]),
+            latency_s=time.perf_counter() - start,
+            server_latency_s=float(payload["latency_s"]),
+        )
+
+    def batch_top_k(
+        self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
+    ) -> HTTPQueryResult:
+        """Top-k for a node batch, fanned out across the replicas.
+
+        The batch is split into ``min(n_replicas, len(nodes))`` contiguous
+        chunks issued concurrently (one thread per chunk, each pinned to
+        its own replica but free to fail over); rows come back in caller
+        order.  All chunks must be answered from the same store version —
+        a mid-swap skew raises ``replica_version_skew`` instead of
+        returning rows that mix versions.
+        """
+        start = time.perf_counter()
+        nodes = [int(node) for node in np.asarray(nodes, dtype=np.intp).ravel()]
+        if not nodes:
+            raise ValueError("batch_top_k needs at least one node")
+
+        def submit(chunk: list[int], prefer: int) -> dict:
+            body = {"nodes": chunk, "k": int(k)}
+            if nprobe is not None:
+                body["nprobe"] = int(nprobe)
+            return self._request(
+                "POST", protocol.TOPK_BATCH, body, prefer=prefer
+            )
+
+        n_chunks = min(len(self.replicas), len(nodes))
+        if n_chunks == 1:
+            payloads = [submit(nodes, 0)]
+        else:
+            chunks = [
+                [int(node) for node in part]
+                for part in np.array_split(nodes, n_chunks)
+            ]
+            payloads: list[dict | None] = [None] * n_chunks
+            errors: list[BaseException | None] = [None] * n_chunks
+
+            def work(index: int) -> None:
+                # Preferred replica per chunk spreads the load; retries
+                # inside _request still fail over to the full set.
+                try:
+                    payloads[index] = submit(chunks[index], index)
+                except BaseException as error:  # re-raised on the caller
+                    errors[index] = error
+
+            threads = [
+                threading.Thread(target=work, args=(i,), daemon=True)
+                for i in range(n_chunks)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for error in errors:
+                if error is not None:
+                    raise error
+
+        versions = {payload["version"] for payload in payloads}
+        if len(versions) > 1:
+            raise ApiError(
+                409, "replica_version_skew",
+                "batch chunks were answered from different store versions",
+                {"versions": sorted(versions)},
+            )
+        ids = np.vstack(
+            [np.asarray(payload["ids"], dtype=np.intp) for payload in payloads]
+        )
+        scores = np.vstack(
+            [
+                np.vstack([protocol.decode_scores(row) for row in payload["scores"]])
+                for payload in payloads
+            ]
+        )
+        return HTTPQueryResult(
+            version=next(iter(versions)),
+            ids=ids,
+            scores=scores,
+            latency_s=time.perf_counter() - start,
+            # Chunks ran concurrently on different replicas: the slowest
+            # one is the server-side critical path (summing would put
+            # server time above the client wall clock).
+            server_latency_s=float(
+                max(payload["latency_s"] for payload in payloads)
+            ),
+        )
+
+    # -- admin ---------------------------------------------------------
+    def refresh(
+        self, *, version: str | None = None, delta: dict | None = None
+    ) -> dict:
+        """Drive ``POST /admin/refresh`` (never retried — not idempotent)."""
+        if version is not None and delta is not None:
+            raise ValueError("pass either version or delta, not both")
+        body: dict = {}
+        if version is not None:
+            body["version"] = version
+        if delta is not None:
+            body["delta"] = delta
+        return self._request("POST", protocol.REFRESH, body)

@@ -1,0 +1,236 @@
+"""Wire protocol for the HTTP serving front-end.
+
+One module owns what crosses the process boundary — request validation,
+the structured error envelope, and the result encoding — so the server
+(:mod:`repro.serving.http.server`) and the client
+(:mod:`repro.serving.http.client`) cannot drift apart.
+
+Design notes:
+
+- **Bit-exact floats.** Scores are transmitted as JSON numbers.  Python
+  serializes a float via ``repr`` (shortest round-trip form) and parses
+  it back to the identical IEEE-754 bits, so exact top-k over HTTP is
+  *bit-identical* to the in-process answer — the property the CI server
+  smoke asserts.  The one non-finite value the engine produces, the
+  ``-inf`` score of an id ``-1`` padding slot, is encoded as JSON
+  ``null`` (standard JSON has no ``Infinity``), and decoded back.
+- **Structured errors.** Every non-2xx response carries
+  ``{"error": {"code", "message", "details"}}``.  ``code`` is a stable
+  machine-readable string (``invalid_request``, ``node_not_found``,
+  ``refresh_in_progress``, ``draining``, ...); the HTTP status carries
+  the class (400 validation, 404 missing resource, 409 conflict,
+  503 unavailable/draining).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+PROTOCOL_SCHEMA = "repro.serving.http/v1"
+
+# Stable endpoint paths (the server routes on these; the client targets them).
+TOPK = "/v1/topk"
+TOPK_BATCH = "/v1/topk:batch"
+SIMILAR = "/v1/similar_by_vector"
+DESCRIBE = "/v1/describe"
+HEALTHZ = "/healthz"
+METRICS = "/metrics"
+REFRESH = "/admin/refresh"
+
+# Endpoints that only read the active snapshot: safe for a client to
+# retry on another replica after a connection error or a 503.
+READ_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, DESCRIBE, HEALTHZ, METRICS})
+
+
+class ApiError(Exception):
+    """A protocol-level failure with a wire representation.
+
+    Raised by request validators and endpoint handlers; the server turns
+    it into the structured error JSON, the client re-raises it from the
+    parsed body — so both sides of the wire speak the same exception.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: dict | None = None,
+    ) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+    def body(self) -> dict:
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "details": self.details,
+            }
+        }
+
+    @classmethod
+    def from_body(cls, status: int, body: dict) -> "ApiError":
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        return cls(
+            status,
+            error.get("code", "unknown"),
+            error.get("message", "unknown error"),
+            error.get("details") or {},
+        )
+
+
+def parse_json_body(raw: bytes) -> dict:
+    """Decode a request/response body; empty bytes mean ``{}``."""
+    if not raw:
+        return {}
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ApiError(400, "invalid_json", f"body is not valid JSON: {error}")
+    if not isinstance(body, dict):
+        raise ApiError(
+            400, "invalid_request", "body must be a JSON object",
+            {"got": type(body).__name__},
+        )
+    return body
+
+
+def dump_json(payload: dict) -> bytes:
+    """Serialize a response payload (compact separators, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":"), allow_nan=False).encode(
+        "utf-8"
+    )
+
+
+# -- field validators --------------------------------------------------
+def require_int(
+    body: dict,
+    name: str,
+    *,
+    default: int | None = None,
+    required: bool = False,
+    minimum: int | None = None,
+    maximum: int | None = None,
+) -> int | None:
+    value = body.get(name)
+    if value is None:
+        if required:
+            raise ApiError(400, "invalid_request", f"missing field {name!r}")
+        return default
+    # bool subclasses int; `"node": true` must not pass as node 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(
+            400, "invalid_request", f"field {name!r} must be an integer",
+            {name: value},
+        )
+    if minimum is not None and value < minimum:
+        raise ApiError(
+            400, "invalid_request", f"field {name!r} must be >= {minimum}",
+            {name: value},
+        )
+    if maximum is not None and value > maximum:
+        raise ApiError(
+            400, "invalid_request", f"field {name!r} must be <= {maximum}",
+            {name: value},
+        )
+    return value
+
+
+def require_int_list(body: dict, name: str, *, max_items: int) -> list[int]:
+    value = body.get(name)
+    if not isinstance(value, list) or not value:
+        raise ApiError(
+            400, "invalid_request", f"field {name!r} must be a non-empty list"
+        )
+    if len(value) > max_items:
+        raise ApiError(
+            400, "invalid_request",
+            f"field {name!r} exceeds the {max_items}-item limit",
+            {"items": len(value)},
+        )
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must contain only integers", {name: item},
+            )
+    return value
+
+
+def require_float_list(body: dict, name: str, *, max_items: int) -> list[float]:
+    value = body.get(name)
+    if not isinstance(value, list) or not value:
+        raise ApiError(
+            400, "invalid_request", f"field {name!r} must be a non-empty list"
+        )
+    if len(value) > max_items:
+        raise ApiError(
+            400, "invalid_request",
+            f"field {name!r} exceeds the {max_items}-item limit",
+            {"items": len(value)},
+        )
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must contain only numbers", {name: item},
+            )
+        if not math.isfinite(item):
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must contain only finite numbers",
+            )
+        out.append(float(item))
+    return out
+
+
+def reject_unknown_fields(body: dict, allowed: Sequence[str]) -> None:
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ApiError(
+            400, "invalid_request", "unknown request fields",
+            {"unknown": unknown, "allowed": sorted(allowed)},
+        )
+
+
+# -- result encoding ---------------------------------------------------
+def encode_scores(scores: np.ndarray) -> list:
+    """Float scores → JSON list; ``-inf`` padding becomes ``null``."""
+    return [None if s == -np.inf else s for s in scores.tolist()]
+
+
+def decode_scores(values: Sequence[Any]) -> np.ndarray:
+    """JSON score list → float64 array; ``null`` becomes ``-inf``."""
+    return np.array(
+        [-np.inf if v is None else float(v) for v in values], dtype=np.float64
+    )
+
+
+def encode_result(result) -> dict:
+    """A single :class:`~repro.serving.service.QueryResult` row → wire dict."""
+    return {
+        "version": result.version,
+        "ids": [int(i) for i in result.ids.tolist()],
+        "scores": encode_scores(result.scores),
+        "cached": bool(result.cached),
+        "latency_s": float(result.latency_s),
+    }
+
+
+def encode_batch_result(result) -> dict:
+    """A stacked batch :class:`QueryResult` → wire dict (row-major)."""
+    return {
+        "version": result.version,
+        "ids": [[int(i) for i in row] for row in result.ids.tolist()],
+        "scores": [encode_scores(row) for row in np.atleast_2d(result.scores)],
+        "latency_s": float(result.latency_s),
+    }

@@ -1,0 +1,644 @@
+"""Threaded HTTP server over a :class:`~repro.serving.service.QueryService`.
+
+:class:`EmbeddingServer` puts the in-process serving stack behind a
+network boundary with nothing but the standard library: a
+``ThreadingHTTPServer`` whose handler threads answer JSON endpoints
+against snapshot-pinned views of the query service.
+
+Endpoints (see :mod:`repro.serving.http.protocol` for the wire schema):
+
+==========================  ====================================================
+``GET  /healthz``           liveness + active version (503 while draining)
+``GET  /v1/describe``       the stable ``QueryService.describe()`` document
+``GET  /metrics``           service/per-shard/per-endpoint ``LatencyStats``
+``POST /v1/topk``           ``{node, k?, nprobe?}`` → ids/scores
+``POST /v1/topk:batch``     ``{nodes, k?, nprobe?}`` → row-major ids/scores
+``POST /v1/similar_by_vector``  ``{vector, k?, nprobe?}`` → ids/scores
+``POST /admin/refresh``     ``{}`` → follow LATEST; ``{version}`` → pin;
+                            ``{delta}`` → drive the attached
+                            :class:`~repro.serving.refresh.OnlineRefresher`
+==========================  ====================================================
+
+Concurrency: every request handler runs in its own thread and pins one
+immutable service snapshot (:meth:`QueryService.pin`) for its whole
+lifetime, so a concurrent ``/admin/refresh`` swap can never hand a
+request the new backend with the old matrix.  The service's cache,
+stats, and worker pool are all lock-protected / snapshot-immutable, so
+handler threads need no locking of their own.
+
+Graceful drain: :meth:`EmbeddingServer.close` (and SIGTERM under
+:meth:`run`) stops accepting connections, answers requests that arrive
+on already-open keep-alive connections with 503 ``draining``, and waits
+up to ``drain_timeout_s`` for requests already *executing* to finish —
+in-flight work completes with its real status, never a 500.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.serving.http import protocol
+from repro.serving.http.protocol import ApiError
+from repro.serving.refresh import OnlineRefresher
+from repro.serving.service import QueryService, json_safe
+from repro.serving.sharding.router import ShardRouter
+from repro.serving.stats import LatencyStats
+
+# Request-size guards: a validation error must cost a bounded amount of
+# work, not an unbounded np.asarray over attacker-sized JSON.
+MAX_BODY_BYTES = 8 << 20
+MAX_BATCH_NODES = 8192
+MAX_VECTOR_DIM = 65536
+MAX_K = 65536
+
+
+class EmbeddingServer:
+    """A stdlib HTTP front-end over one :class:`QueryService`.
+
+    Parameters
+    ----------
+    service:
+        The query service to expose.  The server never closes it — the
+        owner that built it does.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port`).
+    refresher:
+        Optional :class:`OnlineRefresher` wired to the same service;
+        with it attached, ``POST /admin/refresh`` accepts a ``delta``
+        document and drives the full update → publish → swap flow.
+        Without it, refresh is limited to following/pinning published
+        store versions.
+    drain_timeout_s:
+        How long :meth:`close` waits for in-flight requests.
+
+    Examples
+    --------
+    >>> with EmbeddingServer(service) as server:      # doctest: +SKIP
+    ...     client = ServingClient(server.url)
+    ...     client.top_k(0, k=5)
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        refresher: OnlineRefresher | None = None,
+        drain_timeout_s: float = 10.0,
+        log: bool = False,
+    ) -> None:
+        self.service = service
+        self.refresher = refresher
+        self.drain_timeout_s = drain_timeout_s
+        self.log_requests = log
+        self._draining = False
+        self._in_flight = 0
+        self._flight_lock = threading.Lock()
+        self._drained = threading.Condition(self._flight_lock)
+        self._refresh_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self.endpoint_stats: dict[str, LatencyStats] = {
+            path: LatencyStats()
+            for path in (
+                protocol.TOPK,
+                protocol.TOPK_BATCH,
+                protocol.SIMILAR,
+                protocol.DESCRIBE,
+                protocol.HEALTHZ,
+                protocol.METRICS,
+                protocol.REFRESH,
+            )
+        }
+        self.error_counts: dict[str, int] = {}
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Handler threads must not block process exit (an idle keep-alive
+        # peer would otherwise hang server_close); the drain condition
+        # below is what guarantees in-flight *requests* complete.
+        self._httpd.daemon_threads = True
+        self._httpd.embedding_server = self  # type: ignore[attr-defined]
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        with self._flight_lock:
+            return self._in_flight
+
+    def start(self) -> "EmbeddingServer":
+        """Serve in a background thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="embedding-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def run(self, *, signals: bool = True) -> bool:
+        """Serve until SIGTERM/SIGINT, then drain and shut down.
+
+        The accept loop runs in a background thread while the calling
+        (main) thread waits on an event the signal handlers set — a
+        handler that called :meth:`close` directly would deadlock inside
+        ``serve_forever``'s own thread.  Returns :meth:`close`'s verdict:
+        ``True`` for a clean drain, ``False`` if in-flight requests were
+        still running when ``drain_timeout_s`` expired.
+        """
+        stop = threading.Event()
+        if signals:
+            import signal
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, lambda *_: stop.set())
+        self.start()
+        try:
+            stop.wait()
+        finally:
+            drained = self.close()
+        return drained
+
+    def close(self) -> bool:
+        """Drain in-flight requests and stop the server.
+
+        Returns ``True`` when every in-flight request finished inside
+        ``drain_timeout_s`` (the graceful path), ``False`` on timeout.
+        Idempotent.
+        """
+        self._draining = True
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever; calling it on a
+            # never-started server would wait on an event nothing sets.
+            self._httpd.shutdown()  # stop accepting; running handlers continue
+        drained = True
+        with self._drained:
+            deadline_ok = self._drained.wait_for(
+                lambda: self._in_flight == 0, timeout=self.drain_timeout_s
+            )
+            drained = bool(deadline_ok)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=self.drain_timeout_s)
+            self._thread = None
+        return drained
+
+    def __enter__(self) -> "EmbeddingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request accounting --------------------------------------------
+    def _enter_request(self) -> bool:
+        """Register an in-flight request; ``False`` once draining began."""
+        with self._flight_lock:
+            if self._draining:
+                return False
+            self._in_flight += 1
+            return True
+
+    def _exit_request(self) -> None:
+        with self._drained:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._drained.notify_all()
+
+    def _count_error(self, code: str) -> None:
+        with self._flight_lock:
+            self.error_counts[code] = self.error_counts.get(code, 0) + 1
+
+    # -- endpoint handlers ---------------------------------------------
+    # Each returns (status, payload-dict); ApiError propagates to the
+    # handler, which writes the structured error body.
+    def handle_healthz(self, _body: dict) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "version": self.service.version,
+            "draining": self._draining,
+        }
+
+    def handle_describe(self, _body: dict) -> tuple[int, dict]:
+        info = self.service.describe()
+        info["schema"] = protocol.PROTOCOL_SCHEMA
+        return 200, info
+
+    def handle_metrics(self, _body: dict) -> tuple[int, dict]:
+        per_endpoint = {
+            path: stats.snapshot() for path, stats in self.endpoint_stats.items()
+        }
+        payload = {
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "server": {
+                "in_flight": self.in_flight,
+                "draining": self._draining,
+                "endpoints": per_endpoint,
+                # All endpoints fan in to one server-level view; endpoint
+                # streams are disjoint, exactly what merge() is for.
+                "http": LatencyStats.merge(
+                    list(self.endpoint_stats.values())
+                ).snapshot(),
+                "errors": dict(self.error_counts),
+            },
+            "service": self.service.stats.snapshot(),
+        }
+        backend = self.service.backend
+        if isinstance(backend, ShardRouter):
+            payload["shards"] = {
+                "n_shards": backend.n_shards,
+                "per_shard": [s.snapshot() for s in backend.shard_stats],
+                "merged": LatencyStats.merge(backend.shard_stats).snapshot(),
+            }
+        return 200, json_safe(payload)
+
+    def handle_topk(self, body: dict) -> tuple[int, dict]:
+        protocol.reject_unknown_fields(body, ("node", "k", "nprobe"))
+        node = protocol.require_int(body, "node", required=True, minimum=0)
+        k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
+        nprobe = protocol.require_int(body, "nprobe", minimum=1)
+        view = self.service.pin()
+        result = _translate_errors(lambda: view.top_k(node, k, nprobe=nprobe))
+        return 200, protocol.encode_result(result)
+
+    def handle_topk_batch(self, body: dict) -> tuple[int, dict]:
+        protocol.reject_unknown_fields(body, ("nodes", "k", "nprobe"))
+        nodes = protocol.require_int_list(body, "nodes", max_items=MAX_BATCH_NODES)
+        k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
+        nprobe = protocol.require_int(body, "nprobe", minimum=1)
+        if min(nodes) < 0:
+            raise ApiError(
+                400, "invalid_request", "field 'nodes' must be non-negative"
+            )
+        view = self.service.pin()
+        result = _translate_errors(
+            lambda: view.batch_top_k(nodes, k, nprobe=nprobe)
+        )
+        return 200, protocol.encode_batch_result(result)
+
+    def handle_similar(self, body: dict) -> tuple[int, dict]:
+        protocol.reject_unknown_fields(body, ("vector", "k", "nprobe"))
+        vector = protocol.require_float_list(
+            body, "vector", max_items=MAX_VECTOR_DIM
+        )
+        k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
+        nprobe = protocol.require_int(body, "nprobe", minimum=1)
+        view = self.service.pin()
+        result = _translate_errors(
+            lambda: view.similar_by_vector(
+                np.asarray(vector, dtype=np.float64), k, nprobe=nprobe
+            )
+        )
+        return 200, protocol.encode_result(result)
+
+    def handle_refresh(self, body: dict) -> tuple[int, dict]:
+        protocol.reject_unknown_fields(body, ("version", "delta"))
+        if "version" in body and "delta" in body:
+            raise ApiError(
+                400, "invalid_request",
+                "'version' and 'delta' are mutually exclusive",
+            )
+        if not self._refresh_lock.acquire(blocking=False):
+            raise ApiError(
+                409, "refresh_in_progress",
+                "another refresh is already running; retry after it settles",
+            )
+        try:
+            previous = self.service.version
+            if "delta" in body:
+                return 200, self._apply_delta_refresh(body["delta"], previous)
+            if "version" in body:
+                version = body["version"]
+                if not isinstance(version, str) or not version:
+                    raise ApiError(
+                        400, "invalid_request",
+                        "field 'version' must be a non-empty string",
+                    )
+                try:
+                    current = self.service.activate(version)
+                except FileNotFoundError:
+                    raise ApiError(
+                        404, "version_not_found",
+                        f"store has no version {version!r}",
+                        {"version": version},
+                    )
+            else:
+                current = self.service.refresh_to_latest()
+            return 200, {
+                "previous_version": previous,
+                "version": current,
+                "swapped": current != previous,
+            }
+        finally:
+            self._refresh_lock.release()
+
+    def _apply_delta_refresh(self, delta_body, previous: str) -> dict:
+        if self.refresher is None:
+            raise ApiError(
+                409, "no_refresher",
+                "this server has no OnlineRefresher attached; "
+                "publish a version and POST {} or {'version': ...} instead",
+            )
+        if not isinstance(delta_body, dict):
+            raise ApiError(400, "invalid_request", "'delta' must be an object")
+        from repro.dynamic.incremental import GraphDelta
+
+        protocol.reject_unknown_fields(
+            delta_body,
+            (
+                "add_edges",
+                "remove_edges",
+                "add_associations",
+                "remove_associations",
+            ),
+        )
+
+        def as_array(name: str, width: int) -> np.ndarray | None:
+            rows = delta_body.get(name)
+            if rows is None:
+                return None
+            try:
+                array = np.asarray(rows, dtype=np.float64)
+            except (TypeError, ValueError):
+                raise ApiError(
+                    400, "invalid_request", f"delta field {name!r} is malformed"
+                )
+            if array.size == 0:
+                return None
+            if array.ndim != 2 or array.shape[1] != width:
+                raise ApiError(
+                    400, "invalid_request",
+                    f"delta field {name!r} must be rows of {width} numbers",
+                    {"shape": list(array.shape)},
+                )
+            return array
+
+        delta = GraphDelta(
+            add_edges=as_array("add_edges", 2),
+            remove_edges=as_array("remove_edges", 2),
+            add_associations=as_array("add_associations", 3),
+            remove_associations=as_array("remove_associations", 2),
+        )
+        try:
+            report = self.refresher.apply(delta)
+        except (IndexError, ValueError) as error:
+            raise ApiError(
+                400, "invalid_request", f"delta rejected: {error}"
+            )
+        return json_safe(
+            {
+                "previous_version": previous,
+                "version": report.version,
+                "swapped": report.version != previous,
+                "report": {
+                    "n_nodes": report.n_nodes,
+                    "n_moved": report.n_moved,
+                    "n_lists_rebuilt": report.n_lists_rebuilt,
+                    "n_lists_total": report.n_lists_total,
+                    "timings": report.timings,
+                },
+            }
+        )
+
+
+def _translate_errors(run):
+    """Map service-level exceptions onto wire errors.
+
+    ``IndexError`` (node/attribute out of range for the pinned snapshot)
+    is a missing resource → 404; ``ValueError`` (bad k, dim mismatch) is
+    a caller mistake → 400.  Everything else propagates to the handler's
+    500 path.
+    """
+    try:
+        return run()
+    except IndexError as error:
+        raise ApiError(404, "node_not_found", str(error))
+    except ValueError as error:
+        raise ApiError(400, "invalid_request", str(error))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`EmbeddingServer`'s handlers."""
+
+    protocol_version = "HTTP/1.1"
+    # A peer that stalls mid-request must not pin a handler thread (and
+    # the drain wait) forever.
+    timeout = 30
+
+    @property
+    def owner(self) -> EmbeddingServer:
+        return self.server.embedding_server  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.owner.log_requests:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = protocol.dump_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.owner.draining or self.close_connection:
+            # Tear the connection down once the response is out: while
+            # draining a reused connection would only see more 503s, and
+            # an error raised before the request body was consumed leaves
+            # bytes that would desync the next keep-alive request.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _safe_send(self, status: int, payload: dict) -> None:
+        """Send a response, swallowing a peer that already hung up.
+
+        Used on every write in the dispatch paths (success and error):
+        a client that gave up mid-exchange must cost one closed
+        connection, not a stderr traceback per occurrence — during a
+        drain with impatient clients that would flood the log.
+        """
+        try:
+            self._send_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _read_body(self) -> bytes:
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked bodies are never consumed by this server, so the
+            # same keep-alive desync as an unread Content-Length body
+            # applies: refuse and tear the connection down.
+            self.close_connection = True
+            raise ApiError(
+                411, "length_required",
+                "Transfer-Encoding is not supported; send Content-Length",
+            )
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return b""
+        try:
+            length = int(length)
+        except ValueError:
+            # The declared body cannot be skipped, so a keep-alive reuse
+            # would parse its bytes as the next request line — tear the
+            # connection down with the error response.
+            self.close_connection = True
+            raise ApiError(400, "invalid_request", "bad Content-Length header")
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True  # unread body poisons keep-alive
+            raise ApiError(
+                413, "payload_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                {"content_length": length},
+            )
+        try:
+            raw = self.rfile.read(length)
+        except OSError as error:  # stalled peer hit the handler timeout
+            self.close_connection = True
+            raise ApiError(
+                400, "invalid_request", f"request body read failed: {error}"
+            )
+        if len(raw) != length:
+            # A short read means the connection is mid-body: any bytes
+            # that arrive later would be parsed as the next request.
+            self.close_connection = True
+            raise ApiError(
+                400, "invalid_request",
+                f"request body truncated ({len(raw)}/{length} bytes)",
+            )
+        return raw
+
+    # -- routing -------------------------------------------------------
+    _GET_ROUTES = {
+        protocol.HEALTHZ: EmbeddingServer.handle_healthz,
+        protocol.DESCRIBE: EmbeddingServer.handle_describe,
+        protocol.METRICS: EmbeddingServer.handle_metrics,
+    }
+    _POST_ROUTES = {
+        protocol.TOPK: EmbeddingServer.handle_topk,
+        protocol.TOPK_BATCH: EmbeddingServer.handle_topk_batch,
+        protocol.SIMILAR: EmbeddingServer.handle_similar,
+        protocol.REFRESH: EmbeddingServer.handle_refresh,
+    }
+
+    def do_GET(self) -> None:
+        self._dispatch(self._GET_ROUTES, self._POST_ROUTES)
+
+    def do_POST(self) -> None:
+        self._dispatch(self._POST_ROUTES, self._GET_ROUTES)
+
+    def do_HEAD(self) -> None:
+        # Load balancers commonly probe with HEAD; answer exactly like
+        # GET minus the body (_send_json skips the write, the headers
+        # still carry the real Content-Length).
+        self._dispatch(self._GET_ROUTES, self._POST_ROUTES)
+
+    def _unsupported_method(self) -> None:
+        # The contract is JSON envelopes on *every* response — without
+        # these handlers the stdlib would answer PUT/DELETE/... with an
+        # HTML 501 page.  A body (PUT) may be unread: close after.
+        # Runs through the same draining gate and error accounting as
+        # routed requests, so a draining server answers 503 uniformly
+        # and /metrics error counts do not depend on the verb used.
+        owner = self.owner
+        self.close_connection = True
+        if not owner._enter_request():
+            self._safe_send(
+                503,
+                ApiError(
+                    503, "draining",
+                    "server is draining; retry against another replica",
+                ).body(),
+            )
+            return
+        try:
+            owner._count_error("method_not_allowed")
+            self._safe_send(
+                405,
+                ApiError(
+                    405, "method_not_allowed",
+                    f"{self.command} is not supported by this API",
+                ).body(),
+            )
+        finally:
+            owner._exit_request()
+
+    do_PUT = do_DELETE = do_PATCH = do_OPTIONS = _unsupported_method
+
+    def _dispatch(self, routes: dict, other_method_routes: dict) -> None:
+        owner = self.owner
+        path = urlsplit(self.path).path
+        if not owner._enter_request():
+            body = ApiError(
+                503, "draining",
+                "server is draining; retry against another replica",
+            ).body()
+            if path == protocol.HEALTHZ and self.command == "GET":
+                # Health probes still get the documented body shape (with
+                # draining=true) alongside the error envelope, so an LB
+                # can tell "draining" from "dead" without parsing errors.
+                body.update(
+                    status="draining",
+                    version=owner.service.version,
+                    draining=True,
+                )
+            self._safe_send(503, body)
+            return
+        start = time.perf_counter()
+        try:
+            try:
+                # Consume the declared body before any routing decision:
+                # a 404/405 sent with the body still unread would leave
+                # its bytes to be parsed as the next keep-alive request.
+                raw = self._read_body()
+                route = routes.get(path)
+                if route is None:
+                    if path in other_method_routes:
+                        raise ApiError(
+                            405, "method_not_allowed",
+                            f"{self.command} is not supported on {path}",
+                        )
+                    raise ApiError(
+                        404, "unknown_endpoint", f"no endpoint at {path!r}"
+                    )
+                status, payload = route(owner, protocol.parse_json_body(raw))
+                self._safe_send(status, payload)
+            except ApiError as error:
+                owner._count_error(error.code)
+                self._safe_send(error.status, error.body())
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-request; nothing left to read
+            except Exception as error:  # the contract: never a bare 500 page
+                owner._count_error("internal")
+                self._safe_send(
+                    500,
+                    ApiError(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    ).body(),
+                )
+        finally:
+            stats = owner.endpoint_stats.get(path)
+            if stats is not None:
+                stats.record(time.perf_counter() - start, cached=False)
+            owner._exit_request()

@@ -39,6 +39,7 @@ import numpy as np
 from repro.parallel.pool import WorkerPool
 from repro.search.knn import normalize_rows, top_k_sorted_indices
 from repro.serving.index import (
+    ExactBackend,
     IVFIndex,
     SearchBackend,
     make_backend,
@@ -67,6 +68,16 @@ class QueryResult:
     scores: np.ndarray
     latency_s: float
     cached: bool = False
+
+
+def _node_key(version: str, node: int, k: int, nprobe: int | None) -> tuple:
+    """The result-cache key for a node top-k query.
+
+    One constructor for every site that reads or fills the cache
+    (``top_k``, the direct path, the micro-batcher, ``PinnedView``) —
+    a key-shape drift between sites would silently stop hits matching.
+    """
+    return (version, "node", int(node), int(k), nprobe)
 
 
 @dataclass(frozen=True)
@@ -251,14 +262,27 @@ class QueryService:
             return self.activate(latest)
         return current.version
 
+    def pin(self) -> "PinnedView":
+        """A request context pinned to the *current* snapshot.
+
+        Every query through the returned :class:`PinnedView` is answered
+        from the same immutable snapshot, even if :meth:`activate` swaps
+        the service meanwhile — the consistency unit a multi-operation
+        request (an HTTP handler validating, querying, and describing)
+        needs.  The view shares this service's cache and latency stats
+        (both are version-keyed / version-agnostic respectively), but
+        bypasses the micro-batcher: coalescing would answer from whatever
+        snapshot is active at drain time, not the pinned one.
+        """
+        return PinnedView(self, self._snapshot())
+
     # -- queries -------------------------------------------------------
     def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
         """The ``k`` nodes most similar to ``node`` under the active version."""
         start = time.perf_counter()
         active = self._snapshot()
         self._check_node(active, node)
-        key = (active.version, "node", int(node), int(k), nprobe)
-        hit = self._cache_get(key)
+        hit = self._cache_get(_node_key(active.version, node, k, nprobe))
         if hit is not None:
             latency = time.perf_counter() - start
             self.stats.record(latency, cached=True)
@@ -271,9 +295,20 @@ class QueryService:
             latency = time.perf_counter() - start
             self.stats.record(latency)
             return replace(result, latency_s=latency)
+        return self._top_k_direct(active, node, k, nprobe, start)
+
+    def _top_k_direct(
+        self,
+        active: _ActiveVersion,
+        node: int,
+        k: int,
+        nprobe: int | None,
+        start: float,
+    ) -> QueryResult:
+        """Single-node top-k against an explicit snapshot (no batcher)."""
         query = np.asarray(active.stored.features[node], dtype=np.float64)
         ids, scores = _search(active.backend, query[np.newaxis], k, np.array([node]), nprobe)
-        self._cache_put(key, ids[0], scores[0])
+        self._cache_put(_node_key(active.version, node, k, nprobe), ids[0], scores[0])
         latency = time.perf_counter() - start
         self.stats.record(latency)
         return QueryResult(active.version, ids[0], scores[0], latency)
@@ -287,8 +322,16 @@ class QueryService:
         shape ``(len(nodes), k)``.  The whole batch is answered from a
         single snapshot, so every row reflects the same version.
         """
+        return self._batch_top_k_on(self._snapshot(), nodes, k, nprobe)
+
+    def _batch_top_k_on(
+        self,
+        active: _ActiveVersion,
+        nodes: Sequence[int],
+        k: int,
+        nprobe: int | None,
+    ) -> QueryResult:
         start = time.perf_counter()
-        active = self._snapshot()
         nodes = np.asarray(nodes, dtype=np.intp).ravel()
         if nodes.size == 0:
             raise ValueError("batch_top_k needs at least one node")
@@ -316,9 +359,7 @@ class QueryService:
             scores = np.vstack([part[1] for part in parts])
         for row, node in enumerate(nodes):
             self._cache_put(
-                (active.version, "node", int(node), int(k), nprobe),
-                ids[row],
-                scores[row],
+                _node_key(active.version, node, k, nprobe), ids[row], scores[row]
             )
         latency = time.perf_counter() - start
         self.stats.record(latency, queries=nodes.size)
@@ -328,8 +369,16 @@ class QueryService:
         self, vector: np.ndarray, k: int = 10, *, nprobe: int | None = None
     ) -> QueryResult:
         """Top-k nodes for an arbitrary query vector (normalized here)."""
+        return self._similar_by_vector_on(self._snapshot(), vector, k, nprobe)
+
+    def _similar_by_vector_on(
+        self,
+        active: _ActiveVersion,
+        vector: np.ndarray,
+        k: int,
+        nprobe: int | None,
+    ) -> QueryResult:
         start = time.perf_counter()
-        active = self._snapshot()
         vector = np.asarray(vector, dtype=np.float64).ravel()
         if vector.shape[0] != active.backend.dim:
             raise ValueError(
@@ -392,6 +441,16 @@ class QueryService:
     def describe(self) -> dict:
         """Serving state, memory accounting, latency counters (JSON-safe).
 
+        The top of the dict is a stable, server-visible schema — the same
+        document ``GET /v1/describe`` returns over HTTP (see
+        :mod:`repro.serving.http`): ``version`` (the active store version
+        id), ``backend_kind`` (one of ``exact``/``ivf``/``pq``/``ivfpq``/
+        ``sharded`` — stable across refactors, unlike the class name in
+        ``backend``), ``n_shards`` (1 for an unsharded deployment),
+        ``n_nodes``, and ``n_attributes``.  Every value is a plain Python
+        scalar/list/dict — ``json.dumps(service.describe())`` must never
+        trip over a numpy scalar.
+
         ``memory`` reports the mapped bytes behind every stored array (what
         the OS *could* page in, not resident set; for a sharded snapshot
         the replicated ``y`` counts every segment's copy) plus, for PQ
@@ -409,6 +468,10 @@ class QueryService:
         backend = active.backend
         info = {
             "version": active.version,
+            "backend_kind": backend_kind_name(backend),
+            "n_shards": (
+                backend.n_shards if isinstance(backend, ShardRouter) else 1
+            ),
             "n_nodes": active.stored.n_nodes,
             "n_attributes": active.stored.n_attributes,
             "backend": type(backend).__name__,
@@ -465,13 +528,17 @@ class QueryService:
                         "shard": shard,
                         "n_nodes": segment.n_nodes,
                         "backend": type(backend.backends[shard]).__name__,
+                        "kind": backend_kind_name(backend.backends[shard]),
                         "version": segment.version,
                     }
                     for shard, segment in enumerate(stored.shards)
                 ],
                 "latency": LatencyStats.merge(backend.shard_stats).snapshot(),
             }
-        return info
+        # The document is a wire schema (shared with ``GET /v1/describe``):
+        # scrub any numpy scalar an accessor above may have produced so
+        # ``json.dumps`` can never choke on an ``np.int64`` shape value.
+        return json_safe(info)
 
     def close(self) -> None:
         self.pool.close()
@@ -551,7 +618,7 @@ class QueryService:
             latency = time.perf_counter() - start
             for row, request in enumerate(group):
                 self._cache_put(
-                    (active.version, "node", request.node, k, nprobe),
+                    _node_key(active.version, request.node, k, nprobe),
                     ids[row],
                     scores[row],
                 )
@@ -559,6 +626,55 @@ class QueryService:
                     active.version, ids[row], scores[row], latency / len(group)
                 )
                 request.event.set()
+
+
+class PinnedView:
+    """Queries answered from one immutable snapshot of a service.
+
+    Produced by :meth:`QueryService.pin`.  All reads go against the
+    snapshot captured at pin time — an :meth:`~QueryService.activate`
+    racing this view cannot make two calls through it disagree about the
+    version.  Writes (cache fills, latency samples) still land in the
+    owning service; cache keys carry the version, so a pinned fill can
+    never be served to a caller on a different version.
+
+    The view holds mmapped arrays alive via the snapshot, so it is cheap
+    to create per request and safe to drop without cleanup.
+    """
+
+    def __init__(self, service: QueryService, active: _ActiveVersion) -> None:
+        self._service = service
+        self._active = active
+
+    @property
+    def version(self) -> str:
+        """The pinned store version — constant for the view's lifetime."""
+        return self._active.version
+
+    @property
+    def n_nodes(self) -> int:
+        return self._active.stored.n_nodes
+
+    def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
+        start = time.perf_counter()
+        active = self._active
+        self._service._check_node(active, node)
+        hit = self._service._cache_get(_node_key(active.version, node, k, nprobe))
+        if hit is not None:
+            latency = time.perf_counter() - start
+            self._service.stats.record(latency, cached=True)
+            return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
+        return self._service._top_k_direct(active, node, k, nprobe, start)
+
+    def batch_top_k(
+        self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
+    ) -> QueryResult:
+        return self._service._batch_top_k_on(self._active, nodes, k, nprobe)
+
+    def similar_by_vector(
+        self, vector: np.ndarray, k: int = 10, *, nprobe: int | None = None
+    ) -> QueryResult:
+        return self._service._similar_by_vector_on(self._active, vector, k, nprobe)
 
 
 def _search(
@@ -578,6 +694,47 @@ def _leaf_backends(backend: SearchBackend) -> list[SearchBackend]:
     if isinstance(backend, ShardRouter):
         return list(backend.backends)
     return [backend]
+
+
+def backend_kind_name(backend: SearchBackend) -> str:
+    """The stable wire name of a backend: exact/ivf/pq/ivfpq/sharded.
+
+    ``describe()`` and the HTTP ``/v1/describe`` endpoint report this
+    instead of the class name, so renaming a class cannot silently change
+    what remote clients key dashboards and routing decisions on.  Note
+    the ``isinstance`` order: :class:`IVFPQBackend` subclasses
+    :class:`PQBackend`, so the more specific kind must win.
+    """
+    if isinstance(backend, ShardRouter):
+        return "sharded"
+    if isinstance(backend, IVFPQBackend):
+        return "ivfpq"
+    if isinstance(backend, PQBackend):
+        return "pq"
+    if isinstance(backend, IVFIndex):
+        return "ivf"
+    if isinstance(backend, ExactBackend):
+        return "exact"
+    return type(backend).__name__.lower()
+
+
+def json_safe(value):
+    """Recursively convert numpy scalars/arrays to plain Python types.
+
+    ``np.float64`` subclasses ``float`` and squeaks through ``json.dumps``,
+    but ``np.int64``/``np.bool_`` do not — and shape/accounting code grows
+    them easily.  Applied to every document that crosses the wire schema
+    boundary (``describe()``, HTTP responses).
+    """
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [json_safe(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 @dataclass

@@ -25,3 +25,24 @@ def clustered_unit_vectors(
     assign = rng.integers(n_clusters, size=n)
     points = centers[assign] + noise * rng.standard_normal((n, dim))
     return normalize_rows(points)
+
+
+def synthetic_embedding(n: int, dim: int, *, seed: int = 0):
+    """A seeded random :class:`PANEEmbedding` shaped like a trained output.
+
+    What the serving benches and the CI server smokes publish when they
+    need a store without paying for a real ``PANE.fit`` — one builder so
+    the HTTP bench, the process-boundary smoke, and the serving bench
+    all exercise identically shaped stores.
+    """
+    from repro.core.config import PANEConfig
+    from repro.core.pane import PANEEmbedding
+
+    half = max(2, dim // 2)
+    rng = np.random.default_rng(seed)
+    return PANEEmbedding(
+        x_forward=rng.standard_normal((n, half)),
+        x_backward=rng.standard_normal((n, half)),
+        y=rng.standard_normal((max(4, half), half)),
+        config=PANEConfig(k=2 * half),
+    )

@@ -1,0 +1,657 @@
+"""Tests for the HTTP front-end: protocol, server, client, drain, races.
+
+Servers bind ephemeral loopback ports (``port=0``), so tests parallelize
+and never collide.  Bit-identity assertions compare raw score bytes —
+the wire contract is that JSON floats round-trip exactly.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pane import PANEEmbedding
+from repro.search.knn import top_k_similar
+from repro.serving.http import (
+    ApiError,
+    EmbeddingServer,
+    ServingClient,
+    ServingUnavailable,
+    run_load,
+)
+from repro.serving.http import protocol
+from repro.serving.service import QueryService
+
+
+@pytest.fixture()
+def service(store):
+    with QueryService(store, backend="exact", n_threads=2) as service:
+        yield service
+
+
+@pytest.fixture()
+def server(service):
+    with EmbeddingServer(service) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(server):
+    return ServingClient(server.url, retries=0)
+
+
+def permuted_copy(embedding: PANEEmbedding, seed: int = 99) -> PANEEmbedding:
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(embedding.n_nodes)
+    return PANEEmbedding(
+        x_forward=embedding.x_forward[permutation],
+        x_backward=embedding.x_backward[permutation],
+        y=embedding.y,
+        config=embedding.config,
+    )
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == "v00000001"
+        assert health["draining"] is False
+
+    def test_describe_matches_service_schema(self, client, service):
+        remote = client.describe()
+        local = service.describe()
+        assert remote["schema"] == protocol.PROTOCOL_SCHEMA
+        for key in ("version", "backend_kind", "n_shards", "n_nodes", "n_attributes"):
+            assert remote[key] == local[key]
+        json.dumps(remote, allow_nan=False)
+
+    def test_metrics_exports_latency_stats(self, client):
+        client.top_k(0, 5)
+        client.top_k(0, 5)
+        metrics = client.metrics()
+        assert metrics["service"]["queries"] >= 2
+        assert metrics["service"]["cache_hits"] >= 1
+        assert metrics["server"]["endpoints"][protocol.TOPK]["queries"] >= 2
+        # The merged server view is the LatencyStats.merge fan-in of the
+        # per-endpoint streams: totals must agree.
+        total = sum(
+            endpoint["queries"]
+            for endpoint in metrics["server"]["endpoints"].values()
+        )
+        assert metrics["server"]["http"]["queries"] == total
+        json.dumps(metrics, allow_nan=False)
+
+    def test_metrics_includes_shard_merge(self, tmp_path, trained_embedding):
+        from repro.serving.sharding.store import ShardedEmbeddingStore
+
+        sharded = ShardedEmbeddingStore(tmp_path / "sharded", n_shards=3)
+        sharded.publish(trained_embedding)
+        with QueryService(sharded, backend="exact") as service:
+            with EmbeddingServer(service) as server:
+                client = ServingClient(server.url)
+                client.top_k(0, 5)
+                metrics = client.metrics()
+                assert metrics["shards"]["n_shards"] == 3
+                assert len(metrics["shards"]["per_shard"]) == 3
+                merged = metrics["shards"]["merged"]["queries"]
+                assert merged == sum(
+                    s["queries"] for s in metrics["shards"]["per_shard"]
+                )
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client._request("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_endpoint"
+
+    def test_method_not_allowed_405(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client._request("GET", protocol.TOPK)
+        assert excinfo.value.status == 405
+        assert excinfo.value.code == "method_not_allowed"
+
+    def test_head_healthz_for_lb_probes(self, server):
+        """HEAD answers like GET minus the body (LBs probe with HEAD)."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("HEAD", protocol.HEALTHZ)
+            response = connection.getresponse()
+            assert response.status == 200
+            assert int(response.getheader("Content-Length")) > 0
+            assert response.read() == b""  # headers only
+        finally:
+            connection.close()
+
+    def test_unsupported_methods_get_json_envelope(self, server):
+        """PUT/DELETE must answer the JSON envelope, not a stdlib HTML 501."""
+        import http.client
+
+        for method in ("PUT", "DELETE"):
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            try:
+                connection.request(method, protocol.TOPK)
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 405
+                assert body["error"]["code"] == "method_not_allowed"
+            finally:
+                connection.close()
+
+    def test_route_miss_keeps_keepalive_in_sync(self, server):
+        """A 404'd POST must consume its body, or the unread bytes would
+        be parsed as the next request on the same keep-alive connection."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            payload = json.dumps({"node": 5}).encode()
+            connection.request(
+                "POST", "/v1/nope", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 404
+            assert body["error"]["code"] == "unknown_endpoint"
+            # Same connection, now a valid request: it must be answered
+            # as JSON, not a stdlib HTML 400 from desynced framing.
+            connection.request(
+                "POST", protocol.TOPK, body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200
+            assert body["ids"]
+        finally:
+            connection.close()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "body, code",
+        [
+            ({}, "invalid_request"),  # missing node
+            ({"node": "zero"}, "invalid_request"),
+            ({"node": True}, "invalid_request"),  # bool is not an int
+            ({"node": -1}, "invalid_request"),
+            ({"node": 0, "k": 0}, "invalid_request"),
+            ({"node": 0, "nprobe": 0}, "invalid_request"),
+            ({"node": 0, "extra": 1}, "invalid_request"),
+        ],
+    )
+    def test_topk_400s(self, client, body, code):
+        with pytest.raises(ApiError) as excinfo:
+            client._request("POST", protocol.TOPK, body)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == code
+
+    def test_node_out_of_range_is_404(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.top_k(10_000, 5)
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "node_not_found"
+
+    def test_batch_validation(self, client):
+        for body in ({}, {"nodes": []}, {"nodes": [0, "x"]}, {"nodes": [0, -2]}):
+            with pytest.raises(ApiError) as excinfo:
+                client._request("POST", protocol.TOPK_BATCH, body)
+            assert excinfo.value.status == 400
+
+    def test_vector_validation(self, client):
+        for body in (
+            {},
+            {"vector": []},
+            {"vector": ["x"]},
+            {"vector": [1.0], "k": 0},
+        ):
+            with pytest.raises(ApiError) as excinfo:
+                client._request("POST", protocol.SIMILAR, body)
+            assert excinfo.value.status == 400
+
+    def test_nan_vector_rejected(self, server):
+        """A NaN element is a 400, not a 500 from allow_nan=False dumping.
+
+        Sent raw: python's json emits the non-standard ``NaN`` token
+        (which ``json.loads`` also accepts server-side), while the
+        client's own dump_json would refuse to serialize it.
+        """
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request(
+                "POST", protocol.SIMILAR,
+                body=b'{"vector": [NaN, 1.0], "k": 3}',
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "invalid_request"
+            assert "finite" in body["error"]["message"]
+        finally:
+            connection.close()
+
+    def test_chunked_body_rejected_with_close(self, server):
+        """Transfer-Encoding is refused (411) and the connection closed —
+        an unconsumed chunked body would desync keep-alive framing."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", protocol.TOPK)
+            connection.putheader("Transfer-Encoding", "chunked")
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 411
+            assert body["error"]["code"] == "length_required"
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_vector_wrong_dim_400(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.similar_by_vector(np.ones(3), 5)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_request"
+
+    def test_malformed_json_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request(
+                "POST", protocol.TOPK, body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "invalid_json"
+        finally:
+            connection.close()
+
+    def test_oversized_body_413(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", protocol.TOPK)
+            connection.putheader("Content-Length", str(64 << 20))
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 413
+            assert body["error"]["code"] == "payload_too_large"
+            # The declared body was never consumed: the server must tear
+            # the connection down, or a keep-alive reuse would parse the
+            # leftover bytes as the next request line.
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+
+class TestBitIdentity:
+    def test_topk_bit_identical(self, client, service):
+        for node in (0, 7, 42, 119):
+            remote = client.top_k(node, 6)
+            local = service.top_k(node, 6)
+            assert remote.version == local.version
+            assert np.array_equal(remote.ids, local.ids)
+            assert remote.scores.tobytes() == local.scores.tobytes()
+
+    def test_batch_bit_identical(self, client, service):
+        nodes = [3, 1, 4, 1, 5, 9, 2, 6]
+        remote = client.batch_top_k(nodes, 5)
+        local = service.batch_top_k(nodes, 5)
+        assert remote.ids.shape == (len(nodes), 5)
+        assert np.array_equal(remote.ids, local.ids)
+        assert remote.scores.tobytes() == local.scores.tobytes()
+
+    def test_similar_by_vector_bit_identical(self, client, service, trained_embedding):
+        vector = trained_embedding.node_embeddings()[11]
+        remote = client.similar_by_vector(vector, 5)
+        local = service.similar_by_vector(vector, 5)
+        assert np.array_equal(remote.ids, local.ids)
+        assert remote.scores.tobytes() == local.scores.tobytes()
+        assert remote.ids[0] == 11
+
+    def test_padding_null_roundtrip(self, store):
+        """IVF -inf padding crosses the wire as null and comes back -inf."""
+        with QueryService(store, backend="ivf", nlist=8, nprobe=1) as service:
+            with EmbeddingServer(service) as server:
+                client = ServingClient(server.url)
+                remote = client.top_k(0, 60, nprobe=1)
+                local = service.top_k(0, 60, nprobe=1)
+                assert np.array_equal(remote.ids, local.ids)
+                assert remote.scores.tobytes() == local.scores.tobytes()
+                if (local.ids == -1).any():  # padding actually exercised
+                    assert (remote.scores[remote.ids == -1] == -np.inf).all()
+
+
+class TestRefresh:
+    def test_refresh_follows_latest(self, client, store, trained_embedding):
+        assert client.refresh() == {
+            "previous_version": "v00000001",
+            "version": "v00000001",
+            "swapped": False,
+        }
+        store.publish(permuted_copy(trained_embedding))
+        report = client.refresh()
+        assert report["swapped"] and report["version"] == "v00000002"
+        assert client.healthz()["version"] == "v00000002"
+
+    def test_refresh_pins_version(self, client, store, trained_embedding):
+        store.publish(permuted_copy(trained_embedding))
+        client.refresh()
+        report = client.refresh(version="v00000001")
+        assert report["version"] == "v00000001" and report["swapped"]
+
+    def test_refresh_unknown_version_404(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.refresh(version="v99999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "version_not_found"
+
+    def test_refresh_version_and_delta_conflict(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client._request(
+                "POST", protocol.REFRESH, {"version": "v00000001", "delta": {}}
+            )
+        assert excinfo.value.status == 400
+
+    def test_delta_without_refresher_409(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.refresh(delta={"add_edges": [[0, 1]]})
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "no_refresher"
+
+    def test_concurrent_refresh_409(self, server, client):
+        assert server._refresh_lock.acquire(blocking=False)
+        try:
+            with pytest.raises(ApiError) as excinfo:
+                client.refresh()
+            assert excinfo.value.status == 409
+            assert excinfo.value.code == "refresh_in_progress"
+        finally:
+            server._refresh_lock.release()
+
+    def test_delta_drives_online_refresher(self, tmp_path):
+        """POST /admin/refresh {delta} runs the full update→publish→swap flow."""
+        from repro.dynamic.incremental import IncrementalPANE
+        from repro.graph.generators import attributed_sbm
+        from repro.serving.refresh import OnlineRefresher
+        from repro.serving.store import EmbeddingStore
+
+        graph = attributed_sbm(n_nodes=80, n_attributes=20, seed=2)
+        model = IncrementalPANE(k=8, seed=0, update_sweeps=1)
+        store = EmbeddingStore(tmp_path / "store")
+        store.publish(model.fit(graph))
+        with QueryService(store, backend="exact") as service:
+            refresher = OnlineRefresher(model, store, service)
+            with EmbeddingServer(service, refresher=refresher) as server:
+                client = ServingClient(server.url)
+                report = client.refresh(
+                    delta={"add_edges": [[0, 41], [1, 50]]}
+                )
+                assert report["swapped"]
+                assert report["version"] == "v00000002"
+                assert report["report"]["n_nodes"] == 80
+                assert client.healthz()["version"] == "v00000002"
+
+    def test_malformed_delta_400(self, tmp_path):
+        from repro.dynamic.incremental import IncrementalPANE
+        from repro.graph.generators import attributed_sbm
+        from repro.serving.refresh import OnlineRefresher
+        from repro.serving.store import EmbeddingStore
+
+        graph = attributed_sbm(n_nodes=40, n_attributes=10, seed=2)
+        model = IncrementalPANE(k=8, seed=0, update_sweeps=0)
+        store = EmbeddingStore(tmp_path / "store")
+        store.publish(model.fit(graph))
+        with QueryService(store, backend="exact") as service:
+            refresher = OnlineRefresher(model, store, service)
+            with EmbeddingServer(service, refresher=refresher) as server:
+                client = ServingClient(server.url)
+                for delta in (
+                    {"add_edges": [[0, 1, 2]]},  # wrong width
+                    {"add_edges": "nope"},
+                    {"bogus": []},
+                ):
+                    with pytest.raises(ApiError) as excinfo:
+                        client.refresh(delta=delta)
+                    assert excinfo.value.status == 400
+
+
+class TestDrainAndLifecycle:
+    def test_close_idempotent_and_drained(self, service):
+        server = EmbeddingServer(service).start()
+        client = ServingClient(server.url)
+        client.top_k(0, 5)
+        assert server.close() is True
+        assert server.close() is True  # second close is a no-op
+
+    def test_draining_rejects_with_503(self, service):
+        server = EmbeddingServer(service).start()
+        client = ServingClient(server.url, retries=0)
+        client.top_k(0, 5)
+        # Flag drain without closing the listener so the 503 path (rather
+        # than a connection refusal) is what the client observes.
+        server._draining = True
+        try:
+            with pytest.raises(ApiError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == "draining"
+            # The health body itself still reports drain state on the 503,
+            # so an LB can tell "draining" from "dead".
+            import http.client as http_client
+
+            connection = http_client.HTTPConnection(
+                server.host, server.port, timeout=10
+            )
+            try:
+                connection.request("GET", protocol.HEALTHZ)
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 503
+                assert body["status"] == "draining"
+                assert body["draining"] is True
+                assert body["version"] == "v00000001"
+                assert body["error"]["code"] == "draining"
+            finally:
+                connection.close()
+        finally:
+            server._draining = False
+            assert server.close() is True
+
+    def test_in_flight_request_completes_during_close(self, store):
+        """close() waits for executing requests — they finish with 200."""
+        with QueryService(store, backend="exact", cache_size=0) as service:
+            server = EmbeddingServer(service, drain_timeout_s=30.0).start()
+            client = ServingClient(server.url, retries=0, timeout_s=30.0)
+            results: list = []
+
+            def fire() -> None:
+                nodes = list(range(100)) * 5
+                try:
+                    results.append(client.batch_top_k(nodes, 10))
+                except BaseException as error:
+                    results.append(error)
+
+            threads = [
+                threading.Thread(target=fire, daemon=True) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            while server.in_flight == 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert server.close() is True
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == 4
+            for outcome in results:
+                if isinstance(outcome, ApiError):
+                    assert outcome.status == 503, outcome
+                else:
+                    assert not isinstance(outcome, BaseException), outcome
+                    assert outcome.ids.shape == (500, 10)
+
+
+class TestServingClient:
+    def test_retry_fails_over_to_healthy_replica(self, server):
+        # First replica refuses connections; the read retries onto the
+        # live one.
+        client = ServingClient(
+            ["http://127.0.0.1:1", server.url], retries=2, backoff_s=0.0
+        )
+        result = client.top_k(0, 5)
+        assert result.ids.shape == (5,)
+
+    def test_no_replica_available(self):
+        client = ServingClient(
+            ["http://127.0.0.1:1", "http://127.0.0.1:2"],
+            retries=1,
+            backoff_s=0.0,
+            timeout_s=0.5,
+        )
+        with pytest.raises(ServingUnavailable):
+            client.healthz()
+
+    def test_refresh_not_retried(self, server):
+        client = ServingClient(
+            ["http://127.0.0.1:1", server.url], retries=3, backoff_s=0.0
+        )
+        with pytest.raises(ServingUnavailable):
+            client.refresh()  # one attempt, on the dead preferred replica
+
+    def test_batch_fans_across_replicas(self, store):
+        with QueryService(store, backend="exact") as service_a:
+            with QueryService(store, backend="exact") as service_b:
+                with EmbeddingServer(service_a) as a, EmbeddingServer(service_b) as b:
+                    client = ServingClient([a.url, b.url])
+                    nodes = list(range(40))
+                    remote = client.batch_top_k(nodes, 5)
+                    local = service_a.batch_top_k(nodes, 5)
+                    assert np.array_equal(remote.ids, local.ids)
+                    assert remote.scores.tobytes() == local.scores.tobytes()
+                    # Both replicas actually served a chunk.
+                    stats = client.stats()
+                    for url in (a.url, b.url):
+                        assert stats["replicas"][url]["queries"] >= 1
+                    assert (
+                        stats["merged"]["queries"]
+                        == stats["replicas"][a.url]["queries"]
+                        + stats["replicas"][b.url]["queries"]
+                    )
+
+    def test_batch_version_skew_rejected(self, store, trained_embedding):
+        store.publish(permuted_copy(trained_embedding))
+        with QueryService(store, backend="exact", version="v00000001") as old:
+            with QueryService(store, backend="exact", version="v00000002") as new:
+                with EmbeddingServer(old) as a, EmbeddingServer(new) as b:
+                    client = ServingClient([a.url, b.url], retries=0)
+                    with pytest.raises(ApiError) as excinfo:
+                        client.batch_top_k(list(range(20)), 5)
+                    assert excinfo.value.code == "replica_version_skew"
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            ServingClient("https://example.com:443")
+        with pytest.raises(ValueError):
+            ServingClient([])
+
+
+class TestLoadGenerator:
+    def test_loadgen_single_and_batch(self, server):
+        for batch in (0, 8):
+            report = run_load(
+                server.url,
+                n_nodes=120,
+                requests=24,
+                concurrency=3,
+                k=5,
+                batch=batch,
+                seed=1,
+            )
+            assert report.errors == 0, report.error_messages
+            assert report.requests == 24
+            assert report.queries == (24 * batch if batch else 24)
+            assert report.qps > 0
+            assert report.p99_ms >= report.p50_ms
+
+
+class TestConcurrentSwapOverHTTP:
+    def test_no_torn_results_through_http_layer(self, store, trained_embedding):
+        """The in-process no-torn-reads property, re-asserted end to end.
+
+        Reader threads hammer ``POST /v1/topk`` through real sockets while
+        another client flips the active version via ``/admin/refresh``.
+        Every response must match the pinned in-process ground truth for
+        the version it claims — ids equal and score bytes equal, so a
+        half-swapped snapshot or a cross-version cache hit would fail.
+        """
+        permuted = permuted_copy(trained_embedding)
+        version_2 = store.publish(permuted)
+        n_nodes = trained_embedding.n_nodes
+        truth = {}
+        for version, embedding in (
+            ("v00000001", trained_embedding),
+            (version_2, permuted),
+        ):
+            features = embedding.node_embeddings()
+            truth[version] = {
+                node: top_k_similar(features, node, 5)
+                for node in range(n_nodes)
+            }
+        with QueryService(store, backend="exact", version="v00000001") as service:
+            with EmbeddingServer(service) as server:
+                stop = threading.Event()
+                torn: list[str] = []
+                served = [0] * 4
+
+                def read(worker: int) -> None:
+                    client = ServingClient(server.url, retries=0, timeout_s=30.0)
+                    rng = np.random.default_rng(worker)
+                    while not stop.is_set():
+                        node = int(rng.integers(n_nodes))
+                        result = client.top_k(node, 5)
+                        expected_ids, expected_scores = truth[result.version][node]
+                        if not (
+                            np.array_equal(result.ids, expected_ids)
+                            and result.scores.tobytes()
+                            == expected_scores.tobytes()
+                        ):
+                            torn.append(
+                                f"node {node} @ {result.version}: "
+                                f"{result.ids} != {expected_ids}"
+                            )
+                            stop.set()
+                        served[worker] += 1
+
+                readers = [
+                    threading.Thread(target=read, args=(w,), daemon=True)
+                    for w in range(4)
+                ]
+                for reader in readers:
+                    reader.start()
+                admin = ServingClient(server.url, timeout_s=30.0)
+                for flip in range(20):
+                    admin.refresh(
+                        version="v00000001" if flip % 2 else version_2
+                    )
+                stop.set()
+                for reader in readers:
+                    reader.join(timeout=30)
+                assert torn == [], torn[:3]
+                assert sum(served) > 0

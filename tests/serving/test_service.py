@@ -1,5 +1,6 @@
 """Tests for the QueryService: caching, batching, swap atomicity."""
 
+import json
 import threading
 
 import numpy as np
@@ -347,6 +348,8 @@ class TestDescribe:
     def test_describe_exact(self, service):
         info = service.describe()
         assert info["backend"] == "ExactBackend"
+        assert info["backend_kind"] == "exact"
+        assert info["n_shards"] == 1
         assert info["version"] == "v00000001"
         assert info["n_nodes"] == 120
 
@@ -354,12 +357,101 @@ class TestDescribe:
         with QueryService(store, backend="ivf", nlist=8, nprobe=3) as service:
             info = service.describe()
             assert info["backend"] == "IVFIndex"
+            assert info["backend_kind"] == "ivf"
             assert info["ivf"] == {"nlist": 8, "nprobe": 3}
+
+    @staticmethod
+    def _assert_plain_types(value, path="describe()"):
+        """No numpy scalars anywhere — the wire schema is plain JSON types."""
+        if isinstance(value, dict):
+            for key, item in value.items():
+                assert type(key) is str, f"{path} key {key!r}"
+                TestDescribe._assert_plain_types(item, f"{path}.{key}")
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                TestDescribe._assert_plain_types(item, f"{path}[{index}]")
+        else:
+            assert value is None or type(value) in (str, int, float, bool), (
+                f"{path} leaked {type(value).__name__}: {value!r}"
+            )
+
+    def test_describe_json_serializable_exact(self, service):
+        service.top_k(0, 5)  # populate latency stats
+        info = service.describe()
+        self._assert_plain_types(info)
+        json.loads(json.dumps(info, allow_nan=False))
+
+    def test_describe_json_serializable_all_backends(self, store):
+        for backend in ("ivf", "pq", "ivfpq"):
+            with QueryService(store, backend=backend, nlist=4) as service:
+                service.top_k(0, 5)
+                info = service.describe()
+                assert info["backend_kind"] == backend
+                self._assert_plain_types(info)
+                json.loads(json.dumps(info, allow_nan=False))
+
+    def test_describe_json_serializable_sharded(self, tmp_path, trained_embedding):
+        from repro.serving.sharding.store import ShardedEmbeddingStore
+
+        store = ShardedEmbeddingStore(tmp_path / "sharded", n_shards=3)
+        store.publish(trained_embedding)
+        with QueryService(store, backend="exact") as service:
+            service.batch_top_k([0, 1, 2], 4)
+            info = service.describe()
+            assert info["backend_kind"] == "sharded"
+            assert info["n_shards"] == 3
+            assert [s["kind"] for s in info["sharding"]["per_shard"]] == [
+                "exact"
+            ] * 3
+            self._assert_plain_types(info)
+            json.loads(json.dumps(info, allow_nan=False))
 
     def test_pinned_version(self, store, trained_embedding):
         store.publish(trained_embedding)
         with QueryService(store, backend="exact", version="v00000001") as service:
             assert service.version == "v00000001"
+
+
+class TestPinnedView:
+    def test_pinned_view_survives_swap(self, store, trained_embedding, service):
+        """A pinned view keeps answering from its snapshot across activate()."""
+        view = service.pin()
+        before = view.top_k(0, 5)
+        rng = np.random.default_rng(5)
+        permutation = rng.permutation(trained_embedding.n_nodes)
+        store.publish(
+            PANEEmbedding(
+                x_forward=trained_embedding.x_forward[permutation],
+                x_backward=trained_embedding.x_backward[permutation],
+                y=trained_embedding.y,
+                config=trained_embedding.config,
+            )
+        )
+        service.activate()
+        assert service.version == "v00000002"
+        assert view.version == "v00000001"
+        pinned = view.batch_top_k([0, 1], 5)
+        assert pinned.version == "v00000001"
+        assert np.array_equal(pinned.ids[0], before.ids)
+        assert service.top_k(0, 5).version == "v00000002"
+
+    def test_pinned_view_shares_cache(self, service):
+        view = service.pin()
+        view.top_k(3, 4)
+        assert service.top_k(3, 4).cached
+
+    def test_pinned_similar_by_vector(self, service, trained_embedding):
+        view = service.pin()
+        result = view.similar_by_vector(
+            trained_embedding.node_embeddings()[7], 3
+        )
+        assert result.version == "v00000001"
+        assert result.ids[0] == 7
+
+    def test_pinned_validates_against_snapshot(self, service):
+        view = service.pin()
+        with pytest.raises(IndexError):
+            view.top_k(10_000, 5)
 
 
 class TestBackendSelection:

@@ -323,3 +323,84 @@ class TestShardedServeQuery:
         assert code == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 4  # header + 3 rows
+
+
+class TestHTTPServeCli:
+    """`serve --http` and `bench-http` (the network-facing subcommands)."""
+
+    @pytest.fixture()
+    def embedding_file(self, graph_file, tmp_path, capsys):
+        emb = tmp_path / "emb.npz"
+        main(["embed", "--graph", str(graph_file), "--out", str(emb), "--k", "8"])
+        capsys.readouterr()
+        return emb
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.http is None
+        assert args.http_host == "127.0.0.1"
+        assert args.backend == "exact"
+        args = build_parser().parse_args(
+            ["bench-http", "--url", "http://h:1", "--url", "http://h:2"]
+        )
+        assert args.url == ["http://h:1", "http://h:2"]
+        assert args.batch == 0
+
+    def test_serve_http_empty_store_errors(self, tmp_path, capsys):
+        code = main(["serve", "--store", str(tmp_path / "s"), "--http", "0"])
+        assert code == 2
+        assert "no published versions" in capsys.readouterr().err
+
+    def test_serve_http_subprocess_round_trip(self, embedding_file, tmp_path):
+        """Boot the real CLI server process, query it, SIGTERM it."""
+        import json
+        import signal
+        import urllib.request
+
+        from repro.serving.http.loadgen import spawn_cli_server
+
+        store = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+        ) == 0
+        process, url = spawn_cli_server(store)
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+
+            from repro.serving.http import ServingClient
+            from repro.serving.service import QueryService
+            from repro.serving.store import EmbeddingStore
+
+            remote = ServingClient(url).top_k(0, 5)
+            with QueryService(EmbeddingStore(store), backend="exact") as local:
+                expected = local.top_k(0, 5)
+            assert np.array_equal(remote.ids, expected.ids)
+            assert remote.scores.tobytes() == expected.scores.tobytes()
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+    def test_bench_http_command(self, embedding_file, tmp_path, capsys):
+        from repro.serving.http import EmbeddingServer
+        from repro.serving.service import QueryService
+        from repro.serving.store import EmbeddingStore
+
+        store_dir = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store_dir), "--publish", str(embedding_file)]
+        ) == 0
+        capsys.readouterr()
+        with QueryService(EmbeddingStore(store_dir), backend="exact") as service:
+            with EmbeddingServer(service) as server:
+                code = main(
+                    ["bench-http", "--url", server.url, "--requests", "16",
+                     "--concurrency", "2", "--k", "3"]
+                )
+                assert code == 0
+                out = capsys.readouterr().out
+                assert "req/s" in out and "errors=0" in out
