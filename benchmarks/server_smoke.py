@@ -13,7 +13,9 @@ crosses a real process boundary, exactly like a deployment:
 4. query through :class:`ServingClient` and require the exact top-k
    answers to be **bit-identical** to an in-process
    :class:`QueryService` over the same store — ids equal, score bytes
-   equal;
+   equal — for the JSON wire *and* the binary frame wire (the server is
+   started with admission coalescing on, so the single-query answers
+   also cross the coalescer);
 5. publish a second version out-of-band, drive ``POST /admin/refresh``,
    and require the server to swap and serve the new version
    bit-identically too (query → refresh → query);
@@ -134,17 +136,27 @@ def main() -> int:
 
         print("starting repro serve --http 0 subprocess...")
         server, url = spawn_cli_server(
-            store_dir, "--backend", "exact", "--threads", "2"
+            store_dir, "--backend", "exact", "--threads", "2",
+            # Exercise the admission coalescer across the process
+            # boundary too: single queries below flow through it.
+            "--coalesce-window-ms", "1",
         )
         try:
             print(f"  server up at {url}")
 
             curl_healthz(url)
             client = ServingClient(url)
+            binary_client = ServingClient(url, wire="binary")
+            info = binary_client.describe()
+            assert "binary" in info["wire_formats"], info
+            assert info["coalescing"]["enabled"] is True, info
 
             store = EmbeddingStore(store_dir)
             with QueryService(store, backend="exact") as local:
-                check_bit_identical(client, local, "v1 exact")
+                check_bit_identical(client, local, "v1 exact (json wire)")
+                check_bit_identical(
+                    binary_client, local, "v1 exact (binary wire)"
+                )
 
             print("publishing v2 + POST /admin/refresh...")
             run_cli("serve", "--store", str(store_dir), "--publish", str(emb2))
@@ -160,6 +172,8 @@ def main() -> int:
 
             metrics = client.metrics()
             assert metrics["service"]["queries"] > 0, metrics
+            client.close()  # release pooled sockets before the drain
+            binary_client.close()
 
             print("SIGTERM under fire...")
             drain_under_fire(url, server)

@@ -221,18 +221,30 @@ def _serve_http(store, args: argparse.Namespace) -> int:
     if store.latest() is None:
         print("error: store has no published versions", file=sys.stderr)
         return 2
+    if args.coalesce_window_ms > 0 and args.coalesce_max_batch < 1:
+        # Reject up front: the coalescer would raise a bare ValueError
+        # from deep inside QueryService.make_coalescer otherwise.
+        print(
+            f"error: --coalesce-max-batch must be >= 1, "
+            f"got {args.coalesce_max_batch}",
+            file=sys.stderr,
+        )
+        return 2
     with QueryService(
         store,
         backend=args.backend,
         nprobe=args.nprobe,
         n_threads=args.threads,
         index_cache=True,
+        select_dtype=args.select_dtype,
     ) as service:
         server = EmbeddingServer(
             service,
             host=args.http_host,
             port=args.http,
             drain_timeout_s=args.drain_timeout,
+            coalesce_window_s=args.coalesce_window_ms / 1e3,
+            coalesce_max_batch=args.coalesce_max_batch,
             log=args.log_requests,
         )
         # One parsable line so wrappers (CI smoke, scripts) can discover
@@ -273,13 +285,18 @@ def _cmd_bench_http(args: argparse.Namespace) -> int:
         batch=args.batch,
         timeout_s=args.timeout,
         seed=args.seed,
+        wire=args.wire,
     )
     shape = f"batch={args.batch}" if args.batch else "single"
+    per_query = (
+        f" ({report.per_query_p50_ms:.2f}ms/query p50)" if args.batch else ""
+    )
     print(
-        f"{report.requests} requests ({shape}, c={report.concurrency}) in "
+        f"{report.requests} requests ({shape}, c={report.concurrency}, "
+        f"wire={args.wire}) in "
         f"{report.seconds:.2f}s: {report.qps:.0f} req/s "
         f"({report.query_qps:.0f} queries/s)  "
-        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
+        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms{per_query} "
         f"errors={report.errors}"
     )
     for message in report.error_messages[:5]:
@@ -299,6 +316,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         backend=args.backend,
         nprobe=args.nprobe,
         version=args.version,
+        select_dtype=args.select_dtype,
         # Persist trained IVF/PQ artifacts into the version directory so a
         # one-shot CLI process loads them instead of retraining per query.
         index_cache=True,
@@ -416,6 +434,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for batch fan-out behind --http",
     )
     serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=0.0,
+        help="admission-coalescing window for concurrent single-query "
+        "HTTP requests (0 = off): concurrent POST /v1/topk handlers "
+        "merge into one batch GEMM against a single snapshot",
+    )
+    serve.add_argument(
+        "--coalesce-max-batch",
+        type=int,
+        default=64,
+        help="wake the coalescing leader early once this many queued",
+    )
+    serve.add_argument(
+        "--select-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="selection precision for exact/IVF backends: float32 "
+        "selects an oversampled shortlist at half the memory traffic, "
+        "then rescores in canonical float64 (returned scores unchanged)",
+    )
+    serve.add_argument(
         "--drain-timeout",
         type=float,
         default=10.0,
@@ -453,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--nprobe", type=int, default=8, help="IVF cells probed per query"
     )
     query.add_argument(
+        "--select-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="selection precision for exact/IVF backends "
+        "(see serve --select-dtype)",
+    )
+    query.add_argument(
         "--version", default=None, help="pin a store version (default: latest)"
     )
 
@@ -485,6 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_http.add_argument("--timeout", type=float, default=30.0)
     bench_http.add_argument("--seed", type=int, default=0)
+    bench_http.add_argument(
+        "--wire",
+        choices=("auto", "json", "binary"),
+        default="auto",
+        help="client wire format: auto negotiates binary frames and "
+        "falls back to JSON against older servers",
+    )
 
     return parser
 

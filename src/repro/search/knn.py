@@ -40,6 +40,27 @@ DEFAULT_TILE_SIZE = 128
 # copy when k is a large fraction of n).
 _RESCORE_CHUNK_ELEMENTS = 2**22
 
+# float32 selection: shortlist size = max(oversample*k, k + slack).  The
+# slack floor keeps tiny k from producing a shortlist so tight that a
+# float32 rounding collision near the boundary could push a true top-k
+# member out before the float64 rescore can rank it back in.
+DEFAULT_SELECT_OVERSAMPLE = 4
+SELECT_SLACK = 16
+
+
+def select_shortlist_size(
+    k: int, population: int, *, oversample: int = DEFAULT_SELECT_OVERSAMPLE
+) -> int:
+    """Float32-selection shortlist size: oversample, slack floor, clamp.
+
+    The one definition of the safety-margin policy, shared by
+    :func:`exact_top_k`'s float32 path and the IVF backend's float32
+    candidate selector (:class:`repro.serving.index.IVFIndex`) — the two
+    paths must never diverge in how much slack protects their
+    bit-identity-via-rescore contract.
+    """
+    return min(population, max(int(oversample) * k, k + SELECT_SLACK))
+
 
 def _normalize(features: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(features, axis=1, keepdims=True)
@@ -117,6 +138,9 @@ def exact_top_k(
     assume_normalized: bool = False,
     exclude: np.ndarray | None = None,
     tile_size: int = DEFAULT_TILE_SIZE,
+    select_dtype: str = "float64",
+    select_features: np.ndarray | None = None,
+    oversample: int = DEFAULT_SELECT_OVERSAMPLE,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact cosine top-k of query *vectors* against every row of ``features``.
 
@@ -138,6 +162,24 @@ def exact_top_k(
         (``-1`` = no exclusion) — how self-matches are dropped.
     tile_size:
         Query rows scored per GEMM tile.
+    select_dtype:
+        ``"float64"`` (default, the reference path) or ``"float32"`` —
+        run the *selection* GEMM in float32 over an oversampled
+        shortlist, then rescore the shortlist with the canonical float64
+        einsum.  The selection scan is memory-bound, so float32 moves
+        half the bytes; returned scores stay canonical float64 and are
+        bit-identical to the float64 engine whenever the shortlist
+        covers the true top-k (the same shortlist-covers-the-answer
+        rationale as the PQ ``min_rescore`` floor; asserted on the bench
+        corpus by ``benchmarks/bench_serving.py`` every run).
+    select_features:
+        Optional precomputed float32 copy of the (normalized) matrix for
+        the float32 path — callers with a long-lived matrix (the serving
+        ``ExactBackend``) cast once instead of per call.  Ignored for
+        float64.
+    oversample:
+        Shortlist factor for the float32 path: ``max(oversample × k,
+        k + 16)`` candidates are selected, clamped to ``n``.
 
     Returns
     -------
@@ -149,6 +191,10 @@ def exact_top_k(
     selected rows), so they are bit-identical across engines scoring the
     same rows — see the module docstring.
     """
+    if select_dtype not in ("float64", "float32"):
+        raise ValueError(
+            f"select_dtype must be 'float64' or 'float32', got {select_dtype!r}"
+        )
     single = np.ndim(queries) == 1
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     if not assume_normalized:
@@ -172,24 +218,43 @@ def exact_top_k(
         if exclude.shape != (n_queries,):
             raise ValueError("exclude must have one entry per query")
 
+    if select_dtype == "float32":
+        if select_features is None:
+            select_features = np.asarray(features, dtype=np.float32)
+        elif select_features.shape != features.shape:
+            raise ValueError(
+                f"select_features shape {select_features.shape} != "
+                f"features shape {features.shape}"
+            )
+        # Selection runs on the float32 pair; the shortlist m replaces k
+        # in the selection so float32 rounding near the k-th rank cannot
+        # evict a true top-k row before the float64 rescore ranks it.
+        select_mat = select_features
+        select_queries = queries.astype(np.float32)
+        m = select_shortlist_size(k, n, oversample=oversample)
+    else:
+        select_mat = features
+        select_queries = queries
+        m = k
+
     ids = np.empty((n_queries, k), dtype=np.intp)
     scores = np.empty((n_queries, k), dtype=np.float64)
     for start in range(0, n_queries, max(1, tile_size)):
         stop = min(start + max(1, tile_size), n_queries)
-        block = queries[start:stop] @ features.T
+        block = select_queries[start:stop] @ select_mat.T
         if exclude is not None:
             rows = np.arange(start, stop)
             masked = exclude[rows] >= 0
             block[np.nonzero(masked)[0], exclude[rows][masked]] = -np.inf
-        # Whole-tile selection: one argpartition + one k-wide argsort across
+        # Whole-tile selection: one argpartition + one m-wide argsort across
         # the tile instead of a Python loop of per-row selections — the hot
         # path the serving throughput numbers are measured on.  Negate in
         # place so ascending partition order means descending similarity.
         np.negative(block, out=block)
-        top = np.argpartition(block, k - 1, axis=1)[:, :k]
+        top = np.argpartition(block, m - 1, axis=1)[:, :m]
         part = np.take_along_axis(block, top, axis=1)
         # Boundary-tie repair: argpartition picks arbitrarily among rows
-        # tied at the k-th score, and that choice differs between a full
+        # tied at the m-th score, and that choice differs between a full
         # matrix and a shard slice (duplicate rows are the realistic
         # case — e.g. zero-feature isolated nodes).  Detect rows whose
         # ties extend past the selection and redo them deterministically:
@@ -201,10 +266,10 @@ def exact_top_k(
         for row in overflow:
             boundary = worst[row, 0]
             definite = np.nonzero(block[row] < boundary)[0]
-            tied = np.nonzero(block[row] == boundary)[0][: k - definite.size]
+            tied = np.nonzero(block[row] == boundary)[0][: m - definite.size]
             top[row] = np.concatenate([definite, tied])
             part[row] = block[row][top[row]]
-        # Canonical rescore of the k selected rows: the GEMM above only
+        # Canonical rescore of the m selected rows: the GEMM above only
         # *selects*; the returned scores come from the partition-invariant
         # row-wise reduction.  Candidates are first ordered by ascending id
         # so the stable score sort breaks exact ties by id — both steps are
@@ -212,20 +277,20 @@ def exact_top_k(
         id_order = np.argsort(top, axis=1)
         sel = np.take_along_axis(top, id_order, axis=1)
         sel_part = np.take_along_axis(part, id_order, axis=1)
-        canon = np.empty_like(sel_part)
+        canon = np.empty(sel.shape, dtype=np.float64)
         tile_rows = stop - start
-        step = max(1, _RESCORE_CHUNK_ELEMENTS // max(1, k * features.shape[1]))
+        step = max(1, _RESCORE_CHUNK_ELEMENTS // max(1, m * features.shape[1]))
         for row0 in range(0, tile_rows, step):
             row1 = min(row0 + step, tile_rows)
             chunk_ids = sel[row0:row1].ravel()
-            chunk_queries = np.repeat(queries[start + row0 : start + row1], k, axis=0)
+            chunk_queries = np.repeat(queries[start + row0 : start + row1], m, axis=0)
             canon[row0:row1] = rowwise_inner(
                 features[chunk_ids], chunk_queries
-            ).reshape(row1 - row0, k)
+            ).reshape(row1 - row0, m)
         # Excluded candidates were forced in only when the row ran out of
         # real ones (k = n with an exclusion); keep them -inf, not rescored.
         canon[~np.isfinite(sel_part)] = -np.inf
-        order = np.argsort(-canon, axis=1, kind="stable")
+        order = np.argsort(-canon, axis=1, kind="stable")[:, :k]
         ids[start:stop] = np.take_along_axis(sel, order, axis=1)
         scores[start:stop] = np.take_along_axis(canon, order, axis=1)
     if exclude is not None:

@@ -9,6 +9,21 @@
   the next replica with a small backoff.  ``/admin/refresh`` mutates
   serving state and is never retried — a timeout there must surface to
   the caller, who knows whether re-applying is safe.
+- **Keep-alive reuse.**  Each replica keeps a small pool of idle
+  ``HTTPConnection`` objects; a request checks one out, exchanges, and
+  returns it unless the server asked to close.  No TCP handshake per
+  request — the single biggest fixed cost of the old
+  connection-per-request scheme.  Non-idempotent requests always use a
+  fresh connection, so a stale pooled socket can never fail a refresh.
+- **Binary wire negotiation** (``wire="auto"``, the default).  Data
+  requests advertise the binary frame format in ``Accept``; a JSON-only
+  server ignores that and answers JSON (which the client always
+  accepts), while a binary-capable server answers raw frames.  Once a
+  replica has demonstrated it speaks binary, request *bodies* (query
+  vectors, node batches) upgrade to frames too — so the client works
+  unchanged against old servers, with zero extra round trips.
+  ``wire="json"`` pins the legacy behavior; ``wire="binary"`` sends
+  frames from the first request (for servers known to be current).
 - **Replica fan-out.**  ``batch_top_k`` splits a node batch into
   contiguous chunks, one per healthy replica, issues them concurrently,
   and reassembles the rows in caller order.  Replicas must answer from
@@ -23,6 +38,7 @@
 from __future__ import annotations
 
 import http.client
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -50,6 +66,12 @@ class HTTPQueryResult:
     ``latency_s`` is the client-side wall time (network included);
     ``server_latency_s`` is what the server measured for the backend
     work, so the gap between the two is the wire + queueing cost.
+    ``queries`` is how many logical queries the request carried (the
+    batch size; 1 for single-node requests), making
+    :attr:`per_query_latency_s` directly comparable between single and
+    batch rows.  ``group`` is the server's coalescing group id when the
+    answer came out of a coalesced batch (``None`` otherwise) — all
+    members of one group are guaranteed to share a ``version``.
     """
 
     version: str
@@ -58,10 +80,23 @@ class HTTPQueryResult:
     latency_s: float
     server_latency_s: float
     cached: bool = False
+    queries: int = 1
+    group: int | None = None
+
+    @property
+    def per_query_latency_s(self) -> float:
+        """Client wall time amortized over the request's logical queries."""
+        return self.latency_s / max(1, self.queries)
+
+
+# Idle keep-alive connections kept per replica.  Sized for the client's
+# realistic concurrency (loadgen workers, batch fan-out threads); excess
+# connections are simply closed on release.
+_POOL_SIZE = 16
 
 
 class _Replica:
-    """One base URL plus its private latency stream."""
+    """One base URL plus its connection pool and private latency stream."""
 
     def __init__(self, base_url: str) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
@@ -76,33 +111,119 @@ class _Replica:
         self.prefix = split.path.rstrip("/")
         self.base_url = f"http://{self.host}:{self.port}{self.prefix}"
         self.stats = LatencyStats()
+        # Has this replica ever answered with a binary frame?  Once yes,
+        # request bodies may upgrade to frames too (wire="auto").
+        self.binary_seen = False
+        self._idle: list[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
 
-    def request(
-        self, method: str, path: str, body: dict | None, timeout_s: float
-    ) -> tuple[int, dict]:
-        """One HTTP exchange; returns (status, parsed JSON body).
-
-        A fresh connection per request keeps the replica object safe to
-        share across fan-out threads (http.client connections are not).
-        """
-        payload = protocol.dump_json(body) if body is not None else None
+    def _acquire(
+        self, timeout_s: float, fresh: bool
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """A connection plus whether it came from the pool (= may be stale)."""
+        if not fresh:
+            with self._pool_lock:
+                if self._idle:
+                    return self._idle.pop(), True
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout_s
         )
-        start = time.perf_counter()
-        try:
-            headers = {"Accept": "application/json", "Connection": "close"}
-            if payload is not None:
-                headers["Content-Type"] = "application/json"
-            connection.request(
-                method, self.prefix + path, body=payload, headers=headers
-            )
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
+        connection.connect()
+        # Request bodies also go out as multiple small writes; without
+        # TCP_NODELAY each exchange can stall ~40 ms behind the peer's
+        # delayed ACK (Nagle), which dominates every latency number.
+        connection.sock.setsockopt(
+            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+        )
+        return connection, False
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            # close() must be final: a request that was in flight when the
+            # pool drained would otherwise resurrect its socket into the
+            # empty pool, leaking it (and a server handler thread) forever.
+            if not self._closed and len(self._idle) < _POOL_SIZE:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
             connection.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        content_type: str,
+        accept: str,
+        timeout_s: float,
+        *,
+        fresh: bool = False,
+    ) -> tuple[int, dict]:
+        """One HTTP exchange; returns (status, parsed body payload).
+
+        Pops an idle keep-alive connection (or dials a new one) and
+        returns it to the pool unless the exchange failed or the server
+        signalled close.  Checkout semantics keep the replica safe to
+        share across fan-out threads — a connection is only ever used by
+        the thread that holds it.  ``fresh=True`` (non-idempotent
+        requests) always dials: a pooled socket must never be the reason
+        a refresh fails.
+
+        A *pooled* connection may have been closed by the server while
+        idle (handler timeout, drain) — the standard keep-alive hazard.
+        An exchange that fails on one is transparently redialed once on
+        a fresh connection here, so staleness never consumes one of the
+        caller's retry attempts: with several stale sockets queued up, a
+        retry loop burning one attempt per stale socket could exhaust
+        itself against a perfectly healthy server.  (Only idempotent
+        requests ever use the pool, so re-sending is safe.)
+
+        The response parses by its ``Content-Type``: binary frames are
+        decoded to a payload dict with ndarray fields (and mark the
+        replica binary-capable); anything else parses as JSON.
+        """
+        start = time.perf_counter()
+        while True:
+            connection, pooled = self._acquire(timeout_s, fresh)
+            reusable = False
+            try:
+                headers = {"Accept": accept}
+                if body is not None:
+                    headers["Content-Type"] = content_type
+                connection.request(
+                    method, self.prefix + path, body=body, headers=headers
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                response_type = (
+                    (response.getheader("Content-Type") or "")
+                    .split(";")[0]
+                    .strip()
+                )
+                reusable = not response.will_close
+            except (OSError, http.client.HTTPException):
+                connection.close()
+                if pooled:
+                    continue  # stale keep-alive socket: redial, don't charge
+                raise
+            else:
+                if reusable:
+                    self._release(connection)
+                else:
+                    connection.close()
+            break
         self.stats.record(time.perf_counter() - start)
+        if response_type == protocol.BINARY_CONTENT_TYPE:
+            self.binary_seen = True
+            return status, protocol.decode_frame_body(raw)
         return status, protocol.parse_json_body(raw)
 
 
@@ -119,6 +240,11 @@ class ServingClient:
         Per-request socket timeout; extra attempts per *read* request
         beyond the first (spread across replicas); sleep between
         attempts, doubled each retry.
+    wire:
+        ``"auto"`` (default) negotiates the binary frame format per
+        replica and falls back to JSON against servers that predate it;
+        ``"json"`` pins the legacy JSON wire; ``"binary"`` sends frames
+        from the first request (fails against JSON-only servers).
     """
 
     def __init__(
@@ -128,6 +254,7 @@ class ServingClient:
         timeout_s: float = 10.0,
         retries: int = 2,
         backoff_s: float = 0.05,
+        wire: str = "auto",
     ) -> None:
         if isinstance(base_urls, str):
             base_urls = [base_urls]
@@ -135,15 +262,37 @@ class ServingClient:
             raise ValueError("ServingClient needs at least one replica URL")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if wire not in ("auto", "json", "binary"):
+            raise ValueError(
+                f"wire must be 'auto', 'json' or 'binary', got {wire!r}"
+            )
         self.replicas = [_Replica(url) for url in base_urls]
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.wire = wire
 
     # -- plumbing ------------------------------------------------------
     @property
     def n_replicas(self) -> int:
         return len(self.replicas)
+
+    def close(self) -> None:
+        """Drop pooled keep-alive connections (idempotent, final).
+
+        Requests still in flight on other threads complete normally but
+        their connections are closed on release instead of re-pooled —
+        after ``close()`` the client never holds a socket open.  Further
+        requests still work (each dials a fresh connection).
+        """
+        for replica in self.replicas:
+            replica.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def stats(self) -> dict:
         """The merged per-replica latency view (disjoint-stream fan-in)."""
@@ -161,6 +310,7 @@ class ServingClient:
         path: str,
         body: dict | None = None,
         *,
+        arrays: "dict[str, np.ndarray] | None" = None,
         prefer: int = 0,
     ) -> dict:
         """Issue a request, retrying reads across replicas.
@@ -170,20 +320,56 @@ class ServingClient:
         outcomes — connection errors, timeouts, 503 — move on to the
         next replica; protocol errors (4xx) raise immediately, they
         would fail identically everywhere.  Non-read endpoints get
-        exactly one attempt on the preferred replica.
+        exactly one attempt on the preferred replica (and a fresh
+        connection — never a possibly-stale pooled one).
+
+        ``arrays`` carries the request's array-valued fields (query
+        vector, node batch).  Encoding is chosen per target replica:
+        a binary frame when this client (and that replica) speak binary,
+        else JSON with the arrays as number lists.
         """
         idempotent = path in protocol.READ_ENDPOINTS
+        data = path in protocol.DATA_ENDPOINTS
         attempts = 1 + (self.retries if idempotent else 0)
         prefer %= len(self.replicas)
         candidates = self.replicas[prefer:] + self.replicas[:prefer]
         failures: dict[str, str] = {}
         last_503: ApiError | None = None
         backoff = self.backoff_s
+        accept = (
+            f"{protocol.BINARY_CONTENT_TYPE}, {protocol.JSON_CONTENT_TYPE}"
+            if data and self.wire != "json"
+            else protocol.JSON_CONTENT_TYPE
+        )
         for attempt in range(attempts):
             target = candidates[attempt % len(candidates)]
+            send_binary = (
+                data
+                and (
+                    self.wire == "binary"
+                    or (self.wire == "auto" and target.binary_seen)
+                )
+            )
+            if body is None and not arrays:
+                encoded, content_type = None, protocol.JSON_CONTENT_TYPE
+            elif send_binary:
+                encoded = protocol.encode_frame(body or {}, arrays or {})
+                content_type = protocol.BINARY_CONTENT_TYPE
+            else:
+                merged = dict(body or {})
+                for name, array in (arrays or {}).items():
+                    merged[name] = array.tolist()
+                encoded = protocol.dump_json(merged)
+                content_type = protocol.JSON_CONTENT_TYPE
             try:
                 status, payload = target.request(
-                    method, path, body, self.timeout_s
+                    method,
+                    path,
+                    encoded,
+                    content_type,
+                    accept,
+                    self.timeout_s,
+                    fresh=not idempotent,
                 )
             except (OSError, http.client.HTTPException) as error:
                 failures[target.base_url] = f"{type(error).__name__}: {error}"
@@ -228,13 +414,17 @@ class ServingClient:
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
         payload = self._request("POST", protocol.TOPK, body)
+        version, ids, scores, server_latency, cached, group = (
+            protocol.parse_result_payload(payload)
+        )
         return HTTPQueryResult(
-            version=payload["version"],
-            ids=np.asarray(payload["ids"], dtype=np.intp),
-            scores=protocol.decode_scores(payload["scores"]),
+            version=version,
+            ids=ids,
+            scores=scores,
             latency_s=time.perf_counter() - start,
-            server_latency_s=float(payload["latency_s"]),
-            cached=bool(payload.get("cached", False)),
+            server_latency_s=server_latency,
+            cached=cached,
+            group=group,
         )
 
     def similar_by_vector(
@@ -245,19 +435,23 @@ class ServingClient:
         nprobe: int | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
-        body = {
-            "vector": [float(x) for x in np.asarray(vector).ravel().tolist()],
-            "k": int(k),
-        }
+        body: dict = {"k": int(k)}
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
-        payload = self._request("POST", protocol.SIMILAR, body)
+        query = np.asarray(vector, dtype=np.float64).ravel()
+        payload = self._request(
+            "POST", protocol.SIMILAR, body, arrays={"vector": query}
+        )
+        version, ids, scores, server_latency, _, group = (
+            protocol.parse_result_payload(payload)
+        )
         return HTTPQueryResult(
-            version=payload["version"],
-            ids=np.asarray(payload["ids"], dtype=np.intp),
-            scores=protocol.decode_scores(payload["scores"]),
+            version=version,
+            ids=ids,
+            scores=scores,
             latency_s=time.perf_counter() - start,
-            server_latency_s=float(payload["latency_s"]),
+            server_latency_s=server_latency,
+            group=group,
         )
 
     def batch_top_k(
@@ -273,26 +467,24 @@ class ServingClient:
         returning rows that mix versions.
         """
         start = time.perf_counter()
-        nodes = [int(node) for node in np.asarray(nodes, dtype=np.intp).ravel()]
-        if not nodes:
+        nodes = np.asarray(nodes, dtype=np.intp).ravel()
+        if nodes.size == 0:
             raise ValueError("batch_top_k needs at least one node")
 
-        def submit(chunk: list[int], prefer: int) -> dict:
-            body = {"nodes": chunk, "k": int(k)}
+        def submit(chunk: np.ndarray, prefer: int) -> dict:
+            body: dict = {"k": int(k)}
             if nprobe is not None:
                 body["nprobe"] = int(nprobe)
             return self._request(
-                "POST", protocol.TOPK_BATCH, body, prefer=prefer
+                "POST", protocol.TOPK_BATCH, body,
+                arrays={"nodes": chunk}, prefer=prefer,
             )
 
-        n_chunks = min(len(self.replicas), len(nodes))
+        n_chunks = min(len(self.replicas), int(nodes.size))
         if n_chunks == 1:
             payloads = [submit(nodes, 0)]
         else:
-            chunks = [
-                [int(node) for node in part]
-                for part in np.array_split(nodes, n_chunks)
-            ]
+            chunks = np.array_split(nodes, n_chunks)
             payloads: list[dict | None] = [None] * n_chunks
             errors: list[BaseException | None] = [None] * n_chunks
 
@@ -323,15 +515,9 @@ class ServingClient:
                 "batch chunks were answered from different store versions",
                 {"versions": sorted(versions)},
             )
-        ids = np.vstack(
-            [np.asarray(payload["ids"], dtype=np.intp) for payload in payloads]
-        )
-        scores = np.vstack(
-            [
-                np.vstack([protocol.decode_scores(row) for row in payload["scores"]])
-                for payload in payloads
-            ]
-        )
+        parts = [protocol.parse_result_payload(payload) for payload in payloads]
+        ids = np.vstack([part[1] for part in parts])
+        scores = np.vstack([part[2] for part in parts])
         return HTTPQueryResult(
             version=next(iter(versions)),
             ids=ids,
@@ -340,9 +526,8 @@ class ServingClient:
             # Chunks ran concurrently on different replicas: the slowest
             # one is the server-side critical path (summing would put
             # server time above the client wall clock).
-            server_latency_s=float(
-                max(payload["latency_s"] for payload in payloads)
-            ),
+            server_latency_s=float(max(part[3] for part in parts)),
+            queries=int(nodes.size),
         )
 
     # -- admin ---------------------------------------------------------

@@ -26,7 +26,15 @@ from repro.serving.http.protocol import ApiError
 
 @dataclass
 class LoadReport:
-    """What one load run produced (all latencies client-observed)."""
+    """What one load run produced (all latencies client-observed).
+
+    ``p50_ms``/``p99_ms`` are per-*request* wall times (a batch request
+    counts once, however many queries it carried); the ``per_query_*``
+    fields divide each request's wall time by its batch size first, so
+    batch and single-query rows are directly comparable — a 64-query
+    batch at 1464 ms is 22.9 ms/query, not three orders of magnitude
+    slower than a 6 ms single.
+    """
 
     requests: int
     queries: int  # requests × batch size
@@ -39,6 +47,10 @@ class LoadReport:
     p99_ms: float
     mean_ms: float
     max_ms: float
+    per_query_p50_ms: float = 0.0
+    per_query_p99_ms: float = 0.0
+    per_query_mean_ms: float = 0.0
+    wire: str = "auto"
     error_messages: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -54,6 +66,10 @@ class LoadReport:
             "p99_ms": self.p99_ms,
             "mean_ms": self.mean_ms,
             "max_ms": self.max_ms,
+            "per_query_p50_ms": self.per_query_p50_ms,
+            "per_query_p99_ms": self.per_query_p99_ms,
+            "per_query_mean_ms": self.per_query_mean_ms,
+            "wire": self.wire,
             "error_messages": self.error_messages[:10],
         }
 
@@ -179,6 +195,8 @@ class DrainBurst:
                 outcome = f"status:{error.status}:{error.code}"
             except OSError as error:
                 outcome = f"conn:{type(error).__name__}"
+            finally:
+                client.close()  # don't pin a draining server's threads
             with self._lock:
                 self.outcomes.append(outcome)
 
@@ -225,19 +243,22 @@ def run_load(
     timeout_s: float = 30.0,
     retries: int = 2,
     seed: int = 0,
+    wire: str = "auto",
 ) -> LoadReport:
     """Fire ``requests`` top-k requests and measure the client view.
 
     ``batch > 0`` switches to ``/v1/topk:batch`` with ``batch`` nodes per
     request (fanned across replicas by the client).  Node ids are drawn
     uniformly from ``[0, n_nodes)`` with one seeded stream per worker, so
-    a run is reproducible regardless of thread interleaving.
+    a run is reproducible regardless of thread interleaving.  ``wire``
+    selects the client wire format (``auto``/``json``/``binary``) so the
+    bench can measure the formats against each other.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-    client = ServingClient(urls, timeout_s=timeout_s, retries=retries)
+    client = ServingClient(urls, timeout_s=timeout_s, retries=retries, wire=wire)
     per_worker = [
         requests // concurrency + (1 if w < requests % concurrency else 0)
         for w in range(concurrency)
@@ -274,11 +295,18 @@ def run_load(
     for thread in threads:
         thread.join()
     seconds = time.perf_counter() - start
+    # Release the pooled keep-alive sockets: a bench makes many runs
+    # against one long-lived server, and every leaked idle connection
+    # pins a handler thread there until its read times out.
+    client.close()
 
     flat = np.array([l for per in latencies for l in per], dtype=np.float64)
     errors = sum(len(per) for per in failures)
     completed = int(flat.size)
     queries = completed * (batch if batch > 0 else 1)
+    # Per-query view: each request's wall time amortized over its batch
+    # size, so batch rows compare directly with single-query rows.
+    per_query = flat / max(1, batch)
     return LoadReport(
         requests=completed,
         queries=queries,
@@ -291,5 +319,15 @@ def run_load(
         p99_ms=float(np.percentile(flat, 99) * 1e3) if completed else 0.0,
         mean_ms=float(flat.mean() * 1e3) if completed else 0.0,
         max_ms=float(flat.max() * 1e3) if completed else 0.0,
+        per_query_p50_ms=(
+            float(np.percentile(per_query, 50) * 1e3) if completed else 0.0
+        ),
+        per_query_p99_ms=(
+            float(np.percentile(per_query, 99) * 1e3) if completed else 0.0
+        ),
+        per_query_mean_ms=(
+            float(per_query.mean() * 1e3) if completed else 0.0
+        ),
+        wire=wire,
         error_messages=[m for per in failures for m in per],
     )

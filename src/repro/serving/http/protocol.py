@@ -20,12 +20,22 @@ Design notes:
   ``refresh_in_progress``, ``draining``, ...); the HTTP status carries
   the class (400 validation, 404 missing resource, 409 conflict,
   503 unavailable/draining).
+- **Binary frames.** The three data endpoints also speak a raw binary
+  frame (:data:`BINARY_CONTENT_TYPE`, negotiated via ``Accept`` /
+  ``Content-Type``; JSON stays the default and the compatibility
+  surface).  A frame is a tiny JSON header for the scalar fields plus
+  the raw little-endian bytes of every array — float64 scores cross the
+  wire as their exact IEEE-754 bits, so HTTP↔in-process bit-identity
+  holds *by construction* rather than by ``repr`` round-trip, and the
+  per-element float formatting/parsing cost disappears.  Errors are
+  always JSON, whatever the request spoke.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import struct
 from typing import Any, Sequence
 
 import numpy as np
@@ -44,6 +54,22 @@ REFRESH = "/admin/refresh"
 # Endpoints that only read the active snapshot: safe for a client to
 # retry on another replica after a connection error or a 503.
 READ_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, DESCRIBE, HEALTHZ, METRICS})
+
+# Endpoints whose requests/responses carry vectors or id/score arrays —
+# the only ones worth (and capable of) speaking the binary frame format.
+DATA_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR})
+
+# The negotiated media type for binary frames.  A client *opts in* by
+# listing it in ``Accept`` (responses) or using it as the request
+# ``Content-Type`` (bodies); a server that predates it simply keeps
+# answering JSON, which every client must accept.
+BINARY_CONTENT_TYPE = "application/x-repro-frame"
+JSON_CONTENT_TYPE = "application/json"
+
+_FRAME_MAGIC = b"RPF1"
+_FRAME_DTYPES = ("<i8", "<f8")  # the wire is explicitly little-endian 64-bit
+_MAX_FRAME_HEADER_BYTES = 1 << 20
+_MAX_FRAME_ARRAYS = 16
 
 
 class ApiError(Exception):
@@ -108,6 +134,118 @@ def dump_json(payload: dict) -> bytes:
     return json.dumps(payload, separators=(",", ":"), allow_nan=False).encode(
         "utf-8"
     )
+
+
+# -- binary frames -----------------------------------------------------
+# Layout:  b"RPF1" | u32 header_len (LE) | header JSON | raw array bytes.
+# The header carries the scalar fields plus an ``arrays`` list of
+# ``{"name", "dtype", "shape"}`` descriptors; the array payloads follow
+# concatenated in descriptor order, C-contiguous, little-endian.  Only
+# ``<i8`` (ids/nodes) and ``<f8`` (vectors/scores) are legal on the
+# wire, so a frame is unambiguous regardless of either side's platform.
+
+
+def encode_frame(header: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize scalar fields + named arrays into one binary frame."""
+    descriptors = []
+    blobs = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.kind == "f":
+            wire = array.astype("<f8", copy=False)
+        elif array.dtype.kind in "iu":
+            wire = array.astype("<i8", copy=False)
+        else:
+            raise ValueError(f"array {name!r} has unframeable dtype {array.dtype}")
+        descriptors.append(
+            {"name": name, "dtype": wire.dtype.str, "shape": list(wire.shape)}
+        )
+        blobs.append(wire.tobytes())
+    head = dict(header)
+    head["arrays"] = descriptors
+    head_bytes = dump_json(head)
+    return b"".join(
+        [_FRAME_MAGIC, struct.pack("<I", len(head_bytes)), head_bytes, *blobs]
+    )
+
+
+def _frame_error(message: str, details: dict | None = None) -> ApiError:
+    return ApiError(400, "invalid_frame", message, details)
+
+
+def decode_frame(raw: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Parse a binary frame into (header dict, name → array).
+
+    Every malformation — bad magic, truncated header, unknown dtype,
+    byte count that disagrees with the declared shapes — raises
+    :class:`ApiError` with the stable code ``invalid_frame``, so a
+    client feeding garbage gets the same structured 400 envelope a
+    malformed JSON body would.
+    """
+    if len(raw) < 8 or raw[:4] != _FRAME_MAGIC:
+        raise _frame_error("not a binary frame (bad magic)")
+    (header_len,) = struct.unpack("<I", raw[4:8])
+    if header_len > _MAX_FRAME_HEADER_BYTES or 8 + header_len > len(raw):
+        raise _frame_error(
+            "frame header length out of bounds", {"header_len": header_len}
+        )
+    try:
+        header = json.loads(raw[8 : 8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _frame_error(f"frame header is not valid JSON: {error}")
+    if not isinstance(header, dict):
+        raise _frame_error("frame header must be a JSON object")
+    descriptors = header.pop("arrays", [])
+    if not isinstance(descriptors, list) or len(descriptors) > _MAX_FRAME_ARRAYS:
+        raise _frame_error("frame 'arrays' must be a short descriptor list")
+    arrays: dict[str, np.ndarray] = {}
+    offset = 8 + header_len
+    for descriptor in descriptors:
+        if (
+            not isinstance(descriptor, dict)
+            or not isinstance(descriptor.get("name"), str)
+            or descriptor.get("dtype") not in _FRAME_DTYPES
+            or not isinstance(descriptor.get("shape"), list)
+        ):
+            raise _frame_error("malformed array descriptor", {"got": descriptor})
+        shape = descriptor["shape"]
+        if len(shape) > 2 or not all(
+            isinstance(extent, int) and 0 <= extent <= 2**32 for extent in shape
+        ):
+            raise _frame_error("array shape must be 1-D or 2-D non-negative ints")
+        count = math.prod(shape)  # python ints: no overflow games via shape
+        nbytes = count * 8
+        if offset + nbytes > len(raw):
+            raise _frame_error(
+                "frame truncated: array bytes exceed the body",
+                {"array": descriptor["name"]},
+            )
+        arrays[descriptor["name"]] = np.frombuffer(
+            raw, dtype=descriptor["dtype"], count=count, offset=offset
+        ).reshape(shape)
+        offset += nbytes
+    if offset != len(raw):
+        raise _frame_error(
+            "frame has trailing bytes past the declared arrays",
+            {"extra_bytes": len(raw) - offset},
+        )
+    return header, arrays
+
+
+def decode_frame_body(raw: bytes) -> dict:
+    """A decoded frame as one request-body dict (header fields + arrays).
+
+    The server-side mirror of :func:`parse_json_body`: handlers see one
+    flat dict either way, with array-valued fields as ndarrays instead
+    of JSON lists.  A name collision between a header field and an array
+    would silently shadow one of them — refuse instead.
+    """
+    header, arrays = decode_frame(raw)
+    overlap = sorted(set(header) & set(arrays))
+    if overlap:
+        raise _frame_error("field appears as both header and array", {"names": overlap})
+    header.update(arrays)
+    return header
 
 
 # -- field validators --------------------------------------------------
@@ -193,6 +331,69 @@ def require_float_list(body: dict, name: str, *, max_items: int) -> list[float]:
     return out
 
 
+def require_vector_field(body: dict, name: str, *, max_items: int) -> np.ndarray:
+    """A float vector field from either wire format → 1-D float64 array.
+
+    JSON bodies carry it as a number list (validated element-wise);
+    binary frames deliver an ndarray directly — validate shape, dtype
+    and finiteness vectorized, without a per-element Python loop.
+    """
+    value = body.get(name)
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must be a float64 array",
+                {"dtype": str(value.dtype)},
+            )
+        if value.ndim != 1 or value.size == 0:
+            raise ApiError(
+                400, "invalid_request", f"field {name!r} must be a non-empty vector"
+            )
+        if value.size > max_items:
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} exceeds the {max_items}-item limit",
+                {"items": int(value.size)},
+            )
+        if not np.isfinite(value).all():
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must contain only finite numbers",
+            )
+        return value
+    return np.asarray(
+        require_float_list(body, name, max_items=max_items), dtype=np.float64
+    )
+
+
+def require_node_field(body: dict, name: str, *, max_items: int) -> np.ndarray:
+    """A node-id list field from either wire format → 1-D intp array."""
+    value = body.get(name)
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind != "i":
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must be an integer array",
+                {"dtype": str(value.dtype)},
+            )
+        if value.ndim != 1 or value.size == 0:
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} must be a non-empty id list",
+            )
+        if value.size > max_items:
+            raise ApiError(
+                400, "invalid_request",
+                f"field {name!r} exceeds the {max_items}-item limit",
+                {"items": int(value.size)},
+            )
+        return value.astype(np.intp, copy=False)
+    return np.asarray(
+        require_int_list(body, name, max_items=max_items), dtype=np.intp
+    )
+
+
 def reject_unknown_fields(body: dict, allowed: Sequence[str]) -> None:
     unknown = sorted(set(body) - set(allowed))
     if unknown:
@@ -217,13 +418,16 @@ def decode_scores(values: Sequence[Any]) -> np.ndarray:
 
 def encode_result(result) -> dict:
     """A single :class:`~repro.serving.service.QueryResult` row → wire dict."""
-    return {
+    payload = {
         "version": result.version,
         "ids": [int(i) for i in result.ids.tolist()],
         "scores": encode_scores(result.scores),
         "cached": bool(result.cached),
         "latency_s": float(result.latency_s),
     }
+    if getattr(result, "group", None) is not None:
+        payload["group"] = int(result.group)
+    return payload
 
 
 def encode_batch_result(result) -> dict:
@@ -234,3 +438,66 @@ def encode_batch_result(result) -> dict:
         "scores": [encode_scores(row) for row in np.atleast_2d(result.scores)],
         "latency_s": float(result.latency_s),
     }
+
+
+class ResultPayload:
+    """A data-endpoint answer before a wire format is chosen.
+
+    Handlers return one of these; the dispatch layer encodes it as JSON
+    (:meth:`to_json`, the compatibility default) or as a binary frame
+    (:meth:`to_frame`) depending on what the request's ``Accept``
+    negotiated.  One object, two encodings — the response content can
+    never differ between formats except in representation.
+    """
+
+    def __init__(self, result) -> None:
+        self.result = result
+
+    def to_json(self) -> dict:
+        if self.result.ids.ndim == 1:
+            return encode_result(self.result)
+        return encode_batch_result(self.result)
+
+    def to_frame(self) -> bytes:
+        result = self.result
+        header: dict = {
+            "version": result.version,
+            "latency_s": float(result.latency_s),
+        }
+        if result.ids.ndim == 1:
+            header["cached"] = bool(result.cached)
+        if getattr(result, "group", None) is not None:
+            header["group"] = int(result.group)
+        # Raw float64 score bytes: -inf padding needs no null mapping,
+        # and bit-identity with the in-process answer is structural.
+        return encode_frame(
+            header, {"ids": result.ids, "scores": result.scores}
+        )
+
+
+def parse_result_payload(payload: dict) -> tuple:
+    """Normalize a JSON or frame-decoded response into result arrays.
+
+    Returns ``(version, ids, scores, server_latency_s, cached, group)``
+    with ``ids`` as intp and ``scores`` as float64 ndarrays, whichever
+    wire format delivered them — the client's single decoding path.
+    """
+    ids = payload["ids"]
+    scores = payload["scores"]
+    if isinstance(ids, np.ndarray):
+        ids = ids.astype(np.intp, copy=False)
+        scores = np.asarray(scores, dtype=np.float64)
+    elif ids and isinstance(ids[0], list):
+        ids = np.asarray(ids, dtype=np.intp)
+        scores = np.vstack([decode_scores(row) for row in scores])
+    else:
+        ids = np.asarray(ids, dtype=np.intp)
+        scores = decode_scores(scores)
+    return (
+        payload["version"],
+        ids,
+        scores,
+        float(payload["latency_s"]),
+        bool(payload.get("cached", False)),
+        payload.get("group"),
+    )

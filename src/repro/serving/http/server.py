@@ -76,6 +76,24 @@ class EmbeddingServer:
         store versions.
     drain_timeout_s:
         How long :meth:`close` waits for in-flight requests.
+    coalesce_window_s / coalesce_max_batch:
+        ``coalesce_window_s > 0`` turns on the admission coalescer:
+        concurrent single-query ``POST /v1/topk`` handler threads merge
+        into one ``batch_top_k`` GEMM against a single snapshot (the
+        leader/follower :meth:`QueryService.make_coalescer` machinery).
+        The window bounds how long the first arrival waits for company;
+        ``coalesce_max_batch`` wakes the leader early once that many
+        queued.  Every response from a coalesced group carries the same
+        ``group`` id and — by construction, one snapshot per group — the
+        same ``version``.  Batch/vector endpoints and cache hits bypass
+        the coalescer.
+    binary:
+        Speak the binary frame format when a request negotiates it
+        (``Accept``/``Content-Type``; see
+        :mod:`repro.serving.http.protocol`).  ``False`` pins the server
+        to JSON-only (the pre-binary wire surface): binary request
+        bodies get a structured 415 and ``Accept`` preferences are
+        ignored.
 
     Examples
     --------
@@ -92,11 +110,22 @@ class EmbeddingServer:
         port: int = 0,
         refresher: OnlineRefresher | None = None,
         drain_timeout_s: float = 10.0,
+        coalesce_window_s: float = 0.0,
+        coalesce_max_batch: int = 64,
+        binary: bool = True,
         log: bool = False,
     ) -> None:
         self.service = service
         self.refresher = refresher
         self.drain_timeout_s = drain_timeout_s
+        self.binary_wire = binary
+        self.coalesce_window_s = coalesce_window_s
+        self.coalesce_max_batch = coalesce_max_batch
+        self._coalescer = (
+            service.make_coalescer(coalesce_window_s, max_batch=coalesce_max_batch)
+            if coalesce_window_s > 0
+            else None
+        )
         self.log_requests = log
         self._draining = False
         self._in_flight = 0
@@ -243,6 +272,16 @@ class EmbeddingServer:
     def handle_describe(self, _body: dict) -> tuple[int, dict]:
         info = self.service.describe()
         info["schema"] = protocol.PROTOCOL_SCHEMA
+        # Server-level capabilities, so clients/operators can discover
+        # the negotiated surfaces without probing.
+        info["wire_formats"] = (
+            ["json", "binary"] if self.binary_wire else ["json"]
+        )
+        info["coalescing"] = {
+            "enabled": self._coalescer is not None,
+            "window_s": self.coalesce_window_s,
+            "max_batch": self.coalesce_max_batch,
+        }
         return 200, info
 
     def handle_metrics(self, _body: dict) -> tuple[int, dict]:
@@ -263,6 +302,10 @@ class EmbeddingServer:
                 "errors": dict(self.error_counts),
             },
             "service": self.service.stats.snapshot(),
+            # The LRU's own hit/miss view (the service latency counters
+            # above only say how many answers were cache-served, not how
+            # often lookups missed — both are needed to judge sizing).
+            "cache": self.service.cache_info(),
         }
         backend = self.service.backend
         if isinstance(backend, ShardRouter):
@@ -273,21 +316,35 @@ class EmbeddingServer:
             }
         return 200, json_safe(payload)
 
-    def handle_topk(self, body: dict) -> tuple[int, dict]:
+    def handle_topk(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
         protocol.reject_unknown_fields(body, ("node", "k", "nprobe"))
         node = protocol.require_int(body, "node", required=True, minimum=0)
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
         nprobe = protocol.require_int(body, "nprobe", minimum=1)
-        view = self.service.pin()
-        result = _translate_errors(lambda: view.top_k(node, k, nprobe=nprobe))
-        return 200, protocol.encode_result(result)
+        if self._coalescer is not None:
+            # Admission coalescing: this handler thread merges with its
+            # concurrent peers into one batch GEMM.  The group executes
+            # against a single snapshot read at drain time — the same
+            # consistency a PinnedView gives one request, extended to
+            # the whole group (every member answers with one version).
+            result = _translate_errors(
+                lambda: self.service.top_k_coalesced(
+                    self._coalescer, node, k, nprobe=nprobe
+                )
+            )
+        else:
+            view = self.service.pin()
+            result = _translate_errors(lambda: view.top_k(node, k, nprobe=nprobe))
+        return 200, protocol.ResultPayload(result)
 
-    def handle_topk_batch(self, body: dict) -> tuple[int, dict]:
+    def handle_topk_batch(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
         protocol.reject_unknown_fields(body, ("nodes", "k", "nprobe"))
-        nodes = protocol.require_int_list(body, "nodes", max_items=MAX_BATCH_NODES)
+        nodes = protocol.require_node_field(
+            body, "nodes", max_items=MAX_BATCH_NODES
+        )
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
         nprobe = protocol.require_int(body, "nprobe", minimum=1)
-        if min(nodes) < 0:
+        if int(nodes.min()) < 0:
             raise ApiError(
                 400, "invalid_request", "field 'nodes' must be non-negative"
             )
@@ -295,11 +352,11 @@ class EmbeddingServer:
         result = _translate_errors(
             lambda: view.batch_top_k(nodes, k, nprobe=nprobe)
         )
-        return 200, protocol.encode_batch_result(result)
+        return 200, protocol.ResultPayload(result)
 
-    def handle_similar(self, body: dict) -> tuple[int, dict]:
+    def handle_similar(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
         protocol.reject_unknown_fields(body, ("vector", "k", "nprobe"))
-        vector = protocol.require_float_list(
+        vector = protocol.require_vector_field(
             body, "vector", max_items=MAX_VECTOR_DIM
         )
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
@@ -310,7 +367,7 @@ class EmbeddingServer:
                 np.asarray(vector, dtype=np.float64), k, nprobe=nprobe
             )
         )
-        return 200, protocol.encode_result(result)
+        return 200, protocol.ResultPayload(result)
 
     def handle_refresh(self, body: dict) -> tuple[int, dict]:
         protocol.reject_unknown_fields(body, ("version", "delta"))
@@ -445,6 +502,12 @@ class _Handler(BaseHTTPRequestHandler):
     # A peer that stalls mid-request must not pin a handler thread (and
     # the drain wait) forever.
     timeout = 30
+    # The response goes out as two writes (header block, body).  With
+    # Nagle on, the body write can sit behind the peer's delayed ACK of
+    # the header segment — a fixed ~40 ms stall per keep-alive exchange
+    # that dwarfs the actual query time.  TCP_NODELAY on both sides
+    # (the client sets it too) removes it.
+    disable_nagle_algorithm = True
 
     @property
     def owner(self) -> EmbeddingServer:
@@ -455,10 +518,9 @@ class _Handler(BaseHTTPRequestHandler):
         if self.owner.log_requests:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = protocol.dump_json(payload)
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if self.owner.draining or self.close_connection:
             # Tear the connection down once the response is out: while
@@ -471,16 +533,46 @@ class _Handler(BaseHTTPRequestHandler):
         if self.command != "HEAD":
             self.wfile.write(body)
 
-    def _safe_send(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_bytes(
+            status, protocol.dump_json(payload), protocol.JSON_CONTENT_TYPE
+        )
+
+    def _accepts_binary(self) -> bool:
+        """Did the request opt in to binary frame responses?
+
+        Deliberately a substring membership test, not a full
+        content-negotiation parser: the only client that sends the
+        ``application/x-repro-frame`` token is one that can decode it.
+        A JSON-only server ignores the preference entirely — that *is*
+        the fallback contract (clients always accept JSON).
+        """
+        if not self.owner.binary_wire:
+            return False
+        accept = self.headers.get("Accept") or ""
+        return protocol.BINARY_CONTENT_TYPE in accept
+
+    def _safe_send(self, status: int, payload) -> None:
         """Send a response, swallowing a peer that already hung up.
 
+        Accepts either a plain JSON-able dict or a
+        :class:`protocol.ResultPayload`, which is encoded as a binary
+        frame when the request negotiated it and as JSON otherwise.
         Used on every write in the dispatch paths (success and error):
         a client that gave up mid-exchange must cost one closed
         connection, not a stderr traceback per occurrence — during a
         drain with impatient clients that would flood the log.
         """
         try:
-            self._send_json(status, payload)
+            if isinstance(payload, protocol.ResultPayload):
+                if self._accepts_binary():
+                    self._send_bytes(
+                        status, payload.to_frame(), protocol.BINARY_CONTENT_TYPE
+                    )
+                else:
+                    self._send_json(status, payload.to_json())
+            else:
+                self._send_json(status, payload)
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
 
@@ -528,6 +620,24 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body truncated ({len(raw)}/{length} bytes)",
             )
         return raw
+
+    def _parse_body(self, raw: bytes, path: str) -> dict:
+        """Decode the request body by its declared Content-Type.
+
+        Binary frames are accepted on the data endpoints of a
+        binary-capable server; everything else parses as JSON (the
+        compatibility default — an absent or unknown Content-Type is
+        treated as JSON exactly as before the binary wire existed).
+        """
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        if content_type == protocol.BINARY_CONTENT_TYPE:
+            if not self.owner.binary_wire or path not in protocol.DATA_ENDPOINTS:
+                raise ApiError(
+                    415, "unsupported_media_type",
+                    f"binary frames are not accepted on {path!r} by this server",
+                )
+            return protocol.decode_frame_body(raw)
+        return protocol.parse_json_body(raw)
 
     # -- routing -------------------------------------------------------
     _GET_ROUTES = {
@@ -622,7 +732,7 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ApiError(
                         404, "unknown_endpoint", f"no endpoint at {path!r}"
                     )
-                status, payload = route(owner, protocol.parse_json_body(raw))
+                status, payload = route(owner, self._parse_body(raw, path))
                 self._safe_send(status, payload)
             except ApiError as error:
                 owner._count_error(error.code)

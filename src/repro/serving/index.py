@@ -30,6 +30,7 @@ from repro.search.knn import (
     canonical_scores,
     exact_top_k,
     normalize_rows,
+    select_shortlist_size,
     top_k_sorted_indices,
 )
 from repro.utils.rng import ensure_rng
@@ -82,10 +83,28 @@ class ExactBackend(SearchBackend):
 
     The fallback for small corpora and the ground truth the IVF index is
     measured against.  ``features`` must already have unit rows.
+
+    ``select_dtype="float32"`` opts in to the float32 *selection* path:
+    the backend keeps a float32 copy of the matrix (cast once here, not
+    per query) and :func:`repro.search.knn.exact_top_k` selects an
+    oversampled shortlist with it before the canonical float64 rescore.
+    Returned scores stay bit-identical to the float64 engine whenever
+    the shortlist covers the true top-k — asserted on the bench corpus
+    by ``benchmarks/bench_serving.py``.
     """
 
-    def __init__(self, features: np.ndarray) -> None:
+    def __init__(self, features: np.ndarray, *, select_dtype: str = "float64") -> None:
+        if select_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"select_dtype must be 'float64' or 'float32', got {select_dtype!r}"
+            )
         self.features = features
+        self.select_dtype = select_dtype
+        self._select32 = (
+            np.asarray(features, dtype=np.float32)
+            if select_dtype == "float32"
+            else None
+        )
 
     def search(
         self,
@@ -95,7 +114,13 @@ class ExactBackend(SearchBackend):
         exclude: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         return exact_top_k(
-            self.features, queries, k, assume_normalized=True, exclude=exclude
+            self.features,
+            queries,
+            k,
+            assume_normalized=True,
+            exclude=exclude,
+            select_dtype=self.select_dtype,
+            select_features=self._select32,
         )
 
 
@@ -132,6 +157,15 @@ class IVFIndex(SearchBackend):
         afterwards.
     n_iter:
         Lloyd iterations.
+    select_dtype:
+        ``"float64"`` (default) or ``"float32"`` — run the candidate
+        *selector* (the gather + GEMV over the probed cells' rows, the
+        per-query hot spot) in float32 against a resident float32 copy
+        of the matrix, selecting an oversampled shortlist that is then
+        rescored with the canonical float64 einsum.  Returned scores
+        stay canonical; the same shortlist-covers-the-answer rationale
+        as :func:`repro.search.knn.exact_top_k`'s float32 path.  Costs
+        ``n × dim × 4`` resident bytes.
     """
 
     SUPPORTS_NPROBE = True
@@ -145,6 +179,7 @@ class IVFIndex(SearchBackend):
         seed: int | np.random.Generator | None = 0,
         train_size: int = 65536,
         n_iter: int = 10,
+        select_dtype: str = "float64",
     ) -> None:
         features = np.asarray(features)
         n = features.shape[0]
@@ -171,6 +206,26 @@ class IVFIndex(SearchBackend):
         self.assignments = _assign(features, self.centroids)
         self._lists = _build_lists(self.assignments, nlist)
         self.last_rebuild: IVFRebuildStats | None = None
+        self.set_select_dtype(select_dtype)
+
+    def set_select_dtype(self, select_dtype: str) -> "IVFIndex":
+        """Switch the candidate-selector precision (see ``select_dtype``).
+
+        Exposed as a method (not just a constructor arg) because indexes
+        reloaded from persisted artifacts (:meth:`from_arrays`) are built
+        float64 and opt in afterwards.  Returns ``self`` for chaining.
+        """
+        if select_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"select_dtype must be 'float64' or 'float32', got {select_dtype!r}"
+            )
+        self.select_dtype = select_dtype
+        self._select32 = (
+            np.asarray(self.features, dtype=np.float32)
+            if select_dtype == "float32"
+            else None
+        )
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -209,10 +264,17 @@ class IVFIndex(SearchBackend):
         nprobe = self.nprobe if nprobe is None else min(max(1, nprobe), self.nlist)
         if rescore and nprobe >= self.nlist:
             return exact_top_k(
-                self.features, queries, k, assume_normalized=True, exclude=exclude
+                self.features, queries, k, assume_normalized=True, exclude=exclude,
+                # The exact engine's float32 path is bit-identical, so
+                # the nprobe >= nlist guarantee survives the opt-in.
+                select_dtype=self.select_dtype,
+                select_features=self._select32,
             )
         single = np.ndim(queries) == 1
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries32 = (
+            queries.astype(np.float32) if self._select32 is not None else None
+        )
         n_queries = queries.shape[0]
         if exclude is not None:
             exclude = np.asarray(exclude, dtype=np.intp)
@@ -237,7 +299,13 @@ class IVFIndex(SearchBackend):
         for row in range(n_queries):
             excluded = -1 if exclude is None else int(exclude[row])
             row_ids, row_scores = self._search_one(
-                queries[row], k, probes_all[row], centroid_sims[row], excluded, rescore
+                queries[row],
+                k,
+                probes_all[row],
+                centroid_sims[row],
+                excluded,
+                rescore,
+                None if queries32 is None else queries32[row],
             )
             ids[row, : row_ids.shape[0]] = row_ids
             scores[row, : row_scores.shape[0]] = row_scores
@@ -253,6 +321,7 @@ class IVFIndex(SearchBackend):
         centroid_sims: np.ndarray,
         excluded: int,
         rescore: bool,
+        query32: np.ndarray | None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if probes.shape[0] == self.nlist:
             # Full coverage without rescoring still scores exactly: ranking
@@ -260,6 +329,17 @@ class IVFIndex(SearchBackend):
             # the same cost, so there is nothing coarser to fall back to.
             # GEMV selects; the winners are rescored canonically like every
             # other exact path (see repro.search.knn module docstring).
+            if query32 is not None:
+                sel = self._select32 @ query32
+                if excluded >= 0:
+                    sel[excluded] = -np.inf
+                prelim = top_k_sorted_indices(
+                    sel, select_shortlist_size(k, sel.shape[0])
+                )
+                canon = canonical_scores(self.features, prelim, query)
+                canon[sel[prelim] == -np.inf] = -np.inf
+                order = np.lexsort((prelim, -canon))[:k]
+                return prelim[order], canon[order]
             candidate_scores = self.features @ query
             if excluded >= 0:
                 candidate_scores[excluded] = -np.inf
@@ -277,6 +357,23 @@ class IVFIndex(SearchBackend):
         if candidates.shape[0] == 0:
             return np.empty(0, dtype=np.intp), np.empty(0)
         if rescore:
+            if query32 is not None:
+                # Float32 selector over an oversampled shortlist, then
+                # canonical float64 rescore of the shortlist — the gather
+                # + GEMV here is the per-query hot spot, and float32
+                # moves half the bytes.  The final k are chosen by the
+                # *canonical* scores (ties ascending id), so the result
+                # matches the float64 selector whenever the shortlist
+                # covers its top-k — the oversample + slack exist to make
+                # that hold through float32 rounding at the boundary.
+                selector = self._select32[candidates] @ query32
+                top = top_k_sorted_indices(
+                    selector, select_shortlist_size(k, candidates.shape[0])
+                )
+                shortlist = candidates[top]
+                canon = canonical_scores(self.features, shortlist, query)
+                order = np.lexsort((shortlist, -canon))[:k]
+                return shortlist[order], canon[order]
             # GEMV *selects* (fast over the whole candidate set), then only
             # the k winners are rescored canonically — same split as the
             # exact engine, so returned bits and tie order (ascending id,
@@ -329,6 +426,10 @@ class IVFIndex(SearchBackend):
             n_lists_rebuilt=int(affected.shape[0]),
             n_lists_total=self.nlist,
         )
+        # The selector precision is a serving-time knob: carry it across
+        # the refresh (the float32 copy must be re-cast from the *new*
+        # features, not shared with the old index).
+        clone.set_select_dtype(self.select_dtype)
         return clone
 
     # -- persistence ---------------------------------------------------
@@ -363,6 +464,9 @@ class IVFIndex(SearchBackend):
         index.assignments = assignments
         index._lists = _build_lists(assignments, index.centroids.shape[0])
         index.last_rebuild = None
+        # Selector precision is a runtime knob, not a persisted artifact:
+        # reloads start float64; the owner opts in via set_select_dtype.
+        index.set_select_dtype("float64")
         return index
 
 
@@ -382,22 +486,28 @@ def make_backend(
     seed: int | np.random.Generator | None = 0,
     pq_subspaces: int | None = None,
     pq_bits: int = 8,
+    select_dtype: str = "float64",
 ) -> SearchBackend:
     """Backend factory: ``"exact"``, ``"ivf"``, ``"pq"``, ``"ivfpq"``, ``"auto"``.
 
     ``"auto"`` serves brute force below :data:`AUTO_EXACT_THRESHOLD`
     vectors (where IVF's per-query overhead wins nothing) and IVF above.
     The PQ kinds trade exactness for ~16-32x smaller resident vectors —
-    see :mod:`repro.serving.sharding.pq`.
+    see :mod:`repro.serving.sharding.pq`.  ``select_dtype`` applies to
+    the exact and IVF kinds (see :class:`ExactBackend` /
+    :class:`IVFIndex`); the PQ kinds have their own uint8 selector.
     """
     kind = resolve_kind(kind, features.shape[0])
     if kind == "exact" or features.shape[0] == 0:
         # Nothing to quantize in an empty matrix (an empty shard of a
         # sharded store); brute force over zero rows is the only backend
         # that degenerates gracefully.
-        return ExactBackend(features)
+        return ExactBackend(features, select_dtype=select_dtype)
     if kind == "ivf":
-        return IVFIndex(features, nlist=nlist, nprobe=nprobe, seed=seed)
+        return IVFIndex(
+            features, nlist=nlist, nprobe=nprobe, seed=seed,
+            select_dtype=select_dtype,
+        )
     if kind in ("pq", "ivfpq"):
         # Local import: sharding.pq imports this module for SearchBackend.
         from repro.serving.sharding.pq import IVFPQBackend, PQBackend, PQCodec

@@ -61,6 +61,10 @@ class QueryResult:
 
     ``version`` names the store version that produced the answer, so
     callers can detect which side of a swap they were served from.
+    ``group`` is set only on answers produced by a coalescing batcher:
+    every member of one coalesced batch shares the same group id (and,
+    by construction, the same snapshot — callers can assert the
+    no-mixed-versions property from outside).
     """
 
     version: str
@@ -68,6 +72,7 @@ class QueryResult:
     scores: np.ndarray
     latency_s: float
     cached: bool = False
+    group: int | None = None
 
 
 def _node_key(version: str, node: int, k: int, nprobe: int | None) -> tuple:
@@ -130,6 +135,13 @@ class QueryService:
         Persist built IVF/PQ index artifacts into the store's version
         directory and load them on later activations, so short-lived
         processes (the CLI) stop retraining quantizers per invocation.
+    select_dtype:
+        ``"float64"`` (default) or ``"float32"`` — the *selection*
+        precision for exact and IVF backends (see
+        :func:`repro.search.knn.exact_top_k` and
+        :meth:`~repro.serving.index.IVFIndex.set_select_dtype`).
+        Returned scores stay canonical float64 either way; float32
+        halves the bytes the selection scan/gather moves.
     """
 
     def __init__(
@@ -147,6 +159,7 @@ class QueryService:
         batch_window_s: float = 0.0,
         version: str | None = None,
         index_cache: bool = False,
+        select_dtype: str = "float64",
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -157,17 +170,18 @@ class QueryService:
         self._seed = seed
         self._pq_subspaces = pq_subspaces
         self._pq_bits = pq_bits
+        self._select_dtype = select_dtype
         self._index_cache = index_cache
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_lock = threading.Lock()
+        self._cache_hit_count = 0
+        self._cache_miss_count = 0
         self._swap_lock = threading.Lock()
         self.stats = LatencyStats()
         self.pool = WorkerPool(max(1, n_threads))
         self._batcher = (
-            _MicroBatcher(batch_window_s, self._execute_microbatch)
-            if batch_window_s > 0
-            else None
+            self.make_coalescer(batch_window_s) if batch_window_s > 0 else None
         )
         self._active: _ActiveVersion | None = None
         self.activate(version)
@@ -213,7 +227,20 @@ class QueryService:
             seed=self._seed,
             pq_subspaces=self._pq_subspaces,
             pq_bits=self._pq_bits,
+            select_dtype=self._select_dtype,
         )
+
+    def _apply_select_dtype(self, backend: SearchBackend) -> SearchBackend:
+        """Opt a reloaded backend into this service's selector precision.
+
+        Persisted index artifacts are precision-agnostic (the float32
+        selector copy is derived data, cheap to re-cast at load time),
+        so reloads come back float64 and the service re-applies its
+        configured ``select_dtype`` here.
+        """
+        if self._select_dtype != "float64" and hasattr(backend, "set_select_dtype"):
+            backend.set_select_dtype(self._select_dtype)
+        return backend
 
     def _build_backend(self, stored: StoredEmbedding) -> SearchBackend:
         """Backend for an unsharded snapshot, via the artifact cache if on."""
@@ -221,7 +248,7 @@ class QueryService:
         if self._index_cache and kind != "exact":
             loaded = self._store.load_index(stored.version, kind, stored.features)
             if loaded is not None:
-                return loaded
+                return self._apply_select_dtype(loaded)
         backend = self._make_backend(stored.features, kind)
         if self._index_cache and kind != "exact":
             self._store.save_index(stored.version, backend)
@@ -248,6 +275,7 @@ class QueryService:
                 backend = self._make_backend(segment.features, kind)
                 built.append(backend)
             else:
+                self._apply_select_dtype(backend)
                 built.append(None)  # already persisted; skip the rewrite
             backends.append(backend)
         if self._index_cache and kind != "exact" and any(b is not None for b in built):
@@ -279,6 +307,41 @@ class QueryService:
     # -- queries -------------------------------------------------------
     def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
         """The ``k`` nodes most similar to ``node`` under the active version."""
+        return self._top_k_through(self._batcher, node, k, nprobe)
+
+    def make_coalescer(
+        self, window_s: float, *, max_batch: int | None = None
+    ) -> "_MicroBatcher":
+        """A leader/follower coalescer bound to this service's batch path.
+
+        Used internally for ``batch_window_s`` and by the HTTP server's
+        admission coalescer (:class:`~repro.serving.http.server.EmbeddingServer`):
+        concurrent single-node :meth:`top_k_coalesced` callers merge into
+        one ``batch_top_k`` GEMM against a single snapshot.  ``max_batch``
+        wakes the leader early once that many requests queued, bounding
+        both the wait and the coalesced GEMM size.
+        """
+        return _MicroBatcher(window_s, self._execute_microbatch, max_batch=max_batch)
+
+    def top_k_coalesced(
+        self,
+        coalescer: "_MicroBatcher",
+        node: int,
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+    ) -> QueryResult:
+        """:meth:`top_k` through an explicit coalescer (see :meth:`make_coalescer`).
+
+        The whole coalesced group is answered from one snapshot read at
+        drain time, so members can never mix store versions; each result
+        carries the group id for outside verification.
+        """
+        return self._top_k_through(coalescer, node, k, nprobe)
+
+    def _top_k_through(
+        self, batcher: "_MicroBatcher | None", node: int, k: int, nprobe: int | None
+    ) -> QueryResult:
         start = time.perf_counter()
         active = self._snapshot()
         self._check_node(active, node)
@@ -287,8 +350,8 @@ class QueryService:
             latency = time.perf_counter() - start
             self.stats.record(latency, cached=True)
             return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
-        if self._batcher is not None:
-            result = self._batcher.submit(int(node), int(k), nprobe)
+        if batcher is not None:
+            result = batcher.submit(int(node), int(k), nprobe)
             # The caller's latency includes the coalescing window it slept
             # out, not just its share of the backend batch — report what the
             # client actually experienced or batch_window_s tuning is blind.
@@ -475,10 +538,15 @@ class QueryService:
             "n_nodes": active.stored.n_nodes,
             "n_attributes": active.stored.n_attributes,
             "backend": type(backend).__name__,
-            "cache_entries": len(self._cache),
-            "cache_size": self._cache_size,
+            # One source of truth for cache state: the ``cache`` dict
+            # (entries/capacity/hits/misses/hit_rate) replaces the old
+            # top-level cache_entries/cache_size pair, which duplicated
+            # it under a second read of the lock.
+            "cache": self.cache_info(),
             "latency": self.stats.snapshot(),
         }
+        if hasattr(backend, "select_dtype"):  # exact / IVF selector knob
+            info["select_dtype"] = backend.select_dtype
         mapped = {
             name: int(getattr(active.stored, name).nbytes)
             for name in _ARRAY_FILES
@@ -562,6 +630,26 @@ class QueryService:
         if not 0 <= node < n:
             raise IndexError(f"node {node} out of range [0, {n})")
 
+    def cache_info(self) -> dict:
+        """Result-cache effectiveness counters (lifetime, this process).
+
+        ``hits``/``misses`` count :meth:`top_k`-family lookups against
+        the LRU (disabled caches record nothing); exposed through
+        :meth:`describe` and the HTTP ``/metrics`` endpoint so the
+        cache's effectiveness is observable, not just its size.
+        """
+        with self._cache_lock:
+            hits, misses = self._cache_hit_count, self._cache_miss_count
+            entries = len(self._cache)
+        lookups = hits + misses
+        return {
+            "entries": entries,
+            "capacity": self._cache_size,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
     def _cache_get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
         if self._cache_size == 0:
             return None
@@ -569,6 +657,9 @@ class QueryService:
             hit = self._cache.get(key)
             if hit is not None:
                 self._cache.move_to_end(key)
+                self._cache_hit_count += 1
+            else:
+                self._cache_miss_count += 1
             return hit
 
     def _cache_put(self, key: tuple, ids: np.ndarray, scores: np.ndarray) -> None:
@@ -588,8 +679,17 @@ class QueryService:
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
 
-    def _execute_microbatch(self, requests: list["_BatchRequest"]) -> None:
-        """Answer a coalesced batch of top_k requests from one snapshot."""
+    def _execute_microbatch(
+        self, requests: list["_BatchRequest"], group_id: int
+    ) -> None:
+        """Answer a coalesced batch of top_k requests from one snapshot.
+
+        The single ``self._snapshot()`` read below is the coalescing
+        consistency contract: every member of the group — whatever
+        version was active when each caller *submitted* — is answered
+        from this one immutable snapshot, so one group can never mix
+        store versions even while ``activate`` races the drain.
+        """
         active = self._snapshot()
         by_params: dict[tuple[int, int | None], list[_BatchRequest]] = {}
         for request in requests:
@@ -623,7 +723,11 @@ class QueryService:
                     scores[row],
                 )
                 request.result = QueryResult(
-                    active.version, ids[row], scores[row], latency / len(group)
+                    active.version,
+                    ids[row],
+                    scores[row],
+                    latency / len(group),
+                    group=group_id,
                 )
                 request.event.set()
 
@@ -750,21 +854,29 @@ class _BatchRequest:
 class _MicroBatcher:
     """Leader/follower coalescing of concurrent single queries.
 
-    The first thread to submit becomes the leader: it sleeps out the
-    window, then drains everything that queued up meanwhile and executes
-    it as one batch.  Followers block on a per-request event.  Payoff is
-    one backend batch (and one snapshot read) per burst instead of one
-    per request.
+    The first thread to submit becomes the leader: it waits out the
+    window (or is woken early once ``max_batch`` requests queued), then
+    drains everything that queued up meanwhile and executes it as one
+    batch.  Followers block on a per-request event.  Payoff is one
+    backend batch (and one snapshot read) per burst instead of one per
+    request.  Every drained batch gets a monotonically increasing group
+    id, passed to ``execute`` so results can carry it — the externally
+    observable handle for "these answers shared one snapshot".
     """
 
-    def __init__(self, window_s: float, execute) -> None:
+    def __init__(self, window_s: float, execute, *, max_batch: int | None = None) -> None:
         if window_s <= 0:
             raise ValueError(f"window_s must be > 0, got {window_s}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._window_s = window_s
         self._execute = execute
+        self._max_batch = max_batch
         self._lock = threading.Lock()
         self._pending: list[_BatchRequest] = []
         self._has_leader = False
+        self._wake = threading.Event()
+        self._next_group = 0
 
     def submit(self, node: int, k: int, nprobe: int | None) -> QueryResult:
         request = _BatchRequest(node=node, k=k, nprobe=nprobe)
@@ -773,23 +885,47 @@ class _MicroBatcher:
             is_leader = not self._has_leader
             if is_leader:
                 self._has_leader = True
+                self._wake.clear()
+            full = (
+                self._max_batch is not None
+                and len(self._pending) >= self._max_batch
+            )
+        if full and not is_leader:
+            # Wake the leader early: the batch is as large as it is
+            # allowed to get, further waiting only adds latency.  (A
+            # set() that races a drain is harmless — the next leader
+            # clears the event when it claims the slot.)
+            self._wake.set()
         if is_leader:
             try:
                 try:
-                    time.sleep(self._window_s)
+                    if not full:
+                        self._wake.wait(self._window_s)
                 finally:
-                    # Even if the sleep is interrupted (KeyboardInterrupt in
+                    # Even if the wait is interrupted (KeyboardInterrupt in
                     # the leading thread), the leadership slot must be freed
                     # and the queue drained, or every later submit() would
                     # become a follower blocking on an event nobody will set.
                     with self._lock:
                         batch, self._pending = self._pending, []
                         self._has_leader = False
-                self._execute(batch)
+                # max_batch bounds the *executed* batch, not just the
+                # wake: requests that piled up past it (arrivals during
+                # the wake race, heavy concurrency) run as consecutive
+                # bounded groups, so the configured GEMM size is a real
+                # ceiling.  Each chunk is its own group (one snapshot
+                # read per _execute call).
+                chunk = self._max_batch or len(batch) or 1
+                for start in range(0, len(batch), chunk):
+                    with self._lock:
+                        group_id = self._next_group
+                        self._next_group += 1
+                    self._execute(batch[start : start + chunk], group_id)
             except BaseException as error:
                 # _execute reports per-group search errors itself; this
                 # catches everything outside that handling (the snapshot
-                # read, an interrupted sleep) so followers always wake.
+                # read, an interrupted wait) so followers always wake —
+                # including members of chunks never reached.
                 for queued in batch:
                     if not queued.event.is_set():
                         queued.error = error

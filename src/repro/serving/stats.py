@@ -29,12 +29,17 @@ class LatencyStats:
         self._total_seconds = 0.0
 
     def record(self, seconds: float, *, cached: bool = False, queries: int = 1) -> None:
+        if queries < 1:
+            # A zero-query "batch" has no per-query latency to define; the
+            # window sample would be ambiguous.  Fail loudly at the call
+            # site instead of quietly skewing counters.
+            raise ValueError(f"queries must be >= 1, got {queries}")
         with self._lock:
             self._count += queries
             self._total_seconds += seconds
             if cached:
                 self._cache_hits += queries
-            self._recent.append(seconds / max(1, queries))
+            self._recent.append(seconds / queries)
 
     @classmethod
     def merge(cls, parts: "list[LatencyStats]", *, window: int = 2048) -> "LatencyStats":
@@ -73,7 +78,14 @@ class LatencyStats:
         return merged
 
     def snapshot(self) -> dict:
-        """Counters plus p50/p95/max over the rolling window (seconds)."""
+        """Counters plus p50/p95/max over the rolling window (seconds).
+
+        The schema is fixed: the percentile keys are present even before
+        the first sample (as ``0.0``, with ``samples == 0`` saying why),
+        so consumers of a just-merged or just-constructed stats object —
+        ``LatencyStats.merge([])`` included — never have to guard for
+        missing keys.
+        """
         with self._lock:
             recent = list(self._recent)
             count, hits, total = self._count, self._cache_hits, self._total_seconds
@@ -83,6 +95,10 @@ class LatencyStats:
             "cache_hit_rate": hits / count if count else 0.0,
             "total_seconds": total,
             "mean_seconds": total / count if count else 0.0,
+            "samples": len(recent),
+            "p50_seconds": 0.0,
+            "p95_seconds": 0.0,
+            "max_seconds": 0.0,
         }
         if recent:
             window = np.asarray(recent)

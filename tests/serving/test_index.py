@@ -265,3 +265,89 @@ class TestKnnBatchConsistency:
         )
         assert np.array_equal(ids, backend_ids)
         assert np.allclose(scores, backend_scores)
+
+
+class TestIVFFloat32Selection:
+    """The float32 candidate selector: same answers, half the gather bytes."""
+
+    @pytest.fixture()
+    def corpus(self, clustered_unit_vectors):
+        return clustered_unit_vectors(3000, 24, 32, seed=11)
+
+    def test_results_match_float64_selector(self, corpus):
+        queries = corpus[:48]
+        exclude = np.arange(48)
+        f64 = IVFIndex(corpus, nlist=32, nprobe=6, seed=0)
+        f32 = IVFIndex(corpus, nlist=32, nprobe=6, seed=0, select_dtype="float32")
+        a_ids, a_scores = f64.search(queries, 10, exclude=exclude)
+        b_ids, b_scores = f32.search(queries, 10, exclude=exclude)
+        assert np.array_equal(a_ids, b_ids)
+        assert a_scores.tobytes() == b_scores.tobytes()
+
+    def test_exhaustive_nprobe_stays_bit_identical_to_exact(self, corpus):
+        """nprobe >= nlist delegates to the exact engine; the float32
+        opt-in must preserve that bit-for-bit guarantee."""
+        exact = ExactBackend(corpus)
+        f32 = IVFIndex(corpus, nlist=16, nprobe=4, seed=0, select_dtype="float32")
+        queries = corpus[:16]
+        exclude = np.arange(16)
+        a_ids, a_scores = exact.search(queries, 7, exclude=exclude)
+        b_ids, b_scores = f32.search(queries, 7, exclude=exclude, nprobe=16)
+        assert np.array_equal(a_ids, b_ids)
+        assert a_scores.tobytes() == b_scores.tobytes()
+
+    def test_set_select_dtype_toggles(self, corpus):
+        index = IVFIndex(corpus, nlist=16, seed=0)
+        assert index.select_dtype == "float64" and index._select32 is None
+        index.set_select_dtype("float32")
+        assert index._select32 is not None
+        assert index._select32.dtype == np.float32
+        index.set_select_dtype("float64")
+        assert index._select32 is None
+        with pytest.raises(ValueError):
+            index.set_select_dtype("bfloat16")
+
+    def test_refresh_carries_select_dtype(self, corpus):
+        index = IVFIndex(corpus, nlist=16, seed=0, select_dtype="float32")
+        moved = corpus.copy()
+        moved[5] = moved[100]
+        refreshed = index.refresh(moved)
+        assert refreshed.select_dtype == "float32"
+        # The float32 copy must come from the *new* features.
+        assert np.array_equal(
+            refreshed._select32, np.asarray(moved, dtype=np.float32)
+        )
+
+    def test_from_arrays_reloads_float64(self, corpus):
+        index = IVFIndex(corpus, nlist=16, seed=0, select_dtype="float32")
+        reloaded = IVFIndex.from_arrays(corpus, index.save_arrays())
+        assert reloaded.select_dtype == "float64"
+        reloaded.set_select_dtype("float32")
+        queries = corpus[:8]
+        a = index.search(queries, 5)
+        b = reloaded.search(queries, 5)
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+
+    def test_service_applies_select_dtype_to_cached_index(self, tmp_path):
+        """QueryService(index_cache=True, select_dtype=float32): the
+        persisted-artifact reload path must re-apply the opt-in."""
+        from repro.serving.service import QueryService
+        from repro.serving.store import EmbeddingStore
+        from repro.serving.synth import synthetic_embedding
+
+        store = EmbeddingStore(tmp_path / "store")
+        store.publish(synthetic_embedding(600, 12, seed=3))
+        with QueryService(
+            store, backend="ivf", nlist=8, index_cache=True
+        ) as trainer:
+            baseline = trainer.top_k(0, 5)
+        with QueryService(
+            store, backend="ivf", nlist=8, index_cache=True,
+            select_dtype="float32",
+        ) as service:
+            assert service.backend.select_dtype == "float32"
+            assert service.describe()["select_dtype"] == "float32"
+            result = service.top_k(0, 5)
+            assert np.array_equal(result.ids, baseline.ids)
+            assert result.scores.tobytes() == baseline.scores.tobytes()

@@ -205,7 +205,7 @@ class TestMicroBatching:
 
         bad = _BatchRequest(node=10_000, k=3, nprobe=None)
         good = _BatchRequest(node=0, k=3, nprobe=None)
-        service._execute_microbatch([bad, good])
+        service._execute_microbatch([bad, good], 0)
         assert isinstance(bad.error, IndexError) and bad.event.is_set()
         assert good.error is None and good.result is not None
 
@@ -215,7 +215,7 @@ class TestMicroBatching:
 
         attempts: list[int] = []
 
-        def execute(batch) -> None:
+        def execute(batch, group_id) -> None:
             attempts.append(len(batch))
             raise RuntimeError("boom")
 

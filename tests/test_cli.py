@@ -404,3 +404,118 @@ class TestHTTPServeCli:
                 assert code == 0
                 out = capsys.readouterr().out
                 assert "req/s" in out and "errors=0" in out
+
+
+class TestWireAndCoalesceCLI:
+    """PR-5 flags: serve coalescing/select-dtype, query select-dtype,
+    bench-http wire selection."""
+
+    @pytest.fixture()
+    def embedding_file(self, graph_file, tmp_path, capsys):
+        emb = tmp_path / "emb.npz"
+        main(["embed", "--graph", str(graph_file), "--out", str(emb), "--k", "8"])
+        capsys.readouterr()
+        return emb
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.coalesce_window_ms == 0.0
+        assert args.coalesce_max_batch == 64
+        assert args.select_dtype == "float64"
+        args = build_parser().parse_args(["query", "--store", "s"])
+        assert args.select_dtype == "float64"
+        args = build_parser().parse_args(["bench-http", "--url", "http://h:1"])
+        assert args.wire == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--store", "s", "--select-dtype", "float16"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench-http", "--url", "u", "--wire", "msgpack"]
+            )
+
+    def test_query_float32_matches_float64(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+        ) == 0
+        capsys.readouterr()
+        outputs = {}
+        for dtype in ("float64", "float32"):
+            assert main(
+                ["query", "--store", str(store), "--node", "0", "--k", "5",
+                 "--backend", "exact", "--select-dtype", dtype]
+            ) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            outputs[dtype] = lines[1:]  # drop the latency header line
+        assert outputs["float64"] == outputs["float32"]
+
+    def test_serve_http_coalescing_subprocess(self, embedding_file, tmp_path):
+        """The real CLI server with coalescing + binary wire end to end."""
+        import signal
+
+        from repro.serving.http import ServingClient
+        from repro.serving.http.loadgen import spawn_cli_server
+        from repro.serving.service import QueryService
+        from repro.serving.store import EmbeddingStore
+
+        store = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+        ) == 0
+        process, url = spawn_cli_server(
+            store, "--coalesce-window-ms", "1", "--select-dtype", "float32"
+        )
+        try:
+            client = ServingClient(url, wire="binary")
+            info = client.describe()
+            assert info["coalescing"]["enabled"] is True
+            assert info["select_dtype"] == "float32"
+            remote = client.top_k(0, 5)
+            assert remote.group is not None  # answered by the coalescer
+            with QueryService(EmbeddingStore(store), backend="exact") as local:
+                expected = local.top_k(0, 5)
+            assert np.array_equal(remote.ids, expected.ids)
+            assert remote.scores.tobytes() == expected.scores.tobytes()
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+    def test_bench_http_wire_flag(self, embedding_file, tmp_path, capsys):
+        from repro.serving.http import EmbeddingServer
+        from repro.serving.service import QueryService
+        from repro.serving.store import EmbeddingStore
+
+        store_dir = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store_dir), "--publish", str(embedding_file)]
+        ) == 0
+        capsys.readouterr()
+        with QueryService(EmbeddingStore(store_dir), backend="exact") as service:
+            with EmbeddingServer(service) as server:
+                code = main(
+                    ["bench-http", "--url", server.url, "--requests", "8",
+                     "--concurrency", "2", "--k", "3", "--wire", "binary",
+                     "--batch", "4"]
+                )
+                assert code == 0
+                out = capsys.readouterr().out
+                assert "wire=binary" in out and "errors=0" in out
+                assert "ms/query p50" in out
+
+    def test_serve_coalesce_max_batch_validated(self, embedding_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["serve", "--store", str(store), "--publish", str(embedding_file)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--store", str(store), "--http", "0",
+             "--coalesce-window-ms", "1", "--coalesce-max-batch", "0"]
+        )
+        assert code == 2
+        assert "--coalesce-max-batch must be >= 1" in capsys.readouterr().err

@@ -196,3 +196,117 @@ class TestExactTopK:
         assert ids[1, -1] == -1 and sims[1, -1] == -np.inf
         assert 3 not in ids[1]
         assert sorted(ids[1, :-1]) == sorted(set(range(n)) - {3})
+
+
+class TestFloat32Selection:
+    """The opt-in float32 selection path: bit-identical via rescore."""
+
+    def _corpus(self, n=4096, dim=32, seed=0):
+        rng = np.random.default_rng(seed)
+        return normalize_rows(rng.standard_normal((n, dim)))
+
+    def test_batch_bit_identical_to_float64(self):
+        feats = self._corpus()
+        queries = feats[:64]
+        exclude = np.arange(64)
+        ids64, s64 = exact_top_k(
+            feats, queries, 10, assume_normalized=True, exclude=exclude
+        )
+        ids32, s32 = exact_top_k(
+            feats, queries, 10, assume_normalized=True, exclude=exclude,
+            select_dtype="float32",
+        )
+        assert np.array_equal(ids64, ids32)
+        assert s64.tobytes() == s32.tobytes()
+
+    def test_single_query_bit_identical(self):
+        feats = self._corpus(n=512, dim=16, seed=1)
+        for node in (0, 100, 511):
+            a = exact_top_k(
+                feats, feats[node], 5, assume_normalized=True,
+                exclude=np.array([node]),
+            )
+            b = exact_top_k(
+                feats, feats[node], 5, assume_normalized=True,
+                exclude=np.array([node]), select_dtype="float32",
+            )
+            assert np.array_equal(a[0], b[0])
+            assert a[1].tobytes() == b[1].tobytes()
+
+    def test_duplicate_rows_tie_identically(self):
+        """Exact ties (duplicate rows) must break by ascending id in both
+        paths — the straddle case that once broke sharded bit-identity."""
+        base = self._corpus(n=16, dim=8, seed=2)
+        feats = np.tile(base, (4, 1))  # every row appears 4x
+        a = exact_top_k(feats, feats[:8], 9, assume_normalized=True)
+        b = exact_top_k(
+            feats, feats[:8], 9, assume_normalized=True, select_dtype="float32"
+        )
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+
+    def test_k_equals_n_with_exclusion_pads(self):
+        feats = self._corpus(n=6, dim=4, seed=3)
+        a = exact_top_k(
+            feats, feats[:2], 6, assume_normalized=True, exclude=np.array([0, -1])
+        )
+        b = exact_top_k(
+            feats, feats[:2], 6, assume_normalized=True,
+            exclude=np.array([0, -1]), select_dtype="float32",
+        )
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+        assert a[0][0, -1] == -1 and a[1][0, -1] == -np.inf
+
+    def test_precomputed_select_features(self):
+        feats = self._corpus(n=256, dim=8, seed=4)
+        cast = np.asarray(feats, dtype=np.float32)
+        a = exact_top_k(feats, feats[:4], 7, assume_normalized=True,
+                        select_dtype="float32")
+        b = exact_top_k(feats, feats[:4], 7, assume_normalized=True,
+                        select_dtype="float32", select_features=cast)
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+
+    def test_select_features_shape_mismatch_rejected(self):
+        feats = self._corpus(n=64, dim=8, seed=5)
+        with pytest.raises(ValueError):
+            exact_top_k(
+                feats, feats[0], 3, assume_normalized=True,
+                select_dtype="float32",
+                select_features=np.zeros((3, 8), dtype=np.float32),
+            )
+
+    def test_unknown_select_dtype_rejected(self):
+        feats = self._corpus(n=8, dim=4, seed=6)
+        with pytest.raises(ValueError):
+            exact_top_k(feats, feats[0], 2, select_dtype="float16")
+
+    def test_default_unchanged(self):
+        """The float64 path is the default; no opt-in, no behavior change."""
+        feats = self._corpus(n=128, dim=8, seed=7)
+        a = exact_top_k(feats, feats[:4], 5, assume_normalized=True)
+        b = exact_top_k(
+            feats, feats[:4], 5, assume_normalized=True, select_dtype="float64"
+        )
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+
+    def test_backend_and_service_opt_in(self):
+        from repro.serving.index import ExactBackend, make_backend
+
+        feats = self._corpus(n=300, dim=8, seed=8)
+        reference = ExactBackend(feats)
+        fast = make_backend(feats, "exact", select_dtype="float32")
+        assert isinstance(fast, ExactBackend)
+        assert fast.select_dtype == "float32"
+        a = reference.search(feats[:6], 9, exclude=np.arange(6))
+        b = fast.search(feats[:6], 9, exclude=np.arange(6))
+        assert np.array_equal(a[0], b[0])
+        assert a[1].tobytes() == b[1].tobytes()
+
+    def test_backend_rejects_unknown_dtype(self):
+        from repro.serving.index import ExactBackend
+
+        with pytest.raises(ValueError):
+            ExactBackend(self._corpus(n=8, dim=4), select_dtype="int8")
