@@ -8,14 +8,19 @@ localhost for three deployments of the same corpus:
 - ``sharded`` — a 4-shard range-partitioned store behind the
   scatter-gather router (exact per shard).
 
-Schema ``bench_http/v2`` (same file as v1): every deployment is now
+Schema ``bench_http/v3`` (same file as v1/v2): every deployment is
 measured along two wire formats (``json`` vs ``binary`` frames) and,
 for single queries, with the server-side admission coalescer off and on
 — the dimensions the PR-5 request-path overhaul optimizes.  A closed
 loop (:func:`repro.serving.http.run_load`) drives ``POST /v1/topk`` and
 ``POST /v1/topk:batch`` through a real :class:`ServingClient` (keep-alive
 connection reuse included) and records client-observed QPS, p50 and p99,
-plus the per-query view for batches.
+plus the per-query view for batches.  v3 adds the **workers** dimension:
+the same corpus served by a 2-worker pre-fork
+:class:`~repro.serving.http.Supervisor` fleet sharing one listen socket,
+including an availability cell where worker 0 is deterministically
+crashed under load (``REPRO_FAULTS``) and zero client-visible failures
+are asserted.
 
 Correctness is asserted on **every** run (``--smoke`` included):
 
@@ -29,7 +34,11 @@ Correctness is asserted on **every** run (``--smoke`` included):
   coalescing group id — no group may ever contain two store versions;
 - graceful shutdown drains in-flight requests (both servers): a burst is
   fired, the server is closed mid-burst, and every request must either
-  complete with 200 or be rejected with a structured 503 — never a 500.
+  complete with 200 or be rejected with a structured 503 — never a 500;
+- availability under worker loss: with 2 supervised workers and worker 0
+  armed to hard-crash after its 5th data request, a retrying closed loop
+  completes every request (zero failures) and the supervisor restores
+  full capacity afterwards.
 
 The full (non-smoke) configuration additionally asserts the PR-5
 acceptance floors against the committed PR-4 baselines: exact
@@ -46,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -56,8 +66,16 @@ from pathlib import Path
 import numpy as np
 import scipy
 
-from repro.serving.http import EmbeddingServer, ServingClient, run_load
+from repro.serving.faults import FAULTS_ENV, FaultPlan
+from repro.serving.http import (
+    EmbeddingServer,
+    ServingClient,
+    Supervisor,
+    SupervisorConfig,
+    run_load,
+)
 from repro.serving.http.loadgen import DrainBurst, assert_bit_identical
+from repro.serving.http.protocol import ApiError
 from repro.serving.service import QueryService
 from repro.serving.sharding.store import ShardedEmbeddingStore
 from repro.serving.store import EmbeddingStore
@@ -377,6 +395,121 @@ def bench_deployment(
         return record
 
 
+def bench_supervised(store_root: Path, args: argparse.Namespace) -> dict:
+    """The v3 workers dimension: a 2-worker pre-fork fleet on one port.
+
+    Phase one boots a healthy supervisor over the published store,
+    asserts exact top-k through the shared socket is bit-identical to
+    the in-process answer (whichever worker accepts), and measures
+    single-query throughput across the fleet.  Phase two is the
+    availability acceptance: a fresh supervisor whose worker 0 is armed
+    (via ``REPRO_FAULTS``, inherited by the spawned workers but scoped
+    away from this process) to hard-crash after its 5th data request; a
+    retrying closed loop must complete every request — torn connections
+    fail over to the survivor — and the supervisor must report the
+    restart and restored capacity.  Both assertions run at smoke size
+    too: availability is a correctness contract, not a timing.
+    """
+    n_workers = 2
+    config = SupervisorConfig(
+        store=str(store_root),
+        n_workers=n_workers,
+        backend="exact",
+        threads=args.threads,
+        health_interval_s=0.1,
+        backoff_base_s=0.05,
+        max_restarts=50,  # the chaos phase crashes on purpose
+        drain_timeout_s=30.0,
+    )
+    record: dict = {"n_workers": n_workers, "backend": "exact", "single": {}}
+
+    with Supervisor(config) as supervisor:
+        rng = np.random.default_rng(args.seed + 11)
+        sample = rng.choice(args.n, size=args.identity_sample, replace=False)
+        with QueryService(
+            EmbeddingStore(store_root), backend="exact", index_cache=True
+        ) as reference:
+            with ServingClient(supervisor.url, wire="binary") as client:
+                record["bit_identical_nodes"] = assert_bit_identical(
+                    client, reference, sample, args.k
+                )
+        record["single"]["binary"] = best_single_run(
+            supervisor.url, args, seed_base=args.seed + 4000, wire="binary"
+        )
+
+    # ---- availability under injected worker loss ----
+    kill_after = 5
+    os.environ[FAULTS_ENV] = FaultPlan(
+        kill_after_requests=kill_after, worker=0
+    ).to_env()
+    try:
+        with Supervisor(config) as supervisor:
+            burst = run_load(
+                supervisor.url,
+                n_nodes=args.n,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                k=args.k,
+                seed=args.seed + 5000,
+                retries=4,
+            )
+            assert burst.errors == 0, (
+                f"worker kill leaked {burst.errors} client-visible failures: "
+                f"{burst.error_messages[:3]}"
+            )
+            admin = ServingClient(supervisor.admin_url, retries=2)
+            deadline = time.monotonic() + 30.0
+            probe = None
+            while time.monotonic() < deadline:
+                try:
+                    probe = admin.healthz()
+                except (ApiError, OSError):
+                    probe = None  # aggregate answers 503 mid-restart
+                if (
+                    probe
+                    and probe["restarts_total"] >= 1
+                    and probe["n_live"] == n_workers
+                ):
+                    break
+                # Fresh connections so the armed slot cannot be starved
+                # of data requests by accept(2) favoring its sibling.
+                poke = ServingClient(supervisor.url, retries=4, backoff_s=0.05)
+                try:
+                    for node in range(3):
+                        poke.top_k(node, k=args.k)
+                finally:
+                    poke.close()
+                time.sleep(0.05)
+            admin.close()
+            assert probe and probe["restarts_total"] >= 1, (
+                f"injected kill never restarted a worker: {probe}"
+            )
+            assert probe["n_live"] == n_workers, (
+                f"capacity not restored after worker kill: {probe}"
+            )
+            record["availability"] = {
+                "injected_kill_after": kill_after,
+                "requests": burst.requests,
+                "failures": burst.errors,
+                "availability": 1.0,
+                "qps_through_crash": burst.qps,
+                "worker_restarts": probe["restarts_total"],
+                "recovered_n_live": probe["n_live"],
+            }
+    finally:
+        os.environ.pop(FAULTS_ENV, None)
+
+    print(
+        f"workers  x{n_workers} single binary "
+        f"{record['single']['binary']['qps']:7.0f} req/s  "
+        f"availability {record['availability']['requests']}/"
+        f"{record['availability']['requests']} through "
+        f"{record['availability']['worker_restarts']} injected crash(es)",
+        flush=True,
+    )
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=131_072, help="vectors")
@@ -439,7 +572,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "meta": {
-            "schema": "bench_http/v2",
+            "schema": "bench_http/v3",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy.__version__,
@@ -485,6 +618,10 @@ def main(argv: list[str] | None = None) -> int:
         record["sharded"] = bench_deployment(
             "sharded", sharded, "exact", embedding, args, check_identity=True
         )
+        # The multi-process fleet over the same plain store (the
+        # coalescing stress above published extra identical-content
+        # versions; LATEST is what the workers open).
+        record["workers"] = bench_supervised(Path(tmp) / "plain", args)
 
     if not args.smoke:
         # The PR-5 acceptance floors, against the committed PR-4 numbers.

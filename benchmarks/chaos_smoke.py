@@ -1,0 +1,274 @@
+"""End-to-end chaos smoke: crash recovery across real process boundaries.
+
+The CI ``chaos-smoke`` step runs this script.  Where ``server_smoke.py``
+proves the happy path and the graceful drain, this script proves the
+*failure* paths the robustness PR added, with every failure injected
+deterministically through ``REPRO_FAULTS``:
+
+1. publish v1 through the CLI, then run ``repro fsck`` and require a
+   clean store (exit 0);
+2. kill a publisher **mid-publish** (``torn_publish_step=manifest`` —
+   the process dies with ``os._exit`` before the staging rename) and
+   require: the publisher exits with :data:`INJECTED_KILL_EXIT`, plain
+   ``repro fsck`` detects the orphaned staging directory (exit 1),
+   ``repro fsck --repair`` clears it (exit 1), and a final fsck is
+   clean again (exit 0) with v1 still the active version;
+3. start a healthy ``repro serve --http 0 --workers 2`` subprocess and
+   measure the pre-fault throughput baseline (min of two closed-loop
+   bursts, so a lucky-fast trial cannot inflate the bar), then drain it
+   cleanly with SIGTERM (exit 0);
+4. start a second fleet with worker 0 armed to hard-crash after its
+   5th data request, drive a retrying closed-loop burst through the
+   shared port, and require **zero client-visible failures** — torn
+   connections must fail over to the surviving worker — then poll the
+   supervisor's admin endpoint until it reports a restart happened
+   *and* full capacity is restored;
+5. measure post-recovery throughput (the restarted worker is still
+   armed, so this burst absorbs *another* injected crash) and require
+   it to reach ≥ 90% of the pre-fault baseline;
+6. SIGTERM the supervisor and require a clean drained exit (code 0).
+
+Exit code 0 = pass.  Run::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.serving.faults import (  # noqa: E402
+    FAULTS_ENV,
+    INJECTED_KILL_EXIT,
+    FaultPlan,
+)
+from repro.serving.http import ServingClient  # noqa: E402
+from repro.serving.http.loadgen import cli_subprocess_env, run_load  # noqa: E402
+from repro.serving.http.protocol import ApiError  # noqa: E402
+from repro.serving.synth import synthetic_embedding  # noqa: E402
+
+N_NODES, DIM, K = 512, 16, 10
+
+
+def run_cli(*args: str, faults: FaultPlan | None = None) -> subprocess.CompletedProcess:
+    env = cli_subprocess_env()
+    if faults is not None:
+        env[FAULTS_ENV] = faults.to_env()
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def expect_rc(result: subprocess.CompletedProcess, expected: int, what: str) -> None:
+    assert result.returncode == expected, (
+        f"{what}: expected rc={expected}, got rc={result.returncode}\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
+
+
+def check_torn_publish_recovery(store_dir: Path, emb2: Path) -> None:
+    """Publisher killed mid-publish → fsck detects, repairs, store clean."""
+    print("killing a publisher mid-publish (torn_publish_step=manifest)...")
+    torn = run_cli(
+        "serve", "--store", str(store_dir), "--publish", str(emb2),
+        faults=FaultPlan(torn_publish_step="manifest"),
+    )
+    expect_rc(torn, INJECTED_KILL_EXIT, "torn publish")
+
+    detect = run_cli("fsck", "--store", str(store_dir))
+    expect_rc(detect, 1, "fsck after torn publish")
+    assert "orphan_staging" in detect.stdout, detect.stdout
+    print(f"  fsck detected: {detect.stdout.splitlines()[0]}")
+
+    repair = run_cli("fsck", "--store", str(store_dir), "--repair")
+    expect_rc(repair, 1, "fsck --repair")
+    assert "repair:" in repair.stdout, repair.stdout
+
+    clean = run_cli("fsck", "--store", str(store_dir))
+    expect_rc(clean, 0, "fsck after repair")
+    assert "latest=v00000001" in clean.stdout, clean.stdout
+    print("  repaired: store clean again, v1 still active")
+
+
+def spawn_supervised(store_dir: Path, faults: FaultPlan | None = None) -> tuple:
+    """Boot ``repro serve --workers 2`` (optionally armed); return urls."""
+    env = cli_subprocess_env()
+    if faults is not None:
+        env[FAULTS_ENV] = faults.to_env()
+    # --max-restarts 50: armed replacements crash again after their own
+    # 5th request, so the default breaker ceiling (5 in 30s) could trip
+    # legitimately mid-burst.  This script tests availability, not the
+    # breaker — tests/serving/test_supervisor.py covers the breaker.
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(store_dir), "--http", "0",
+            "--workers", "2", "--backend", "exact",
+            "--max-restarts", "50",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    timer = threading.Timer(60.0, process.kill)
+    timer.start()
+    try:
+        line = process.stdout.readline()
+    finally:
+        timer.cancel()
+    match = re.search(r"on (http://\S+:\d+) admin=(http://\S+:\d+)", line)
+    if not match:
+        process.kill()
+        process.wait(timeout=30)
+        raise RuntimeError(f"could not parse supervisor URLs from: {line!r}")
+    return process, match.group(1), match.group(2)
+
+
+def burst(url: str, *, seed: int, requests: int = 200):
+    report = run_load(
+        url, n_nodes=N_NODES, requests=requests, concurrency=4, k=K,
+        retries=4, seed=seed,
+    )
+    assert report.errors == 0, (
+        f"burst leaked {report.errors} client-visible failures: "
+        f"{report.error_messages[:3]}"
+    )
+    return report
+
+
+def measure_healthy_baseline(store_dir: Path) -> float:
+    """Pre-fault throughput: min of two trials on an unarmed fleet."""
+    print("starting a healthy repro serve --workers 2 for the baseline...")
+    server, url, admin_url = spawn_supervised(store_dir)
+    try:
+        # Distinct seeds: a replayed node stream would be answered from
+        # the workers' result caches and measure hits, not the wire.
+        trials = [burst(url, seed=100).qps, burst(url, seed=200).qps]
+    finally:
+        drain_supervisor(server)
+    baseline = min(trials)
+    print(f"  baseline: {baseline:.0f} req/s (min of {len(trials)} trials)")
+    return baseline
+
+
+def check_worker_kill_under_load(
+    store_dir: Path, baseline_qps: float
+) -> subprocess.Popen:
+    """The availability acceptance, across a real process boundary."""
+    print("starting repro serve --workers 2 with worker 0 armed to crash...")
+    plan = FaultPlan(kill_after_requests=5, worker=0)
+    server, url, admin_url = spawn_supervised(store_dir, plan)
+    print(f"  supervisor up: data={url} admin={admin_url}")
+
+    report = burst(url, seed=300)
+    print(
+        f"  burst ok: {report.requests} requests, 0 failures "
+        f"({report.qps:.0f} req/s through the crash)"
+    )
+
+    admin = ServingClient(admin_url, retries=2)
+    deadline = time.monotonic() + 30.0
+    probe = None
+    while time.monotonic() < deadline:
+        try:
+            probe = admin.healthz()
+        except (ApiError, OSError):
+            probe = None  # aggregate answers 503 while a slot restarts
+        if probe and probe["restarts_total"] >= 1 and probe["n_live"] == 2:
+            break
+        # The burst may have starved the armed slot of data requests
+        # (accept(2) can keep handing a lone connection stream to the
+        # unarmed worker) — fresh connections keep feeding it until it
+        # finally serves its 5th request and dies.
+        poke = ServingClient(url, retries=4, backoff_s=0.05)
+        try:
+            for node in range(3):
+                poke.top_k(node, k=K)
+        finally:
+            poke.close()
+        time.sleep(0.1)
+    assert probe and probe["restarts_total"] >= 1, f"no restart observed: {probe}"
+    assert probe["n_live"] == 2, f"capacity not restored: {probe}"
+    assert any(
+        f"code {INJECTED_KILL_EXIT}" in (w.get("last_exit") or "")
+        for w in probe["workers"]
+    ), probe["workers"]
+    admin.close()
+    print(
+        f"  recovered: {probe['restarts_total']} restart(s), "
+        f"{probe['n_live']}/2 workers live"
+    )
+
+    # Post-recovery throughput must return to >= 90% of the pre-fault
+    # baseline.  The restarted worker inherited the armed env, so this
+    # burst absorbs another injected crash — the bound holds anyway.
+    after = burst(url, seed=400)
+    ratio = after.qps / baseline_qps
+    assert ratio >= 0.9, (
+        f"post-recovery throughput {after.qps:.0f} req/s is "
+        f"{ratio:.0%} of the pre-fault baseline {baseline_qps:.0f} req/s"
+    )
+    print(f"  post-recovery: {after.qps:.0f} req/s ({ratio:.0%} of baseline)")
+    return server
+
+
+def drain_supervisor(server: subprocess.Popen) -> None:
+    print("SIGTERM: rolling drain...")
+    server.send_signal(signal.SIGTERM)
+    rc = server.wait(timeout=60)
+    tail = server.stdout.read()
+    assert rc == 0, f"supervisor exited rc={rc} after SIGTERM:\n{tail}"
+    assert "drained and stopped" in tail, tail
+    print("  drained: supervisor rc=0")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        store_dir = tmp_path / "store"
+        emb1, emb2 = tmp_path / "emb1.npz", tmp_path / "emb2.npz"
+        synthetic_embedding(N_NODES, DIM, seed=0).save(emb1)
+        synthetic_embedding(N_NODES, DIM, seed=1).save(emb2)
+
+        print("publishing v1 through the CLI...")
+        expect_rc(
+            run_cli("serve", "--store", str(store_dir), "--publish", str(emb1)),
+            0, "publish v1",
+        )
+        expect_rc(
+            run_cli("fsck", "--store", str(store_dir)), 0, "fsck on clean store"
+        )
+        print("  fsck: clean")
+
+        check_torn_publish_recovery(store_dir, emb2)
+
+        baseline = measure_healthy_baseline(store_dir)
+        server = check_worker_kill_under_load(store_dir, baseline)
+        try:
+            drain_supervisor(server)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+    print("chaos smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,12 +208,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Check (and with --repair, recover) a store root.
+
+    Exit codes are the contract scripts build on: 0 = clean, 1 = issues
+    found and all of them repairable (repaired when --repair was given),
+    2 = unrecoverable (not a store, or no clean version survives).
+    """
+    import json as json_module
+
+    from repro.serving.fsck import fsck
+
+    report = fsck(args.store, repair=args.repair)
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2))
+        return report.exit_code()
+    for issue in report.issues:
+        tag = "" if issue.repairable else " [unrecoverable]"
+        print(f"{issue.code}{tag}: {issue.detail}")
+    for action in report.actions:
+        print(f"repair: {action}")
+    verdict = (
+        "clean"
+        if report.clean
+        else ("unrecoverable" if report.unrecoverable else
+              ("repaired" if report.repaired else "repairable (run --repair)"))
+    )
+    print(
+        f"{args.store}: {verdict} — {len(report.clean_versions)} clean / "
+        f"{len(report.corrupt_versions)} corrupt version(s), "
+        f"latest={report.latest}"
+    )
+    return report.exit_code()
+
+
+def _serve_supervised(store, args: argparse.Namespace) -> int:
+    """Serve through the pre-fork supervisor (``--workers N``, N >= 2)."""
+    from repro.serving.http import Supervisor, SupervisorConfig
+
+    config = SupervisorConfig(
+        store=args.store,
+        n_workers=args.workers,
+        host=args.http_host,
+        port=args.http,
+        backend=args.backend,
+        nprobe=args.nprobe,
+        threads=args.threads,
+        coalesce_window_ms=args.coalesce_window_ms,
+        coalesce_max_batch=args.coalesce_max_batch,
+        select_dtype=args.select_dtype,
+        drain_timeout_s=args.drain_timeout,
+        log_requests=args.log_requests,
+        max_restarts=args.max_restarts,
+    )
+    supervisor = Supervisor(config)
+    supervisor.start()
+    # Same parsable "on <url>" shape as the single-process boot line, so
+    # existing wrappers discover the data-plane port unchanged.
+    print(
+        f"serving {args.store} [{args.workers} workers] on {supervisor.url} "
+        f"admin={supervisor.admin_url}",
+        flush=True,
+    )
+    code = supervisor.wait()
+    if code == 0:
+        print("drained and stopped", flush=True)
+    return code
+
+
 def _serve_http(store, args: argparse.Namespace) -> int:
     """Block serving the store over HTTP until SIGTERM/SIGINT.
 
     The server owns a :class:`QueryService` built from the CLI knobs and
     drains gracefully on shutdown: in-flight requests complete, late
-    arrivals get a structured 503.
+    arrivals get a structured 503.  With ``--workers N`` (N >= 2) the
+    pre-fork :class:`~repro.serving.http.Supervisor` takes over instead.
     """
     from repro.serving.http import EmbeddingServer
     from repro.serving.service import QueryService
@@ -221,6 +290,11 @@ def _serve_http(store, args: argparse.Namespace) -> int:
     if store.latest() is None:
         print("error: store has no published versions", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_supervised(store, args)
     if args.coalesce_window_ms > 0 and args.coalesce_max_batch < 1:
         # Reject up front: the coalescer would raise a bare ValueError
         # from deep inside QueryService.make_coalescer otherwise.
@@ -466,6 +540,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serve --http from N supervised worker processes sharing "
+        "one listen socket (1 = in-process single server): crashed or "
+        "hung workers are restarted with backoff, SIGTERM drains them "
+        "one at a time, and a crash loop exits nonzero",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="crash-loop breaker: more than this many restarts of one "
+        "worker slot inside a 30s window stops the supervisor (exit 3)",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="check a store for torn publishes and corruption "
+        "(exit 0 clean / 1 repairable / 2 unrecoverable)",
+    )
+    fsck.add_argument("--store", required=True, help="store root directory")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="remove staging debris, quarantine corrupt versions under "
+        "<store>/quarantine/, and repoint LATEST at the newest clean one",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of one line per issue",
+    )
 
     query = sub.add_parser("query", help="query a published embedding store")
     query.add_argument("--store", required=True, help="store root directory")
@@ -550,6 +658,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "neighbors": _cmd_neighbors,
     "serve": _cmd_serve,
+    "fsck": _cmd_fsck,
     "query": _cmd_query,
     "bench-http": _cmd_bench_http,
 }

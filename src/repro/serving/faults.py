@@ -1,0 +1,247 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+Production-scale serving treats component failure as the common case,
+so the failure paths — worker crashes, stalled handlers, publishers
+killed mid-publish, corrupted bytes on the wire — need to be *exercised*
+by tests and benchmarks, not just reasoned about.  This module is the
+one switchboard for injecting those failures on purpose:
+
+- a :class:`FaultPlan` names what to break and when (after how many
+  requests, at which publish step, every how many frames), parsed from
+  the ``REPRO_FAULTS`` environment variable so a subprocess worker can
+  be armed without new CLI surface;
+- a :class:`FaultInjector` executes the plan at the instrumented
+  injection points (:meth:`on_request`, :meth:`on_publish_step`,
+  :meth:`corrupt_frame`), deterministically — the same plan and the
+  same request sequence produce the same failure, which is what lets
+  the chaos suite assert exact availability contracts instead of
+  flaky probabilistic ones.
+
+Everything is inert by default: with no plan armed the injection points
+are ``None`` checks on the hot path and the serving stack behaves
+exactly as before.  The env format is JSON::
+
+    REPRO_FAULTS='{"kill_after_requests": 100, "worker": 0}'
+
+Fields (all optional):
+
+``kill_after_requests``
+    Hard-kill the process (``os._exit``, exit code
+    :data:`INJECTED_KILL_EXIT`) immediately after serving this many
+    data-endpoint requests — a worker crash under load.
+``stall_ms`` / ``stall_every``
+    Sleep ``stall_ms`` inside every ``stall_every``-th data request — a
+    hung/slow handler (``stall_every`` defaults to 1 when ``stall_ms``
+    is set).
+``torn_publish_step``
+    Kill the process mid-:meth:`~repro.serving.store.EmbeddingStore.publish`
+    at a named step: ``"arrays"`` (some arrays staged, no manifest),
+    ``"manifest"`` (staging dir complete, not yet renamed) or
+    ``"latest"`` (version renamed into place, ``LATEST`` still stale).
+``corrupt_frame_every``
+    XOR one seeded byte in every N-th binary frame response — wire
+    corruption the client's frame decoder must catch.
+``worker``
+    Scope the plan to one supervisor worker id (``None`` = every
+    process that reads the env).
+``seed``
+    Seeds the corruption byte choice; everything else is counter-based
+    and needs no randomness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+# The exit code an injected kill dies with — distinct from anything the
+# CLI returns on purpose, so a supervisor test can tell "the fault fired"
+# from "the worker crashed for an unplanned reason".
+INJECTED_KILL_EXIT = 86
+
+_PUBLISH_STEPS = ("arrays", "manifest", "latest")
+
+
+class InjectedFault(RuntimeError):
+    """Raised instead of ``os._exit`` when an injector runs in soft mode.
+
+    In-process tests cannot afford a real ``os._exit`` (it would take
+    pytest down with the "worker"), so ``FaultInjector(hard=False)``
+    raises this instead — same injection point, survivable blast radius.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of which faults to inject, and when."""
+
+    kill_after_requests: int | None = None
+    stall_ms: float = 0.0
+    stall_every: int = 0
+    torn_publish_step: str | None = None
+    corrupt_frame_every: int = 0
+    worker: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kill_after_requests is not None and self.kill_after_requests < 1:
+            raise ValueError(
+                f"kill_after_requests must be >= 1, got {self.kill_after_requests}"
+            )
+        if self.stall_ms < 0:
+            raise ValueError(f"stall_ms must be >= 0, got {self.stall_ms}")
+        if self.torn_publish_step is not None and (
+            self.torn_publish_step not in _PUBLISH_STEPS
+        ):
+            raise ValueError(
+                f"torn_publish_step must be one of {_PUBLISH_STEPS}, "
+                f"got {self.torn_publish_step!r}"
+            )
+        if self.stall_ms > 0 and self.stall_every < 1:
+            # "stall" with no cadence means every request.
+            object.__setattr__(self, "stall_every", 1)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultPlan":
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(f"unknown fault plan fields: {unknown}")
+        return cls(**spec)
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "FaultPlan | None":
+        """The plan armed via ``REPRO_FAULTS``, or ``None`` when unset.
+
+        A malformed spec raises rather than silently disabling the
+        faults: a chaos test that *thinks* it armed a kill but didn't
+        would pass vacuously.
+        """
+        raw = (environ if environ is not None else os.environ).get(FAULTS_ENV)
+        if not raw:
+            return None
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{FAULTS_ENV} is not valid JSON: {error}")
+        if not isinstance(spec, dict):
+            raise ValueError(f"{FAULTS_ENV} must be a JSON object, got {raw!r}")
+        return cls.from_spec(spec)
+
+    def to_env(self) -> str:
+        """The ``REPRO_FAULTS`` value that round-trips to this plan."""
+        defaults = {
+            f.name: f.default for f in self.__dataclass_fields__.values()
+        }
+        # Compare against declared defaults, not falsiness: ``worker=0``
+        # and ``seed=0``-vs-unset are different plans.
+        spec = {
+            key: value
+            for key, value in asdict(self).items()
+            if value != defaults[key]
+        }
+        return json.dumps(spec, separators=(",", ":"))
+
+    def applies_to_worker(self, worker_id: int | None) -> bool:
+        """Whether a process with this worker id should arm the plan."""
+        return self.worker is None or self.worker == worker_id
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the instrumented points.
+
+    Thread-safe: the request counter is shared by every handler thread
+    of a server, so "kill after N requests" means the N-th request
+    *served by the process*, whatever thread carries it.
+
+    ``hard=True`` (the default, what subprocess workers use) makes kill
+    points call ``os._exit`` — no cleanup, no drain, exactly like a
+    SIGKILL'd process.  ``hard=False`` raises :class:`InjectedFault`
+    instead, for in-process tests.
+    """
+
+    def __init__(self, plan: FaultPlan, *, hard: bool = True) -> None:
+        self.plan = plan
+        self.hard = hard
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._frames = 0
+        self._corrupted = 0
+        self._rng = np.random.default_rng(plan.seed)
+
+    @classmethod
+    def from_env(
+        cls,
+        *,
+        worker_id: int | None = None,
+        environ: dict | None = None,
+        hard: bool = True,
+    ) -> "FaultInjector | None":
+        """An armed injector for this process, or ``None`` (the hot default)."""
+        plan = FaultPlan.from_env(environ)
+        if plan is None or not plan.applies_to_worker(worker_id):
+            return None
+        return cls(plan, hard=hard)
+
+    # -- injection points ----------------------------------------------
+    def _die(self, reason: str) -> None:
+        if self.hard:
+            # Flush nothing, drain nothing: the point is to be
+            # indistinguishable from a crash.
+            os._exit(INJECTED_KILL_EXIT)
+        raise InjectedFault(reason)
+
+    def on_request(self) -> None:
+        """Called by the server once per data-endpoint request.
+
+        Applies the stall (inside the request, before the backend runs,
+        so the delay is client-visible) and the kill-after-N point
+        (after the counter passes the threshold — the N-th request dies
+        mid-flight, exactly the torn-connection case failover must
+        absorb).
+        """
+        plan = self.plan
+        with self._lock:
+            self._requests += 1
+            count = self._requests
+        if plan.stall_every and count % plan.stall_every == 0:
+            time.sleep(plan.stall_ms / 1e3)
+        if plan.kill_after_requests is not None and count >= plan.kill_after_requests:
+            self._die(f"injected kill after {count} requests")
+
+    def on_publish_step(self, step: str) -> None:
+        """Called by the store publish path after completing ``step``."""
+        if self.plan.torn_publish_step == step:
+            self._die(f"injected crash at publish step {step!r}")
+
+    def corrupt_frame(self, frame: bytes) -> bytes:
+        """Maybe XOR one seeded byte of an outgoing binary frame."""
+        every = self.plan.corrupt_frame_every
+        if not every:
+            return frame
+        with self._lock:
+            self._frames += 1
+            hit = self._frames % every == 0
+            if not hit or not frame:
+                return frame
+            position = int(self._rng.integers(len(frame)))
+            self._corrupted += 1
+        corrupted = bytearray(frame)
+        corrupted[position] ^= 0xFF
+        return bytes(corrupted)
+
+    def counters(self) -> dict:
+        """Observability for tests: what the injector has done so far."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "frames": self._frames,
+                "corrupted_frames": self._corrupted,
+            }

@@ -1,0 +1,564 @@
+"""Store integrity checking and crash recovery (``repro fsck``).
+
+The publish protocol makes a *completed* publish atomic, but a publisher
+killed mid-publish still leaves debris behind — an abandoned ``.tmp-``
+staging directory, a version renamed into place with ``LATEST`` never
+advanced — and bytes on disk can rot underneath a published version
+(truncated copy, bit flips, a manifest edited by hand).  This module is
+the recovery half of the durability story:
+
+- :func:`verify_version` validates one published version end to end:
+  the manifest parses and matches the directory, every array file's
+  ``.npy`` header agrees with the manifest's recorded shape/dtype, and
+  the file's byte length equals exactly what the header promises — a
+  truncated ``features.npy`` is caught *before* a query process maps it.
+- :func:`fsck` sweeps a whole store root (plain or sharded): every
+  version is verified, orphaned staging debris is found, and the
+  ``LATEST`` pointer is checked against the set of *clean* versions.
+  With ``repair=True`` it quarantines corrupt versions (moved under
+  ``<root>/quarantine/``, never deleted), removes staging debris, and
+  repoints ``LATEST`` at the newest version that verifies clean.
+- :class:`StoreCorruptionError` is the structured refusal
+  :class:`~repro.serving.service.QueryService` raises instead of
+  serving a version that fails verification.
+
+Exit-code contract (the ``repro fsck`` CLI maps
+:meth:`FsckReport.exit_code` straight through): ``0`` clean, ``1``
+issues found and every one of them is repairable (and was repaired when
+``repair=True``), ``2`` unrecoverable — the store cannot serve even
+after repair (no clean version survives, or the root is not a store).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving.store import (
+    _ARRAY_FILES,
+    MANIFEST_SCHEMA,
+    STAGING_PREFIX,
+    EmbeddingStore,
+)
+
+QUARANTINE_DIR = "quarantine"
+
+# Staging-debris prefixes fsck recognizes: the current ``.tmp-`` publish
+# prefix, the pre-fsck ``.staging.`` spelling (stores published by older
+# code must still be sweepable), and ``atomic_write``'s ``.<name>.*.tmp``
+# temp files.
+_ORPHAN_PREFIXES = (STAGING_PREFIX, ".staging.")
+
+
+class StoreCorruptionError(RuntimeError):
+    """A store version failed verification and must not be served.
+
+    Carries the failing version and the issue list so callers (the HTTP
+    refresh handler, the CLI) can surface a structured error instead of
+    whatever exception a half-mapped array would eventually raise.
+    """
+
+    def __init__(self, root, version: str, issues: "list[Issue]") -> None:
+        summary = "; ".join(issue.detail for issue in issues[:3])
+        more = f" (+{len(issues) - 3} more)" if len(issues) > 3 else ""
+        super().__init__(
+            f"store version {version!r} at {root} fails verification: "
+            f"{summary}{more}"
+        )
+        self.root = str(root)
+        self.version = version
+        self.issues = issues
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One integrity finding.
+
+    ``code`` is stable and machine-readable (``orphan_staging``,
+    ``bad_manifest``, ``bad_array``, ``corrupt_index``, ``bad_latest``,
+    ``not_a_store``); ``detail`` says what exactly is wrong;
+    ``repairable`` says whether :func:`fsck` with ``repair=True`` can
+    bring the store back to a clean, servable state past this issue.
+    """
+
+    code: str
+    path: str
+    detail: str
+    repairable: bool = True
+    version: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "detail": self.detail,
+            "repairable": self.repairable,
+            "version": self.version,
+        }
+
+
+@dataclass
+class FsckReport:
+    """What one :func:`fsck` sweep found (and, with repair, did)."""
+
+    root: str
+    issues: list[Issue] = field(default_factory=list)
+    clean_versions: list[str] = field(default_factory=list)
+    corrupt_versions: list[str] = field(default_factory=list)
+    actions: list[str] = field(default_factory=list)  # repair log, human-readable
+    latest: str | None = None
+    repaired: bool = False  # repair ran and handled every repairable issue
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    @property
+    def unrecoverable(self) -> bool:
+        """No clean version survives a store that had versions, or worse."""
+        if any(not issue.repairable for issue in self.issues):
+            return True
+        return bool(self.corrupt_versions) and not self.clean_versions
+
+    def exit_code(self) -> int:
+        """The ``repro fsck`` contract: 0 clean / 1 repaired / 2 unrecoverable."""
+        if self.unrecoverable:
+            return 2
+        return 0 if self.clean else 1
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "clean": self.clean,
+            "unrecoverable": self.unrecoverable,
+            "exit_code": self.exit_code(),
+            "latest": self.latest,
+            "clean_versions": list(self.clean_versions),
+            "corrupt_versions": list(self.corrupt_versions),
+            "issues": [issue.as_dict() for issue in self.issues],
+            "actions": list(self.actions),
+            "repaired": self.repaired,
+        }
+
+
+# -- single-version verification ---------------------------------------
+def _read_npy_header(path: Path) -> tuple[tuple[int, ...], np.dtype, int]:
+    """Parse a ``.npy`` header: (shape, dtype, data offset).
+
+    Raises ``ValueError`` on any malformation — bad magic, unsupported
+    format version, unparsable header dict.
+    """
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        readers = {
+            (1, 0): np.lib.format.read_array_header_1_0,
+            (2, 0): np.lib.format.read_array_header_2_0,
+        }
+        reader = readers.get(version)
+        if reader is None:
+            raise ValueError(f"unsupported .npy format version {version}")
+        shape, fortran_order, dtype = reader(handle)
+        if fortran_order:
+            raise ValueError("fortran-order arrays are never published")
+        return shape, dtype, handle.tell()
+
+
+def verify_version(store: EmbeddingStore, version: str) -> list[Issue]:
+    """Integrity issues for one published version (empty list = clean).
+
+    Checks are header/metadata-level only — no array data is read — so a
+    verification pass costs stats and a few KB of headers, cheap enough
+    to run on every :meth:`QueryService.activate`.
+    """
+    directory = store.root / "versions" / version
+    issues: list[Issue] = []
+
+    def issue(code: str, path: Path, detail: str) -> None:
+        issues.append(
+            Issue(code=code, path=str(path), detail=detail, version=version)
+        )
+
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.is_file():
+        issue("bad_manifest", manifest_path, f"{version}: manifest.json missing")
+        return issues
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        issue("bad_manifest", manifest_path, f"{version}: manifest unreadable: {error}")
+        return issues
+    if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
+        issue(
+            "bad_manifest", manifest_path,
+            f"{version}: manifest schema is {manifest.get('schema')!r}, "
+            f"expected {MANIFEST_SCHEMA!r}",
+        )
+        return issues
+    if manifest.get("version") != version:
+        issue(
+            "bad_manifest", manifest_path,
+            f"{version}: manifest names version {manifest.get('version')!r}",
+        )
+    recorded = manifest.get("arrays")
+    if not isinstance(recorded, dict):
+        issue("bad_manifest", manifest_path, f"{version}: manifest has no arrays table")
+        return issues
+
+    for name in _ARRAY_FILES:
+        array_path = directory / f"{name}.npy"
+        spec = recorded.get(name)
+        if spec is None:
+            issue(
+                "bad_manifest", manifest_path,
+                f"{version}: manifest does not record array {name!r}",
+            )
+            continue
+        if not array_path.is_file():
+            issue("bad_array", array_path, f"{version}: {name}.npy missing")
+            continue
+        try:
+            shape, dtype, offset = _read_npy_header(array_path)
+        except (OSError, ValueError) as error:
+            issue(
+                "bad_array", array_path,
+                f"{version}: {name}.npy header unreadable: {error}",
+            )
+            continue
+        if list(shape) != list(spec.get("shape", [])) or str(dtype) != spec.get(
+            "dtype"
+        ):
+            issue(
+                "bad_array", array_path,
+                f"{version}: {name}.npy is {dtype} {list(shape)}, manifest "
+                f"records {spec.get('dtype')} {spec.get('shape')}",
+            )
+            continue
+        expected = offset + dtype.itemsize * math.prod(shape)
+        actual = array_path.stat().st_size
+        if actual != expected:
+            kind = "truncated" if actual < expected else "oversized"
+            issue(
+                "bad_array", array_path,
+                f"{version}: {name}.npy {kind}: {actual} bytes on disk, "
+                f"header promises {expected}",
+            )
+
+    # Index artifacts are derived data (deleting one only costs a
+    # rebuild), but a torn .npz would still crash activation with an
+    # opaque zipfile error — flag it so repair can GC it.
+    import zipfile
+
+    for artifact in sorted(directory.glob("index_*.npz")):
+        if not zipfile.is_zipfile(artifact):
+            issue(
+                "corrupt_index", artifact,
+                f"{version}: index artifact {artifact.name} is not a readable "
+                "archive (derived data; repair deletes it)",
+            )
+    return issues
+
+
+# -- whole-store sweep -------------------------------------------------
+def find_orphans(root: Path) -> list[Path]:
+    """Staging debris under ``root``: abandoned publish/atomic-write temps."""
+    if not root.is_dir():
+        return []
+    orphans = []
+    for entry in sorted(root.iterdir()):
+        name = entry.name
+        if name.startswith(_ORPHAN_PREFIXES):
+            orphans.append(entry)
+        elif name.startswith(".") and name.endswith(".tmp") and entry.is_file():
+            orphans.append(entry)  # atomic_write temp left by a kill
+    return orphans
+
+
+def _quarantine(root: Path, target: Path, report: FsckReport) -> None:
+    """Move ``target`` under ``<root>/quarantine/`` (never delete data)."""
+    quarantine = root / QUARANTINE_DIR
+    quarantine.mkdir(exist_ok=True)
+    destination = quarantine / target.name
+    suffix = 0
+    while destination.exists():
+        suffix += 1
+        destination = quarantine / f"{target.name}.{suffix}"
+    target.rename(destination)
+    report.actions.append(f"quarantined {target.name} -> {destination.relative_to(root)}")
+
+
+def _fsck_plain(store: EmbeddingStore, *, repair: bool) -> FsckReport:
+    root = store.root
+    report = FsckReport(root=str(root))
+    if not (root / "versions").is_dir():
+        report.issues.append(
+            Issue(
+                code="not_a_store",
+                path=str(root),
+                detail=f"{root} has no versions/ directory",
+                repairable=False,
+            )
+        )
+        return report
+
+    for orphan in find_orphans(root):
+        report.issues.append(
+            Issue(
+                code="orphan_staging",
+                path=str(orphan),
+                detail=f"abandoned staging debris {orphan.name} "
+                "(publisher killed mid-publish)",
+            )
+        )
+        if repair:
+            if orphan.is_dir():
+                shutil.rmtree(orphan, ignore_errors=True)
+            else:
+                orphan.unlink(missing_ok=True)
+            report.actions.append(f"removed staging debris {orphan.name}")
+
+    for version in store.versions():
+        issues = verify_version(store, version)
+        # A corrupt-but-GC-able index artifact alone does not condemn the
+        # version: the arrays are intact, only derived data needs repair.
+        fatal = [issue for issue in issues if issue.code != "corrupt_index"]
+        report.issues.extend(issues)
+        if fatal:
+            report.corrupt_versions.append(version)
+            if repair:
+                _quarantine(root, root / "versions" / version, report)
+        else:
+            report.clean_versions.append(version)
+            if repair:
+                for issue in issues:  # corrupt_index only
+                    Path(issue.path).unlink(missing_ok=True)
+                    report.actions.append(
+                        f"deleted corrupt index artifact {Path(issue.path).name}"
+                    )
+
+    _check_latest(store, report, repair=repair)
+    report.repaired = repair and not report.unrecoverable and bool(report.actions)
+    return report
+
+
+def _check_latest(store, report: FsckReport, *, repair: bool) -> None:
+    """Validate (and with ``repair`` fix) the ``LATEST`` pointer.
+
+    Shared by the plain and sharded sweeps: both stores point a one-line
+    ``LATEST`` file at a version name, and the repair is the same —
+    repoint at the newest version that verified clean, or remove the
+    pointer when nothing clean remains.
+    """
+    root = Path(report.root)
+    pointer = root / "LATEST"
+    latest = store.latest()
+    report.latest = latest
+    ok = (
+        latest in report.clean_versions
+        if latest is not None
+        else not report.clean_versions  # empty store: no pointer is fine
+    )
+    if ok:
+        return
+    if latest is None:
+        detail = "LATEST pointer missing but clean versions exist"
+    elif latest in report.corrupt_versions:
+        detail = f"LATEST points at corrupt version {latest!r}"
+    else:
+        detail = f"LATEST points at nonexistent version {latest!r}"
+    report.issues.append(
+        Issue(code="bad_latest", path=str(pointer), detail=detail)
+    )
+    if not repair:
+        return
+    if report.clean_versions:
+        newest = report.clean_versions[-1]
+        store.set_latest(newest)
+        report.latest = newest
+        report.actions.append(f"repointed LATEST at {newest}")
+    elif pointer.exists():
+        pointer.unlink()
+        report.latest = None
+        report.actions.append("removed dangling LATEST pointer")
+
+
+def _fsck_sharded(store, *, repair: bool) -> FsckReport:
+    """Sweep a sharded root: segments first, then the logical layer.
+
+    A logical version is clean iff every segment version it names
+    verified clean in its segment store; a corrupt logical version's
+    manifest is quarantined (the segment sweeps already quarantined the
+    bad segment data itself).
+    """
+    from repro.serving.sharding.store import ShardedEmbeddingStore
+
+    assert isinstance(store, ShardedEmbeddingStore)
+    root = store.root
+    report = FsckReport(root=str(root))
+
+    segment_clean: list[set[str]] = []
+    for shard in range(store.n_shards):
+        segment_report = _fsck_plain(store.segment_store(shard), repair=repair)
+        # Segment LATEST pointers are unused (logical manifests pin exact
+        # segment versions), so a missing one is not an issue here.
+        report.issues.extend(
+            issue
+            for issue in segment_report.issues
+            if issue.code != "bad_latest"
+        )
+        report.actions.extend(
+            f"shard-{shard:04d}: {action}" for action in segment_report.actions
+        )
+        segment_clean.append(set(segment_report.clean_versions))
+
+    for orphan in find_orphans(root):
+        report.issues.append(
+            Issue(
+                code="orphan_staging",
+                path=str(orphan),
+                detail=f"abandoned staging debris {orphan.name}",
+            )
+        )
+        if repair:
+            if orphan.is_dir():
+                shutil.rmtree(orphan, ignore_errors=True)
+            else:
+                orphan.unlink(missing_ok=True)
+            report.actions.append(f"removed staging debris {orphan.name}")
+
+    for version in store.versions():
+        manifest_path = root / "versions" / f"{version}.json"
+        try:
+            manifest = store.manifest(version)
+            entries = manifest["shards"]
+            broken = [
+                entry
+                for entry in entries
+                if entry["version"] not in segment_clean[entry["shard"]]
+            ]
+        except (OSError, ValueError, KeyError, IndexError, TypeError) as error:
+            report.issues.append(
+                Issue(
+                    code="bad_manifest",
+                    path=str(manifest_path),
+                    detail=f"{version}: logical manifest unreadable: {error}",
+                    version=version,
+                )
+            )
+            broken = None
+        if broken:
+            for entry in broken:
+                report.issues.append(
+                    Issue(
+                        code="bad_manifest",
+                        path=str(manifest_path),
+                        detail=(
+                            f"{version}: names segment version "
+                            f"{entry['version']!r} on shard {entry['shard']} "
+                            "which is missing or corrupt"
+                        ),
+                        version=version,
+                    )
+                )
+        if broken or broken is None:
+            report.corrupt_versions.append(version)
+            if repair:
+                _quarantine(root, manifest_path, report)
+        else:
+            report.clean_versions.append(version)
+
+    _check_latest(store, report, repair=repair)
+    report.repaired = repair and not report.unrecoverable and bool(report.actions)
+    return report
+
+
+def fsck(root, *, repair: bool = False) -> FsckReport:
+    """Sweep a store root (plain or sharded auto-detected) for damage.
+
+    ``repair=False`` only reports; ``repair=True`` additionally removes
+    staging debris, quarantines corrupt versions under
+    ``<root>/quarantine/`` and repairs the ``LATEST`` pointer.  Never
+    deletes version data — quarantined directories can be inspected or
+    restored by hand.
+    """
+    from repro.serving.sharding.store import ShardedEmbeddingStore
+
+    root = Path(root)
+    if ShardedEmbeddingStore.is_sharded_root(root):
+        return _fsck_sharded(ShardedEmbeddingStore(root), repair=repair)
+    if not (root / "versions").is_dir():
+        # Don't let EmbeddingStore.__init__ mkdir a store skeleton into a
+        # path that plainly isn't one — report it instead.
+        report = FsckReport(root=str(root))
+        report.issues.append(
+            Issue(
+                code="not_a_store",
+                path=str(root),
+                detail=f"{root} is not an embedding store root",
+                repairable=False,
+            )
+        )
+        return report
+    return _fsck_plain(EmbeddingStore(root), repair=repair)
+
+
+def verify_open_target(store, version: str | None) -> None:
+    """Refuse (raise) if the version a service is about to open is damaged.
+
+    ``version=None`` resolves through the store's ``LATEST`` pointer; a
+    store with no versions at all passes (the caller's ``open`` raises
+    its usual ``FileNotFoundError``).  Raises
+    :class:`StoreCorruptionError` listing every issue found.
+    """
+    from repro.serving.sharding.store import ShardedEmbeddingStore
+
+    target = version if version is not None else store.latest()
+    if target is None:
+        return
+    if isinstance(store, ShardedEmbeddingStore):
+        try:
+            manifest = store.manifest(target)
+            entries = manifest["shards"]
+        except FileNotFoundError:
+            return  # open() raises the canonical missing-version error
+        except (ValueError, KeyError, TypeError) as error:
+            raise StoreCorruptionError(
+                store.root,
+                target,
+                [
+                    Issue(
+                        code="bad_manifest",
+                        path=str(store.root / "versions" / f"{target}.json"),
+                        detail=f"{target}: logical manifest unreadable: {error}",
+                        version=target,
+                    )
+                ],
+            )
+        issues = []
+        for entry in entries:
+            segment = store.segment_store(entry["shard"])
+            if not (segment.root / "versions" / entry["version"]).is_dir():
+                issues.append(
+                    Issue(
+                        code="bad_manifest",
+                        path=str(segment.root),
+                        detail=(
+                            f"{target}: segment version {entry['version']!r} "
+                            f"missing on shard {entry['shard']}"
+                        ),
+                        version=target,
+                    )
+                )
+            else:
+                issues.extend(verify_version(segment, entry["version"]))
+    else:
+        if not (store.root / "versions" / target).is_dir():
+            return  # open() raises the canonical missing-version error
+        issues = verify_version(store, target)
+    fatal = [issue for issue in issues if issue.code != "corrupt_index"]
+    if fatal:
+        raise StoreCorruptionError(store.root, target, fatal)

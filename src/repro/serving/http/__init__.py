@@ -10,12 +10,17 @@ The network layer over :class:`~repro.serving.service.QueryService`:
   :meth:`~repro.serving.stats.LatencyStats.merge` fan-in stats
   (``client.py``);
 - :func:`run_load` — the closed-loop load generator behind
-  ``repro bench-http`` and ``benchmarks/bench_http.py`` (``loadgen.py``).
+  ``repro bench-http`` and ``benchmarks/bench_http.py`` (``loadgen.py``);
+- :class:`Supervisor` — the pre-fork multi-process tier: one shared
+  listen socket, N worker processes, health checks, backoff restarts,
+  a crash-loop breaker, rolling drain, and aggregated admin endpoints
+  (``supervisor.py``).
 
 Everything is standard library + numpy — no new dependencies.
 """
 
 from repro.serving.http.client import (
+    DeadlineExceeded,
     HTTPQueryResult,
     ServingClient,
     ServingUnavailable,
@@ -23,14 +28,18 @@ from repro.serving.http.client import (
 from repro.serving.http.loadgen import LoadReport, run_load
 from repro.serving.http.protocol import PROTOCOL_SCHEMA, ApiError
 from repro.serving.http.server import EmbeddingServer
+from repro.serving.http.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "ApiError",
+    "DeadlineExceeded",
     "EmbeddingServer",
     "HTTPQueryResult",
     "LoadReport",
     "PROTOCOL_SCHEMA",
     "ServingClient",
     "ServingUnavailable",
+    "Supervisor",
+    "SupervisorConfig",
     "run_load",
 ]

@@ -1,0 +1,12 @@
+"""Worker process entry point: ``python -m repro.serving.http._worker``.
+
+A separate module (rather than ``-m repro.serving.http.supervisor``) so
+runpy never re-executes a module the package ``__init__`` already
+imported.  Launched only by the :class:`~repro.serving.http.Supervisor`
+with a :data:`~repro.serving.http.supervisor.WORKER_SPEC_ENV` spec.
+"""
+
+from repro.serving.http.supervisor import worker_main
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

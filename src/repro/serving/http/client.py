@@ -59,6 +59,18 @@ class ServingUnavailable(ApiError):
         super().__init__(503, "unavailable", message, details)
 
 
+class DeadlineExceeded(ApiError):
+    """The caller's per-request budget ran out before any replica answered.
+
+    Distinct from :class:`ServingUnavailable`: the replicas may be fine —
+    it is *this request's* time that is spent.  Retrying immediately with
+    the same budget is reasonable; waiting longer needs a bigger budget.
+    """
+
+    def __init__(self, message: str, details: dict | None = None) -> None:
+        super().__init__(504, "deadline_exceeded", message, details)
+
+
 @dataclass(frozen=True)
 class HTTPQueryResult:
     """A query answer as observed by the client.
@@ -165,6 +177,7 @@ class _Replica:
         timeout_s: float,
         *,
         fresh: bool = False,
+        extra_headers: dict | None = None,
     ) -> tuple[int, dict]:
         """One HTTP exchange; returns (status, parsed body payload).
 
@@ -194,7 +207,15 @@ class _Replica:
             connection, pooled = self._acquire(timeout_s, fresh)
             reusable = False
             try:
+                if pooled and connection.sock is not None:
+                    # A pooled socket keeps the timeout it was dialed
+                    # with; deadline-capped attempts need *this*
+                    # attempt's budget.  (A dead pooled socket raises
+                    # here and takes the stale-redial path below.)
+                    connection.sock.settimeout(timeout_s)
                 headers = {"Accept": accept}
+                if extra_headers:
+                    headers.update(extra_headers)
                 if body is not None:
                     headers["Content-Type"] = content_type
                 connection.request(
@@ -312,6 +333,7 @@ class ServingClient:
         *,
         arrays: "dict[str, np.ndarray] | None" = None,
         prefer: int = 0,
+        timeout_s: float | None = None,
     ) -> dict:
         """Issue a request, retrying reads across replicas.
 
@@ -322,6 +344,14 @@ class ServingClient:
         would fail identically everywhere.  Non-read endpoints get
         exactly one attempt on the preferred replica (and a fresh
         connection — never a possibly-stale pooled one).
+
+        ``timeout_s`` is a *total* per-request budget shared by every
+        retry/failover attempt (``None`` keeps the legacy behavior: the
+        client-level ``timeout_s`` bounds each attempt independently).
+        With a budget set, each attempt's socket timeout is capped to
+        what remains, the remaining budget rides along as
+        ``X-Deadline-Ms`` so the server can shed an already-dead request,
+        and exhaustion raises :class:`DeadlineExceeded`.
 
         ``arrays`` carries the request's array-valued fields (query
         vector, node batch).  Encoding is chosen per target replica:
@@ -336,12 +366,30 @@ class ServingClient:
         failures: dict[str, str] = {}
         last_503: ApiError | None = None
         backoff = self.backoff_s
+        deadline = (
+            time.perf_counter() + timeout_s if timeout_s is not None else None
+        )
         accept = (
             f"{protocol.BINARY_CONTENT_TYPE}, {protocol.JSON_CONTENT_TYPE}"
             if data and self.wire != "json"
             else protocol.JSON_CONTENT_TYPE
         )
         for attempt in range(attempts):
+            attempt_timeout = self.timeout_s
+            extra_headers = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"budget of {timeout_s}s spent before {path} was answered"
+                        f" ({attempt} attempt(s) made)",
+                        failures,
+                    )
+                attempt_timeout = min(self.timeout_s, remaining)
+                if data:
+                    extra_headers = {
+                        protocol.DEADLINE_HEADER: f"{remaining * 1e3:.1f}"
+                    }
             target = candidates[attempt % len(candidates)]
             send_binary = (
                 data
@@ -368,8 +416,9 @@ class ServingClient:
                     encoded,
                     content_type,
                     accept,
-                    self.timeout_s,
+                    attempt_timeout,
                     fresh=not idempotent,
+                    extra_headers=extra_headers,
                 )
             except (OSError, http.client.HTTPException) as error:
                 failures[target.base_url] = f"{type(error).__name__}: {error}"
@@ -386,8 +435,19 @@ class ServingClient:
                 last_503 = error
                 failures[target.base_url] = f"503 {error.code}"
             if attempt + 1 < attempts and backoff > 0:
-                time.sleep(backoff)
+                sleep = backoff
+                if deadline is not None:
+                    # Never sleep past the budget; the expiry check at the
+                    # top of the loop turns a spent budget into the error.
+                    sleep = min(sleep, max(0.0, deadline - time.perf_counter()))
+                time.sleep(sleep)
                 backoff *= 2
+        if deadline is not None and deadline - time.perf_counter() <= 0:
+            raise DeadlineExceeded(
+                f"budget of {timeout_s}s spent before {path} was answered"
+                f" ({attempts} attempt(s) made)",
+                failures,
+            )
         if last_503 is not None:
             # The server's structured refusal (e.g. ``draining``) beats a
             # generic wrapper — callers can branch on its code.
@@ -407,13 +467,18 @@ class ServingClient:
         return self._request("GET", protocol.METRICS)
 
     def top_k(
-        self, node: int, k: int = 10, *, nprobe: int | None = None
+        self,
+        node: int,
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+        timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body = {"node": int(node), "k": int(k)}
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
-        payload = self._request("POST", protocol.TOPK, body)
+        payload = self._request("POST", protocol.TOPK, body, timeout_s=timeout_s)
         version, ids, scores, server_latency, cached, group = (
             protocol.parse_result_payload(payload)
         )
@@ -433,6 +498,7 @@ class ServingClient:
         k: int = 10,
         *,
         nprobe: int | None = None,
+        timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body: dict = {"k": int(k)}
@@ -440,7 +506,8 @@ class ServingClient:
             body["nprobe"] = int(nprobe)
         query = np.asarray(vector, dtype=np.float64).ravel()
         payload = self._request(
-            "POST", protocol.SIMILAR, body, arrays={"vector": query}
+            "POST", protocol.SIMILAR, body,
+            arrays={"vector": query}, timeout_s=timeout_s,
         )
         version, ids, scores, server_latency, _, group = (
             protocol.parse_result_payload(payload)
@@ -455,7 +522,12 @@ class ServingClient:
         )
 
     def batch_top_k(
-        self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
+        self,
+        nodes: Sequence[int],
+        k: int = 10,
+        *,
+        nprobe: int | None = None,
+        timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         """Top-k for a node batch, fanned out across the replicas.
 
@@ -477,7 +549,7 @@ class ServingClient:
                 body["nprobe"] = int(nprobe)
             return self._request(
                 "POST", protocol.TOPK_BATCH, body,
-                arrays={"nodes": chunk}, prefer=prefer,
+                arrays={"nodes": chunk}, prefer=prefer, timeout_s=timeout_s,
             )
 
         n_chunks = min(len(self.replicas), int(nodes.size))

@@ -66,6 +66,13 @@ DATA_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR})
 BINARY_CONTENT_TYPE = "application/x-repro-frame"
 JSON_CONTENT_TYPE = "application/json"
 
+# Deadline propagation: the client sends its *remaining* per-request
+# budget (milliseconds, recomputed before every attempt) in this header;
+# a server that sees the budget already spent sheds the request with a
+# structured 503 ``deadline_exceeded`` instead of burning a GEMM on an
+# answer nobody is waiting for.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
 _FRAME_MAGIC = b"RPF1"
 _FRAME_DTYPES = ("<i8", "<f8")  # the wire is explicitly little-endian 64-bit
 _MAX_FRAME_HEADER_BYTES = 1 << 20

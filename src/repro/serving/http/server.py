@@ -35,6 +35,7 @@ in-flight work completes with its real status, never a 500.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -42,6 +43,8 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from repro.serving.faults import InjectedFault
+from repro.serving.fsck import StoreCorruptionError
 from repro.serving.http import protocol
 from repro.serving.http.protocol import ApiError
 from repro.serving.refresh import OnlineRefresher
@@ -114,11 +117,22 @@ class EmbeddingServer:
         coalesce_max_batch: int = 64,
         binary: bool = True,
         log: bool = False,
+        socket_fd: int | None = None,
+        reuse_port: bool = False,
+        worker_id: int | None = None,
+        faults=None,
+        stats_for: "EmbeddingServer | None" = None,
     ) -> None:
         self.service = service
         self.refresher = refresher
         self.drain_timeout_s = drain_timeout_s
         self.binary_wire = binary
+        self.worker_id = worker_id
+        self.faults = faults
+        # A worker's admin server reports *for* its data server: health
+        # and metrics must describe the traffic-carrying surface, not the
+        # loopback side-channel they arrive on.
+        self.stats_for = stats_for
         self.coalesce_window_s = coalesce_window_s
         self.coalesce_max_batch = coalesce_max_batch
         self._coalescer = (
@@ -146,7 +160,36 @@ class EmbeddingServer:
             )
         }
         self.error_counts: dict[str, int] = {}
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        if socket_fd is not None:
+            # A supervisor worker: adopt the parent's already-bound,
+            # already-listening socket (classic pre-fork accept sharing —
+            # every worker blocks in accept() on the same fd, the kernel
+            # hands each connection to exactly one of them).
+            self._httpd = ThreadingHTTPServer(
+                (host, port), _Handler, bind_and_activate=False
+            )
+            self._httpd.socket.close()
+            self._httpd.socket = socket.socket(fileno=socket_fd)
+            address = self._httpd.socket.getsockname()
+            self._httpd.server_address = address[:2]
+            self._httpd.server_name = address[0]
+            self._httpd.server_port = address[1]
+        elif reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "use the inherited-socket worker mode instead"
+                )
+            self._httpd = ThreadingHTTPServer(
+                (host, port), _Handler, bind_and_activate=False
+            )
+            self._httpd.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            self._httpd.server_bind()
+            self._httpd.server_activate()
+        else:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
         # Handler threads must not block process exit (an idle keep-alive
         # peer would otherwise hang server_close); the drain condition
         # below is what guarantees in-flight *requests* complete.
@@ -263,11 +306,15 @@ class EmbeddingServer:
     # Each returns (status, payload-dict); ApiError propagates to the
     # handler, which writes the structured error body.
     def handle_healthz(self, _body: dict) -> tuple[int, dict]:
-        return 200, {
+        target = self.stats_for or self
+        payload = {
             "status": "ok",
             "version": self.service.version,
-            "draining": self._draining,
+            "draining": target._draining,
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return 200, payload
 
     def handle_describe(self, _body: dict) -> tuple[int, dict]:
         info = self.service.describe()
@@ -282,24 +329,28 @@ class EmbeddingServer:
             "window_s": self.coalesce_window_s,
             "max_batch": self.coalesce_max_batch,
         }
+        if self.worker_id is not None:
+            info["worker"] = self.worker_id
         return 200, info
 
     def handle_metrics(self, _body: dict) -> tuple[int, dict]:
+        target = self.stats_for or self
         per_endpoint = {
-            path: stats.snapshot() for path, stats in self.endpoint_stats.items()
+            path: stats.snapshot() for path, stats in target.endpoint_stats.items()
         }
         payload = {
             "schema": protocol.PROTOCOL_SCHEMA,
             "server": {
-                "in_flight": self.in_flight,
-                "draining": self._draining,
+                "worker": self.worker_id,
+                "in_flight": target.in_flight,
+                "draining": target._draining,
                 "endpoints": per_endpoint,
                 # All endpoints fan in to one server-level view; endpoint
                 # streams are disjoint, exactly what merge() is for.
                 "http": LatencyStats.merge(
-                    list(self.endpoint_stats.values())
+                    list(target.endpoint_stats.values())
                 ).snapshot(),
-                "errors": dict(self.error_counts),
+                "errors": dict(target.error_counts),
             },
             "service": self.service.stats.snapshot(),
             # The LRU's own hit/miss view (the service latency counters
@@ -400,8 +451,13 @@ class EmbeddingServer:
                         f"store has no version {version!r}",
                         {"version": version},
                     )
+                except StoreCorruptionError as error:
+                    raise _store_corrupt_error(error)
             else:
-                current = self.service.refresh_to_latest()
+                try:
+                    current = self.service.refresh_to_latest()
+                except StoreCorruptionError as error:
+                    raise _store_corrupt_error(error)
             return 200, {
                 "previous_version": previous,
                 "version": current,
@@ -477,6 +533,22 @@ class EmbeddingServer:
                 },
             }
         )
+
+
+def _store_corrupt_error(error: StoreCorruptionError) -> ApiError:
+    """A refresh target failing fsck is a 409, not a retryable 503.
+
+    The currently served snapshot is untouched (activation refused before
+    the swap), so the server stays healthy — but retrying the refresh
+    cannot succeed until an operator runs ``repro fsck --repair``.
+    """
+    return ApiError(
+        409, "store_corrupt", str(error),
+        {
+            "version": error.version,
+            "issues": [issue.as_dict() for issue in error.issues],
+        },
+    )
 
 
 def _translate_errors(run):
@@ -566,8 +638,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if isinstance(payload, protocol.ResultPayload):
                 if self._accepts_binary():
+                    frame = payload.to_frame()
+                    if self.owner.faults is not None:
+                        # Wire-corruption injection: the client's frame
+                        # decoder must catch the damage, not crash on it.
+                        frame = self.owner.faults.corrupt_frame(frame)
                     self._send_bytes(
-                        status, payload.to_frame(), protocol.BINARY_CONTENT_TYPE
+                        status, frame, protocol.BINARY_CONTENT_TYPE
                     )
                 else:
                     self._send_json(status, payload.to_json())
@@ -620,6 +697,36 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body truncated ({len(raw)}/{length} bytes)",
             )
         return raw
+
+    def _check_deadline(self, path: str, start: float) -> None:
+        """Shed a data request whose client-propagated deadline passed.
+
+        The client sends its *remaining* retry budget in
+        ``X-Deadline-Ms``; by the time this handler runs, that budget
+        minus our own elapsed time is what's left.  If nothing is, the
+        caller has already given up (or is about to) — answering 503
+        ``deadline_exceeded`` now costs a header parse instead of a GEMM
+        whose result nobody reads.
+        """
+        if path not in protocol.DATA_ENDPOINTS:
+            return
+        header = self.headers.get(protocol.DEADLINE_HEADER)
+        if header is None:
+            return
+        try:
+            budget_ms = float(header)
+        except ValueError:
+            raise ApiError(
+                400, "invalid_request",
+                f"bad {protocol.DEADLINE_HEADER} header: {header!r}",
+            )
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        if budget_ms - elapsed_ms <= 0:
+            raise ApiError(
+                503, "deadline_exceeded",
+                "request deadline passed before execution began",
+                {"budget_ms": budget_ms, "elapsed_ms": round(elapsed_ms, 3)},
+            )
 
     def _parse_body(self, raw: bytes, path: str) -> dict:
         """Decode the request body by its declared Content-Type.
@@ -718,10 +825,17 @@ class _Handler(BaseHTTPRequestHandler):
         start = time.perf_counter()
         try:
             try:
+                if owner.faults is not None and path in protocol.DATA_ENDPOINTS:
+                    # Injection point: stall this handler or crash the
+                    # process mid-request.  Only data endpoints count
+                    # toward kill-after-N — a supervisor's health probes
+                    # must never be what pulls the trigger.
+                    owner.faults.on_request()
                 # Consume the declared body before any routing decision:
                 # a 404/405 sent with the body still unread would leave
                 # its bytes to be parsed as the next keep-alive request.
                 raw = self._read_body()
+                self._check_deadline(path, start)
                 route = routes.get(path)
                 if route is None:
                     if path in other_method_routes:
@@ -739,6 +853,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._safe_send(error.status, error.body())
             except (BrokenPipeError, ConnectionResetError):
                 pass  # client went away mid-request; nothing left to read
+            except InjectedFault:
+                # Soft-mode injected crash: die like a killed worker would
+                # — no response, torn connection — without taking the
+                # in-process test's interpreter down.  socketserver's
+                # handle_error catches the re-raise and closes the socket.
+                self.close_connection = True
+                raise
             except Exception as error:  # the contract: never a bare 500 page
                 owner._count_error("internal")
                 self._safe_send(

@@ -205,7 +205,15 @@ class QueryService:
         a backend is constructed from the stored ``features`` matrix.
         Queries in flight keep the snapshot they started with.
         """
+        from repro.serving.fsck import verify_open_target
+
         with self._swap_lock:
+            # Refuse — with a structured StoreCorruptionError, not whatever
+            # a half-mapped array would eventually raise — to serve a
+            # version that fails integrity verification (torn publish,
+            # truncated array, manifest drift).  Header-level checks only,
+            # so the cost is a few KB of reads per activation.
+            verify_open_target(self._store, version)
             stored = self._store.open(version)
             backend = index
             if backend is None:

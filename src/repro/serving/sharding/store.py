@@ -46,7 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.pane import PANEEmbedding
-from repro.serving.store import EmbeddingStore, StoredEmbedding
+from repro.serving.store import STAGING_PREFIX, EmbeddingStore, StoredEmbedding
 from repro.utils.fs import atomic_write, chmod_default_file
 
 SHARDING_SCHEMA = "repro.serving.sharding/v1"
@@ -395,7 +395,7 @@ class ShardedEmbeddingStore:
         }
 
         fd, staging = tempfile.mkstemp(
-            prefix=".staging.manifest.", suffix=".json", dir=self.root
+            prefix=f"{STAGING_PREFIX}manifest.", suffix=".json", dir=self.root
         )
         try:
             chmod_default_file(fd)

@@ -54,6 +54,12 @@ from repro.utils.fs import atomic_write, chmod_default_dir
 MANIFEST_SCHEMA = "repro.serving.store/v1"
 _ARRAY_FILES = ("x_forward", "x_backward", "y", "features")
 
+# Every in-flight staging directory starts with this prefix, so a
+# publisher killed mid-publish leaves debris ``repro fsck`` can recognize
+# and GC — and that ``versions()`` can never mistake for a real version
+# (real versions start with "v", staging dirs with ".").
+STAGING_PREFIX = ".tmp-"
+
 
 @dataclass(frozen=True)
 class StoredEmbedding:
@@ -138,6 +144,7 @@ class EmbeddingStore:
         *,
         metadata: dict | None = None,
         set_latest: bool = True,
+        faults=None,
     ) -> str:
         """Persist ``embedding`` as a new immutable version; return its name.
 
@@ -148,7 +155,17 @@ class EmbeddingStore:
         with the next id (so the returned name is authoritative, not the
         pre-computed one).  With ``set_latest`` (default) the ``LATEST``
         pointer is swapped to the new version afterwards.
+
+        ``faults`` is a :class:`~repro.serving.faults.FaultInjector` (or
+        ``None`` to arm from ``REPRO_FAULTS``); its ``on_publish_step``
+        hook fires after the ``arrays``, ``manifest`` and ``latest``
+        steps, letting the chaos suite kill a publisher at each torn
+        state that ``repro fsck`` must recover from.
         """
+        if faults is None:
+            from repro.serving.faults import FaultInjector
+
+            faults = FaultInjector.from_env()
         existing = self.versions()
         next_id = 1 + (int(existing[-1][1:]) if existing else 0)
         version = f"v{next_id:08d}"
@@ -175,7 +192,7 @@ class EmbeddingStore:
         }
 
         staging = Path(
-            tempfile.mkdtemp(prefix=f".staging.{version}.", dir=self.root)
+            tempfile.mkdtemp(prefix=f"{STAGING_PREFIX}{version}.", dir=self.root)
         )
         try:
             # mkdtemp creates 0700; published versions must be readable by
@@ -183,11 +200,15 @@ class EmbeddingStore:
             chmod_default_dir(staging)
             for name, array in arrays.items():
                 np.save(staging / f"{name}.npy", array)
+            if faults is not None:
+                faults.on_publish_step("arrays")
             while True:
                 manifest["version"] = version
                 (staging / "manifest.json").write_text(
                     json.dumps(manifest, indent=2)
                 )
+                if faults is not None:
+                    faults.on_publish_step("manifest")
                 target = self._version_dir(version)
                 try:
                     os.rename(staging, target)
@@ -199,9 +220,17 @@ class EmbeddingStore:
                     # A concurrent publish won the race for this id between
                     # our versions() read and the rename; take the next slot.
                     version = f"v{int(version[1:]) + 1:08d}"
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
+        except BaseException as error:
+            from repro.serving.faults import InjectedFault
+
+            # A soft-mode injected crash must leave the torn state on disk
+            # exactly as a hard kill would — cleaning it up here would make
+            # the fsck tests pass vacuously.
+            if not isinstance(error, InjectedFault):
+                shutil.rmtree(staging, ignore_errors=True)
             raise
+        if faults is not None:
+            faults.on_publish_step("latest")
         if set_latest:
             self.set_latest(version)
         return version
@@ -231,6 +260,23 @@ class EmbeddingStore:
             config=config,
             **arrays,
         )
+
+    # -- integrity -----------------------------------------------------
+    def verify(self, version: str | None = None) -> list:
+        """Integrity issues for ``version`` (default: all), empty = clean.
+
+        Header/metadata-level checks only — manifest consistency, array
+        dtype/shape vs the ``.npy`` headers, exact byte lengths — cheap
+        enough to run before every open.  See
+        :mod:`repro.serving.fsck` for the full sweep-and-repair story.
+        """
+        from repro.serving.fsck import verify_version
+
+        targets = [version] if version is not None else self.versions()
+        issues = []
+        for target in targets:
+            issues.extend(verify_version(self, target))
+        return issues
 
     # -- pointer management --------------------------------------------
     def set_latest(self, version: str) -> None:
