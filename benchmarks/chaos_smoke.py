@@ -26,7 +26,18 @@ deterministically through ``REPRO_FAULTS``:
 5. measure post-recovery throughput (the restarted worker is still
    armed, so this burst absorbs *another* injected crash) and require
    it to reach ≥ 90% of the pre-fault baseline;
-6. SIGTERM the supervisor and require a clean drained exit (code 0).
+6. SIGTERM the supervisor and require a clean drained exit (code 0);
+7. WAL crash recovery, the zero-acked-write-loss acceptance: boot a
+   read-write ``repro serve --wal-dir`` (cold bootstrap), ack a stream
+   of durable upserts, and SIGKILL the process with the compactor
+   folding at a 50 ms cadence — then require the log to hold every
+   acked LSN offline (``repro log`` + ``repro fsck --wal`` clean);
+   restart **armed** with ``crash_after_append`` so the process dies
+   after an fsync but *before* its ack (the client sees a torn
+   connection, not a lost write); restart clean and require
+   ``lsn_durable`` ≥ the highest acked LSN immediately,
+   ``lsn_served`` to catch up to it, reads to flow, and a graceful
+   SIGTERM drain (code 0).
 
 Exit code 0 = pass.  Run::
 
@@ -35,6 +46,7 @@ Exit code 0 = pass.  Run::
 
 from __future__ import annotations
 
+import json
 import re
 import signal
 import subprocess
@@ -44,10 +56,14 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
+
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 sys.path.insert(0, str(SRC))
 
+from repro.graph.generators import attributed_sbm  # noqa: E402
+from repro.graph.io import save_npz  # noqa: E402
 from repro.serving.faults import (  # noqa: E402
     FAULTS_ENV,
     INJECTED_KILL_EXIT,
@@ -59,6 +75,7 @@ from repro.serving.http.protocol import ApiError  # noqa: E402
 from repro.serving.synth import synthetic_embedding  # noqa: E402
 
 N_NODES, DIM, K = 512, 16, 10
+N_WAL_NODES, N_WAL_ATTRS = 200, 24
 
 
 def run_cli(*args: str, faults: FaultPlan | None = None) -> subprocess.CompletedProcess:
@@ -228,6 +245,150 @@ def check_worker_kill_under_load(
     return server
 
 
+def spawn_wal_server(
+    store_dir: Path,
+    wal_dir: Path,
+    graph_npz: Path,
+    faults: FaultPlan | None = None,
+) -> tuple:
+    """Boot a single-process read-write ``repro serve --wal-dir``."""
+    env = cli_subprocess_env()
+    if faults is not None:
+        env[FAULTS_ENV] = faults.to_env()
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(store_dir), "--http", "0",
+            "--wal-dir", str(wal_dir), "--graph", str(graph_npz),
+            "--wal-k", "8", "--compact-interval", "0.05",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    timer = threading.Timer(60.0, process.kill)
+    timer.start()
+    try:
+        line = process.stdout.readline()
+    finally:
+        timer.cancel()
+    match = re.search(r"on (http://\S+:\d+)", line)
+    if not match:
+        process.kill()
+        process.wait(timeout=30)
+        raise RuntimeError(f"could not parse server URL from: {line!r}")
+    return process, match.group(1)
+
+
+def drive_acked_upserts(url: str, *, n: int, seed: int) -> list[int]:
+    """Send ``n`` upserts; return acked LSNs (stopping at a torn ack).
+
+    A connection error mid-stream is *not* an assertion failure: the
+    append may have been fsync'd before the ack died, so the caller
+    reconciles through ``lsn_durable`` — exactly the client discipline
+    ``ServingClient.upsert`` documents.
+    """
+    rng = np.random.default_rng(seed)
+    client = ServingClient(url)
+    acked: list[int] = []
+    try:
+        for _ in range(n):
+            edges = rng.integers(0, N_WAL_NODES, size=(2, 2))
+            assocs = np.column_stack(
+                [
+                    rng.integers(0, N_WAL_NODES, size=2),
+                    rng.integers(0, N_WAL_ATTRS, size=2),
+                    rng.uniform(0.1, 1.0, size=2),
+                ]
+            )
+            try:
+                ack = client.upsert(add_edges=edges, add_associations=assocs)
+            except (ApiError, OSError):
+                break
+            assert ack["durable"] is True, ack
+            acked.append(int(ack["lsn"]))
+    finally:
+        client.close()
+    return acked
+
+
+def check_wal_crash_recovery(tmp_path: Path) -> None:
+    """Acked WAL writes survive SIGKILL and injected post-fsync crashes."""
+    print("booting a read-write serve --wal-dir (cold bootstrap)...")
+    store_dir, wal_dir = tmp_path / "wal_store", tmp_path / "wal"
+    graph_npz = tmp_path / "wal_graph.npz"
+    save_npz(
+        attributed_sbm(
+            n_nodes=N_WAL_NODES, n_attributes=N_WAL_ATTRS, seed=7
+        ),
+        graph_npz,
+    )
+
+    server, url = spawn_wal_server(store_dir, wal_dir, graph_npz)
+    try:
+        acked = drive_acked_upserts(url, n=20, seed=41)
+        assert len(acked) == 20, f"healthy server: {len(acked)}/20 acked"
+    finally:
+        # SIGKILL with the compactor folding at a 50 ms cadence: no
+        # drain, no flush — only fsync'd acks may be counted on.
+        server.kill()
+        server.wait(timeout=30)
+    print(f"  SIGKILL after {len(acked)} acked upserts (max lsn={max(acked)})")
+
+    inspect = run_cli("log", "--wal-dir", str(wal_dir), "--json")
+    expect_rc(inspect, 0, "repro log after SIGKILL")
+    offline = json.loads(inspect.stdout)
+    assert offline["last_lsn"] >= max(acked), (
+        f"acked lsn {max(acked)} missing from the log: {offline}"
+    )
+    expect_rc(run_cli("fsck", "--wal", str(wal_dir)), 0, "fsck --wal after SIGKILL")
+    print(f"  offline: log holds lsn={offline['last_lsn']}, fsck --wal clean")
+
+    print("restarting armed (crash_after_append: dies post-fsync, pre-ack)...")
+    server, url = spawn_wal_server(
+        store_dir, wal_dir, graph_npz, faults=FaultPlan(crash_after_append=4)
+    )
+    more = drive_acked_upserts(url, n=10, seed=43)
+    rc = server.wait(timeout=30)
+    assert rc == INJECTED_KILL_EXIT, f"expected injected kill, rc={rc}"
+    assert len(more) == 3, f"expected 3 acks before the armed append: {more}"
+    top = max(acked + more)
+    print(f"  {len(more)} more acks, then a torn ack; highest acked lsn={top}")
+
+    print("restarting clean: recovery must serve every acked write...")
+    server, url = spawn_wal_server(store_dir, wal_dir, graph_npz)
+    try:
+        client = ServingClient(url, retries=4)
+        try:
+            health = client.healthz()
+            assert health["lsn_durable"] >= top, (
+                f"acked writes lost: lsn_durable={health['lsn_durable']} < {top}"
+            )
+            deadline = time.monotonic() + 30.0
+            while (
+                health["lsn_served"] < top and time.monotonic() < deadline
+            ):
+                time.sleep(0.1)
+                health = client.healthz()
+            assert health["lsn_served"] >= top, (
+                f"compaction never caught up: {health}"
+            )
+            result = client.top_k(0, k=K)
+            assert len(result.ids) == K, result
+        finally:
+            client.close()
+        print(
+            f"  recovered: lsn_durable={health['lsn_durable']} "
+            f"lsn_served={health['lsn_served']} >= {top}, reads flowing"
+        )
+        drain_supervisor(server)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+
 def drain_supervisor(server: subprocess.Popen) -> None:
     print("SIGTERM: rolling drain...")
     server.send_signal(signal.SIGTERM)
@@ -266,6 +427,8 @@ def main() -> int:
             if server.poll() is None:
                 server.kill()
                 server.wait(timeout=30)
+
+        check_wal_crash_recovery(tmp_path)
     print("chaos smoke: PASS")
     return 0
 

@@ -209,37 +209,197 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    """Check (and with --repair, recover) a store root.
+    """Check (and with --repair, recover) a store root and/or a delta log.
 
     Exit codes are the contract scripts build on: 0 = clean, 1 = issues
     found and all of them repairable (repaired when --repair was given),
-    2 = unrecoverable (not a store, or no clean version survives).
+    2 = unrecoverable (not a store, or no clean version survives).  When
+    both --store and --wal are checked the exit code is the worse of the
+    two sweeps.
     """
     import json as json_module
 
-    from repro.serving.fsck import fsck
+    from repro.serving.fsck import fsck, fsck_wal
 
-    report = fsck(args.store, repair=args.repair)
+    if args.store is None and args.wal is None:
+        print("error: pass --store and/or --wal", file=sys.stderr)
+        return 2
+
+    def _verdict(report) -> str:
+        if report.clean:
+            return "clean"
+        if report.unrecoverable:
+            return "unrecoverable"
+        return "repaired" if report.repaired else "repairable (run --repair)"
+
+    def _print_issues(report) -> None:
+        for issue in report.issues:
+            tag = "" if issue.repairable else " [unrecoverable]"
+            print(f"{issue.code}{tag}: {issue.detail}")
+        for action in report.actions:
+            print(f"repair: {action}")
+
+    reports: dict[str, dict] = {}
+    code = 0
+    if args.store is not None:
+        report = fsck(args.store, repair=args.repair)
+        reports["store"] = report.as_dict()
+        code = max(code, report.exit_code())
+        if not args.json:
+            _print_issues(report)
+            print(
+                f"{args.store}: {_verdict(report)} — "
+                f"{len(report.clean_versions)} clean / "
+                f"{len(report.corrupt_versions)} corrupt version(s), "
+                f"latest={report.latest}"
+            )
+    if args.wal is not None:
+        report = fsck_wal(args.wal, repair=args.repair)
+        reports["wal"] = report.as_dict()
+        code = max(code, report.exit_code())
+        if not args.json:
+            _print_issues(report)
+            print(
+                f"{args.wal}: {_verdict(report)} — "
+                f"{len(report.clean_versions)} readable / "
+                f"{len(report.corrupt_versions)} damaged segment(s), "
+                f"last valid {report.latest or 'lsn=0'}"
+            )
     if args.json:
-        print(json_module.dumps(report.as_dict(), indent=2))
-        return report.exit_code()
-    for issue in report.issues:
-        tag = "" if issue.repairable else " [unrecoverable]"
-        print(f"{issue.code}{tag}: {issue.detail}")
-    for action in report.actions:
-        print(f"repair: {action}")
-    verdict = (
-        "clean"
-        if report.clean
-        else ("unrecoverable" if report.unrecoverable else
-              ("repaired" if report.repaired else "repairable (run --repair)"))
-    )
+        payload = reports[next(iter(reports))] if len(reports) == 1 else reports
+        print(json_module.dumps(payload, indent=2))
+    return code
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    """Inspect a delta-log directory without touching it.
+
+    Read-only on purpose: opening a :class:`DeltaLog` performs torn-tail
+    recovery (it truncates), which an *inspection* command must never
+    do.  Exit 0 on a readable log, 1 when damage is visible (run
+    ``repro fsck --wal`` to repair), 2 when the directory is not a log.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.serving.wal.compactor import CHECKPOINT_FILE
+    from repro.serving.wal.log import fold_records, scan_segment
+
+    root = Path(args.wal_dir)
+    segments = sorted(root.glob("*.wal")) if root.is_dir() else []
+    checkpoint_path = root / CHECKPOINT_FILE
+    if not segments and not checkpoint_path.exists():
+        print(f"error: {root} is not a delta-log directory", file=sys.stderr)
+        return 2
+
+    checkpoint = None
+    if checkpoint_path.exists():
+        try:
+            raw = json_module.loads(checkpoint_path.read_text())
+            checkpoint = {"lsn": raw.get("lsn"), "graph": raw.get("graph")}
+        except (OSError, ValueError):
+            checkpoint = {"error": "unreadable"}
+
+    records = []
+    infos = []
+    damaged = False
+    for path in segments:
+        segment_records, info = scan_segment(path)
+        records.extend(segment_records)
+        infos.append(info)
+        damaged = damaged or info.error is not None
+
+    payload: dict = {
+        "wal_dir": str(root),
+        "checkpoint": checkpoint,
+        "n_segments": len(infos),
+        "n_records": len(records),
+        "first_lsn": records[0].lsn if records else 0,
+        "last_lsn": records[-1].lsn if records else 0,
+        "size_bytes": sum(info.size_bytes for info in infos),
+        "damaged": damaged,
+        "segments": [info.as_dict() for info in infos],
+    }
+    if args.replay:
+        delta = fold_records(records, directed=not args.undirected)
+        payload["replay"] = {
+            "records_folded": len(records),
+            "add_edges": 0 if delta.add_edges is None else len(delta.add_edges),
+            "remove_edges": 0 if delta.remove_edges is None else len(delta.remove_edges),
+            "add_associations": 0
+            if delta.add_associations is None
+            else len(delta.add_associations),
+            "remove_associations": 0
+            if delta.remove_associations is None
+            else len(delta.remove_associations),
+        }
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return 1 if damaged else 0
+
+    base = f"checkpoint lsn={checkpoint['lsn']}" if checkpoint else "no checkpoint"
     print(
-        f"{args.store}: {verdict} — {len(report.clean_versions)} clean / "
-        f"{len(report.corrupt_versions)} corrupt version(s), "
-        f"latest={report.latest}"
+        f"{root}: {payload['n_segments']} segment(s), "
+        f"{payload['n_records']} record(s) "
+        f"[{payload['first_lsn']}..{payload['last_lsn']}], "
+        f"{payload['size_bytes']} bytes, {base}"
     )
-    return report.exit_code()
+    for info in infos:
+        status = f" DAMAGED ({info.error})" if info.error else ""
+        print(
+            f"  {Path(info.path).name}: lsn {info.first_lsn}.."
+            f"{info.last_lsn} ({info.n_records} records, "
+            f"{info.size_bytes} bytes){status}"
+        )
+    if args.replay:
+        replay = payload["replay"]
+        print(
+            f"  replay folds to: +{replay['add_edges']}/-{replay['remove_edges']} "
+            f"edges, +{replay['add_associations']}/-{replay['remove_associations']} "
+            "associations"
+        )
+    if damaged:
+        print("run `repro fsck --wal` to repair", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    """Delete store versions superseded by newer ones (``repro gc``)."""
+    import json as json_module
+
+    from repro.serving.gc import collect_versions
+
+    from repro.serving.sharding.store import ShardedEmbeddingStore
+
+    try:
+        store = _open_store(args.store)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if isinstance(store, ShardedEmbeddingStore):
+        print(
+            "error: gc supports unsharded stores only (logical versions "
+            "pin per-shard segment versions)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = collect_versions(store, keep=args.keep, dry_run=args.dry_run)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_module.dumps(result, indent=2))
+        return 0
+    verb = "would delete" if args.dry_run else "deleted"
+    print(
+        f"{args.store}: {verb} {len(result['deleted'])} version(s) "
+        f"({result['reclaimed_bytes']} bytes), kept {len(result['kept'])}"
+    )
+    for version in result["deleted"]:
+        print(f"  - {version}")
+    return 0
 
 
 def _serve_supervised(store, args: argparse.Namespace) -> int:
@@ -260,6 +420,12 @@ def _serve_supervised(store, args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         log_requests=args.log_requests,
         max_restarts=args.max_restarts,
+        wal_dir=args.wal_dir,
+        graph=args.graph,
+        wal_max_bytes=args.wal_max_bytes,
+        compact_interval_s=args.compact_interval,
+        gc_keep=args.gc_keep,
+        bootstrap_k=args.wal_k,
     )
     supervisor = Supervisor(config)
     supervisor.start()
@@ -287,14 +453,34 @@ def _serve_http(store, args: argparse.Namespace) -> int:
     from repro.serving.http import EmbeddingServer
     from repro.serving.service import QueryService
 
-    if store.latest() is None:
-        print("error: store has no published versions", file=sys.stderr)
-        return 2
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     if args.workers > 1:
+        # The supervisor owns the write path in multi-worker mode (one
+        # log writer per deployment); don't open the WAL here too.
+        if store.latest() is None and args.wal_dir is None:
+            print("error: store has no published versions", file=sys.stderr)
+            return 2
         return _serve_supervised(store, args)
+    pipeline = compactor = None
+    if args.wal_dir is not None:
+        # The write path boots before the query service: a cold
+        # bootstrap publishes the first version the service will open.
+        from repro.serving.wal.compactor import Compactor, IngestPipeline
+
+        pipeline = IngestPipeline(
+            args.wal_dir, store, max_bytes=args.wal_max_bytes
+        )
+        try:
+            pipeline.ensure_ready(args.graph, k=args.wal_k)
+        except Exception as error:
+            print(f"error: {error}", file=sys.stderr)
+            pipeline.close()
+            return 2
+    if store.latest() is None:
+        print("error: store has no published versions", file=sys.stderr)
+        return 2
     if args.coalesce_window_ms > 0 and args.coalesce_max_batch < 1:
         # Reject up front: the coalescer would raise a bare ValueError
         # from deep inside QueryService.make_coalescer otherwise.
@@ -304,39 +490,62 @@ def _serve_http(store, args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with QueryService(
-        store,
-        backend=args.backend,
-        nprobe=args.nprobe,
-        n_threads=args.threads,
-        index_cache=True,
-        select_dtype=args.select_dtype,
-    ) as service:
-        server = EmbeddingServer(
-            service,
-            host=args.http_host,
-            port=args.http,
-            drain_timeout_s=args.drain_timeout,
-            coalesce_window_s=args.coalesce_window_ms / 1e3,
-            coalesce_max_batch=args.coalesce_max_batch,
-            log=args.log_requests,
-        )
-        # One parsable line so wrappers (CI smoke, scripts) can discover
-        # the bound port when --http 0 asked for an ephemeral one.
-        print(
-            f"serving {args.store} [{service.describe()['backend_kind']}] "
-            f"on {server.url}",
-            flush=True,
-        )
-        if server.run():
-            print("drained and stopped", flush=True)
-            return 0
-        print(
-            "error: drain timed out; in-flight requests were abandoned",
-            file=sys.stderr,
-            flush=True,
-        )
-        return 1
+    try:
+        with QueryService(
+            store,
+            backend=args.backend,
+            nprobe=args.nprobe,
+            n_threads=args.threads,
+            index_cache=True,
+            select_dtype=args.select_dtype,
+        ) as service:
+            if pipeline is not None:
+                # Reads in this process follow the write path: each
+                # compacted version is atomically activated on the service.
+                pipeline.bind_service(service)
+                compactor = Compactor(
+                    pipeline,
+                    interval_s=args.compact_interval,
+                    keep_versions=args.gc_keep,
+                )
+                compactor.start()
+            server = EmbeddingServer(
+                service,
+                host=args.http_host,
+                port=args.http,
+                drain_timeout_s=args.drain_timeout,
+                coalesce_window_s=args.coalesce_window_ms / 1e3,
+                coalesce_max_batch=args.coalesce_max_batch,
+                log=args.log_requests,
+                ingest=pipeline,
+                compactor=compactor,
+            )
+            wal = f" wal={args.wal_dir}" if pipeline is not None else ""
+            # One parsable line so wrappers (CI smoke, scripts) can discover
+            # the bound port when --http 0 asked for an ephemeral one.
+            print(
+                f"serving {args.store} [{service.describe()['backend_kind']}]"
+                f"{wal} on {server.url}",
+                flush=True,
+            )
+            drained = server.run()
+            if compactor is not None:
+                compactor.stop()
+                compactor = None
+            if drained:
+                print("drained and stopped", flush=True)
+                return 0
+            print(
+                "error: drain timed out; in-flight requests were abandoned",
+                file=sys.stderr,
+                flush=True,
+            )
+            return 1
+    finally:
+        if compactor is not None:
+            compactor.stop()
+        if pipeline is not None:
+            pipeline.close()
 
 
 def _cmd_bench_http(args: argparse.Namespace) -> int:
@@ -556,13 +765,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-loop breaker: more than this many restarts of one "
         "worker slot inside a 30s window stops the supervisor (exit 3)",
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the write path: POST /v1/upsert appends to a "
+        "durable delta log in DIR (acked after fsync) and a background "
+        "compactor folds it into new store versions while reads flow",
+    )
+    serve.add_argument(
+        "--graph",
+        default=None,
+        metavar="NPZ",
+        help="base graph for --wal-dir: bootstraps an empty store "
+        "(trains PANE) or attaches the write path to an existing one",
+    )
+    serve.add_argument(
+        "--wal-k",
+        type=int,
+        default=32,
+        help="embedding dimension when --wal-dir cold-bootstraps",
+    )
+    serve.add_argument(
+        "--wal-max-bytes",
+        type=int,
+        default=64 << 20,
+        help="delta-log ceiling; appends past it get 503 log_full "
+        "until compaction + checkpointing shrink the log",
+    )
+    serve.add_argument(
+        "--compact-interval",
+        type=float,
+        default=0.25,
+        help="seconds between background compaction passes",
+    )
+    serve.add_argument(
+        "--gc-keep",
+        type=int,
+        default=0,
+        help="retain only the newest N store versions after each "
+        "compaction (0 = never delete; LATEST and the served version "
+        "are always kept)",
+    )
 
     fsck = sub.add_parser(
         "fsck",
         help="check a store for torn publishes and corruption "
         "(exit 0 clean / 1 repairable / 2 unrecoverable)",
     )
-    fsck.add_argument("--store", required=True, help="store root directory")
+    fsck.add_argument("--store", default=None, help="store root directory")
+    fsck.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="also (or only) check a delta-log directory: torn segment "
+        "tails, LSN chain breaks, checkpoint integrity; --repair "
+        "truncates torn segments at the last valid record and "
+        "quarantines unreachable ones",
+    )
     fsck.add_argument(
         "--repair",
         action="store_true",
@@ -573,6 +833,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the full report as JSON instead of one line per issue",
+    )
+
+    log = sub.add_parser(
+        "log",
+        help="inspect a delta-log directory (read-only; exit 1 if damaged)",
+    )
+    log.add_argument(
+        "--wal-dir", required=True, metavar="DIR", help="delta-log directory"
+    )
+    log.add_argument(
+        "--replay",
+        action="store_true",
+        help="also fold every record and summarize the resulting delta",
+    )
+    log.add_argument(
+        "--undirected",
+        action="store_true",
+        help="fold edge records with undirected (canonicalized) keys",
+    )
+    log.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+
+    gc = sub.add_parser(
+        "gc",
+        help="delete store versions superseded by newer ones "
+        "(LATEST is never deleted)",
+    )
+    gc.add_argument("--store", required=True, help="store root directory")
+    gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        help="number of newest versions to retain (>= 1)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be deleted without touching the store",
+    )
+    gc.add_argument(
+        "--json", action="store_true", help="print the result as JSON"
     )
 
     query = sub.add_parser("query", help="query a published embedding store")
@@ -659,6 +961,8 @@ _COMMANDS = {
     "neighbors": _cmd_neighbors,
     "serve": _cmd_serve,
     "fsck": _cmd_fsck,
+    "log": _cmd_log,
+    "gc": _cmd_gc,
     "query": _cmd_query,
     "bench-http": _cmd_bench_http,
 }

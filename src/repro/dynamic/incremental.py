@@ -146,6 +146,25 @@ class IncrementalPANE:
         self._embedding = PANE(config=self.config).fit(graph)
         return self._embedding
 
+    def adopt(self, graph: AttributedGraph, embedding: PANEEmbedding) -> None:
+        """Warm-start from externally persisted state instead of fitting.
+
+        The warm update path is fully determined by ``(graph, Xf, Xb, Y)``
+        — the residual caches are rebuilt on every refresh — so a crashed
+        process can resume exactly where it left off by adopting the
+        graph it reconstructed (base snapshot + log replay) and the
+        embedding arrays of the last published store version.
+        """
+        n = graph.adjacency.shape[0]
+        d = graph.attributes.shape[1]
+        if embedding.x_forward.shape[0] != n or embedding.y.shape[0] != d:
+            raise ValueError(
+                f"embedding is {embedding.x_forward.shape[0]} nodes x "
+                f"{embedding.y.shape[0]} attributes but the graph is {n} x {d}"
+            )
+        self.graph = graph
+        self._embedding = embedding
+
     def update(self, delta: GraphDelta) -> PANEEmbedding:
         """Apply ``delta`` and refresh the embeddings with a warm start."""
         if self.graph is None or self._embedding is None:

@@ -17,7 +17,12 @@ into something that answers similarity queries under load:
 - :mod:`~repro.serving.http` — the stdlib HTTP front-end
   (:class:`~repro.serving.http.EmbeddingServer`) and its retrying,
   replica-fanning :class:`~repro.serving.http.ServingClient`
-  (``http/``; imported lazily — ``from repro.serving.http import ...``).
+  (``http/``; imported lazily — ``from repro.serving.http import ...``);
+- :mod:`~repro.serving.wal` — the durable write path: append-only
+  :class:`~repro.serving.wal.DeltaLog`,
+  :class:`~repro.serving.wal.IngestPipeline`, and the background
+  :class:`~repro.serving.wal.Compactor` (``wal/``; imported lazily —
+  ``from repro.serving.wal import ...``).
 
 See ``docs/SERVING.md`` for the operational guide.
 """

@@ -41,6 +41,17 @@ Fields (all optional):
 ``corrupt_frame_every``
     XOR one seeded byte in every N-th binary frame response — wire
     corruption the client's frame decoder must catch.
+``torn_wal_tail``
+    On the N-th WAL append, write only part of the record batch (flushed
+    to the OS, never fsync'd) and die — the crash-mid-append that leaves
+    a torn tail for recovery to truncate.
+``fsync_fail_every``
+    Fail every N-th WAL fsync with ``OSError`` — the append is rolled
+    back and never acked (a full disk / dying device on the write path).
+``crash_after_append``
+    Die immediately after the N-th WAL append becomes durable, before
+    the ack reaches the client — the window where replay must still
+    recover the record.
 ``worker``
     Scope the plan to one supervisor worker id (``None`` = every
     process that reads the env).
@@ -87,6 +98,9 @@ class FaultPlan:
     stall_every: int = 0
     torn_publish_step: str | None = None
     corrupt_frame_every: int = 0
+    torn_wal_tail: int = 0
+    fsync_fail_every: int = 0
+    crash_after_append: int = 0
     worker: int | None = None
     seed: int = 0
 
@@ -107,6 +121,10 @@ class FaultPlan:
         if self.stall_ms > 0 and self.stall_every < 1:
             # "stall" with no cadence means every request.
             object.__setattr__(self, "stall_every", 1)
+        for name in ("torn_wal_tail", "fsync_fail_every", "crash_after_append"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
 
     @classmethod
     def from_spec(cls, spec: dict) -> "FaultPlan":
@@ -174,6 +192,9 @@ class FaultInjector:
         self._requests = 0
         self._frames = 0
         self._corrupted = 0
+        self._wal_appends = 0
+        self._wal_fsyncs = 0
+        self._wal_acked = 0
         self._rng = np.random.default_rng(plan.seed)
 
     @classmethod
@@ -221,6 +242,42 @@ class FaultInjector:
         if self.plan.torn_publish_step == step:
             self._die(f"injected crash at publish step {step!r}")
 
+    def die(self, reason: str) -> None:
+        """Die now — for injection points that must do work first.
+
+        The WAL torn-tail point writes the partial record itself (only
+        it knows the bytes) and then calls this.
+        """
+        self._die(reason)
+
+    def wal_torn_tail(self) -> bool:
+        """Whether this WAL append should be torn (caller tears, then dies)."""
+        if not self.plan.torn_wal_tail:
+            return False
+        with self._lock:
+            self._wal_appends += 1
+            return self._wal_appends == self.plan.torn_wal_tail
+
+    def wal_fsync(self) -> None:
+        """Called before each WAL fsync; raises ``OSError`` when armed."""
+        if not self.plan.fsync_fail_every:
+            return
+        with self._lock:
+            self._wal_fsyncs += 1
+            count = self._wal_fsyncs
+        if count % self.plan.fsync_fail_every == 0:
+            raise OSError(f"injected WAL fsync failure (fsync #{count})")
+
+    def wal_crash_after_append(self) -> None:
+        """Called after a WAL batch is durable, before the caller is acked."""
+        if not self.plan.crash_after_append:
+            return
+        with self._lock:
+            self._wal_acked += 1
+            count = self._wal_acked
+        if count == self.plan.crash_after_append:
+            self._die(f"injected crash after durable append #{count}")
+
     def corrupt_frame(self, frame: bytes) -> bytes:
         """Maybe XOR one seeded byte of an outgoing binary frame."""
         every = self.plan.corrupt_frame_every
@@ -244,4 +301,7 @@ class FaultInjector:
                 "requests": self._requests,
                 "frames": self._frames,
                 "corrupted_frames": self._corrupted,
+                "wal_appends": self._wal_appends,
+                "wal_fsyncs": self._wal_fsyncs,
+                "wal_acked": self._wal_acked,
             }

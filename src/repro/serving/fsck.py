@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -504,6 +505,178 @@ def fsck(root, *, repair: bool = False) -> FsckReport:
         )
         return report
     return _fsck_plain(EmbeddingStore(root), repair=repair)
+
+
+# -- delta-log (WAL) sweep ---------------------------------------------
+def fsck_wal(root, *, repair: bool = False) -> FsckReport:
+    """Sweep a delta-log directory (``repro fsck --wal``) for damage.
+
+    Reuses the store sweep's report/issue machinery and exit contract:
+    ``0`` clean, ``1`` repairable damage (repaired with ``repair=True``),
+    ``2`` the log cannot support recovery even after repair.  Issue codes:
+
+    - ``torn_segment`` — a segment ends mid-record (writer killed during
+      an append).  Repair truncates at the last valid record, exactly
+      what :class:`~repro.serving.wal.log.DeltaLog` does on open; fsck
+      makes the same recovery available offline and for *non-tail*
+      segments the open path refuses to touch.
+    - ``bad_lsn`` — the LSN chain breaks: a record out of sequence
+      inside a segment (repair truncates before it), a gap between
+      segments, or a log that starts after its own checkpoint (both
+      unrepairable: the missing records are simply gone).
+    - ``bad_header`` — a segment file that is not a WAL segment at all;
+      repair quarantines it (never deletes).
+    - ``bad_checkpoint`` / ``not_a_wal`` — unrecoverable as marked.
+
+    Segments after the first damaged-and-cut point are unreachable (the
+    chain is broken); repair quarantines them under
+    ``<root>/quarantine/``.
+    """
+    from repro.serving.wal.compactor import BASE_GRAPH_FILE, CHECKPOINT_FILE
+    from repro.serving.wal.log import scan_segment
+
+    root = Path(root)
+    report = FsckReport(root=str(root))
+    segments = sorted(root.glob("*.wal")) if root.is_dir() else []
+    checkpoint_path = root / CHECKPOINT_FILE
+    if not root.is_dir() or (not segments and not checkpoint_path.exists()):
+        report.issues.append(
+            Issue(
+                code="not_a_wal",
+                path=str(root),
+                detail=f"{root} is not a delta-log directory",
+                repairable=False,
+            )
+        )
+        return report
+
+    checkpoint_lsn = 0
+    if checkpoint_path.exists():
+        try:
+            checkpoint = json.loads(checkpoint_path.read_text())
+            checkpoint_lsn = int(checkpoint["lsn"])
+            base = checkpoint["graph"]
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            report.issues.append(
+                Issue(
+                    code="bad_checkpoint",
+                    path=str(checkpoint_path),
+                    detail=f"checkpoint unreadable: {error}",
+                    repairable=False,
+                )
+            )
+        else:
+            if not (root / base).is_file():
+                report.issues.append(
+                    Issue(
+                        code="bad_checkpoint",
+                        path=str(root / base),
+                        detail=f"checkpoint names missing base graph {base!r}",
+                        repairable=False,
+                    )
+                )
+    elif (root / BASE_GRAPH_FILE).is_file():
+        report.issues.append(
+            Issue(
+                code="bad_checkpoint",
+                path=str(checkpoint_path),
+                detail=f"{BASE_GRAPH_FILE} present but CHECKPOINT missing",
+                repairable=False,
+            )
+        )
+
+    expected: int | None = None  # next LSN the chain must continue at
+    chain_broken = False
+    for position, path in enumerate(segments):
+        name = path.name
+        if chain_broken:
+            # Everything past a cut/quarantine point is unreachable:
+            # replay stops at the break, so these records cannot be
+            # reached in order again.
+            report.corrupt_versions.append(name)
+            report.issues.append(
+                Issue(
+                    code="bad_lsn",
+                    path=str(path),
+                    detail=f"{name}: unreachable past a damaged predecessor",
+                )
+            )
+            if repair:
+                _quarantine(root, path, report)
+            continue
+        records, info = scan_segment(path)
+        del records
+        if info.error is not None and info.error.startswith("bad_header"):
+            report.corrupt_versions.append(name)
+            report.issues.append(
+                Issue(code="bad_header", path=str(path), detail=f"{name}: {info.error}")
+            )
+            if repair:
+                _quarantine(root, path, report)
+            chain_broken = True
+            continue
+        if expected is None and checkpoint_lsn and info.first_lsn > checkpoint_lsn + 1:
+            report.issues.append(
+                Issue(
+                    code="bad_lsn",
+                    path=str(path),
+                    detail=(
+                        f"{name}: log starts at LSN {info.first_lsn} but the "
+                        f"checkpoint covers only through {checkpoint_lsn} — "
+                        f"records {checkpoint_lsn + 1}..{info.first_lsn - 1} "
+                        "are lost"
+                    ),
+                    repairable=False,
+                )
+            )
+        elif expected is not None and info.first_lsn != expected:
+            report.corrupt_versions.append(name)
+            report.issues.append(
+                Issue(
+                    code="bad_lsn",
+                    path=str(path),
+                    detail=(
+                        f"{name}: first LSN is {info.first_lsn}, the chain "
+                        f"expected {expected}"
+                    ),
+                    repairable=False,
+                )
+            )
+            if repair:
+                _quarantine(root, path, report)
+            chain_broken = True
+            continue
+        if info.error is not None:
+            code = (
+                "torn_segment" if info.error.startswith("torn_tail") else "bad_lsn"
+            )
+            report.issues.append(
+                Issue(
+                    code=code,
+                    path=str(path),
+                    detail=(
+                        f"{name}: {info.error}; {info.n_records} valid "
+                        f"record(s) survive up to byte {info.valid_bytes}"
+                    ),
+                )
+            )
+            if repair:
+                with open(path, "r+b") as handle:
+                    handle.truncate(info.valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                report.actions.append(
+                    f"truncated {name} at byte {info.valid_bytes} "
+                    f"({info.n_records} records kept)"
+                )
+            if position != len(segments) - 1:
+                chain_broken = True  # records after the cut are unreachable
+        report.clean_versions.append(name)
+        expected = info.first_lsn + info.n_records
+        report.latest = None if expected <= 1 else f"lsn={expected - 1}"
+
+    report.repaired = repair and not report.unrecoverable and bool(report.actions)
+    return report
 
 
 def verify_open_target(store, version: str | None) -> None:

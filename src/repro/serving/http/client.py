@@ -602,6 +602,53 @@ class ServingClient:
             queries=int(nodes.size),
         )
 
+    # -- write path ----------------------------------------------------
+    def upsert(
+        self,
+        *,
+        add_edges=None,
+        remove_edges=None,
+        add_associations=None,
+        remove_associations=None,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """Durably append graph changes via ``POST /v1/upsert``.
+
+        Non-idempotent, so the usual discipline applies: exactly one
+        attempt, on a fresh connection, never retried.  A connection
+        error here does *not* mean the write was lost — the append may
+        have become durable before the ack died — so callers reconcile
+        through ``lsn_durable`` (``healthz``/``describe``) instead of
+        blindly resending.
+
+        Returns the server's ack, e.g. ``{"lsn": 42, "first_lsn": 41,
+        "events": 2, "durable": true, "lsn_served": 17}``; the named
+        LSNs are fsync'd before the ack is sent.  Arrays ride the
+        binary frame format when negotiated, JSON otherwise.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        if add_edges is not None:
+            arrays["add_edges"] = np.asarray(
+                add_edges, dtype=np.int64
+            ).reshape(-1, 2)
+        if remove_edges is not None:
+            arrays["remove_edges"] = np.asarray(
+                remove_edges, dtype=np.int64
+            ).reshape(-1, 2)
+        if add_associations is not None:
+            arrays["add_associations"] = np.asarray(
+                add_associations, dtype=np.float64
+            ).reshape(-1, 3)
+        if remove_associations is not None:
+            arrays["remove_associations"] = np.asarray(
+                remove_associations, dtype=np.int64
+            ).reshape(-1, 2)
+        if not arrays:
+            raise ValueError("upsert requires at least one change")
+        return self._request(
+            "POST", protocol.UPSERT, {}, arrays=arrays, timeout_s=timeout_s
+        )
+
     # -- admin ---------------------------------------------------------
     def refresh(
         self, *, version: str | None = None, delta: dict | None = None

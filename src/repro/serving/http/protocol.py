@@ -47,17 +47,20 @@ TOPK = "/v1/topk"
 TOPK_BATCH = "/v1/topk:batch"
 SIMILAR = "/v1/similar_by_vector"
 DESCRIBE = "/v1/describe"
+UPSERT = "/v1/upsert"
 HEALTHZ = "/healthz"
 METRICS = "/metrics"
 REFRESH = "/admin/refresh"
 
 # Endpoints that only read the active snapshot: safe for a client to
-# retry on another replica after a connection error or a 503.
+# retry on another replica after a connection error or a 503.  UPSERT is
+# deliberately absent: an append may have become durable even when the
+# ack was lost, so the client never retries it automatically.
 READ_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, DESCRIBE, HEALTHZ, METRICS})
 
 # Endpoints whose requests/responses carry vectors or id/score arrays —
 # the only ones worth (and capable of) speaking the binary frame format.
-DATA_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR})
+DATA_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, UPSERT})
 
 # The negotiated media type for binary frames.  A client *opts in* by
 # listing it in ``Accept`` (responses) or using it as the request

@@ -14,6 +14,9 @@ Endpoints (see :mod:`repro.serving.http.protocol` for the wire schema):
 ``POST /v1/topk``           ``{node, k?, nprobe?}`` → ids/scores
 ``POST /v1/topk:batch``     ``{nodes, k?, nprobe?}`` → row-major ids/scores
 ``POST /v1/similar_by_vector``  ``{vector, k?, nprobe?}`` → ids/scores
+``POST /v1/upsert``         ``{add_edges?, remove_edges?, add_associations?,
+                            remove_associations?}`` → durable LSN (requires a
+                            WAL ``IngestPipeline``; acked only after fsync)
 ``POST /admin/refresh``     ``{}`` → follow LATEST; ``{version}`` → pin;
                             ``{delta}`` → drive the attached
                             :class:`~repro.serving.refresh.OnlineRefresher`
@@ -51,6 +54,7 @@ from repro.serving.refresh import OnlineRefresher
 from repro.serving.service import QueryService, json_safe
 from repro.serving.sharding.router import ShardRouter
 from repro.serving.stats import LatencyStats
+from repro.serving.wal.log import LogFull, LogWriteError
 
 # Request-size guards: a validation error must cost a bounded amount of
 # work, not an unbounded np.asarray over attacker-sized JSON.
@@ -122,9 +126,16 @@ class EmbeddingServer:
         worker_id: int | None = None,
         faults=None,
         stats_for: "EmbeddingServer | None" = None,
+        ingest=None,
+        compactor=None,
     ) -> None:
         self.service = service
         self.refresher = refresher
+        # The write path: an IngestPipeline makes POST /v1/upsert live
+        # (acked after fsync) and surfaces lsn_durable/lsn_served; the
+        # optional Compactor reference is observability-only.
+        self.ingest = ingest
+        self.compactor = compactor
         self.drain_timeout_s = drain_timeout_s
         self.binary_wire = binary
         self.worker_id = worker_id
@@ -153,6 +164,7 @@ class EmbeddingServer:
                 protocol.TOPK,
                 protocol.TOPK_BATCH,
                 protocol.SIMILAR,
+                protocol.UPSERT,
                 protocol.DESCRIBE,
                 protocol.HEALTHZ,
                 protocol.METRICS,
@@ -314,6 +326,11 @@ class EmbeddingServer:
         }
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
+        if self.ingest is not None:
+            fresh = self.ingest.freshness()
+            payload["lsn_durable"] = fresh["lsn_durable"]
+            payload["lsn_served"] = fresh["lsn_served"]
+            payload["freshness_lag"] = fresh["lag"]
         return 200, payload
 
     def handle_describe(self, _body: dict) -> tuple[int, dict]:
@@ -331,7 +348,17 @@ class EmbeddingServer:
         }
         if self.worker_id is not None:
             info["worker"] = self.worker_id
-        return 200, info
+        if self.ingest is not None:
+            fresh = self.ingest.freshness()
+            info["lsn_durable"] = fresh["lsn_durable"]
+            info["lsn_served"] = fresh["lsn_served"]
+            info["ingest"] = {
+                **fresh,
+                "wal_dir": str(self.ingest.wal_dir),
+                "log_bytes": self.ingest.log.size_bytes,
+                "log_max_bytes": self.ingest.log.max_bytes,
+            }
+        return 200, json_safe(info)
 
     def handle_metrics(self, _body: dict) -> tuple[int, dict]:
         target = self.stats_for or self
@@ -365,6 +392,22 @@ class EmbeddingServer:
                 "per_shard": [s.snapshot() for s in backend.shard_stats],
                 "merged": LatencyStats.merge(backend.shard_stats).snapshot(),
             }
+        if self.ingest is not None:
+            ingest = {
+                **self.ingest.freshness(),
+                "counters": dict(self.ingest.counters),
+                "log_bytes": self.ingest.log.size_bytes,
+                "log_max_bytes": self.ingest.log.max_bytes,
+            }
+            if self.compactor is not None:
+                ingest["compactor"] = {
+                    "alive": self.compactor.is_alive(),
+                    "interval_s": self.compactor.interval_s,
+                    "keep_versions": self.compactor.keep_versions,
+                    "last_publish": self.compactor.last_publish,
+                    "last_error": self.compactor.last_error,
+                }
+            payload["ingest"] = ingest
         return 200, json_safe(payload)
 
     def handle_topk(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
@@ -419,6 +462,9 @@ class EmbeddingServer:
             )
         )
         return 200, protocol.ResultPayload(result)
+
+    def handle_upsert(self, body: dict) -> tuple[int, dict]:
+        return apply_upsert(self.ingest, body)
 
     def handle_refresh(self, body: dict) -> tuple[int, dict]:
         protocol.reject_unknown_fields(body, ("version", "delta"))
@@ -475,44 +521,7 @@ class EmbeddingServer:
             )
         if not isinstance(delta_body, dict):
             raise ApiError(400, "invalid_request", "'delta' must be an object")
-        from repro.dynamic.incremental import GraphDelta
-
-        protocol.reject_unknown_fields(
-            delta_body,
-            (
-                "add_edges",
-                "remove_edges",
-                "add_associations",
-                "remove_associations",
-            ),
-        )
-
-        def as_array(name: str, width: int) -> np.ndarray | None:
-            rows = delta_body.get(name)
-            if rows is None:
-                return None
-            try:
-                array = np.asarray(rows, dtype=np.float64)
-            except (TypeError, ValueError):
-                raise ApiError(
-                    400, "invalid_request", f"delta field {name!r} is malformed"
-                )
-            if array.size == 0:
-                return None
-            if array.ndim != 2 or array.shape[1] != width:
-                raise ApiError(
-                    400, "invalid_request",
-                    f"delta field {name!r} must be rows of {width} numbers",
-                    {"shape": list(array.shape)},
-                )
-            return array
-
-        delta = GraphDelta(
-            add_edges=as_array("add_edges", 2),
-            remove_edges=as_array("remove_edges", 2),
-            add_associations=as_array("add_associations", 3),
-            remove_associations=as_array("remove_associations", 2),
-        )
+        delta = _delta_from_body(delta_body)
         try:
             report = self.refresher.apply(delta)
         except (IndexError, ValueError) as error:
@@ -533,6 +542,99 @@ class EmbeddingServer:
                 },
             }
         )
+
+
+_DELTA_FIELDS = (
+    "add_edges",
+    "remove_edges",
+    "add_associations",
+    "remove_associations",
+)
+
+
+def _delta_from_body(body: dict) -> "GraphDelta":
+    """Parse the four GraphDelta fields out of a JSON or frame body.
+
+    Shared by ``/admin/refresh`` (nested under ``delta``) and
+    ``/v1/upsert`` (top-level).  Frame bodies arrive with the fields
+    already decoded to arrays; JSON bodies as nested lists — both land
+    on the same validation.
+    """
+    from repro.dynamic.incremental import GraphDelta
+
+    protocol.reject_unknown_fields(body, _DELTA_FIELDS)
+
+    def as_array(name: str, width: int) -> np.ndarray | None:
+        rows = body.get(name)
+        if rows is None:
+            return None
+        try:
+            array = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ApiError(
+                400, "invalid_request", f"delta field {name!r} is malformed"
+            )
+        if array.size == 0:
+            return None
+        if array.ndim != 2 or array.shape[1] != width:
+            raise ApiError(
+                400, "invalid_request",
+                f"delta field {name!r} must be rows of {width} numbers",
+                {"shape": list(array.shape)},
+            )
+        return array
+
+    return GraphDelta(
+        add_edges=as_array("add_edges", 2),
+        remove_edges=as_array("remove_edges", 2),
+        add_associations=as_array("add_associations", 3),
+        remove_associations=as_array("remove_associations", 2),
+    )
+
+
+def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
+    """Validate, append, fsync, ack — the whole ``/v1/upsert`` contract.
+
+    Module-level so the supervisor's admin surface (which owns the
+    pipeline in multi-worker mode) speaks the identical protocol as a
+    single-process :class:`EmbeddingServer`.
+    """
+    if ingest is None:
+        raise ApiError(
+            409, "no_write_path",
+            "this server has no WAL attached; start it with --wal-dir "
+            "to accept upserts",
+        )
+    delta = _delta_from_body(body)
+    try:
+        first, last = ingest.append(delta)
+    except ValueError as error:
+        raise ApiError(400, "invalid_request", f"upsert rejected: {error}")
+    except LogFull as error:
+        # Structured backpressure: the log hit its ceiling and only
+        # compaction + checkpointing can shrink it.  503 tells the
+        # client to back off; it will NOT retry (non-idempotent).
+        raise ApiError(
+            503, "log_full", str(error),
+            {
+                "size_bytes": error.size_bytes,
+                "max_bytes": error.max_bytes,
+                "retry_after_s": 1.0,
+            },
+        )
+    except LogWriteError as error:
+        raise ApiError(503, "wal_write_failed", str(error))
+    # The ack: these LSNs are fsync'd — a crash from here on loses
+    # nothing the client was told about.
+    return 200, json_safe(
+        {
+            "first_lsn": first,
+            "lsn": last,
+            "events": last - first + 1,
+            "durable": True,
+            "lsn_served": ingest.lsn_served(),
+        }
+    )
 
 
 def _store_corrupt_error(error: StoreCorruptionError) -> ApiError:
@@ -756,6 +858,7 @@ class _Handler(BaseHTTPRequestHandler):
         protocol.TOPK: EmbeddingServer.handle_topk,
         protocol.TOPK_BATCH: EmbeddingServer.handle_topk_batch,
         protocol.SIMILAR: EmbeddingServer.handle_similar,
+        protocol.UPSERT: EmbeddingServer.handle_upsert,
         protocol.REFRESH: EmbeddingServer.handle_refresh,
     }
 

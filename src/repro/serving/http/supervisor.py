@@ -30,6 +30,15 @@ whoever is blocked in accept), and babysits them:
   endpoints — ``/healthz``, ``/metrics``, ``/v1/describe`` — that fan
   in across workers: summed request/error counters, per-worker served
   version (surfacing refresh skew), liveness and restart counts.
+- **Write path (opt-in via ``wal_dir``).**  Exactly one process may
+  append to the delta log, so the *supervisor* owns the
+  :class:`~repro.serving.wal.compactor.IngestPipeline` and its
+  background :class:`~repro.serving.wal.compactor.Compactor`; the admin
+  surface accepts ``POST /v1/upsert`` (JSON), acks after fsync, and
+  each compacted version triggers a best-effort ``/admin/refresh`` poke
+  to every live worker.  Fleet ``lsn_served`` is the *minimum* across
+  live workers — the freshness a client can rely on no matter which
+  worker accepts its connection.
 
 Workers are separate *processes* launched by re-exec (``python -m
 repro.serving.http._worker`` with a :data:`WORKER_SPEC_ENV` JSON
@@ -93,6 +102,16 @@ class SupervisorConfig:
     select_dtype: str = "float64"
     drain_timeout_s: float = 10.0
     log_requests: bool = False
+    # -- write path (parent-owned WAL + compactor) ---------------------
+    # Workers serve reads off the shared socket; the supervisor process
+    # owns the delta log and the compactor, accepts POST /v1/upsert on
+    # its admin URL, and pokes workers onto each compacted version.
+    wal_dir: str | None = None
+    graph: str | None = None  # base graph (.npz) for bootstrap/attach
+    wal_max_bytes: int = 64 << 20
+    compact_interval_s: float = 0.25
+    gc_keep: int = 0  # store versions to retain (0 = never delete)
+    bootstrap_k: int = 32
     # -- supervision policy --------------------------------------------
     health_interval_s: float = 0.25
     health_timeout_s: float = 1.0
@@ -253,6 +272,10 @@ class Supervisor:
         self._admin_thread: threading.Thread | None = None
         self._health_thread: threading.Thread | None = None
         self.restarts_total = 0
+        # Write path (only when config.wal_dir is set): the supervisor
+        # process owns the log + compactor; workers only ever read.
+        self.pipeline = None
+        self.compactor = None
 
     # -- addresses -----------------------------------------------------
     @property
@@ -280,6 +303,25 @@ class Supervisor:
         self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listen.bind((config.host, config.port))
         self._listen.listen(128)
+        # The write path must be ready *before* any worker boots: a cold
+        # bootstrap publishes the first store version, and workers open
+        # LATEST at startup.
+        if config.wal_dir is not None:
+            from repro.serving.wal.compactor import Compactor, IngestPipeline
+
+            self.pipeline = IngestPipeline(
+                config.wal_dir,
+                _open_worker_store(config.store),
+                max_bytes=config.wal_max_bytes,
+            )
+            self.pipeline.ensure_ready(config.graph, k=config.bootstrap_k)
+            self.compactor = Compactor(
+                self.pipeline,
+                interval_s=config.compact_interval_s,
+                keep_versions=config.gc_keep,
+                on_publish=self._poke_workers,
+            )
+            self.compactor.start()
         for slot in self._slots:
             self._spawn(slot)
         self._admin_httpd = ThreadingHTTPServer(
@@ -318,6 +360,11 @@ class Supervisor:
     def shutdown(self) -> None:
         """Rolling drain: SIGTERM workers one at a time, then tear down."""
         self._stop.set()
+        # Quiesce the write path first so no new version lands (and no
+        # worker gets poked) mid-drain; the log itself closes last.
+        if self.compactor is not None:
+            self.compactor.stop()
+            self.compactor = None
         if self._health_thread is not None:
             self._health_thread.join(timeout=10.0)
             self._health_thread = None
@@ -346,6 +393,9 @@ class Supervisor:
                 self._admin_thread = None
         if self._listen is not None:
             self._listen.close()
+        if self.pipeline is not None:
+            self.pipeline.close()
+            self.pipeline = None
 
     def __enter__(self) -> "Supervisor":
         return self.start()
@@ -527,6 +577,49 @@ class Supervisor:
                     slot.backoff_s = config.backoff_base_s
             self._stop.wait(timeout=config.health_interval_s / 2)
 
+    # -- write path ----------------------------------------------------
+    def _poke_workers(self, version: str) -> None:
+        """Nudge every live worker onto the just-compacted version.
+
+        Best-effort by design: a worker that misses the poke (dead,
+        mid-restart, admin hiccup) converges on its own — it reopens
+        LATEST on its next refresh and the freshness gap shows up in
+        ``lsn_served`` until it does.
+        """
+        for slot, handle in self._worker_views():
+            if handle is None or not handle.alive():
+                continue
+            try:
+                handle.client.refresh()
+            except Exception:
+                pass
+
+    def _version_applied_lsn(self, version: str | None) -> int:
+        """The log position baked into ``version``'s manifest (0 if none)."""
+        if version is None or self.pipeline is None:
+            return 0
+        try:
+            manifest = self.pipeline.store.manifest(version)
+        except Exception:
+            return 0
+        return int((manifest.get("metadata") or {}).get("applied_lsn", 0))
+
+    def _lsn_fields(self, worker_versions) -> dict:
+        """``lsn_durable``/``lsn_served`` across the fleet.
+
+        ``lsn_served`` is the *minimum* over live workers — the write a
+        client is guaranteed to see regardless of which worker the
+        kernel hands its connection to.
+        """
+        assert self.pipeline is not None
+        served = [
+            self._version_applied_lsn(version) for version in worker_versions
+        ]
+        return {
+            "lsn_durable": self.pipeline.lsn_durable,
+            "lsn_served": min(served) if served else 0,
+        }
+
     # -- aggregation ---------------------------------------------------
     def _worker_views(self) -> list[tuple[_WorkerSlot, _WorkerHandle | None]]:
         with self._lock:
@@ -535,6 +628,7 @@ class Supervisor:
     def aggregate_healthz(self) -> tuple[int, dict]:
         workers = []
         versions = set()
+        live_versions = []
         n_live = 0
         for slot, handle in self._worker_views():
             entry: dict = {
@@ -555,6 +649,7 @@ class Supervisor:
                     entry["version"] = probe.get("version")
                     entry["draining"] = probe.get("draining")
                     versions.add(probe.get("version"))
+                    live_versions.append(probe.get("version"))
                     n_live += 1
             workers.append(entry)
         status = (
@@ -570,6 +665,10 @@ class Supervisor:
             "restarts_total": self.restarts_total,
             "workers": workers,
         }
+        if self.pipeline is not None:
+            lsn = self._lsn_fields(live_versions)
+            payload.update(lsn)
+            payload["freshness_lag"] = lsn["lsn_durable"] - lsn["lsn_served"]
         return (200 if n_live else 503), payload
 
     def aggregate_describe(self) -> tuple[int, dict]:
@@ -599,6 +698,20 @@ class Supervisor:
             "workers": workers,
             "version_skew": len(versions) > 1,
         }
+        if self.pipeline is not None:
+            live = [w["version"] for w in workers if w.get("alive")]
+            lsn = self._lsn_fields(live)
+            payload.update(lsn)
+            payload["ingest"] = {
+                **self.pipeline.freshness(),
+                # Fleet view: the pipeline's own lsn_served tracks the
+                # store's LATEST; what matters here is the slowest worker.
+                "lsn_served": lsn["lsn_served"],
+                "lag": lsn["lsn_durable"] - lsn["lsn_served"],
+                "wal_dir": str(self.pipeline.wal_dir),
+                "log_bytes": self.pipeline.log.size_bytes,
+                "log_max_bytes": self.pipeline.log.max_bytes,
+            }
         return 200, payload
 
     def aggregate_metrics(self) -> tuple[int, dict]:
@@ -652,6 +765,22 @@ class Supervisor:
             },
             "workers": per_worker,
         }
+        if self.pipeline is not None:
+            ingest = {
+                **self.pipeline.freshness(),
+                "counters": dict(self.pipeline.counters),
+                "log_bytes": self.pipeline.log.size_bytes,
+                "log_max_bytes": self.pipeline.log.max_bytes,
+            }
+            if self.compactor is not None:
+                ingest["compactor"] = {
+                    "alive": self.compactor.is_alive(),
+                    "interval_s": self.compactor.interval_s,
+                    "keep_versions": self.compactor.keep_versions,
+                    "last_publish": self.compactor.last_publish,
+                    "last_error": self.compactor.last_error,
+                }
+            payload["ingest"] = ingest
         return 200, payload
 
 
@@ -684,6 +813,40 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
             status, payload = 500, ApiError(
                 500, "internal", f"{type(error).__name__}: {error}"
             ).body()
+        self._respond(status, payload)
+
+    def do_POST(self) -> None:
+        # The write path lives on the *supervisor's* admin port in
+        # multi-worker mode: exactly one process may append to the log,
+        # and the shared data socket cannot address a specific process.
+        # JSON only — the binary frame wire stays a data-plane affair.
+        from repro.serving.http.server import apply_upsert
+
+        supervisor: Supervisor = self.server.supervisor  # type: ignore[attr-defined]
+        path = urlsplit(self.path).path
+        try:
+            if path != protocol.UPSERT:
+                raise ApiError(
+                    404, "unknown_endpoint", f"no supervisor endpoint at {path!r}"
+                )
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                raise ApiError(400, "invalid_request", "request body is not JSON")
+            if not isinstance(body, dict):
+                raise ApiError(400, "invalid_request", "request body must be an object")
+            status, payload = apply_upsert(supervisor.pipeline, body)
+        except ApiError as error:
+            status, payload = error.status, error.body()
+        except Exception as error:
+            status, payload = 500, ApiError(
+                500, "internal", f"{type(error).__name__}: {error}"
+            ).body()
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
         body = protocol.dump_json(payload)
         try:
             self.send_response(status)

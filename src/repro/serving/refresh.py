@@ -66,21 +66,30 @@ class OnlineRefresher:
         self.store = store
         self.service = service
 
-    def bootstrap(self, graph: AttributedGraph) -> str:
-        """Cold-start: fit the model, publish v1, activate it if serving."""
+    def bootstrap(
+        self, graph: AttributedGraph, *, metadata: dict | None = None
+    ) -> str:
+        """Cold-start: fit the model, publish v1, activate it if serving.
+
+        ``metadata`` lands in the version manifest — the WAL pipeline
+        stamps ``applied_lsn`` here so recovery knows the log offset a
+        version reflects.
+        """
         embedding = self.model.fit(graph)
-        version = self.store.publish(embedding)
+        version = self.store.publish(embedding, metadata=metadata)
         if self.service is not None:
             self.service.activate(version)
         return version
 
-    def apply(self, delta: GraphDelta) -> RefreshReport:
+    def apply(
+        self, delta: GraphDelta, *, metadata: dict | None = None
+    ) -> RefreshReport:
         """Absorb ``delta`` and republish; swap the live service atomically."""
         timer = Timer()
         with timer.measure("update"):
             embedding = self.model.update(delta)
         with timer.measure("publish"):
-            version = self.store.publish(embedding)
+            version = self.store.publish(embedding, metadata=metadata)
 
         n_moved = n_rebuilt = n_lists = 0
         new_index = None

@@ -1,0 +1,53 @@
+"""Log-structured ingestion: durable WAL, replay, and background compaction.
+
+The write path for the serving stack (see ``docs/SERVING.md``, "Write
+path"):
+
+- :class:`DeltaLog` — checksummed, fsync'd, LSN-stamped segment files of
+  graph upsert events with torn-tail recovery and replay into a
+  :class:`~repro.dynamic.incremental.GraphDelta` (``log.py``);
+- :class:`IngestPipeline` — durable appends + warm
+  :class:`~repro.dynamic.incremental.IncrementalPANE` + publication of
+  compacted store versions stamped with ``applied_lsn``
+  (``compactor.py``);
+- :class:`Compactor` — the background fold → publish → retain →
+  checkpoint loop (``compactor.py``).
+"""
+
+from repro.serving.wal.compactor import (
+    BASE_GRAPH_FILE,
+    CHECKPOINT_FILE,
+    CHECKPOINT_SCHEMA,
+    Compactor,
+    IngestPipeline,
+    RecoveryError,
+)
+from repro.serving.wal.log import (
+    DeltaLog,
+    LogCorruption,
+    LogFull,
+    LogRecord,
+    LogWriteError,
+    SegmentInfo,
+    events_from_delta,
+    fold_records,
+    scan_segment,
+)
+
+__all__ = [
+    "BASE_GRAPH_FILE",
+    "CHECKPOINT_FILE",
+    "CHECKPOINT_SCHEMA",
+    "Compactor",
+    "DeltaLog",
+    "IngestPipeline",
+    "LogCorruption",
+    "LogFull",
+    "LogRecord",
+    "LogWriteError",
+    "RecoveryError",
+    "SegmentInfo",
+    "events_from_delta",
+    "fold_records",
+    "scan_segment",
+]

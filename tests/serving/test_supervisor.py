@@ -280,3 +280,93 @@ class TestChaos:
             drive("after", 10)
             assert failures == []
             admin.close()
+
+
+class TestWritePath:
+    """Supervisor-owned WAL: upserts on the admin URL, fleet lsn fields."""
+
+    def post_upsert(self, admin_url: str, body: dict) -> tuple[int, dict]:
+        import json
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            admin_url + protocol.UPSERT,
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": protocol.JSON_CONTENT_TYPE},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_upsert_compacts_and_pokes_every_worker(self, tmp_path):
+        from repro.graph.generators import attributed_sbm
+        from repro.graph.io import save_npz
+
+        graph = attributed_sbm(n_nodes=60, n_attributes=15, seed=9)
+        graph_path = tmp_path / "graph.npz"
+        save_npz(graph, graph_path)
+        config = make_config(
+            tmp_path / "store",
+            wal_dir=str(tmp_path / "wal"),
+            graph=str(graph_path),
+            bootstrap_k=8,
+            compact_interval_s=0.1,
+            gc_keep=2,
+        )
+        with Supervisor(config) as supervisor:
+            admin = ServingClient(supervisor.admin_url, retries=2)
+            data = ServingClient(supervisor.url, retries=2)
+            try:
+                health = admin.healthz()
+                assert health["n_live"] == 2
+                assert (health["lsn_durable"], health["lsn_served"]) == (0, 0)
+
+                status, ack = self.post_upsert(
+                    supervisor.admin_url,
+                    {"add_edges": [[0, 7], [3, 11]], "add_associations": [[1, 2, 1.0]]},
+                )
+                assert status == 200
+                assert ack["durable"] is True
+                assert (ack["first_lsn"], ack["lsn"]) == (1, 3)
+
+                # compaction + worker pokes converge the whole fleet
+                wait_until(
+                    lambda: admin.healthz().get("lsn_served", 0) >= 3,
+                    message="fleet lsn_served to reach the ack",
+                )
+                health = admin.healthz()
+                assert health["lsn_durable"] == 3
+                assert health["freshness_lag"] == 0
+
+                describe = admin.describe()
+                assert describe["lsn_served"] == 3
+                assert describe["ingest"]["lag"] == 0
+                metrics = admin.metrics()
+                assert metrics["ingest"]["counters"]["appends"] == 1
+                assert metrics["ingest"]["compactor"]["alive"] is True
+
+                # reads on the shared data socket serve the compacted version
+                result = data.top_k(0, k=5)
+                assert len(result.ids) == 5
+
+                # malformed writes map to the same structured 400
+                status, body = self.post_upsert(
+                    supervisor.admin_url, {"add_edges": [[0, 9999]]}
+                )
+                assert status == 400
+                assert body["error"]["code"] == "invalid_request"
+            finally:
+                admin.close()
+                data.close()
+
+    def test_read_only_supervisor_rejects_upserts(self, store_root):
+        with Supervisor(make_config(store_root)) as supervisor:
+            status, body = self.post_upsert(
+                supervisor.admin_url, {"add_edges": [[0, 1]]}
+            )
+            assert status == 409
+            assert body["error"]["code"] == "no_write_path"
