@@ -8,7 +8,7 @@ localhost for three deployments of the same corpus:
 - ``sharded`` — a 4-shard range-partitioned store behind the
   scatter-gather router (exact per shard).
 
-Schema ``bench_http/v3`` (same file as v1/v2): every deployment is
+Schema ``bench_http/v4`` (same file as v1–v3): every deployment is
 measured along two wire formats (``json`` vs ``binary`` frames) and,
 for single queries, with the server-side admission coalescer off and on
 — the dimensions the PR-5 request-path overhaul optimizes.  A closed
@@ -20,7 +20,9 @@ the same corpus served by a 2-worker pre-fork
 :class:`~repro.serving.http.Supervisor` fleet sharing one listen socket,
 including an availability cell where worker 0 is deterministically
 crashed under load (``REPRO_FAULTS``) and zero client-visible failures
-are asserted.
+are asserted.  v4 adds the **obs** cell: the same exact deployment
+served with observability (tracing + metrics registry) on vs off; full
+runs assert the on/off throughput ratio stays at or above 0.95.
 
 Correctness is asserted on **every** run (``--smoke`` included):
 
@@ -395,6 +397,51 @@ def bench_deployment(
         return record
 
 
+def bench_obs_overhead(store, args: argparse.Namespace) -> dict:
+    """Tracing + registry overhead: obs on vs off over the same service.
+
+    Every request on an obs-enabled server pays the trace object, its
+    spans, one counter increment, one histogram observation, and the
+    ring-buffer insert.  This cell measures that cost end to end: the
+    same exact deployment served twice, observability on (the default)
+    and off, best-of-N single-query binary load against each.  Full
+    runs assert the ratio stays within 5%; smoke runs record it only
+    (one CI trial on a noisy shared box cannot hold a 5% band).
+    """
+    cells = {}
+    for label, enabled in (("enabled", True), ("disabled", False)):
+        with QueryService(
+            store,
+            backend="exact",
+            n_threads=args.threads,
+            index_cache=True,
+        ) as service:
+            server = EmbeddingServer(
+                service, drain_timeout_s=30.0, obs=enabled
+            ).start()
+            try:
+                cells[label] = best_single_run(
+                    server.url,
+                    args,
+                    seed_base=args.seed + (6000 if enabled else 7000),
+                    wire="binary",
+                )
+            finally:
+                assert server.close() is True
+    ratio = cells["enabled"]["qps"] / cells["disabled"]["qps"]
+    record = {
+        "single": cells,
+        "qps_ratio_on_vs_off": ratio,
+        "asserted_floor": 0.95,
+    }
+    print(
+        f"obs      single binary on {cells['enabled']['qps']:7.0f} req/s / "
+        f"off {cells['disabled']['qps']:7.0f} req/s = {ratio:.3f}x",
+        flush=True,
+    )
+    return record
+
+
 def bench_supervised(store_root: Path, args: argparse.Namespace) -> dict:
     """The v3 workers dimension: a 2-worker pre-fork fleet on one port.
 
@@ -572,7 +619,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "meta": {
-            "schema": "bench_http/v3",
+            "schema": "bench_http/v4",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy.__version__,
@@ -622,8 +669,16 @@ def main(argv: list[str] | None = None) -> int:
         # coalescing stress above published extra identical-content
         # versions; LATEST is what the workers open).
         record["workers"] = bench_supervised(Path(tmp) / "plain", args)
+        # Observability overhead over the same plain store.
+        record["obs"] = bench_obs_overhead(plain, args)
 
     if not args.smoke:
+        # Tracing + registry must cost under 5% of single-query
+        # throughput (asserted on full runs only; see bench_obs_overhead).
+        ratio = record["obs"]["qps_ratio_on_vs_off"]
+        assert ratio >= 0.95, (
+            f"observability overhead exceeds 5%: on/off qps ratio {ratio:.3f}"
+        )
         # The PR-5 acceptance floors, against the committed PR-4 numbers.
         for deployment, multiplier in ACCEPTANCE_FLOOR.items():
             floor = PR4_SINGLE_QPS[deployment] * multiplier

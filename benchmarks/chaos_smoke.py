@@ -39,6 +39,14 @@ deterministically through ``REPRO_FAULTS``:
    ``lsn_served`` to catch up to it, reads to flow, and a graceful
    SIGTERM drain (code 0).
 
+After the fleet phases, the store's ops journal (``events.jsonl``)
+must reconstruct the whole run — publish, fsck repair, supervisor
+start/stop, the injected worker crash (``worker_exit`` with exit code
+:data:`INJECTED_KILL_EXIT`), the restart, and the drain.  The journal
+and the supervisor's aggregated Prometheus scrape are copied into
+``smoke-artifacts/`` so a CI failure uploads them for offline
+diagnosis.
+
 Exit code 0 = pass.  Run::
 
     PYTHONPATH=src python benchmarks/chaos_smoke.py
@@ -48,12 +56,14 @@ from __future__ import annotations
 
 import json
 import re
+import shutil
 import signal
 import subprocess
 import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -72,10 +82,27 @@ from repro.serving.faults import (  # noqa: E402
 from repro.serving.http import ServingClient  # noqa: E402
 from repro.serving.http.loadgen import cli_subprocess_env, run_load  # noqa: E402
 from repro.serving.http.protocol import ApiError  # noqa: E402
+from repro.serving.obs.journal import read_events  # noqa: E402
 from repro.serving.synth import synthetic_embedding  # noqa: E402
 
 N_NODES, DIM, K = 512, 16, 10
 N_WAL_NODES, N_WAL_ATTRS = 200, 24
+ARTIFACTS = Path("smoke-artifacts")
+
+
+def dump_artifacts(tmp_path: Path, scrape: str | None) -> None:
+    """Copy every journal + the last fleet scrape where CI can upload them.
+
+    Runs pass or fail — the upload step in CI is gated on failure, so
+    a green run leaves nothing behind in the workflow.
+    """
+    ARTIFACTS.mkdir(exist_ok=True)
+    if scrape is not None:
+        (ARTIFACTS / "chaos_smoke_metrics.prom").write_text(scrape)
+    for path in sorted(tmp_path.glob("*/events.jsonl*")):
+        shutil.copy(
+            path, ARTIFACTS / f"chaos_smoke_{path.parent.name}_{path.name}"
+        )
 
 
 def run_cli(*args: str, faults: FaultPlan | None = None) -> subprocess.CompletedProcess:
@@ -184,9 +211,18 @@ def measure_healthy_baseline(store_dir: Path) -> float:
     return baseline
 
 
+def scrape_fleet_prometheus(admin_url: str) -> str:
+    """The supervisor's aggregated Prometheus text (for the CI artifact)."""
+    request = urllib.request.Request(
+        f"{admin_url}/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
 def check_worker_kill_under_load(
     store_dir: Path, baseline_qps: float
-) -> subprocess.Popen:
+) -> tuple[subprocess.Popen, str]:
     """The availability acceptance, across a real process boundary."""
     print("starting repro serve --workers 2 with worker 0 armed to crash...")
     plan = FaultPlan(kill_after_requests=5, worker=0)
@@ -242,7 +278,8 @@ def check_worker_kill_under_load(
         f"{ratio:.0%} of the pre-fault baseline {baseline_qps:.0f} req/s"
     )
     print(f"  post-recovery: {after.qps:.0f} req/s ({ratio:.0%} of baseline)")
-    return server
+    scrape = scrape_fleet_prometheus(admin_url)
+    return server, scrape
 
 
 def spawn_wal_server(
@@ -399,7 +436,27 @@ def drain_supervisor(server: subprocess.Popen) -> None:
     print("  drained: supervisor rc=0")
 
 
+def check_journal(store_dir: Path) -> None:
+    """The chaos run above must be reconstructible from events.jsonl."""
+    kinds = [event["kind"] for event in read_events(store_dir)]
+    required = {
+        "publish", "fsck_repair", "supervisor_start", "worker_start",
+        "worker_exit", "worker_restart", "drain", "supervisor_stop",
+    }
+    missing = required - set(kinds)
+    assert not missing, f"journal is missing kinds {sorted(missing)}: {kinds}"
+    exits = list(read_events(store_dir, kinds=["worker_exit"]))
+    assert any(
+        event.get("exit") == INJECTED_KILL_EXIT for event in exits
+    ), f"no worker_exit with the injected exit code: {exits}"
+    print(
+        f"  journal ok: {len(kinds)} events, injected crash recorded "
+        f"(exit {INJECTED_KILL_EXIT})"
+    )
+
+
 def main() -> int:
+    scrape: str | None = None
     with tempfile.TemporaryDirectory() as tmp:
         tmp_path = Path(tmp)
         store_dir = tmp_path / "store"
@@ -407,28 +464,36 @@ def main() -> int:
         synthetic_embedding(N_NODES, DIM, seed=0).save(emb1)
         synthetic_embedding(N_NODES, DIM, seed=1).save(emb2)
 
-        print("publishing v1 through the CLI...")
-        expect_rc(
-            run_cli("serve", "--store", str(store_dir), "--publish", str(emb1)),
-            0, "publish v1",
-        )
-        expect_rc(
-            run_cli("fsck", "--store", str(store_dir)), 0, "fsck on clean store"
-        )
-        print("  fsck: clean")
-
-        check_torn_publish_recovery(store_dir, emb2)
-
-        baseline = measure_healthy_baseline(store_dir)
-        server = check_worker_kill_under_load(store_dir, baseline)
         try:
-            drain_supervisor(server)
-        finally:
-            if server.poll() is None:
-                server.kill()
-                server.wait(timeout=30)
+            print("publishing v1 through the CLI...")
+            expect_rc(
+                run_cli(
+                    "serve", "--store", str(store_dir), "--publish", str(emb1)
+                ),
+                0, "publish v1",
+            )
+            expect_rc(
+                run_cli("fsck", "--store", str(store_dir)), 0,
+                "fsck on clean store",
+            )
+            print("  fsck: clean")
 
-        check_wal_crash_recovery(tmp_path)
+            check_torn_publish_recovery(store_dir, emb2)
+
+            baseline = measure_healthy_baseline(store_dir)
+            server, scrape = check_worker_kill_under_load(store_dir, baseline)
+            try:
+                drain_supervisor(server)
+            finally:
+                if server.poll() is None:
+                    server.kill()
+                    server.wait(timeout=30)
+
+            check_journal(store_dir)
+
+            check_wal_crash_recovery(tmp_path)
+        finally:
+            dump_artifacts(tmp_path, scrape)
     print("chaos smoke: PASS")
     return 0
 

@@ -21,7 +21,13 @@ crosses a real process boundary, exactly like a deployment:
    bit-identically too (query → refresh → query);
 6. SIGTERM the server while a burst of batch requests is in flight and
    require: no response with a 5xx status other than the structured 503
-   ``draining``, and a clean exit code from the drained process.
+   ``draining``, and a clean exit code from the drained process;
+7. require the store's ops journal (``events.jsonl``) to have recorded
+   both publishes and the drain.
+
+The journal and the last Prometheus scrape are copied into
+``smoke-artifacts/`` so a CI failure uploads them for offline
+diagnosis.
 
 Exit code 0 = pass.  Run::
 
@@ -51,12 +57,32 @@ from repro.serving.http.loadgen import (  # noqa: E402
     cli_subprocess_env,
     spawn_cli_server,
 )
+from repro.serving.obs.journal import read_events  # noqa: E402
 from repro.serving.service import QueryService  # noqa: E402
 from repro.serving.store import EmbeddingStore  # noqa: E402
 from repro.serving.synth import synthetic_embedding  # noqa: E402
 
 N_NODES, DIM, K = 512, 16, 10
 SAMPLE = 32
+ARTIFACTS = Path("smoke-artifacts")
+
+
+def scrape_prometheus(url: str) -> str:
+    """Scrape /metrics as Prometheus text (for the failure artifact)."""
+    request = urllib.request.Request(
+        f"{url}/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def dump_artifacts(store_dir: Path, scrape: str | None) -> None:
+    """Copy the journal + last scrape where CI can upload them."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    if scrape is not None:
+        (ARTIFACTS / "server_smoke_metrics.prom").write_text(scrape)
+    for path in sorted(store_dir.glob("events.jsonl*")):
+        shutil.copy(path, ARTIFACTS / f"server_smoke_{path.name}")
 
 
 def run_cli(*args: str) -> None:
@@ -124,6 +150,7 @@ def drain_under_fire(url: str, server: subprocess.Popen) -> None:
 
 
 def main() -> int:
+    scrape: str | None = None
     with tempfile.TemporaryDirectory() as tmp:
         tmp_path = Path(tmp)
         store_dir = tmp_path / "store"
@@ -172,15 +199,22 @@ def main() -> int:
 
             metrics = client.metrics()
             assert metrics["service"]["queries"] > 0, metrics
+            scrape = scrape_prometheus(url)
             client.close()  # release pooled sockets before the drain
             binary_client.close()
 
             print("SIGTERM under fire...")
             drain_under_fire(url, server)
+
+            kinds = [event["kind"] for event in read_events(store_dir)]
+            assert kinds.count("publish") == 2, kinds
+            assert "drain" in kinds, kinds
+            print(f"  journal ok: kinds {kinds}")
         finally:
             if server.poll() is None:
                 server.kill()
                 server.wait(timeout=30)
+            dump_artifacts(store_dir, scrape)
     print("server smoke: PASS")
     return 0
 

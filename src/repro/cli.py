@@ -180,6 +180,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         embedding = PANEEmbedding.load(args.publish)
         version = store.publish(embedding)
         manifest = store.manifest(version)
+        from repro.serving.obs.journal import EventJournal
+
+        EventJournal(args.store).emit(
+            "publish",
+            version=version,
+            source="cli",
+            n_nodes=manifest["n_nodes"],
+        )
         print(
             f"published {version}{layout}: n={manifest['n_nodes']} "
             f"d={manifest['n_attributes']} k={manifest['k']}"
@@ -220,6 +228,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     import json as json_module
 
     from repro.serving.fsck import fsck, fsck_wal
+    from repro.serving.obs.journal import EventJournal
 
     if args.store is None and args.wal is None:
         print("error: pass --store and/or --wal", file=sys.stderr)
@@ -242,7 +251,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     reports: dict[str, dict] = {}
     code = 0
     if args.store is not None:
-        report = fsck(args.store, repair=args.repair)
+        journal = EventJournal(args.store) if args.repair else None
+        report = fsck(args.store, repair=args.repair, journal=journal)
         reports["store"] = report.as_dict()
         code = max(code, report.exit_code())
         if not args.json:
@@ -254,7 +264,12 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
                 f"latest={report.latest}"
             )
     if args.wal is not None:
-        report = fsck_wal(args.wal, repair=args.repair)
+        # Repairs journal into the *store* when one was named alongside
+        # --wal, so the fleet's events.jsonl holds the full story.
+        journal = (
+            EventJournal(args.store or args.wal) if args.repair else None
+        )
+        report = fsck_wal(args.wal, repair=args.repair, journal=journal)
         reports["wal"] = report.as_dict()
         code = max(code, report.exit_code())
         if not args.json:
@@ -419,6 +434,7 @@ def _serve_supervised(store, args: argparse.Namespace) -> int:
         select_dtype=args.select_dtype,
         drain_timeout_s=args.drain_timeout,
         log_requests=args.log_requests,
+        slow_query_ms=args.slow_query_ms,
         max_restarts=args.max_restarts,
         wal_dir=args.wal_dir,
         graph=args.graph,
@@ -451,6 +467,7 @@ def _serve_http(store, args: argparse.Namespace) -> int:
     pre-fork :class:`~repro.serving.http.Supervisor` takes over instead.
     """
     from repro.serving.http import EmbeddingServer
+    from repro.serving.obs.journal import EventJournal
     from repro.serving.service import QueryService
 
     if args.workers < 1:
@@ -499,6 +516,7 @@ def _serve_http(store, args: argparse.Namespace) -> int:
             index_cache=True,
             select_dtype=args.select_dtype,
         ) as service:
+            journal = EventJournal(args.store)
             if pipeline is not None:
                 # Reads in this process follow the write path: each
                 # compacted version is atomically activated on the service.
@@ -507,6 +525,7 @@ def _serve_http(store, args: argparse.Namespace) -> int:
                     pipeline,
                     interval_s=args.compact_interval,
                     keep_versions=args.gc_keep,
+                    journal=journal,
                 )
                 compactor.start()
             server = EmbeddingServer(
@@ -519,6 +538,8 @@ def _serve_http(store, args: argparse.Namespace) -> int:
                 log=args.log_requests,
                 ingest=pipeline,
                 compactor=compactor,
+                slow_query_ms=args.slow_query_ms,
+                journal=journal,
             )
             wal = f" wal={args.wal_dir}" if pipeline is not None else ""
             # One parsable line so wrappers (CI smoke, scripts) can discover
@@ -546,6 +567,123 @@ def _serve_http(store, args: argparse.Namespace) -> int:
             compactor.stop()
         if pipeline is not None:
             pipeline.close()
+
+
+def _parse_since(raw: str | None) -> float | None:
+    """``--since``: a unix timestamp, or a relative ``30s``/``5m``/``2h``."""
+    import time as time_module
+
+    if raw is None:
+        return None
+    text = raw.strip()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    if text and text[-1].lower() in units:
+        return time_module.time() - float(text[:-1]) * units[text[-1].lower()]
+    return float(text)
+
+
+def _format_event(event: dict) -> str:
+    import time as time_module
+
+    ts = event.get("ts")
+    stamp = (
+        time_module.strftime("%H:%M:%S", time_module.localtime(ts))
+        if isinstance(ts, (int, float))
+        else "--:--:--"
+    )
+    kind = event.get("kind", "?")
+    rest = " ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("ts", "kind")
+    )
+    return f"{stamp} {kind:<16s} {rest}"
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Print (or tail, with --follow) the ops event journal."""
+    import json as json_module
+
+    from repro.serving.obs.journal import follow_events, read_events
+
+    try:
+        since = _parse_since(args.since)
+    except ValueError:
+        print(f"error: cannot parse --since {args.since!r}", file=sys.stderr)
+        return 2
+    kinds = frozenset(args.kind) if args.kind else None
+    source = (
+        follow_events(args.store, kinds=kinds, since=since)
+        if args.follow
+        else read_events(args.store, kinds=kinds, since=since)
+    )
+    seen = 0
+    try:
+        for event in source:
+            seen += 1
+            if args.json:
+                print(json_module.dumps(event), flush=True)
+            else:
+                print(_format_event(event), flush=True)
+    except KeyboardInterrupt:
+        return 0
+    if seen == 0 and not args.follow:
+        print("no matching events", file=sys.stderr)
+    return 0
+
+
+def _cmd_stat(args: argparse.Namespace) -> int:
+    """One-shot fleet summary: journal roll-up plus live server metrics."""
+    import json as json_module
+
+    from repro.serving.obs.journal import summarize_events
+
+    summary = summarize_events(args.store)
+    metrics = None
+    if args.url:
+        from repro.serving.http import ApiError, ServingClient
+
+        try:
+            metrics = ServingClient(args.url, timeout_s=args.timeout).metrics()
+        except (ApiError, OSError) as error:
+            print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+            if args.json:
+                print(json_module.dumps({"journal": summary}, indent=2))
+            return 2
+    if args.json:
+        payload = {"journal": summary}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    print(f"{args.store}: {summary['events']} journal event(s)")
+    for kind in sorted(summary["kinds"]):
+        last = summary["last_by_kind"][kind]
+        print(f"  {kind:<16s} x{summary['kinds'][kind]:<5d} last: "
+              f"{_format_event(last)}")
+    if metrics is not None:
+        supervisor = metrics.get("supervisor")
+        if supervisor is not None:
+            print(
+                f"fleet: {supervisor.get('n_reporting')}/"
+                f"{supervisor.get('n_workers')} workers reporting, "
+                f"{supervisor.get('restarts_total')} restart(s)"
+            )
+        aggregate = metrics.get("aggregate") or metrics.get("server") or {}
+        http = aggregate.get("http") or {}
+        if http:
+            print(
+                f"http: {http.get('queries', 0)} queries, "
+                f"{http.get('cache_hits', 0)} cache hits"
+            )
+        ingest = metrics.get("ingest")
+        if ingest is not None:
+            print(
+                f"ingest: durable lsn={ingest.get('lsn_durable')} "
+                f"served lsn={ingest.get('lsn_served')} "
+                f"lag={ingest.get('lag')}"
+            )
+    return 0
 
 
 def _cmd_bench_http(args: argparse.Namespace) -> int:
@@ -807,6 +945,13 @@ def build_parser() -> argparse.ArgumentParser:
         "compaction (0 = never delete; LATEST and the served version "
         "are always kept)",
     )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=0.0,
+        help="emit a structured slow-query log line (JSON, with the "
+        "request trace) for any request slower than this; 0 disables",
+    )
 
     fsck = sub.add_parser(
         "fsck",
@@ -950,6 +1095,51 @@ def build_parser() -> argparse.ArgumentParser:
         "falls back to JSON against older servers",
     )
 
+    events = sub.add_parser(
+        "events",
+        help="print (or --follow) the ops event journal under a store root",
+    )
+    events.add_argument("--store", required=True, help="store root directory")
+    events.add_argument(
+        "--follow",
+        action="store_true",
+        help="replay history, then stream new events until Ctrl-C",
+    )
+    events.add_argument(
+        "--json",
+        action="store_true",
+        help="one JSON object per line instead of the human format",
+    )
+    events.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="only events of this kind (repeatable): publish, checkpoint, "
+        "gc, worker_start, worker_exit, worker_restart, breaker_trip, "
+        "fsck_repair, drain, ...",
+    )
+    events.add_argument(
+        "--since",
+        default=None,
+        metavar="WHEN",
+        help="unix timestamp, or relative like 30s / 5m / 2h",
+    )
+
+    stat = sub.add_parser(
+        "stat",
+        help="one-shot fleet summary: journal roll-up + live /metrics",
+    )
+    stat.add_argument("--store", required=True, help="store root directory")
+    stat.add_argument(
+        "--url",
+        default=None,
+        help="also scrape /metrics from a running server or supervisor "
+        "admin URL",
+    )
+    stat.add_argument("--timeout", type=float, default=5.0)
+    stat.add_argument("--json", action="store_true")
+
     return parser
 
 
@@ -965,6 +1155,8 @@ _COMMANDS = {
     "gc": _cmd_gc,
     "query": _cmd_query,
     "bench-http": _cmd_bench_http,
+    "events": _cmd_events,
+    "stat": _cmd_stat,
 }
 
 

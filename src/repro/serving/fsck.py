@@ -477,20 +477,37 @@ def _fsck_sharded(store, *, repair: bool) -> FsckReport:
     return report
 
 
-def fsck(root, *, repair: bool = False) -> FsckReport:
+def _journal_repairs(journal, report: FsckReport, sweep: str) -> None:
+    """Record the repairs a sweep made in the ops event journal."""
+    if journal is None or not report.actions:
+        return
+    journal.emit(
+        "fsck_repair",
+        sweep=sweep,
+        root=report.root,
+        actions=list(report.actions),
+        issues=len(report.issues),
+        repaired=report.repaired,
+    )
+
+
+def fsck(root, *, repair: bool = False, journal=None) -> FsckReport:
     """Sweep a store root (plain or sharded auto-detected) for damage.
 
     ``repair=False`` only reports; ``repair=True`` additionally removes
     staging debris, quarantines corrupt versions under
     ``<root>/quarantine/`` and repairs the ``LATEST`` pointer.  Never
     deletes version data — quarantined directories can be inspected or
-    restored by hand.
+    restored by hand.  Repairs taken are appended to ``journal`` (an
+    :class:`~repro.serving.obs.journal.EventJournal`) when one is given.
     """
     from repro.serving.sharding.store import ShardedEmbeddingStore
 
     root = Path(root)
     if ShardedEmbeddingStore.is_sharded_root(root):
-        return _fsck_sharded(ShardedEmbeddingStore(root), repair=repair)
+        report = _fsck_sharded(ShardedEmbeddingStore(root), repair=repair)
+        _journal_repairs(journal, report, "store")
+        return report
     if not (root / "versions").is_dir():
         # Don't let EmbeddingStore.__init__ mkdir a store skeleton into a
         # path that plainly isn't one — report it instead.
@@ -504,11 +521,13 @@ def fsck(root, *, repair: bool = False) -> FsckReport:
             )
         )
         return report
-    return _fsck_plain(EmbeddingStore(root), repair=repair)
+    report = _fsck_plain(EmbeddingStore(root), repair=repair)
+    _journal_repairs(journal, report, "store")
+    return report
 
 
 # -- delta-log (WAL) sweep ---------------------------------------------
-def fsck_wal(root, *, repair: bool = False) -> FsckReport:
+def fsck_wal(root, *, repair: bool = False, journal=None) -> FsckReport:
     """Sweep a delta-log directory (``repro fsck --wal``) for damage.
 
     Reuses the store sweep's report/issue machinery and exit contract:
@@ -676,6 +695,7 @@ def fsck_wal(root, *, repair: bool = False) -> FsckReport:
         report.latest = None if expected <= 1 else f"lsn={expected - 1}"
 
     report.repaired = repair and not report.unrecoverable and bool(report.actions)
+    _journal_repairs(journal, report, "wal")
     return report
 
 

@@ -41,6 +41,7 @@ import http.client
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 from urllib.parse import urlsplit
@@ -49,6 +50,7 @@ import numpy as np
 
 from repro.serving.http import protocol
 from repro.serving.http.protocol import ApiError
+from repro.serving.obs.trace import new_request_id
 from repro.serving.stats import LatencyStats
 
 
@@ -292,6 +294,16 @@ class ServingClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.wire = wire
+        # Client-side attempt log: one entry per *logical* request, with
+        # the request id every attempt carried — the client half of the
+        # server's /debug/traces (same id, both sides).
+        self._trace_lock = threading.Lock()
+        self._trace_ring: deque[dict] = deque(maxlen=64)
+
+    def request_trace(self) -> list[dict]:
+        """Recent logical requests (newest first): id, path, attempts."""
+        with self._trace_lock:
+            return list(reversed(self._trace_ring))
 
     # -- plumbing ------------------------------------------------------
     @property
@@ -374,87 +386,127 @@ class ServingClient:
             if data and self.wire != "json"
             else protocol.JSON_CONTENT_TYPE
         )
-        for attempt in range(attempts):
-            attempt_timeout = self.timeout_s
-            extra_headers = None
-            if deadline is not None:
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    raise DeadlineExceeded(
-                        f"budget of {timeout_s}s spent before {path} was answered"
-                        f" ({attempt} attempt(s) made)",
-                        failures,
-                    )
-                attempt_timeout = min(self.timeout_s, remaining)
-                if data:
-                    extra_headers = {
-                        protocol.DEADLINE_HEADER: f"{remaining * 1e3:.1f}"
-                    }
-            target = candidates[attempt % len(candidates)]
-            send_binary = (
-                data
-                and (
-                    self.wire == "binary"
-                    or (self.wire == "auto" and target.binary_seen)
-                )
-            )
-            if body is None and not arrays:
-                encoded, content_type = None, protocol.JSON_CONTENT_TYPE
-            elif send_binary:
-                encoded = protocol.encode_frame(body or {}, arrays or {})
-                content_type = protocol.BINARY_CONTENT_TYPE
-            else:
-                merged = dict(body or {})
-                for name, array in (arrays or {}).items():
-                    merged[name] = array.tolist()
-                encoded = protocol.dump_json(merged)
-                content_type = protocol.JSON_CONTENT_TYPE
-            try:
-                status, payload = target.request(
-                    method,
-                    path,
-                    encoded,
-                    content_type,
-                    accept,
-                    attempt_timeout,
-                    fresh=not idempotent,
-                    extra_headers=extra_headers,
-                )
-            except (OSError, http.client.HTTPException) as error:
-                failures[target.base_url] = f"{type(error).__name__}: {error}"
-                if not idempotent:
-                    raise ServingUnavailable(
-                        f"{path} failed and is not retryable", failures
-                    ) from error
-            else:
-                if status < 400:
-                    return payload
-                error = ApiError.from_body(status, payload)
-                if status != 503:
-                    raise error
-                last_503 = error
-                failures[target.base_url] = f"503 {error.code}"
-            if attempt + 1 < attempts and backoff > 0:
-                sleep = backoff
+        # One id per *logical* request: every retry/failover attempt
+        # re-sends the same X-Request-Id, so server-side traces and logs
+        # across replicas join on one key.
+        request_id = new_request_id()
+        attempt_log: list[dict] = []
+        try:
+            for attempt in range(attempts):
+                attempt_timeout = self.timeout_s
+                extra_headers = {protocol.REQUEST_ID_HEADER: request_id}
                 if deadline is not None:
-                    # Never sleep past the budget; the expiry check at the
-                    # top of the loop turns a spent budget into the error.
-                    sleep = min(sleep, max(0.0, deadline - time.perf_counter()))
-                time.sleep(sleep)
-                backoff *= 2
-        if deadline is not None and deadline - time.perf_counter() <= 0:
-            raise DeadlineExceeded(
-                f"budget of {timeout_s}s spent before {path} was answered"
-                f" ({attempts} attempt(s) made)",
-                failures,
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            f"budget of {timeout_s}s spent before {path} was answered"
+                            f" ({attempt} attempt(s) made)",
+                            failures,
+                        )
+                    attempt_timeout = min(self.timeout_s, remaining)
+                    if data:
+                        extra_headers[protocol.DEADLINE_HEADER] = (
+                            f"{remaining * 1e3:.1f}"
+                        )
+                target = candidates[attempt % len(candidates)]
+                send_binary = (
+                    data
+                    and (
+                        self.wire == "binary"
+                        or (self.wire == "auto" and target.binary_seen)
+                    )
+                )
+                if body is None and not arrays:
+                    encoded, content_type = None, protocol.JSON_CONTENT_TYPE
+                elif send_binary:
+                    encoded = protocol.encode_frame(body or {}, arrays or {})
+                    content_type = protocol.BINARY_CONTENT_TYPE
+                else:
+                    merged = dict(body or {})
+                    for name, array in (arrays or {}).items():
+                        merged[name] = array.tolist()
+                    encoded = protocol.dump_json(merged)
+                    content_type = protocol.JSON_CONTENT_TYPE
+                try:
+                    status, payload = target.request(
+                        method,
+                        path,
+                        encoded,
+                        content_type,
+                        accept,
+                        attempt_timeout,
+                        fresh=not idempotent,
+                        extra_headers=extra_headers,
+                    )
+                except (OSError, http.client.HTTPException) as error:
+                    failures[target.base_url] = f"{type(error).__name__}: {error}"
+                    attempt_log.append(
+                        {
+                            "attempt": attempt,
+                            "replica": target.base_url,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
+                    if not idempotent:
+                        raise ServingUnavailable(
+                            f"{path} failed and is not retryable", failures
+                        ) from error
+                else:
+                    if status < 400:
+                        attempt_log.append(
+                            {
+                                "attempt": attempt,
+                                "replica": target.base_url,
+                                "status": status,
+                            }
+                        )
+                        return payload
+                    error = ApiError.from_body(status, payload)
+                    attempt_log.append(
+                        {
+                            "attempt": attempt,
+                            "replica": target.base_url,
+                            "status": status,
+                            "code": error.code,
+                        }
+                    )
+                    if status != 503:
+                        raise error
+                    last_503 = error
+                    failures[target.base_url] = f"503 {error.code}"
+                if attempt + 1 < attempts and backoff > 0:
+                    sleep = backoff
+                    if deadline is not None:
+                        # Never sleep past the budget; the expiry check at the
+                        # top of the loop turns a spent budget into the error.
+                        sleep = min(
+                            sleep, max(0.0, deadline - time.perf_counter())
+                        )
+                    time.sleep(sleep)
+                    backoff *= 2
+            if deadline is not None and deadline - time.perf_counter() <= 0:
+                raise DeadlineExceeded(
+                    f"budget of {timeout_s}s spent before {path} was answered"
+                    f" ({attempts} attempt(s) made)",
+                    failures,
+                )
+            if last_503 is not None:
+                # The server's structured refusal (e.g. ``draining``) beats a
+                # generic wrapper — callers can branch on its code.
+                raise last_503
+            raise ServingUnavailable(
+                f"all {attempts} attempt(s) at {path} failed", failures
             )
-        if last_503 is not None:
-            # The server's structured refusal (e.g. ``draining``) beats a
-            # generic wrapper — callers can branch on its code.
-            raise last_503
-        raise ServingUnavailable(
-            f"all {attempts} attempt(s) at {path} failed", failures
-        )
+        finally:
+            with self._trace_lock:
+                self._trace_ring.append(
+                    {
+                        "request_id": request_id,
+                        "method": method,
+                        "path": path,
+                        "attempts": attempt_log,
+                    }
+                )
 
     # -- read endpoints ------------------------------------------------
     def healthz(self) -> dict:

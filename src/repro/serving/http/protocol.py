@@ -51,12 +51,15 @@ UPSERT = "/v1/upsert"
 HEALTHZ = "/healthz"
 METRICS = "/metrics"
 REFRESH = "/admin/refresh"
+TRACES = "/debug/traces"
 
 # Endpoints that only read the active snapshot: safe for a client to
 # retry on another replica after a connection error or a 503.  UPSERT is
 # deliberately absent: an append may have become durable even when the
 # ack was lost, so the client never retries it automatically.
-READ_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, DESCRIBE, HEALTHZ, METRICS})
+READ_ENDPOINTS = frozenset(
+    {TOPK, TOPK_BATCH, SIMILAR, DESCRIBE, HEALTHZ, METRICS, TRACES}
+)
 
 # Endpoints whose requests/responses carry vectors or id/score arrays —
 # the only ones worth (and capable of) speaking the binary frame format.
@@ -68,6 +71,13 @@ DATA_ENDPOINTS = frozenset({TOPK, TOPK_BATCH, SIMILAR, UPSERT})
 # answering JSON, which every client must accept.
 BINARY_CONTENT_TYPE = "application/x-repro-frame"
 JSON_CONTENT_TYPE = "application/json"
+
+# Request correlation: the client sends one id per *logical* request in
+# this header (the same id on every retry/failover attempt); the server
+# echoes it on every response and stamps it into every error envelope
+# and trace, so one id follows a request across client attempts, the
+# handling worker's /debug/traces, and the slow-query log.
+REQUEST_ID_HEADER = "X-Request-Id"
 
 # Deadline propagation: the client sends its *remaining* per-request
 # budget (milliseconds, recomputed before every attempt) in this header;
@@ -96,12 +106,19 @@ class ApiError(Exception):
         code: str,
         message: str,
         details: dict | None = None,
+        request_id: str | None = None,
     ) -> None:
         super().__init__(f"{status} {code}: {message}")
         self.status = status
         self.code = code
         self.message = message
         self.details = details or {}
+        # The correlation id of the failing request.  Handlers raise
+        # without it; the server's dispatch stamps it before the body is
+        # written, so *every* wire error envelope carries the id the
+        # response header echoes (the regression test for this iterates
+        # the error paths).
+        self.request_id = request_id
 
     def body(self) -> dict:
         return {
@@ -109,6 +126,7 @@ class ApiError(Exception):
                 "code": self.code,
                 "message": self.message,
                 "details": self.details,
+                "request_id": self.request_id,
             }
         }
 
@@ -120,6 +138,7 @@ class ApiError(Exception):
             error.get("code", "unknown"),
             error.get("message", "unknown error"),
             error.get("details") or {},
+            error.get("request_id"),
         )
 
 

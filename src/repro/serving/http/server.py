@@ -38,7 +38,9 @@ in-flight work completes with its real status, never a 500.
 
 from __future__ import annotations
 
+import json
 import socket
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -50,6 +52,10 @@ from repro.serving.faults import InjectedFault
 from repro.serving.fsck import StoreCorruptionError
 from repro.serving.http import protocol
 from repro.serving.http.protocol import ApiError
+from repro.serving.obs import metrics as obs_metrics
+from repro.serving.obs import trace as obs_trace
+from repro.serving.obs.metrics import MetricsRegistry
+from repro.serving.obs.trace import TraceBuffer, trace_span
 from repro.serving.refresh import OnlineRefresher
 from repro.serving.service import QueryService, json_safe
 from repro.serving.sharding.router import ShardRouter
@@ -128,6 +134,11 @@ class EmbeddingServer:
         stats_for: "EmbeddingServer | None" = None,
         ingest=None,
         compactor=None,
+        obs: bool = True,
+        slow_query_ms: float = 0.0,
+        slow_log=None,
+        journal=None,
+        trace_capacity: int = 256,
     ) -> None:
         self.service = service
         self.refresher = refresher
@@ -152,6 +163,7 @@ class EmbeddingServer:
             else None
         )
         self.log_requests = log
+        self._drain_logged = False
         self._draining = False
         self._in_flight = 0
         self._flight_lock = threading.Lock()
@@ -169,9 +181,31 @@ class EmbeddingServer:
                 protocol.HEALTHZ,
                 protocol.METRICS,
                 protocol.REFRESH,
+                protocol.TRACES,
             )
         }
         self.error_counts: dict[str, int] = {}
+        # Observability surfaces.  A worker's admin server *shares* its
+        # data server's registry and trace ring (via stats_for) so the
+        # admin /metrics and /debug/traces describe real traffic — but
+        # only the owning server records into them (health probes must
+        # not dilute the request traces or the http_* series).
+        self.journal = journal
+        self.slow_query_ms = float(slow_query_ms)
+        self._slow_log = slow_log
+        if stats_for is not None:
+            self.registry = stats_for.registry
+            self.trace_buffer = stats_for.trace_buffer
+            self._trace_enabled = False
+        elif obs:
+            self.registry = MetricsRegistry()
+            self.trace_buffer = TraceBuffer(trace_capacity)
+            self._trace_enabled = True
+            self._register_instruments()
+        else:
+            self.registry = None
+            self.trace_buffer = None
+            self._trace_enabled = False
         if socket_fd is not None:
             # A supervisor worker: adopt the parent's already-bound,
             # already-listening socket (classic pre-fork accept sharing —
@@ -287,6 +321,14 @@ class EmbeddingServer:
         if self._thread is not None:
             self._thread.join(timeout=self.drain_timeout_s)
             self._thread = None
+        if self.journal is not None and not self._drain_logged:
+            self._drain_logged = True
+            self.journal.emit(
+                "drain",
+                drained=drained,
+                worker=self.worker_id,
+                version=self.service.version,
+            )
         return drained
 
     def __enter__(self) -> "EmbeddingServer":
@@ -313,6 +355,172 @@ class EmbeddingServer:
     def _count_error(self, code: str) -> None:
         with self._flight_lock:
             self.error_counts[code] = self.error_counts.get(code, 0) + 1
+
+    # -- observability --------------------------------------------------
+    def _register_instruments(self) -> None:
+        """Create the hot-path instruments and the scrape-time mirror.
+
+        The request path pays exactly one counter increment and one
+        histogram observation; everything else the registry exposes
+        (endpoint latency counters, cache hit/miss, error counts, WAL
+        and compactor state) is *mirrored* from the existing structures
+        by a collect hook that runs only when someone scrapes.
+        """
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "http_requests_total",
+            "HTTP requests dispatched, by endpoint",
+            ("endpoint",),
+        )
+        self._m_latency = reg.histogram(
+            "http_request_seconds",
+            "End-to-end HTTP request latency in seconds",
+            ("endpoint",),
+        )
+        self._m_slow = reg.counter(
+            "http_slow_queries_total",
+            "Requests slower than --slow-query-ms, by endpoint",
+            ("endpoint",),
+        )
+        reg.add_collect(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        reg = self.registry
+        reg.gauge("http_in_flight", "Requests currently executing").set(
+            self.in_flight
+        )
+        reg.gauge("http_draining", "1 while the server is draining").set(
+            1.0 if self._draining else 0.0
+        )
+        errors = reg.counter(
+            "http_errors_total", "Structured error responses, by code", ("code",)
+        )
+        with self._flight_lock:
+            counts = dict(self.error_counts)
+        for code, n in counts.items():
+            errors.set_total(n, code=code)
+        queries = reg.counter(
+            "http_queries_total",
+            "Logical queries answered (batch members counted), by endpoint",
+            ("endpoint",),
+        )
+        for path, stats in self.endpoint_stats.items():
+            snap = stats.snapshot()
+            queries.set_total(snap["queries"], endpoint=path)
+        service_snap = self.service.stats.snapshot()
+        reg.counter(
+            "service_queries_total", "Queries answered by the query service"
+        ).set_total(service_snap["queries"])
+        reg.counter(
+            "service_cache_served_total", "Queries answered from the LRU cache"
+        ).set_total(service_snap["cache_hits"])
+        cache = self.service.cache_info()
+        lookups = reg.counter(
+            "cache_lookups_total", "LRU cache lookups, by outcome", ("outcome",)
+        )
+        lookups.set_total(cache.get("hits", 0), outcome="hit")
+        lookups.set_total(cache.get("misses", 0), outcome="miss")
+        if self._coalescer is not None:
+            info = self._coalescer.info()
+            reg.counter(
+                "coalesce_groups_total", "Coalesced admission groups executed"
+            ).set_total(info["groups"])
+            reg.counter(
+                "coalesce_members_total", "Requests that joined a coalesced group"
+            ).set_total(info["members"])
+            reg.gauge(
+                "coalesce_pending", "Requests waiting in the coalescer right now"
+            ).set(info["pending"])
+        if self.ingest is not None:
+            counters = dict(self.ingest.counters)
+            reg.counter("wal_appends_total", "WAL append batches").set_total(
+                counters.get("appends", 0)
+            )
+            reg.counter("wal_events_total", "WAL events appended").set_total(
+                counters.get("events", 0)
+            )
+            reg.counter(
+                "wal_compactions_total", "Compaction folds completed"
+            ).set_total(counters.get("compactions", 0))
+            reg.counter(
+                "wal_records_folded_total", "WAL records folded into snapshots"
+            ).set_total(counters.get("records_folded", 0))
+            reg.counter(
+                "wal_checkpoints_total", "Checkpoints written"
+            ).set_total(counters.get("checkpoints", 0))
+            reg.counter(
+                "wal_log_full_total", "Upserts rejected because the log was full"
+            ).set_total(counters.get("log_full_rejections", 0))
+            log = self.ingest.log
+            reg.counter("wal_fsyncs_total", "WAL fsync calls").set_total(
+                getattr(log, "fsyncs", 0)
+            )
+            reg.counter(
+                "wal_fsynced_bytes_total", "Bytes written to the WAL before fsync"
+            ).set_total(getattr(log, "fsynced_bytes", 0))
+            reg.gauge("wal_log_bytes", "Live WAL size in bytes").set(
+                log.size_bytes
+            )
+            fresh = self.ingest.freshness()
+            reg.gauge("ingest_lsn_durable", "Highest fsync-acked LSN").set(
+                fresh["lsn_durable"]
+            )
+            reg.gauge("ingest_lsn_served", "Highest LSN visible to queries").set(
+                fresh["lsn_served"]
+            )
+            reg.gauge(
+                "ingest_freshness_lag", "lsn_durable - lsn_served"
+            ).set(fresh["lag"])
+        if self.compactor is not None:
+            timings = getattr(self.compactor, "timings", None)
+            if timings:
+                reg.counter(
+                    "compactor_fold_seconds_total", "Time spent folding WAL deltas"
+                ).set_total(timings.get("fold_seconds", 0.0))
+                reg.counter(
+                    "compactor_publish_seconds_total",
+                    "Time spent publishing folded versions",
+                ).set_total(timings.get("publish_seconds", 0.0))
+                reg.counter(
+                    "compactor_publishes_total", "Versions published by the compactor"
+                ).set_total(timings.get("publishes", 0))
+            reg.gauge(
+                "compactor_alive", "1 while the compactor thread is running"
+            ).set(1.0 if self.compactor.is_alive() else 0.0)
+
+    def _finish_trace(self, trace, path: str, status, duration_s: float) -> None:
+        """Seal a request trace: counters, ring buffer, slow-query log."""
+        trace.finish(status if status is not None else 0)
+        self._m_requests.inc(endpoint=path)
+        self._m_latency.observe(duration_s, endpoint=path)
+        entry = trace.as_dict()
+        self.trace_buffer.add(entry)
+        if self.slow_query_ms > 0 and duration_s * 1e3 >= self.slow_query_ms:
+            self._m_slow.inc(endpoint=path)
+            stream = self._slow_log if self._slow_log is not None else sys.stderr
+            line = json.dumps(
+                {
+                    "slow_query": {
+                        **entry,
+                        "threshold_ms": self.slow_query_ms,
+                    }
+                },
+                separators=(",", ":"),
+                default=str,
+            )
+            try:
+                print(line, file=stream, flush=True)
+            except (OSError, ValueError):
+                pass  # a closed log stream must not fail the request
+
+    def prometheus_text(self) -> str:
+        """Render this server's registry as Prometheus text exposition."""
+        if self.registry is None:
+            raise ApiError(
+                406, "not_acceptable",
+                "observability is disabled on this server (obs=False)",
+            )
+        return self.registry.render_text()
 
     # -- endpoint handlers ---------------------------------------------
     # Each returns (status, payload-dict); ApiError propagates to the
@@ -408,7 +616,23 @@ class EmbeddingServer:
                     "last_error": self.compactor.last_error,
                 }
             payload["ingest"] = ingest
+        if target.registry is not None:
+            # The sum-mergeable view: the same families the Prometheus
+            # exposition renders, as JSON, so a supervisor can merge
+            # worker cells exactly (obs.metrics.merge_dicts).
+            payload["registry"] = target.registry.as_dict()
         return 200, json_safe(payload)
+
+    def handle_traces(self, _body: dict) -> tuple[int, dict]:
+        target = self.stats_for or self
+        if target.trace_buffer is None:
+            return 200, {"enabled": False, "total": 0, "traces": []}
+        return 200, {
+            "enabled": True,
+            "capacity": target.trace_buffer.capacity,
+            "total": target.trace_buffer.total_added,
+            "traces": target.trace_buffer.snapshot(),
+        }
 
     def handle_topk(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
         protocol.reject_unknown_fields(body, ("node", "k", "nprobe"))
@@ -427,7 +651,8 @@ class EmbeddingServer:
                 )
             )
         else:
-            view = self.service.pin()
+            with trace_span("pin"):
+                view = self.service.pin()
             result = _translate_errors(lambda: view.top_k(node, k, nprobe=nprobe))
         return 200, protocol.ResultPayload(result)
 
@@ -442,7 +667,8 @@ class EmbeddingServer:
             raise ApiError(
                 400, "invalid_request", "field 'nodes' must be non-negative"
             )
-        view = self.service.pin()
+        with trace_span("pin"):
+            view = self.service.pin()
         result = _translate_errors(
             lambda: view.batch_top_k(nodes, k, nprobe=nprobe)
         )
@@ -455,7 +681,8 @@ class EmbeddingServer:
         )
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
         nprobe = protocol.require_int(body, "nprobe", minimum=1)
-        view = self.service.pin()
+        with trace_span("pin"):
+            view = self.service.pin()
         result = _translate_errors(
             lambda: view.similar_by_vector(
                 np.asarray(vector, dtype=np.float64), k, nprobe=nprobe
@@ -607,7 +834,8 @@ def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
         )
     delta = _delta_from_body(body)
     try:
-        first, last = ingest.append(delta)
+        with trace_span("append"):
+            first, last = ingest.append(delta)
     except ValueError as error:
         raise ApiError(400, "invalid_request", f"upsert rejected: {error}")
     except LogFull as error:
@@ -625,7 +853,9 @@ def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
     except LogWriteError as error:
         raise ApiError(503, "wal_write_failed", str(error))
     # The ack: these LSNs are fsync'd — a crash from here on loses
-    # nothing the client was told about.
+    # nothing the client was told about.  The trace records the acked
+    # LSN range so `/debug/traces` ties a request id to durable state.
+    obs_trace.annotate(first_lsn=first, lsn=last)
     return 200, json_safe(
         {
             "first_lsn": first,
@@ -696,6 +926,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            # Every response — success, error, even the draining 503 —
+            # echoes the request id so clients and operators can join
+            # logs, traces, and retries on one key.
+            self.send_header(protocol.REQUEST_ID_HEADER, request_id)
+        self._status_sent = status
         if self.owner.draining or self.close_connection:
             # Tear the connection down once the response is out: while
             # draining a reused connection would only see more 503s, and
@@ -853,6 +1090,7 @@ class _Handler(BaseHTTPRequestHandler):
         protocol.HEALTHZ: EmbeddingServer.handle_healthz,
         protocol.DESCRIBE: EmbeddingServer.handle_describe,
         protocol.METRICS: EmbeddingServer.handle_metrics,
+        protocol.TRACES: EmbeddingServer.handle_traces,
     }
     _POST_ROUTES = {
         protocol.TOPK: EmbeddingServer.handle_topk,
@@ -883,12 +1121,14 @@ class _Handler(BaseHTTPRequestHandler):
         # and /metrics error counts do not depend on the verb used.
         owner = self.owner
         self.close_connection = True
+        self._assign_request_id()
         if not owner._enter_request():
             self._safe_send(
                 503,
                 ApiError(
                     503, "draining",
                     "server is draining; retry against another replica",
+                    request_id=self._request_id,
                 ).body(),
             )
             return
@@ -899,6 +1139,7 @@ class _Handler(BaseHTTPRequestHandler):
                 ApiError(
                     405, "method_not_allowed",
                     f"{self.command} is not supported by this API",
+                    request_id=self._request_id,
                 ).body(),
             )
         finally:
@@ -906,13 +1147,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     do_PUT = do_DELETE = do_PATCH = do_OPTIONS = _unsupported_method
 
+    def _assign_request_id(self) -> str:
+        """Adopt the caller's ``X-Request-Id`` or mint one."""
+        supplied = obs_trace.clean_request_id(
+            self.headers.get(protocol.REQUEST_ID_HEADER)
+        )
+        self._request_id = supplied or obs_trace.new_request_id()
+        return self._request_id
+
+    def _accepts_prometheus(self) -> bool:
+        """Did ``GET /metrics`` ask for the text exposition format?"""
+        accept = self.headers.get("Accept") or ""
+        return "text/plain" in accept
+
     def _dispatch(self, routes: dict, other_method_routes: dict) -> None:
         owner = self.owner
         path = urlsplit(self.path).path
+        request_id = self._assign_request_id()
         if not owner._enter_request():
             body = ApiError(
                 503, "draining",
                 "server is draining; retry against another replica",
+                request_id=request_id,
             ).body()
             if path == protocol.HEALTHZ and self.command == "GET":
                 # Health probes still get the documented body shape (with
@@ -926,6 +1182,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._safe_send(503, body)
             return
         start = time.perf_counter()
+        # Tracing: only the server that owns the observability surfaces
+        # traces its requests (an admin side-channel sharing them via
+        # stats_for exposes them without polluting them with probes).
+        trace = None
+        token = None
+        if owner._trace_enabled:
+            trace = obs_trace.Trace(request_id, path, method=self.command)
+            token = obs_trace.set_current(trace)
+        self._status_sent = None
         try:
             try:
                 if owner.faults is not None and path in protocol.DATA_ENDPOINTS:
@@ -937,7 +1202,10 @@ class _Handler(BaseHTTPRequestHandler):
                 # Consume the declared body before any routing decision:
                 # a 404/405 sent with the body still unread would leave
                 # its bytes to be parsed as the next keep-alive request.
-                raw = self._read_body()
+                with trace_span("parse") as parse_span:
+                    raw = self._read_body()
+                    if parse_span is not None:
+                        parse_span.meta["bytes"] = len(raw)
                 self._check_deadline(path, start)
                 route = routes.get(path)
                 if route is None:
@@ -949,10 +1217,28 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ApiError(
                         404, "unknown_endpoint", f"no endpoint at {path!r}"
                     )
-                status, payload = route(owner, self._parse_body(raw, path))
-                self._safe_send(status, payload)
+                if (
+                    path == protocol.METRICS
+                    and self.command in ("GET", "HEAD")
+                    and (owner.stats_for or owner).registry is not None
+                    and self._accepts_prometheus()
+                ):
+                    # Content negotiation: Accept: text/plain turns the
+                    # JSON metrics document into Prometheus exposition.
+                    text = (owner.stats_for or owner).prometheus_text()
+                    with trace_span("serialize"):
+                        self._send_bytes(
+                            200,
+                            text.encode("utf-8"),
+                            obs_metrics.TEXT_CONTENT_TYPE,
+                        )
+                else:
+                    status, payload = route(owner, self._parse_body(raw, path))
+                    with trace_span("serialize"):
+                        self._safe_send(status, payload)
             except ApiError as error:
                 owner._count_error(error.code)
+                error.request_id = request_id
                 self._safe_send(error.status, error.body())
             except (BrokenPipeError, ConnectionResetError):
                 pass  # client went away mid-request; nothing left to read
@@ -968,11 +1254,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._safe_send(
                     500,
                     ApiError(
-                        500, "internal", f"{type(error).__name__}: {error}"
+                        500, "internal", f"{type(error).__name__}: {error}",
+                        request_id=request_id,
                     ).body(),
                 )
         finally:
+            duration_s = time.perf_counter() - start
             stats = owner.endpoint_stats.get(path)
             if stats is not None:
-                stats.record(time.perf_counter() - start, cached=False)
+                stats.record(duration_s, cached=False)
+            if trace is not None:
+                obs_trace.reset_current(token)
+                owner._finish_trace(trace, path, self._status_sent, duration_s)
             owner._exit_request()

@@ -67,6 +67,9 @@ from urllib.parse import urlsplit
 from repro.serving.http import protocol
 from repro.serving.http.client import ServingClient
 from repro.serving.http.protocol import ApiError
+from repro.serving.obs import metrics as obs_metrics
+from repro.serving.obs.journal import EventJournal
+from repro.serving.obs.metrics import MetricsRegistry, merge_dicts
 
 WORKER_SPEC_ENV = "REPRO_WORKER_SPEC"
 
@@ -102,6 +105,9 @@ class SupervisorConfig:
     select_dtype: str = "float64"
     drain_timeout_s: float = 10.0
     log_requests: bool = False
+    # Requests slower than this (milliseconds) are logged as structured
+    # JSON slow-query lines on the worker's stderr; 0 disables.
+    slow_query_ms: float = 0.0
     # -- write path (parent-owned WAL + compactor) ---------------------
     # Workers serve reads off the shared socket; the supervisor process
     # owns the delta log and the compactor, accepts POST /v1/upsert on
@@ -187,6 +193,7 @@ def worker_main(environ=None) -> int:
             log=bool(spec.get("log_requests", False)),
             worker_id=worker_id,
             faults=faults,
+            slow_query_ms=float(spec.get("slow_query_ms", 0.0)),
         )
         # The shared listen socket must be non-blocking under pre-fork:
         # a new connection wakes every worker's selector, but only one
@@ -245,6 +252,26 @@ class _WorkerSlot:
         self.last_probe = 0.0
         self.restarts = 0
         self.last_exit: str | None = None
+        self.last_version: str | None = None  # from the last healthz probe
+        # Fleet-monotonic metric fan-in: `registry_last` is the current
+        # incarnation's registry as of its last scrape; on death it folds
+        # into `registry_retired` so restart cannot make an aggregate
+        # counter go backwards (it is exact as-of the last scrape — the
+        # growth between that scrape and the crash dies with the worker).
+        self.registry_last: dict | None = None
+        self.registry_retired: dict | None = None
+
+    def fold_registry(self) -> None:
+        """Retire the dead incarnation's last-scraped registry snapshot."""
+        if self.registry_last is None:
+            return
+        if self.registry_retired is None:
+            self.registry_retired = self.registry_last
+        else:
+            self.registry_retired = merge_dicts(
+                [self.registry_retired, self.registry_last]
+            )
+        self.registry_last = None
 
 
 class Supervisor:
@@ -266,6 +293,8 @@ class Supervisor:
         ]
         self._lock = threading.RLock()
         self._stop = threading.Event()
+        self._shutdown_logged = False
+        self._stop_logged = False
         self._failed: str | None = None
         self._listen: socket.socket | None = None
         self._admin_httpd: ThreadingHTTPServer | None = None
@@ -276,6 +305,13 @@ class Supervisor:
         # process owns the log + compactor; workers only ever read.
         self.pipeline = None
         self.compactor = None
+        # Ops journal under the store root: worker lifecycle, breaker
+        # trips, publishes/checkpoints/GC (via the compactor), drains.
+        self.journal = EventJournal(config.store)
+        # The supervisor's own registry (restart counts, fleet liveness,
+        # WAL state); worker registries merge with it at scrape time.
+        self.registry = MetricsRegistry()
+        self.registry.add_collect(self._collect_supervisor_metrics)
 
     # -- addresses -----------------------------------------------------
     @property
@@ -320,8 +356,15 @@ class Supervisor:
                 interval_s=config.compact_interval_s,
                 keep_versions=config.gc_keep,
                 on_publish=self._poke_workers,
+                journal=self.journal,
             )
             self.compactor.start()
+        self.journal.emit(
+            "supervisor_start",
+            n_workers=config.n_workers,
+            url=self.url,
+            wal=config.wal_dir is not None,
+        )
         for slot in self._slots:
             self._spawn(slot)
         self._admin_httpd = ThreadingHTTPServer(
@@ -360,6 +403,11 @@ class Supervisor:
     def shutdown(self) -> None:
         """Rolling drain: SIGTERM workers one at a time, then tear down."""
         self._stop.set()
+        if not self._shutdown_logged:
+            self._shutdown_logged = True
+            self.journal.emit(
+                "drain", reason=self._failed or "shutdown requested"
+            )
         # Quiesce the write path first so no new version lands (and no
         # worker gets poked) mid-drain; the log itself closes last.
         if self.compactor is not None:
@@ -396,6 +444,9 @@ class Supervisor:
         if self.pipeline is not None:
             self.pipeline.close()
             self.pipeline = None
+        if not self._stop_logged:
+            self._stop_logged = True
+            self.journal.emit("supervisor_stop", failed=self._failed)
 
     def __enter__(self) -> "Supervisor":
         return self.start()
@@ -418,6 +469,7 @@ class Supervisor:
             "select_dtype": config.select_dtype,
             "drain_timeout_s": config.drain_timeout_s,
             "log_requests": config.log_requests,
+            "slow_query_ms": config.slow_query_ms,
         }
 
     def _spawn(self, slot: _WorkerSlot) -> bool:
@@ -474,6 +526,8 @@ class Supervisor:
                 slot,
                 f"worker {slot.worker_id} failed to boot "
                 f"(exit {handle.process.returncode})",
+                pid=handle.process.pid,
+                exit_code=handle.process.returncode,
             )
             return False
         handle.client = ServingClient(
@@ -486,6 +540,12 @@ class Supervisor:
             slot.handle = handle
             slot.health_failures = 0
             slot.last_probe = time.monotonic()
+        self.journal.emit(
+            "worker_start",
+            worker=slot.worker_id,
+            worker_pid=handle.process.pid,
+            admin=handle.admin_url,
+        )
         return True
 
     def _read_worker_output(self, handle: _WorkerHandle, worker_id: int) -> None:
@@ -506,10 +566,28 @@ class Supervisor:
         if handle.reader is not None:
             handle.reader.join(timeout=5.0)
 
-    def _register_death(self, slot: _WorkerSlot, reason: str) -> None:
+    def _register_death(
+        self,
+        slot: _WorkerSlot,
+        reason: str,
+        *,
+        pid: int | None = None,
+        exit_code: int | None = None,
+    ) -> None:
         """Record a death; schedule backoff respawn or trip the breaker."""
         now = time.monotonic()
         slot.last_exit = reason
+        with self._lock:
+            # The dead incarnation's counters fold into the slot's
+            # retired pile so the fleet aggregate stays monotonic.
+            slot.fold_registry()
+        self.journal.emit(
+            "worker_exit",
+            worker=slot.worker_id,
+            worker_pid=pid,
+            exit=exit_code,
+            reason=reason,
+        )
         slot.restart_times.append(now)
         window = self.config.restart_window_s
         while slot.restart_times and now - slot.restart_times[0] > window:
@@ -519,6 +597,9 @@ class Supervisor:
                 f"crash loop: worker {slot.worker_id} needed "
                 f"{len(slot.restart_times)} restarts inside {window:.0f}s "
                 f"(last: {reason}); giving up"
+            )
+            self.journal.emit(
+                "breaker_trip", worker=slot.worker_id, reason=self._failed
             )
             self._stop.set()
             return
@@ -537,15 +618,25 @@ class Supervisor:
                     if time.monotonic() >= slot.not_before:
                         slot.restarts += 1
                         self.restarts_total += 1
+                        self.journal.emit(
+                            "worker_restart",
+                            worker=slot.worker_id,
+                            restarts=slot.restarts,
+                            last_exit=slot.last_exit,
+                        )
                         self._spawn(slot)
                     continue
                 if not handle.alive():
                     code = handle.process.returncode
+                    pid = handle.process.pid
                     self._reap(handle)
                     with self._lock:
                         slot.handle = None
                     self._register_death(
-                        slot, f"worker {slot.worker_id} exited with code {code}"
+                        slot,
+                        f"worker {slot.worker_id} exited with code {code}",
+                        pid=pid,
+                        exit_code=code,
                     )
                     continue
                 now = time.monotonic()
@@ -553,7 +644,7 @@ class Supervisor:
                     continue
                 slot.last_probe = now
                 try:
-                    handle.client.healthz()
+                    probe = handle.client.healthz()
                 except Exception:
                     slot.health_failures += 1
                     if slot.health_failures >= config.hang_checks:
@@ -569,9 +660,12 @@ class Supervisor:
                             slot,
                             f"worker {slot.worker_id} hung "
                             f"({slot.health_failures} failed probes)",
+                            pid=handle.process.pid,
+                            exit_code=handle.process.returncode,
                         )
                 else:
                     slot.health_failures = 0
+                    slot.last_version = probe.get("version")
                     # A worker answering health checks is not crash-looping:
                     # let the next incident start from a fresh backoff.
                     slot.backoff_s = config.backoff_base_s
@@ -624,6 +718,113 @@ class Supervisor:
     def _worker_views(self) -> list[tuple[_WorkerSlot, _WorkerHandle | None]]:
         with self._lock:
             return [(slot, slot.handle) for slot in self._slots]
+
+    def _collect_supervisor_metrics(self) -> None:
+        """Scrape-time mirror of supervision + write-path state."""
+        reg = self.registry
+        reg.counter(
+            "supervisor_restarts_total", "Worker restarts performed"
+        ).set_total(self.restarts_total)
+        views = self._worker_views()
+        live = sum(
+            1 for _, handle in views if handle is not None and handle.alive()
+        )
+        reg.gauge("supervisor_workers_live", "Live worker processes").set(live)
+        reg.gauge(
+            "supervisor_workers_configured", "Configured worker slots"
+        ).set(len(self._slots))
+        versions = {
+            slot.last_version
+            for slot, handle in views
+            if handle is not None and handle.alive() and slot.last_version
+        }
+        reg.gauge(
+            "supervisor_version_skew",
+            "1 while live workers serve different store versions",
+        ).set(1.0 if len(versions) > 1 else 0.0)
+        reg.gauge(
+            "supervisor_breaker_tripped", "1 after the crash-loop breaker fired"
+        ).set(1.0 if self._failed is not None else 0.0)
+        if self.pipeline is not None:
+            counters = dict(self.pipeline.counters)
+            reg.counter("wal_appends_total", "WAL append batches").set_total(
+                counters.get("appends", 0)
+            )
+            reg.counter("wal_events_total", "WAL events appended").set_total(
+                counters.get("events", 0)
+            )
+            reg.counter(
+                "wal_compactions_total", "Compaction folds completed"
+            ).set_total(counters.get("compactions", 0))
+            reg.counter(
+                "wal_records_folded_total", "WAL records folded into snapshots"
+            ).set_total(counters.get("records_folded", 0))
+            reg.counter(
+                "wal_checkpoints_total", "Checkpoints written"
+            ).set_total(counters.get("checkpoints", 0))
+            reg.counter(
+                "wal_log_full_total", "Upserts rejected because the log was full"
+            ).set_total(counters.get("log_full_rejections", 0))
+            log = self.pipeline.log
+            reg.counter("wal_fsyncs_total", "WAL fsync calls").set_total(
+                log.fsyncs
+            )
+            reg.counter(
+                "wal_fsynced_bytes_total", "Bytes written to the WAL before fsync"
+            ).set_total(log.fsynced_bytes)
+            reg.gauge("wal_log_bytes", "Live WAL size in bytes").set(
+                log.size_bytes
+            )
+            served = [
+                self._version_applied_lsn(slot.last_version)
+                for slot, handle in views
+                if handle is not None and handle.alive() and slot.last_version
+            ]
+            lsn_served = min(served) if served else 0
+            durable = self.pipeline.lsn_durable
+            reg.gauge("ingest_lsn_durable", "Highest fsync-acked LSN").set(
+                durable
+            )
+            reg.gauge(
+                "ingest_lsn_served",
+                "Highest LSN every live worker is guaranteed to serve",
+            ).set(lsn_served)
+            reg.gauge(
+                "ingest_freshness_lag", "lsn_durable - fleet lsn_served"
+            ).set(durable - lsn_served)
+            if self.compactor is not None:
+                timings = self.compactor.timings
+                reg.counter(
+                    "compactor_fold_seconds_total", "Time spent folding WAL deltas"
+                ).set_total(timings["fold_seconds"])
+                reg.counter(
+                    "compactor_publish_seconds_total",
+                    "Time spent publishing folded versions",
+                ).set_total(timings["publish_seconds"])
+                reg.counter(
+                    "compactor_publishes_total",
+                    "Versions published by the compactor",
+                ).set_total(timings["publishes"])
+
+    def registry_snapshot(self) -> dict:
+        """The fleet registry: supervisor families + every worker's cells.
+
+        Retired (dead-incarnation) snapshots merge with the live workers'
+        last-scraped snapshots, so counters are monotonic across worker
+        restarts; cells with identical labels sum exactly.
+        """
+        parts = [self.registry.as_dict()]
+        with self._lock:
+            for slot in self._slots:
+                if slot.registry_retired is not None:
+                    parts.append(slot.registry_retired)
+                if slot.registry_last is not None:
+                    parts.append(slot.registry_last)
+        return merge_dicts(parts)
+
+    def prometheus_text(self) -> str:
+        """The fleet registry rendered as Prometheus text exposition."""
+        return obs_metrics.render_text_from_dict(self.registry_snapshot())
 
     def aggregate_healthz(self) -> tuple[int, dict]:
         workers = []
@@ -736,6 +937,10 @@ class Supervisor:
             except Exception:
                 continue
             per_worker[str(slot.worker_id)] = metrics
+            registry = metrics.get("registry")
+            if isinstance(registry, dict):
+                with self._lock:
+                    slot.registry_last = registry
             server = metrics.get("server", {})
             in_flight += int(server.get("in_flight", 0))
             for code, count in (server.get("errors") or {}).items():
@@ -781,11 +986,12 @@ class Supervisor:
                     "last_error": self.compactor.last_error,
                 }
             payload["ingest"] = ingest
+        payload["registry"] = self.registry_snapshot()
         return 200, payload
 
 
 class _SupervisorAdminHandler(BaseHTTPRequestHandler):
-    """The supervisor's own tiny admin surface (JSON only)."""
+    """The supervisor's own tiny admin surface (JSON by default)."""
 
     protocol_version = "HTTP/1.1"
     timeout = 30
@@ -800,6 +1006,12 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
             if path == protocol.HEALTHZ:
                 status, payload = supervisor.aggregate_healthz()
             elif path == protocol.METRICS:
+                if "text/plain" in (self.headers.get("Accept") or ""):
+                    # Prometheus scrape: fan in the worker registries
+                    # first so the fleet snapshot is as of this scrape.
+                    supervisor.aggregate_metrics()
+                    self._respond_text(200, supervisor.prometheus_text())
+                    return
                 status, payload = supervisor.aggregate_metrics()
             elif path == protocol.DESCRIBE:
                 status, payload = supervisor.aggregate_describe()
@@ -848,9 +1060,15 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict) -> None:
         body = protocol.dump_json(payload)
+        self._send(status, body, protocol.JSON_CONTENT_TYPE)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        self._send(status, text.encode("utf-8"), obs_metrics.TEXT_CONTENT_TYPE)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", protocol.JSON_CONTENT_TYPE)
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

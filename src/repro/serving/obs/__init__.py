@@ -1,0 +1,65 @@
+"""Observability: request tracing, a metrics registry, an ops journal.
+
+Three pillars, one package, zero dependencies beyond the stdlib:
+
+- :mod:`~repro.serving.obs.trace` — per-request :class:`Trace`/
+  :class:`Span` contexts keyed by ``X-Request-Id``, propagated via a
+  context variable so every layer annotates the right request, plus the
+  :class:`TraceBuffer` behind ``GET /debug/traces``;
+- :mod:`~repro.serving.obs.metrics` — :class:`MetricsRegistry` with
+  counters, gauges, and fixed-bucket histograms whose cells are all
+  sum-mergeable across a worker fleet, rendered as JSON or Prometheus
+  text exposition;
+- :mod:`~repro.serving.obs.journal` — the append-only JSONL
+  :class:`EventJournal` (``<root>/events.jsonl``) recording publishes,
+  checkpoints, GC, worker lifecycle, fsck repairs, and drains, read by
+  ``repro events`` / ``repro stat``.
+"""
+
+from repro.serving.obs.journal import (
+    EventJournal,
+    follow_events,
+    read_events,
+    summarize_events,
+)
+from repro.serving.obs.metrics import (
+    LATENCY_BUCKETS,
+    TEXT_CONTENT_TYPE,
+    MetricsRegistry,
+    merge_dicts,
+    parse_text,
+    render_text_from_dict,
+)
+from repro.serving.obs.trace import (
+    MAX_REQUEST_ID_CHARS,
+    REQUEST_ID_HEADER,
+    Trace,
+    TraceBuffer,
+    annotate,
+    clean_request_id,
+    current_trace,
+    new_request_id,
+    trace_span,
+)
+
+__all__ = [
+    "EventJournal",
+    "follow_events",
+    "read_events",
+    "summarize_events",
+    "LATENCY_BUCKETS",
+    "TEXT_CONTENT_TYPE",
+    "MetricsRegistry",
+    "merge_dicts",
+    "parse_text",
+    "render_text_from_dict",
+    "MAX_REQUEST_ID_CHARS",
+    "REQUEST_ID_HEADER",
+    "Trace",
+    "TraceBuffer",
+    "annotate",
+    "clean_request_id",
+    "current_trace",
+    "new_request_id",
+    "trace_span",
+]

@@ -1,0 +1,236 @@
+"""An append-only JSONL ops journal: what the system *did*, and when.
+
+The serving tier's control-plane actions — version publishes,
+checkpoints, GC sweeps, worker starts/exits/restarts, breaker trips,
+fsck repairs, drains — currently leave at best an unstructured stdout
+line in whichever process performed them.  The journal gives them one
+durable, greppable home: ``<root>/events.jsonl``, one JSON object per
+line, each stamped with a wall-clock timestamp, the emitting pid, and
+whatever identifies the action (version, LSN, worker slot, exit code).
+
+Design constraints, in order:
+
+- **Never take the serving path down.**  ``emit`` swallows I/O errors
+  (counting drops) — a full disk must degrade observability, not
+  availability.
+- **Multi-process safe appends.**  Every emit is one ``write`` on an
+  ``O_APPEND`` descriptor opened per call; POSIX keeps concurrent
+  appends of a line-sized write intact, so the supervisor, a worker,
+  and an offline ``repro fsck`` can share one journal.
+- **Size-capped.**  When the live file would exceed ``max_bytes`` it
+  rotates (``events.jsonl`` → ``events.jsonl.1`` → …), keeping ``keep``
+  rotated generations.  Rotation is best-effort under concurrency: two
+  writers racing a rotation can at worst rotate twice, never lose a
+  line that was already written.
+
+Readers: :func:`read_events` replays rotated-then-live history with
+kind/time filters; :func:`follow_events` tails the live file (surviving
+rotation) for ``repro events --follow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+JOURNAL_NAME = "events.jsonl"
+DEFAULT_MAX_BYTES = 4 << 20
+DEFAULT_KEEP = 2
+
+
+class EventJournal:
+    """Appends structured events under one root directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        keep: int = DEFAULT_KEEP,
+    ) -> None:
+        if max_bytes < 4096:
+            raise ValueError(f"max_bytes must be >= 4096, got {max_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.path = self.root / JOURNAL_NAME
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Durably append one event; returns the event dict.
+
+        The event always carries ``ts`` (unix seconds), ``kind`` and
+        ``pid``; callers add the identifying fields (``version``,
+        ``lsn``, ``worker``, ``exit``, ...).  I/O failures are swallowed
+        and counted in :attr:`dropped` — the journal must never be the
+        reason a request or a restart fails.
+        """
+        event = {"ts": round(time.time(), 6), "kind": kind, "pid": os.getpid()}
+        event.update(fields)
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        data = line.encode("utf-8")
+        try:
+            with self._lock:
+                self.root.mkdir(parents=True, exist_ok=True)
+                self._maybe_rotate(len(data))
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+        except OSError:
+            self.dropped += 1
+        return event
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        oldest = self.path.with_name(f"{JOURNAL_NAME}.{self.keep}")
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.keep - 1, 0, -1):
+            source = self.path.with_name(f"{JOURNAL_NAME}.{index}")
+            if source.exists():
+                os.replace(source, self.path.with_name(f"{JOURNAL_NAME}.{index + 1}"))
+        os.replace(self.path, self.path.with_name(f"{JOURNAL_NAME}.1"))
+
+
+def journal_paths(root: str | Path) -> list[Path]:
+    """Journal files under ``root``, oldest first (rotated then live)."""
+    root = Path(root)
+    live = root / JOURNAL_NAME
+    rotated = sorted(
+        (
+            path
+            for path in root.glob(f"{JOURNAL_NAME}.*")
+            if path.suffix[1:].isdigit()
+        ),
+        key=lambda path: int(path.suffix[1:]),
+        reverse=True,  # .2 is older than .1
+    )
+    return [*rotated, *([live] if live.exists() else [])]
+
+
+def _matches(event: dict, kinds, since) -> bool:
+    if kinds is not None and event.get("kind") not in kinds:
+        return False
+    if since is not None and event.get("ts", 0) < since:
+        return False
+    return True
+
+
+def _parse_lines(lines, kinds, since):
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn final line from a crashed writer
+        if isinstance(event, dict) and _matches(event, kinds, since):
+            yield event
+
+
+def read_events(
+    root: str | Path,
+    *,
+    kinds=None,
+    since: float | None = None,
+):
+    """Yield journal events under ``root``, oldest first.
+
+    ``kinds`` filters by event kind (any iterable of strings);
+    ``since`` is a unix timestamp lower bound.
+    """
+    kinds = frozenset(kinds) if kinds is not None else None
+    for path in journal_paths(root):
+        try:
+            with path.open("r", encoding="utf-8", errors="replace") as handle:
+                yield from _parse_lines(handle, kinds, since)
+        except OSError:
+            continue
+
+
+def follow_events(
+    root: str | Path,
+    *,
+    kinds=None,
+    since: float | None = None,
+    stop: "threading.Event | None" = None,
+    poll_s: float = 0.2,
+    replay: bool = True,
+):
+    """Tail the journal: replay history (optional), then stream new events.
+
+    Runs until ``stop`` is set (never, when ``stop`` is ``None`` —
+    ``repro events --follow`` relies on Ctrl-C).  Rotation mid-follow is
+    handled by watching the live file's identity and size: when the file
+    shrinks or is replaced, the reader reopens from the start of the new
+    live file (rotated-away bytes were already streamed).
+    """
+    kinds = frozenset(kinds) if kinds is not None else None
+    root = Path(root)
+    live = root / JOURNAL_NAME
+    if replay:
+        yield from read_events(root, kinds=kinds, since=since)
+    offset = live.stat().st_size if live.exists() else 0
+    buffer = ""
+    while stop is None or not stop.is_set():
+        try:
+            size = live.stat().st_size
+        except FileNotFoundError:
+            size = 0
+        if size < offset:
+            offset = 0  # rotated or truncated: start of the new live file
+        if size > offset:
+            with live.open("r", encoding="utf-8", errors="replace") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            buffer += chunk
+            *complete, buffer = buffer.split("\n")
+            yield from _parse_lines(complete, kinds, since)
+        else:
+            if stop is not None and stop.wait(poll_s):
+                break
+            if stop is None:
+                time.sleep(poll_s)
+
+
+def summarize_events(root: str | Path) -> dict:
+    """A one-shot roll-up for ``repro stat``: counts and last-seen per kind."""
+    counts: dict[str, int] = {}
+    last: dict[str, dict] = {}
+    first_ts = None
+    last_ts = None
+    total = 0
+    for event in read_events(root):
+        total += 1
+        kind = event.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+        last[kind] = event
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+    return {
+        "events": total,
+        "kinds": counts,
+        "last_by_kind": last,
+        "first_ts": first_ts,
+        "last_ts": last_ts,
+        "files": [str(path) for path in journal_paths(root)],
+    }

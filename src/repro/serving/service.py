@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.parallel.pool import WorkerPool
 from repro.search.knn import normalize_rows, top_k_sorted_indices
+from repro.serving.obs.trace import current_trace, trace_span
 from repro.serving.index import (
     ExactBackend,
     IVFIndex,
@@ -359,7 +360,10 @@ class QueryService:
             self.stats.record(latency, cached=True)
             return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
         if batcher is not None:
-            result = batcher.submit(int(node), int(k), nprobe)
+            with trace_span("coalesce_wait") as span:
+                result = batcher.submit(int(node), int(k), nprobe)
+                if span is not None and result.group is not None:
+                    span.meta["group"] = result.group
             # The caller's latency includes the coalescing window it slept
             # out, not just its share of the backend batch — report what the
             # client actually experienced or batch_window_s tuning is blind.
@@ -378,7 +382,10 @@ class QueryService:
     ) -> QueryResult:
         """Single-node top-k against an explicit snapshot (no batcher)."""
         query = np.asarray(active.stored.features[node], dtype=np.float64)
-        ids, scores = _search(active.backend, query[np.newaxis], k, np.array([node]), nprobe)
+        with trace_span("select", version=active.version):
+            ids, scores = _search(
+                active.backend, query[np.newaxis], k, np.array([node]), nprobe
+            )
         self._cache_put(_node_key(active.version, node, k, nprobe), ids[0], scores[0])
         latency = time.perf_counter() - start
         self.stats.record(latency)
@@ -409,25 +416,26 @@ class QueryService:
         for node in (int(nodes.min()), int(nodes.max())):
             self._check_node(active, node)
 
-        if isinstance(active.backend, ShardRouter):
-            # The router owns the fan-out: one scatter task per shard on
-            # this service's pool.  Wrapping its calls in pool tasks here
-            # would have the scatter wait on workers occupied by its own
-            # callers — parallelism across shards replaces parallelism
-            # across query chunks.
-            queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
-            ids, scores = _search(active.backend, queries, k, nodes, nprobe)
-        else:
-            n_chunks = min(self.pool.n_threads, nodes.size)
-            chunks = np.array_split(nodes, n_chunks)
+        with trace_span("select", version=active.version, batch=int(nodes.size)):
+            if isinstance(active.backend, ShardRouter):
+                # The router owns the fan-out: one scatter task per shard on
+                # this service's pool.  Wrapping its calls in pool tasks here
+                # would have the scatter wait on workers occupied by its own
+                # callers — parallelism across shards replaces parallelism
+                # across query chunks.
+                queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
+                ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+            else:
+                n_chunks = min(self.pool.n_threads, nodes.size)
+                chunks = np.array_split(nodes, n_chunks)
 
-            def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-                queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
-                return _search(active.backend, queries, k, chunk, nprobe)
+                def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+                    queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
+                    return _search(active.backend, queries, k, chunk, nprobe)
 
-            parts = self.pool.run_blocks(work, chunks)
-            ids = np.vstack([part[0] for part in parts])
-            scores = np.vstack([part[1] for part in parts])
+                parts = self.pool.run_blocks(work, chunks)
+                ids = np.vstack([part[0] for part in parts])
+                scores = np.vstack([part[1] for part in parts])
         for row, node in enumerate(nodes):
             self._cache_put(
                 _node_key(active.version, node, k, nprobe), ids[row], scores[row]
@@ -456,7 +464,8 @@ class QueryService:
                 f"query vector has dim {vector.shape[0]}, expected {active.backend.dim}"
             )
         query = normalize_rows(vector[np.newaxis])[0]
-        ids, scores = _search(active.backend, query[np.newaxis], k, None, nprobe)
+        with trace_span("select", version=active.version):
+            ids, scores = _search(active.backend, query[np.newaxis], k, None, nprobe)
         latency = time.perf_counter() - start
         self.stats.record(latency)
         return QueryResult(active.version, ids[0], scores[0], latency)
@@ -699,6 +708,22 @@ class QueryService:
         store versions even while ``activate`` races the drain.
         """
         active = self._snapshot()
+        # Stamp the group onto every member's trace (cross-thread: the
+        # leader annotates its followers' traces — Trace is lock-guarded
+        # for exactly this).  The member list makes /debug/traces show
+        # who shared the GEMM, joined on request ids.
+        member_ids = [
+            request.trace.request_id
+            for request in requests
+            if request.trace is not None
+        ]
+        for request in requests:
+            if request.trace is not None:
+                request.trace.annotate(
+                    coalesce_group=group_id,
+                    coalesce_size=len(requests),
+                    coalesce_members=member_ids,
+                )
         by_params: dict[tuple[int, int | None], list[_BatchRequest]] = {}
         for request in requests:
             try:
@@ -717,7 +742,13 @@ class QueryService:
             nodes = np.array([request.node for request in group], dtype=np.intp)
             try:
                 queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
-                ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+                with trace_span(
+                    "select",
+                    version=active.version,
+                    group=group_id,
+                    batch=len(group),
+                ):
+                    ids, scores = _search(active.backend, queries, k, nodes, nprobe)
             except BaseException as error:  # propagate to every waiter
                 for request in group:
                     request.error = error
@@ -857,6 +888,9 @@ class _BatchRequest:
     event: threading.Event = field(default_factory=threading.Event)
     result: QueryResult | None = None
     error: BaseException | None = None
+    # The submitting request's trace, captured at submit time so the
+    # leader (a different thread) can stamp the coalesce group onto it.
+    trace: object | None = None
 
 
 class _MicroBatcher:
@@ -885,10 +919,21 @@ class _MicroBatcher:
         self._has_leader = False
         self._wake = threading.Event()
         self._next_group = 0
+        self._members = 0
+
+    def info(self) -> dict:
+        """Occupancy counters for /metrics: groups run, members, queue depth."""
+        with self._lock:
+            return {
+                "groups": self._next_group,
+                "members": self._members,
+                "pending": len(self._pending),
+            }
 
     def submit(self, node: int, k: int, nprobe: int | None) -> QueryResult:
-        request = _BatchRequest(node=node, k=k, nprobe=nprobe)
+        request = _BatchRequest(node=node, k=k, nprobe=nprobe, trace=current_trace())
         with self._lock:
+            self._members += 1
             self._pending.append(request)
             is_leader = not self._has_leader
             if is_leader:

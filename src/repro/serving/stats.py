@@ -61,6 +61,11 @@ class LatencyStats:
         every cache hit) would be counted once per appearance, inflating
         totals and hit rates.  Summing is only sound when the streams
         partition the requests.
+
+        Note that only the *counters* merge exactly; the window-derived
+        percentiles of a merged object are approximations.  When exact
+        fleet aggregation matters, use the fixed-bucket histograms in
+        :mod:`repro.serving.obs.metrics`, whose cells sum losslessly.
         """
         merged = cls(window=window)
         for part in parts:
@@ -78,7 +83,7 @@ class LatencyStats:
         return merged
 
     def snapshot(self) -> dict:
-        """Counters plus p50/p95/max over the rolling window (seconds).
+        """Counters plus p50/p95/p99/max over the rolling window (seconds).
 
         The schema is fixed: the percentile keys are present even before
         the first sample (as ``0.0``, with ``samples == 0`` saying why),
@@ -98,6 +103,7 @@ class LatencyStats:
             "samples": len(recent),
             "p50_seconds": 0.0,
             "p95_seconds": 0.0,
+            "p99_seconds": 0.0,
             "max_seconds": 0.0,
         }
         if recent:
@@ -105,6 +111,7 @@ class LatencyStats:
             result.update(
                 p50_seconds=float(np.percentile(window, 50)),
                 p95_seconds=float(np.percentile(window, 95)),
+                p99_seconds=float(np.percentile(window, 99)),
                 max_seconds=float(window.max()),
             )
         return result

@@ -39,7 +39,7 @@ from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.io import load_npz, save_npz
 from repro.serving.gc import collect_versions
 from repro.serving.refresh import OnlineRefresher
-from repro.serving.wal.log import DeltaLog
+from repro.serving.wal.log import DeltaLog, LogFull
 from repro.utils.fs import atomic_write, chmod_default_file
 
 CHECKPOINT_FILE = "CHECKPOINT"
@@ -113,6 +113,7 @@ class IngestPipeline:
             "compactions": 0,
             "records_folded": 0,
             "checkpoints": 0,
+            "log_full_rejections": 0,
         }
 
     def bind_service(self, service) -> None:
@@ -331,7 +332,11 @@ class IngestPipeline:
         if self._model is None:
             raise RuntimeError("pipeline is not bootstrapped")
         n_events = self._validate(delta)
-        first, last = self.log.append_delta(delta)
+        try:
+            first, last = self.log.append_delta(delta)
+        except LogFull:
+            self.counters["log_full_rejections"] += 1
+            raise
         self.counters["appends"] += 1
         self.counters["events"] += n_events
         return first, last
@@ -399,6 +404,7 @@ class IngestPipeline:
                 "applied_lsn": last,
                 "records": last - start,
                 "seconds": time.perf_counter() - t0,
+                "timings": dict(report.timings),
             }
 
     def checkpoint(self) -> dict:
@@ -441,6 +447,10 @@ class Compactor(threading.Thread):
         Optional callback ``fn(version: str)`` invoked after each
         compacted version is published (the supervisor uses this to poke
         workers onto the new version).
+    journal:
+        Optional :class:`~repro.serving.obs.journal.EventJournal`; when
+        given, every publish, checkpoint, and GC sweep is recorded with
+        its version/LSN and duration.
     """
 
     def __init__(
@@ -451,6 +461,7 @@ class Compactor(threading.Thread):
         keep_versions: int = 0,
         checkpoint_bytes: int = 8 << 20,
         on_publish=None,
+        journal=None,
     ) -> None:
         super().__init__(name="wal-compactor", daemon=True)
         if interval_s <= 0:
@@ -462,8 +473,18 @@ class Compactor(threading.Thread):
         self.keep_versions = int(keep_versions)
         self.checkpoint_bytes = int(checkpoint_bytes)
         self.on_publish = on_publish
+        self.journal = journal
         self.last_error: str | None = None
         self.last_publish: dict | None = None
+        # Sum-mergeable duration counters, mirrored into the metrics
+        # registry by the server's collect hook (total seconds + counts
+        # sum across workers; no percentile state to reconcile).
+        self.timings = {
+            "folds": 0,
+            "fold_seconds": 0.0,
+            "publishes": 0,
+            "publish_seconds": 0.0,
+        }
         self._stop_event = threading.Event()
 
     def run(self) -> None:
@@ -480,6 +501,22 @@ class Compactor(threading.Thread):
         if published is not None:
             self.last_publish = published
             self.last_error = None
+            timings = published.get("timings", {})
+            publish_s = float(timings.get("publish", 0.0))
+            self.timings["folds"] += 1
+            self.timings["fold_seconds"] += max(
+                0.0, published["seconds"] - publish_s
+            )
+            self.timings["publishes"] += 1
+            self.timings["publish_seconds"] += publish_s
+            if self.journal is not None:
+                self.journal.emit(
+                    "publish",
+                    version=published["version"],
+                    lsn=published["applied_lsn"],
+                    records=published["records"],
+                    seconds=round(published["seconds"], 6),
+                )
             if self.on_publish is not None:
                 self.on_publish(published["version"])
             if self.keep_versions:
@@ -488,15 +525,28 @@ class Compactor(threading.Thread):
                     active = self.pipeline.service.version
                     if active:
                         protect.add(active)
-                collect_versions(
+                swept = collect_versions(
                     self.pipeline.store, keep=self.keep_versions, protect=protect
                 )
+                if self.journal is not None and swept["deleted"]:
+                    self.journal.emit(
+                        "gc",
+                        deleted=swept["deleted"],
+                        reclaimed_bytes=swept["reclaimed_bytes"],
+                        version=published["version"],
+                    )
         if (
             self.checkpoint_bytes
             and self.pipeline.log.size_bytes >= self.checkpoint_bytes
             and self.pipeline.lsn_applied == self.pipeline.lsn_durable
         ):
-            self.pipeline.checkpoint()
+            checkpointed = self.pipeline.checkpoint()
+            if self.journal is not None:
+                self.journal.emit(
+                    "checkpoint",
+                    lsn=checkpointed["lsn"],
+                    pruned_segments=checkpointed["pruned_segments"],
+                )
         return published
 
     def stop(self, timeout_s: float = 10.0) -> None:

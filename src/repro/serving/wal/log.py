@@ -329,6 +329,11 @@ class DeltaLog:
         self._handle = None
         self._failed: str | None = None
         self.recovered: list[str] = []
+        # Durability-cost counters for /metrics: every fsync call on the
+        # append path, and the bytes it made durable.  Plain ints bumped
+        # under self._lock (or at segment open, same thread).
+        self.fsyncs = 0
+        self.fsynced_bytes = 0
         self._recover_on_open()
 
     # -- open / recovery ------------------------------------------------
@@ -395,6 +400,8 @@ class DeltaLog:
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+            self.fsynced_bytes += len(header)
         self._segment_size = len(header)
         self._total_bytes += len(header)
 
@@ -438,6 +445,8 @@ class DeltaLog:
                     self._faults.wal_fsync()
                 if self._fsync:
                     os.fsync(handle.fileno())
+                    self.fsyncs += 1
+                    self.fsynced_bytes += len(buf)
             except OSError as exc:
                 try:
                     handle.truncate(start)

@@ -1,0 +1,532 @@
+"""Observability: tracing, the metrics registry, and the event journal.
+
+Unit coverage for ``repro.serving.obs`` plus integration through the
+HTTP server: request-id echo, ``/debug/traces`` spans, Prometheus text
+negotiation on ``/metrics``, structured slow-query lines, and the
+request id stamped into every error envelope.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serving.http import (
+    ApiError,
+    EmbeddingServer,
+    ServingClient,
+    protocol,
+)
+from repro.serving.obs.journal import (
+    EventJournal,
+    follow_events,
+    read_events,
+    summarize_events,
+)
+from repro.serving.obs.metrics import (
+    TEXT_CONTENT_TYPE,
+    MetricsRegistry,
+    merge_dicts,
+    parse_text,
+    render_text_from_dict,
+)
+from repro.serving.obs.trace import (
+    REQUEST_ID_HEADER,
+    Trace,
+    TraceBuffer,
+    clean_request_id,
+    current_trace,
+    new_request_id,
+    reset_current,
+    set_current,
+    trace_span,
+)
+from repro.serving.service import QueryService
+from repro.serving.stats import LatencyStats
+
+
+@pytest.fixture()
+def service(store):
+    with QueryService(store, backend="exact", n_threads=2) as service:
+        yield service
+
+
+def _wait_for_trace(server, request_id: str, timeout_s: float = 5.0) -> dict:
+    """Poll /debug/traces for an id: the buffer add races the response."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        payload = json.loads(_get(server.url + protocol.TRACES)[2])
+        for entry in payload["traces"]:
+            if entry["request_id"] == request_id:
+                return entry
+        time.sleep(0.01)
+    raise AssertionError(f"trace {request_id!r} never appeared")
+
+
+def _get(url: str, headers: dict | None = None) -> tuple[int, dict, bytes]:
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+# -- trace primitives ---------------------------------------------------
+class TestTrace:
+    def test_request_id_hygiene(self):
+        assert clean_request_id(None) is None
+        assert clean_request_id("  ") is None
+        assert clean_request_id("abc-123") == "abc-123"
+        assert clean_request_id("x" * 500) == "x" * 128  # bounded
+        assert clean_request_id("bad\nheader") is None  # header injection
+        generated = new_request_id()
+        assert clean_request_id(generated) == generated
+
+    def test_spans_nest_and_annotate(self):
+        trace = Trace("rid", "/v1/topk", method="POST")
+        token = set_current(trace)
+        try:
+            with trace_span("select", version="v1") as span:
+                assert span is not None
+                assert current_trace() is trace
+            trace.annotate(lsn=7)
+        finally:
+            reset_current(token)
+        assert current_trace() is None
+        entry = trace.as_dict()
+        assert entry["request_id"] == "rid"
+        assert [s["name"] for s in entry["spans"]] == ["select"]
+        assert entry["spans"][0]["meta"] == {"version": "v1"}
+        assert entry["annotations"] == {"lsn": 7}
+
+    def test_span_without_active_trace_is_noop(self):
+        with trace_span("select") as span:
+            assert span is None
+
+    def test_buffer_is_a_ring(self):
+        buffer = TraceBuffer(3)
+        for n in range(5):
+            trace = Trace(f"r{n}", "/x")
+            trace.finish(200)
+            buffer.add(trace.as_dict())
+        entries = buffer.snapshot()
+        assert [e["request_id"] for e in entries] == ["r4", "r3", "r2"]
+        assert buffer.total_added == 5
+        assert buffer.find("r3")["request_id"] == "r3"
+        assert buffer.find("r0") is None
+
+
+# -- metrics registry ---------------------------------------------------
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "Requests", ("endpoint",))
+        requests.inc(endpoint="/a")
+        requests.inc(2, endpoint="/b")
+        registry.gauge("in_flight", "In flight").set(3)
+        latency = registry.histogram("latency_seconds", "Latency")
+        latency.observe(0.002)
+        latency.observe(10.0)
+        text = registry.render_text()
+        parsed = parse_text(text)
+        assert parsed["requests_total"]["type"] == "counter"
+        assert parsed["in_flight"]["type"] == "gauge"
+        assert parsed["latency_seconds"]["type"] == "histogram"
+        samples = parsed["requests_total"]["samples"]
+        assert samples[("requests_total", (("endpoint", "/a"),))] == 1
+        assert samples[("requests_total", (("endpoint", "/b"),))] == 2
+        # Rendering the dict form matches rendering the registry.
+        assert render_text_from_dict(registry.as_dict()) == text
+
+    def test_merge_sums_cells_and_buckets(self):
+        def build(n):
+            registry = MetricsRegistry()
+            registry.counter("hits_total", "Hits", ("shard",)).inc(
+                n, shard="s0"
+            )
+            histogram = registry.histogram("lat", "Lat")
+            histogram.observe(0.001 * n)
+            return registry.as_dict()
+
+        merged = merge_dicts([build(1), build(2), build(4)])
+        families = {f["name"]: f for f in merged["families"]}
+        assert families["hits_total"]["cells"][0]["value"] == 7
+        histogram_cell = families["lat"]["cells"][0]
+        assert histogram_cell["count"] == 3
+        assert sum(histogram_cell["counts"]) == 3
+        # The merged doc still renders as valid exposition.
+        parse_text(render_text_from_dict(merged))
+
+    def test_merge_rejects_type_mismatch(self):
+        a = MetricsRegistry()
+        a.counter("x", "X")
+        b = MetricsRegistry()
+        b.gauge("x", "X")
+        with pytest.raises(ValueError):
+            merge_dicts([a.as_dict(), b.as_dict()])
+
+    def test_parse_text_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_text("this is not { prometheus\n")
+
+
+# -- event journal ------------------------------------------------------
+class TestJournal:
+    def test_emit_read_filter(self, tmp_path):
+        journal = EventJournal(tmp_path)
+        journal.emit("publish", version="v1", lsn=3)
+        journal.emit("gc", deleted=["v0"])
+        events = list(read_events(tmp_path))
+        assert [e["kind"] for e in events] == ["publish", "gc"]
+        assert all("ts" in e and "pid" in e for e in events)
+        only = list(read_events(tmp_path, kinds=["gc"]))
+        assert [e["kind"] for e in only] == ["gc"]
+        assert list(read_events(tmp_path, since=time.time() + 60)) == []
+
+    def test_rotation_keeps_recent_events(self, tmp_path):
+        journal = EventJournal(tmp_path, max_bytes=4096, keep=2)
+        for n in range(400):
+            journal.emit("tick", n=n)
+        events = list(read_events(tmp_path))
+        # Oldest generations were dropped, order survives, tail intact.
+        assert 0 < len(events) < 400
+        assert events[-1]["n"] == 399
+        assert [e["n"] for e in events] == sorted(e["n"] for e in events)
+        assert journal.dropped == 0
+
+    def test_follow_streams_new_events(self, tmp_path):
+        journal = EventJournal(tmp_path)
+        journal.emit("old", n=0)
+        stop = threading.Event()
+        seen: list[dict] = []
+
+        def tail():
+            for event in follow_events(
+                tmp_path, stop=stop, poll_s=0.02, replay=True
+            ):
+                seen.append(event)
+                if event["kind"] == "new":
+                    stop.set()
+
+        thread = threading.Thread(target=tail, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        journal.emit("new", n=1)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [e["kind"] for e in seen] == ["old", "new"]
+
+    def test_summarize(self, tmp_path):
+        journal = EventJournal(tmp_path)
+        journal.emit("publish", version="v1")
+        journal.emit("publish", version="v2")
+        journal.emit("drain")
+        summary = summarize_events(tmp_path)
+        assert summary["events"] == 3
+        assert summary["kinds"] == {"publish": 2, "drain": 1}
+        assert summary["last_by_kind"]["publish"]["version"] == "v2"
+
+
+# -- p99 satellite -------------------------------------------------------
+class TestLatencyP99:
+    def test_snapshot_has_p99(self):
+        stats = LatencyStats()
+        for n in range(200):
+            stats.record(0.001 * (n + 1))
+        snapshot = stats.snapshot()
+        assert "p99_seconds" in snapshot
+        assert snapshot["p99_seconds"] >= snapshot["p50_seconds"]
+        assert snapshot["p99_seconds"] == pytest.approx(0.199, rel=0.05)
+
+
+# -- server integration -------------------------------------------------
+class TestServerTracing:
+    def test_request_id_generated_and_echoed(self, service):
+        with EmbeddingServer(service) as server:
+            status, headers, _ = _get(server.url + protocol.DESCRIBE)
+            assert status == 200
+            assert clean_request_id(headers.get(REQUEST_ID_HEADER))
+
+    def test_request_id_caller_supplied_wins(self, service):
+        with EmbeddingServer(service) as server:
+            status, headers, body = _get(
+                server.url + protocol.DESCRIBE,
+                headers={REQUEST_ID_HEADER: "my-req-1"},
+            )
+            assert status == 200
+            assert headers.get(REQUEST_ID_HEADER) == "my-req-1"
+            entry = _wait_for_trace(server, "my-req-1")
+            assert entry["endpoint"] == protocol.DESCRIBE
+
+    def test_debug_traces_spans(self, service):
+        with EmbeddingServer(service) as server:
+            client = ServingClient(server.url, retries=0)
+            client.top_k(0, 5)
+
+            def find_topk():
+                payload = json.loads(_get(server.url + protocol.TRACES)[2])
+                assert payload["enabled"] is True
+                for entry in payload["traces"]:
+                    if entry["endpoint"] == protocol.TOPK:
+                        return entry
+                return None
+
+            deadline = time.monotonic() + 5.0
+            topk = find_topk()
+            while topk is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+                topk = find_topk()
+            assert topk is not None
+            names = [s["name"] for s in topk["spans"]]
+            assert "parse" in names
+            assert "select" in names
+            assert "serialize" in names
+            assert topk["status"] == 200
+            assert topk["duration_ms"] > 0
+            client.close()
+
+    def test_coalesced_trace_records_group(self, store):
+        with QueryService(store, backend="exact", cache_size=0) as service:
+            with EmbeddingServer(
+                service, coalesce_window_s=0.01, coalesce_max_batch=8
+            ) as server:
+                client = ServingClient(server.url, retries=0)
+                threads = [
+                    threading.Thread(target=client.top_k, args=(n, 4))
+                    for n in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+
+                def find_grouped():
+                    payload = json.loads(
+                        _get(server.url + protocol.TRACES)[2]
+                    )
+                    for entry in payload["traces"]:
+                        if (
+                            entry["endpoint"] == protocol.TOPK
+                            and "coalesce_group" in entry["annotations"]
+                        ):
+                            return entry
+                    return None
+
+                deadline = time.monotonic() + 5.0
+                sample = find_grouped()
+                while sample is None and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                    sample = find_grouped()
+                assert sample is not None, "no trace recorded a group id"
+                members = sample["annotations"]["coalesce_members"]
+                assert sample["request_id"] in members
+                assert sample["annotations"]["coalesce_size"] == len(members)
+                assert any(
+                    s["name"] == "coalesce_wait" for s in sample["spans"]
+                )
+                client.close()
+
+    def test_slow_query_log_line(self, service):
+        log = io.StringIO()
+        with EmbeddingServer(
+            service, slow_query_ms=0.0001, slow_log=log
+        ) as server:
+            client = ServingClient(server.url, retries=0)
+            client.top_k(0, 5)
+            client.close()
+        lines = [line for line in log.getvalue().splitlines() if line]
+        assert lines
+        record = json.loads(lines[0])["slow_query"]
+        assert record["request_id"]
+        assert record["threshold_ms"] == 0.0001
+        assert any(s["name"] == "select" for s in record["spans"])
+
+    def test_obs_disabled_server_still_serves(self, service):
+        with EmbeddingServer(service, obs=False) as server:
+            client = ServingClient(server.url, retries=0)
+            client.top_k(0, 5)
+            payload = json.loads(_get(server.url + protocol.TRACES)[2])
+            assert payload["enabled"] is False
+            status, headers, _ = _get(
+                server.url + protocol.METRICS,
+                headers={"Accept": "text/plain"},
+            )
+            # No registry: negotiation falls back to the JSON payload.
+            assert status == 200
+            assert "json" in headers.get("Content-Type", "")
+            client.close()
+
+    def test_upsert_trace_records_lsn(self, tmp_path):
+        from repro.graph.generators import attributed_sbm
+        from repro.serving.store import EmbeddingStore
+        from repro.serving.wal.compactor import IngestPipeline
+
+        graph = attributed_sbm(n_nodes=40, n_attributes=12, seed=5)
+        store = EmbeddingStore(tmp_path / "store")
+        pipeline = IngestPipeline(tmp_path / "wal", store)
+        pipeline.bootstrap(graph, k=8, update_sweeps=1)
+        try:
+            with QueryService(store, backend="exact") as service:
+                pipeline.bind_service(service)
+                with EmbeddingServer(service, ingest=pipeline) as server:
+                    client = ServingClient(server.url, retries=0)
+                    result = client.upsert(add_edges=[[0, 1]])
+
+                    def find_upsert():
+                        payload = json.loads(
+                            _get(server.url + protocol.TRACES)[2]
+                        )
+                        for entry in payload["traces"]:
+                            if entry["endpoint"] == protocol.UPSERT:
+                                return entry
+                        return None
+
+                    deadline = time.monotonic() + 5.0
+                    upsert = find_upsert()
+                    while upsert is None and time.monotonic() < deadline:
+                        time.sleep(0.01)
+                        upsert = find_upsert()
+                    assert upsert is not None
+                    assert upsert["annotations"]["lsn"] == result["lsn"]
+                    assert any(
+                        s["name"] == "append" for s in upsert["spans"]
+                    )
+                    client.close()
+        finally:
+            pipeline.close()
+
+
+class TestErrorEnvelopeRequestId:
+    def test_404_and_405_carry_request_id(self, service):
+        with EmbeddingServer(service) as server:
+            for path, expected in (
+                ("/v1/nope", 404),
+                (protocol.TOPK, 405),
+            ):
+                status, headers, body = _get(
+                    server.url + path,
+                    headers={REQUEST_ID_HEADER: f"err-{expected}"},
+                )
+                assert status == expected
+                envelope = json.loads(body)
+                assert envelope["error"]["request_id"] == f"err-{expected}"
+                assert headers.get(REQUEST_ID_HEADER) == f"err-{expected}"
+
+    def test_503_draining_carries_request_id(self, service):
+        server = EmbeddingServer(service).start()
+        server._draining = True
+        try:
+            status, headers, body = _get(
+                server.url + protocol.HEALTHZ,
+                headers={REQUEST_ID_HEADER: "drain-1"},
+            )
+            assert status == 503
+            envelope = json.loads(body)
+            assert envelope["error"]["code"] == "draining"
+            assert envelope["error"]["request_id"] == "drain-1"
+            assert headers.get(REQUEST_ID_HEADER) == "drain-1"
+        finally:
+            server._draining = False
+            assert server.close() is True
+
+    def test_409_store_corrupt_carries_request_id(
+        self, store, trained_embedding
+    ):
+        with QueryService(store, backend="exact") as service:
+            with EmbeddingServer(service) as server:
+                v2 = store.publish(trained_embedding)
+                features = store.root / "versions" / v2 / "features.npy"
+                with open(features, "r+b") as handle:
+                    handle.truncate(16)
+                client = ServingClient(server.url, retries=0)
+                with pytest.raises(ApiError) as excinfo:
+                    client.refresh()
+                assert excinfo.value.status == 409
+                assert excinfo.value.code == "store_corrupt"
+                assert clean_request_id(excinfo.value.request_id)
+                client.close()
+
+
+class TestPrometheusExposition:
+    def test_metrics_negotiates_text(self, service):
+        with EmbeddingServer(service) as server:
+            client = ServingClient(server.url, retries=0)
+            client.top_k(0, 5)
+            client.top_k(0, 5)
+            status, headers, body = _get(
+                server.url + protocol.METRICS,
+                headers={"Accept": "text/plain"},
+            )
+            assert status == 200
+            assert headers.get("Content-Type") == TEXT_CONTENT_TYPE
+            parsed = parse_text(body.decode("utf-8"))
+            requests_total = parsed["http_requests_total"]
+            assert requests_total["type"] == "counter"
+            topk = requests_total["samples"][
+                ("http_requests_total", (("endpoint", protocol.TOPK),))
+            ]
+            assert topk >= 2
+            assert parsed["cache_lookups_total"]["type"] == "counter"
+            assert parsed["http_request_seconds"]["type"] == "histogram"
+            client.close()
+
+    def test_json_metrics_carries_registry(self, service):
+        with EmbeddingServer(service) as server:
+            client = ServingClient(server.url, retries=0)
+            client.top_k(0, 5)
+            metrics = client.metrics()
+            families = {
+                f["name"]: f for f in metrics["registry"]["families"]
+            }
+            assert "http_requests_total" in families
+            assert "service_queries_total" in families
+            client.close()
+
+
+class TestClientTraceRing:
+    def test_same_request_id_across_retry_attempts(self, service):
+        with EmbeddingServer(service) as server:
+            # First replica is a dead port: the request must fail over,
+            # re-sending the SAME request id on the second attempt.
+            client = ServingClient(
+                ["http://127.0.0.1:9", server.url],
+                retries=2,
+                backoff_s=0.0,
+            )
+            client.describe()
+            entry = client.request_trace()[0]
+            assert entry["path"] == protocol.DESCRIBE
+            attempts = entry["attempts"]
+            assert len(attempts) >= 2
+            assert attempts[-1]["status"] == 200
+            assert attempts[0].get("error")
+            # One id for the whole logical request: the server saw the
+            # same id the client logged for attempt 1 and attempt 2.
+            _wait_for_trace(server, entry["request_id"])
+            client.close()
+
+
+class TestFsckJournal:
+    def test_repair_emits_fsck_event(self, tmp_path, trained_embedding):
+        from repro.serving.fsck import fsck
+        from repro.serving.store import EmbeddingStore
+
+        root = tmp_path / "store"
+        store = EmbeddingStore(root)
+        store.publish(trained_embedding)
+        v2 = store.publish(trained_embedding)
+        with open(root / "versions" / v2 / "features.npy", "r+b") as handle:
+            handle.truncate(16)
+        journal = EventJournal(root)
+        report = fsck(root, repair=True, journal=journal)
+        assert report.actions
+        events = list(read_events(root, kinds=["fsck_repair"]))
+        assert len(events) == 1
+        assert events[0]["sweep"] == "store"
+        assert events[0]["actions"] == report.actions

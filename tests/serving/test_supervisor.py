@@ -8,6 +8,7 @@ supervisor's aggregated admin endpoints, and process exit codes.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import threading
@@ -370,3 +371,211 @@ class TestWritePath:
             )
             assert status == 409
             assert body["error"]["code"] == "no_write_path"
+
+
+class TestObservability:
+    """Fleet metrics fan-in, Prometheus exposition, journal, tracing."""
+
+    def scrape_text(self, admin_url: str) -> str:
+        import urllib.request
+
+        request = urllib.request.Request(
+            admin_url + protocol.METRICS,
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers.get("Content-Type").startswith(
+                "text/plain; version=0.0.4"
+            )
+            return response.read().decode("utf-8")
+
+    def test_fleet_registry_sums_worker_cells(self, store_root):
+        """Fleet cells equal the sum of worker cells, JSON and text."""
+        from repro.serving.obs.metrics import parse_text
+
+        with Supervisor(make_config(store_root)) as supervisor:
+            client = ServingClient(supervisor.url, retries=2)
+            admin = ServingClient(supervisor.admin_url, retries=2)
+            try:
+                n_requests = 12
+                for n in range(n_requests):
+                    client.top_k(n % 5, k=4)
+
+                def fleet_counts_all():
+                    metrics = admin.metrics()
+                    families = {
+                        f["name"]: f
+                        for f in metrics["registry"]["families"]
+                    }
+                    fleet = sum(
+                        cell["value"]
+                        for cell in families["http_requests_total"]["cells"]
+                        if cell["labels"].get("endpoint") == protocol.TOPK
+                    )
+                    per_worker = sum(
+                        cell["value"]
+                        for worker in metrics["workers"].values()
+                        for family in worker["registry"]["families"]
+                        if family["name"] == "http_requests_total"
+                        for cell in family["cells"]
+                        if cell["labels"].get("endpoint") == protocol.TOPK
+                    )
+                    return fleet == per_worker == n_requests
+
+                wait_until(
+                    fleet_counts_all, timeout_s=5.0, message="registry fan-in"
+                )
+
+                # Histogram cells merged too: count equals the counter.
+                metrics = admin.metrics()
+                families = {
+                    f["name"]: f for f in metrics["registry"]["families"]
+                }
+                histogram = next(
+                    cell
+                    for cell in families["http_request_seconds"]["cells"]
+                    if cell["labels"].get("endpoint") == protocol.TOPK
+                )
+                assert histogram["count"] == n_requests
+                assert sum(histogram["counts"]) == n_requests
+
+                # The same snapshot renders as valid Prometheus text.
+                parsed = parse_text(self.scrape_text(supervisor.admin_url))
+                sample = parsed["http_requests_total"]["samples"][
+                    (
+                        "http_requests_total",
+                        (("endpoint", protocol.TOPK),),
+                    )
+                ]
+                assert sample == n_requests
+                assert parsed["supervisor_workers_live"]["type"] == "gauge"
+                assert parsed["http_request_seconds"]["type"] == "histogram"
+            finally:
+                client.close()
+                admin.close()
+
+    def test_fleet_counters_monotonic_across_worker_churn(self, store_root):
+        """Satellite: kill a worker between scrapes; totals never regress."""
+        from repro.serving.obs.metrics import parse_text
+
+        with Supervisor(make_config(store_root)) as supervisor:
+            client = ServingClient(supervisor.url, retries=4, backoff_s=0.05)
+            admin = ServingClient(supervisor.admin_url, retries=2)
+            try:
+                def topk_total():
+                    metrics = admin.metrics()
+                    families = {
+                        f["name"]: f
+                        for f in metrics["registry"]["families"]
+                    }
+                    return sum(
+                        cell["value"]
+                        for cell in families["http_requests_total"]["cells"]
+                        if cell["labels"].get("endpoint") == protocol.TOPK
+                    )
+
+                for n in range(10):
+                    client.top_k(n % 5, k=4)
+                wait_until(
+                    lambda: topk_total() >= 10,
+                    timeout_s=5.0,
+                    message="pre-churn scrape to see all requests",
+                )
+                before = topk_total()
+
+                victim = admin.healthz()["workers"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                # Scrape continuously through the churn window: every
+                # snapshot must stay well-formed and monotonic even while
+                # one worker is dead and its last scrape is being folded.
+                deadline = time.monotonic() + 20.0
+                low_water = before
+                while time.monotonic() < deadline:
+                    total = topk_total()
+                    assert total >= low_water, "fleet counter regressed"
+                    low_water = total
+                    parse_text(self.scrape_text(supervisor.admin_url))
+                    probe = admin.healthz()
+                    if probe["n_live"] == 2 and probe["restarts_total"] >= 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError("worker never restarted")
+
+                for n in range(5):
+                    client.top_k(n % 5, k=4)
+                wait_until(
+                    lambda: topk_total() >= before + 5,
+                    timeout_s=5.0,
+                    message="post-restart requests to land in the fleet view",
+                )
+            finally:
+                client.close()
+                admin.close()
+
+    def test_journal_records_fleet_lifecycle(self, tmp_path, trained_embedding):
+        """Boot → kill → restart → drain all land in events.jsonl."""
+        from repro.serving.obs.journal import read_events
+        from repro.serving.store import EmbeddingStore
+
+        root = tmp_path / "store"
+        EmbeddingStore(root).publish(trained_embedding)
+        with Supervisor(make_config(root)) as supervisor:
+            admin = ServingClient(supervisor.admin_url, retries=2)
+            victim = admin.healthz()["workers"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            wait_until(
+                lambda: admin.healthz()["restarts_total"] >= 1,
+                message="restart after SIGKILL",
+            )
+            admin.close()
+        events = list(read_events(root))
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "supervisor_start"
+        assert kinds[-1] == "supervisor_stop"
+        assert kinds.count("worker_start") >= 3  # 2 boot + >=1 respawn
+        assert "drain" in kinds
+        exit_event = next(e for e in events if e["kind"] == "worker_exit")
+        assert exit_event["worker_pid"] == victim
+        assert exit_event["exit"] == -signal.SIGKILL
+        assert all("pid" in event and "ts" in event for event in events)
+        restart = next(e for e in events if e["kind"] == "worker_restart")
+        assert restart["restarts"] >= 1
+
+    def test_request_follows_through_fleet(self, store_root):
+        """Acceptance: one request id, client attempt log → worker spans."""
+        import urllib.request
+
+        with Supervisor(make_config(store_root)) as supervisor:
+            client = ServingClient(supervisor.url, retries=2)
+            try:
+                client.top_k(3, k=4)
+                entry = client.request_trace()[0]
+                request_id = entry["request_id"]
+                assert entry["attempts"][-1]["status"] == 200
+
+                # Any worker may answer /debug/traces; poll until the
+                # worker that handled the request serves its buffer.
+                def find_trace():
+                    request = urllib.request.Request(
+                        supervisor.url + protocol.TRACES
+                    )
+                    with urllib.request.urlopen(request, timeout=10) as resp:
+                        assert resp.headers.get("X-Request-Id")
+                        payload = json.loads(resp.read())
+                    for trace in payload["traces"]:
+                        if trace["request_id"] == request_id:
+                            return trace
+                    return None
+
+                deadline = time.monotonic() + 10.0
+                trace = find_trace()
+                while trace is None and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                    trace = find_trace()
+                assert trace is not None, "request trace never surfaced"
+                names = [span["name"] for span in trace["spans"]]
+                assert "parse" in names and "select" in names
+                assert trace["status"] == 200
+            finally:
+                client.close()

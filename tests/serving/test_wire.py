@@ -92,8 +92,11 @@ class TestFrameCodec:
             response = connection.getresponse()
             body = json.loads(response.read())
             assert response.status == 400
-            assert set(body["error"]) == {"code", "message", "details"}
+            assert set(body["error"]) == {
+                "code", "message", "details", "request_id"
+            }
             assert body["error"]["code"] == "invalid_frame"
+            assert body["error"]["request_id"]
         finally:
             connection.close()
 
