@@ -12,6 +12,10 @@ embedding matrices (cluster centers + Gaussian noise, unit rows):
   therefore 1.0) on every run, smoke included.
 - ``ivf``     — index build time, batched QPS at the default ``nprobe``,
   recall@10 vs exact, and the QPS/recall curve over a few ``nprobe``s.
+- ``filtered`` — predicate-filtered search: exact and IVF under random
+  allow masks at 50%/10%/1% selectivity, with filtered-exact as the
+  ground truth for filtered-IVF recall and the selectivity-widened
+  probe width reported per level.
 - ``sharded`` — exact scatter-gather through a
   :class:`~repro.serving.sharding.router.ShardRouter` over range-partitioned
   shards; asserts the results are **bit-identical** to unsharded exact.
@@ -38,8 +42,12 @@ the default ``nprobe`` must hold recall@10 ≥ 0.9 while serving ≥ 5× the
 exact backend's QPS, and PQ must hold recall@10 ≥ 0.9 at ≥ 8× resident
 compression.  Sharded bit-identity and ingestion freshness drain are
 asserted at every size, smoke included — they are correctness
-properties, not tuning properties.  The JSON record (schema
-``bench_serving/v3``; v2 + the ``ingest`` section) stores machine info,
+properties, not tuning properties; so is the filtered-IVF recall floor
+(≥ 0.95) at 1% selectivity, where the widened probe is exhaustive over
+the allowed set.  Full runs additionally assert filtered-IVF recall
+≥ 0.95 at every selectivity and filtered-exact ≥ 0.5× the unfiltered
+exact QPS at 50% selectivity.  The JSON record (schema
+``bench_serving/v4``; v3 + the ``filtered`` section) stores machine info,
 parameters, per-backend numbers, and the speedup so future PRs have a
 regression trajectory next to ``BENCH_kernels.json``.
 """
@@ -60,7 +68,8 @@ import numpy as np
 import scipy
 
 from repro.parallel.pool import WorkerPool
-from repro.serving.index import ExactBackend, IVFIndex
+from repro.search.knn import CompiledFilter
+from repro.serving.index import ExactBackend, IVFIndex, filtered_probe_width
 from repro.serving.sharding import Partitioner, PQBackend, PQCodec, ShardRouter
 from repro.serving.synth import clustered_unit_vectors
 
@@ -179,7 +188,7 @@ def bench_ivf(
             "recall_at_k": probe_recall,
         }
     sizes = index.list_sizes()
-    return {
+    record = {
         "build_seconds": build_seconds,
         "nlist": index.nlist,
         "nprobe": nprobe,
@@ -190,6 +199,72 @@ def bench_ivf(
         "speedup_vs_exact": qps / exact_qps,
         "nprobe_sweep": sweep,
     }
+    return {"record": record, "index": index}
+
+
+def bench_filtered(
+    features: np.ndarray,
+    query_nodes: np.ndarray,
+    k: int,
+    ivf_index: IVFIndex,
+    exact_qps: float,
+    *,
+    nprobe: int,
+    seed: int,
+) -> dict:
+    """Predicate-filtered search at fixed selectivities.
+
+    Random allow masks at 50% / 10% / 1% selectivity, pushed natively
+    into both backends via :class:`CompiledFilter`.  Filtered exact is
+    the ground truth for filtered-IVF recall (its own mask-then-rank
+    answer, not the unfiltered one).  The IVF probe width reported per
+    level is what :func:`filtered_probe_width` widens the base
+    ``nprobe`` to — at 1% selectivity it reaches ``nlist``, so the scan
+    is exhaustive over the allowed set and recall is exactly 1.0.
+    :func:`main` asserts the floors: filtered-IVF recall@k ≥ 0.95 at
+    every level on full runs (the 1% point is the acceptance floor) and
+    filtered-exact QPS ≥ 0.5× unfiltered exact at 50% selectivity.
+    """
+    backend = ExactBackend(features)
+    queries = features[query_nodes]
+    n = features.shape[0]
+    rng = np.random.default_rng(seed + 5)
+    levels = {}
+    for fraction in (0.5, 0.1, 0.01):
+        mask = rng.random(n) < fraction
+        compiled = CompiledFilter(mask)
+        start = time.perf_counter()
+        truth_ids, _ = backend.search(
+            queries, k, exclude=query_nodes, node_filter=compiled
+        )
+        exact_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ivf_ids, _ = ivf_index.search(
+            queries, k, exclude=query_nodes, nprobe=nprobe, node_filter=compiled
+        )
+        ivf_seconds = time.perf_counter() - start
+        # Recall over the rows filtered-exact actually filled: at 1%
+        # selectivity some queries may have fewer than k allowed rows.
+        hits = 0
+        answered = 0
+        for row in range(truth_ids.shape[0]):
+            truth_row = truth_ids[row][truth_ids[row] >= 0]
+            hits += np.intersect1d(truth_row, ivf_ids[row]).shape[0]
+            answered += truth_row.shape[0]
+        exact_qps_filtered = query_nodes.size / exact_seconds
+        ivf_qps_filtered = query_nodes.size / ivf_seconds
+        levels[f"{fraction:g}"] = {
+            "selectivity": compiled.selectivity,
+            "n_allowed": compiled.n_allowed,
+            "probe_width": filtered_probe_width(
+                nprobe, ivf_index.nlist, compiled.selectivity
+            ),
+            "exact_qps": exact_qps_filtered,
+            "exact_qps_vs_unfiltered": exact_qps_filtered / exact_qps,
+            "ivf_qps": ivf_qps_filtered,
+            "ivf_recall_at_k": hits / max(1, answered),
+        }
+    return levels
 
 
 def bench_sharded(
@@ -275,7 +350,7 @@ def bench_pq(
 
 def bench_service(features_n: int, dim: int, k: int, seed: int) -> dict:
     """Publish → query → cached query → swap through the real service."""
-    from repro.serving.service import QueryService
+    from repro.serving.service import QueryService, SearchRequest
     from repro.serving.store import EmbeddingStore
     from repro.serving.synth import synthetic_embedding
 
@@ -287,10 +362,10 @@ def bench_service(features_n: int, dim: int, k: int, seed: int) -> dict:
         publish_seconds = time.perf_counter() - start
         with QueryService(store, backend="exact") as service:
             tick = time.perf_counter()
-            cold = service.top_k(0, k)
+            cold = service.search(SearchRequest(node=0, k=k))
             cold_ms = (time.perf_counter() - tick) * 1e3
             tick = time.perf_counter()
-            warm = service.top_k(0, k)
+            warm = service.search(SearchRequest(node=0, k=k))
             warm_ms = (time.perf_counter() - tick) * 1e3
             assert warm.cached and np.array_equal(cold.ids, warm.ids)
             store.publish(embedding)
@@ -329,7 +404,7 @@ def bench_ingest(
     """
     from repro.dynamic.incremental import GraphDelta
     from repro.graph.generators import attributed_sbm
-    from repro.serving.service import QueryService
+    from repro.serving.service import QueryService, SearchRequest
     from repro.serving.store import EmbeddingStore
     from repro.serving.wal import Compactor, IngestPipeline
 
@@ -354,7 +429,9 @@ def bench_ingest(
                 def read_loop(slot: int) -> None:
                     node_rng = np.random.default_rng(seed + 100 + slot)
                     while not stop.is_set():
-                        service.top_k(int(node_rng.integers(n_nodes)), k)
+                        service.search(
+                            SearchRequest(node=int(node_rng.integers(n_nodes)), k=k)
+                        )
                         reads[slot] += 1
 
                 readers = [
@@ -458,7 +535,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "meta": {
-            "schema": "bench_serving/v3",
+            "schema": "bench_serving/v4",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy.__version__,
@@ -506,7 +583,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print("ivf backend...", flush=True)
-    record["ivf"] = bench_ivf(
+    ivf = bench_ivf(
         features,
         query_nodes,
         args.k,
@@ -515,6 +592,18 @@ def main(argv: list[str] | None = None) -> int:
         nlist=args.nlist,
         nprobe=args.nprobe,
         nprobe_sweep=(1, 4, 16),
+        seed=args.seed,
+    )
+    record["ivf"] = ivf["record"]
+
+    print("filtered search (exact + ivf at 50%/10%/1% selectivity)...", flush=True)
+    record["filtered"] = bench_filtered(
+        features,
+        query_nodes,
+        args.k,
+        ivf["index"],
+        exact["record"]["qps_batch"],
+        nprobe=args.nprobe,
         seed=args.seed,
     )
 
@@ -569,7 +658,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{record['ingest']['drain_seconds']:.1f}s"
     )
     assert record["ingest"]["lsn_durable"] > 0, "no durable writes recorded"
+    filtered_1pct = record["filtered"]["0.01"]["ivf_recall_at_k"]
+    assert filtered_1pct >= 0.95, (
+        f"filtered IVF recall@{args.k} at 1% selectivity = "
+        f"{filtered_1pct:.3f} < 0.95"
+    )
     if not args.smoke:
+        for level, row in record["filtered"].items():
+            assert row["ivf_recall_at_k"] >= 0.95, (
+                f"filtered IVF recall@{args.k} at selectivity {level} = "
+                f"{row['ivf_recall_at_k']:.3f} < 0.95"
+            )
+        exact_ratio = record["filtered"]["0.5"]["exact_qps_vs_unfiltered"]
+        assert exact_ratio >= 0.5, (
+            f"filtered exact at 50% selectivity holds only "
+            f"{exact_ratio:.2f}x of unfiltered QPS (< 0.5x)"
+        )
         assert pq_recall >= 0.9, f"PQ recall@{args.k} = {pq_recall:.3f} < 0.9"
         if (os.cpu_count() or 1) > 1:
             assert speedup >= 5.0, f"IVF speedup {speedup:.1f}x < 5x"
@@ -601,6 +705,14 @@ def main(argv: list[str] | None = None) -> int:
         f"recall@{args.k}={recall:.3f}  ({speedup:.1f}x vs exact, "
         f"build {record['ivf']['build_seconds']:.1f}s)"
     )
+    for level, row in record["filtered"].items():
+        print(
+            f"filtered {row['exact_qps']:10.0f} QPS exact / "
+            f"{row['ivf_qps']:.0f} QPS ivf at {float(level):.0%} selectivity  "
+            f"(ivf recall@{args.k}={row['ivf_recall_at_k']:.3f}, "
+            f"probe width {row['probe_width']}, "
+            f"exact {row['exact_qps_vs_unfiltered']:.2f}x of unfiltered)"
+        )
     print(
         f"sharded  {record['sharded']['qps_batch']:10.0f} QPS  "
         f"({record['sharded']['n_shards']} shards, bit-identical to exact, "

@@ -380,10 +380,14 @@ def _cmd_log(args: argparse.Namespace) -> int:
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
-    """Delete store versions superseded by newer ones (``repro gc``)."""
+    """Delete store versions superseded by newer ones (``repro gc``).
+
+    Versions pinned by a dataset name (``repro dataset assign``) are
+    never deleted, whatever ``--keep`` says.
+    """
     import json as json_module
 
-    from repro.serving.gc import collect_versions
+    from repro.serving.datasets import retain
 
     from repro.serving.sharding.store import ShardedEmbeddingStore
 
@@ -400,7 +404,7 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        result = collect_versions(store, keep=args.keep, dry_run=args.dry_run)
+        result = retain(store, keep=args.keep, dry_run=args.dry_run)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -414,7 +418,100 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     )
     for version in result["deleted"]:
         print(f"  - {version}")
+    for version in result["protected"]:
+        print(f"  pinned by a dataset: {version}")
     return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    """Named datasets: ``repro dataset list/assign/drop/diff/retain``."""
+    import json as json_module
+
+    from repro.serving.datasets import (
+        DatasetError,
+        DatasetRegistry,
+        diff_versions,
+        retain,
+    )
+
+    try:
+        store = _open_store(args.store)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = DatasetRegistry(store)
+    try:
+        if args.dataset_command == "list":
+            rows = registry.list_rows()
+            if args.json:
+                print(json_module.dumps(rows, indent=2))
+                return 0
+            if not rows:
+                print("no datasets")
+                return 0
+            for row in rows:
+                mark = "" if row["exists"] else "  [MISSING VERSION]"
+                latest = "  (latest)" if row["is_latest"] else ""
+                lsn = (
+                    f"  lsn={row['applied_lsn']}"
+                    if row.get("applied_lsn") is not None
+                    else ""
+                )
+                print(f"{row['name']}\t{row['version']}{lsn}{latest}{mark}")
+            return 0
+        if args.dataset_command == "assign":
+            version = args.version or store.latest()
+            if version is None:
+                print("error: store has no versions", file=sys.stderr)
+                return 2
+            registry.assign(args.name, version, note=args.note)
+            print(f"{args.name} -> {version}")
+            return 0
+        if args.dataset_command == "drop":
+            entry = registry.remove(args.name)
+            print(f"dropped {args.name} (was {entry['version']})")
+            return 0
+        if args.dataset_command == "diff":
+            from repro.serving.wal.log import LogReader
+
+            # Read-only view: diffing must never trigger the torn-tail
+            # truncation a DeltaLog open performs.
+            report, _ = diff_versions(
+                store,
+                LogReader(args.wal_dir),
+                args.ref_a,
+                args.ref_b,
+                directed=not args.undirected,
+            )
+            if args.json:
+                print(json_module.dumps(report, indent=2))
+                return 0
+            span = report["lsn_range"]
+            window = f"LSNs {span[0]}..{span[1]}" if span else "no new records"
+            print(
+                f"{report['from']['version']} -> {report['to']['version']} "
+                f"({window})"
+            )
+            for kind, count in report["events"].items():
+                if count:
+                    print(f"  {kind}: {count}")
+            print(f"  changed nodes: {report['n_changed_nodes']}")
+            return 0
+        # retain
+        result = retain(store, keep=args.keep, dry_run=args.dry_run)
+        if args.json:
+            print(json_module.dumps(result, indent=2))
+            return 0
+        verb = "would delete" if args.dry_run else "deleted"
+        print(
+            f"{verb} {len(result['deleted'])} version(s), "
+            f"kept {len(result['kept'])}, "
+            f"{len(result['protected'])} pinned by datasets"
+        )
+        return 0
+    except DatasetError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _serve_supervised(store, args: argparse.Namespace) -> int:
@@ -725,12 +822,51 @@ def _cmd_bench_http(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _parse_query_filter(args: argparse.Namespace):
+    """The ``--filter-*`` flags → a NodeFilter (or ``None``)."""
+    import json as json_module
+
+    from repro.search.knn import NodeFilter
+
+    flag_filters = (args.filter_allow, args.filter_deny, args.filter_attribute)
+    if args.filter_json is not None:
+        if any(value is not None for value in flag_filters):
+            raise ValueError(
+                "--filter-json is exclusive with the other --filter-* flags"
+            )
+        return NodeFilter.from_json(json_module.loads(args.filter_json))
+    if all(value is None for value in flag_filters):
+        return None
+
+    def ids(raw):
+        return (
+            None
+            if raw is None
+            else [int(part) for part in raw.split(",") if part.strip()]
+        )
+
+    attributes = []
+    for spec in args.filter_attribute or ():
+        attr, _, min_weight = spec.partition(":")
+        attributes.append((int(attr), float(min_weight) if min_weight else 0.0))
+    return NodeFilter(
+        allow=ids(args.filter_allow),
+        deny=ids(args.filter_deny),
+        attributes=attributes,
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.serving.service import QueryService
+    from repro.serving.service import QueryService, SearchRequest
 
     store = _open_store(args.store)
     if store.latest() is None:
         print("error: store has no published versions", file=sys.stderr)
+        return 2
+    try:
+        node_filter = _parse_query_filter(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     with QueryService(
         store,
@@ -743,9 +879,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         index_cache=True,
     ) as service:
         if args.attribute is not None:
+            if node_filter is not None:
+                print(
+                    "error: --filter-* does not apply to --attribute queries",
+                    file=sys.stderr,
+                )
+                return 2
             result = service.top_nodes_for_attribute(args.attribute, args.k)
         else:
-            result = service.top_k(args.node, args.k)
+            try:
+                result = service.search(
+                    SearchRequest(node=args.node, k=args.k, filter=node_filter)
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
         print(f"# version={result.version} latency={result.latency_s * 1e3:.2f}ms")
         for node, score in zip(result.ids, result.scores):
             if node < 0:
@@ -1022,6 +1170,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the result as JSON"
     )
 
+    dataset = sub.add_parser(
+        "dataset",
+        help="named datasets over store versions: list, assign, drop, "
+        "diff (WAL fold), retain (dataset-aware gc)",
+    )
+    dsub = dataset.add_subparsers(dest="dataset_command", required=True)
+    ds_list = dsub.add_parser("list", help="list dataset names and versions")
+    ds_list.add_argument("--store", required=True, help="store root directory")
+    ds_list.add_argument("--json", action="store_true")
+    ds_assign = dsub.add_parser(
+        "assign", help="point NAME at a version (default: latest)"
+    )
+    ds_assign.add_argument("name")
+    ds_assign.add_argument(
+        "--version", default=None, help="version id (default: LATEST target)"
+    )
+    ds_assign.add_argument("--store", required=True, help="store root directory")
+    ds_assign.add_argument("--note", default=None, help="free-form annotation")
+    ds_drop = dsub.add_parser("drop", help="remove a dataset name")
+    ds_drop.add_argument("name")
+    ds_drop.add_argument("--store", required=True, help="store root directory")
+    ds_diff = dsub.add_parser(
+        "diff",
+        help="fold the WAL records between two versions (old -> new); "
+        "refs are dataset names or version ids",
+    )
+    ds_diff.add_argument("ref_a", help="older dataset name or version id")
+    ds_diff.add_argument("ref_b", help="newer dataset name or version id")
+    ds_diff.add_argument("--store", required=True, help="store root directory")
+    ds_diff.add_argument(
+        "--wal-dir", required=True, metavar="DIR", help="delta-log directory"
+    )
+    ds_diff.add_argument(
+        "--undirected",
+        action="store_true",
+        help="fold edge records with undirected (canonicalized) keys",
+    )
+    ds_diff.add_argument("--json", action="store_true")
+    ds_retain = dsub.add_parser(
+        "retain",
+        help="gc superseded versions; dataset-pinned versions always survive",
+    )
+    ds_retain.add_argument("--store", required=True, help="store root directory")
+    ds_retain.add_argument(
+        "--keep", type=int, required=True, help="newest versions to retain (>= 1)"
+    )
+    ds_retain.add_argument("--dry-run", action="store_true")
+    ds_retain.add_argument("--json", action="store_true")
+
     query = sub.add_parser("query", help="query a published embedding store")
     query.add_argument("--store", required=True, help="store root directory")
     query.add_argument("--node", type=int, default=0, help="query node id")
@@ -1056,6 +1253,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--version", default=None, help="pin a store version (default: latest)"
+    )
+    query.add_argument(
+        "--filter-allow",
+        default=None,
+        metavar="IDS",
+        help="comma-separated node ids the result may contain",
+    )
+    query.add_argument(
+        "--filter-deny",
+        default=None,
+        metavar="IDS",
+        help="comma-separated node ids the result must not contain",
+    )
+    query.add_argument(
+        "--filter-attribute",
+        action="append",
+        default=None,
+        metavar="ATTR[:MIN_WEIGHT]",
+        help="only nodes whose affinity for ATTR is >= MIN_WEIGHT "
+        "(repeatable; conjunctive)",
+    )
+    query.add_argument(
+        "--filter-json",
+        default=None,
+        metavar="OBJ",
+        help="full filter as a JSON object (same grammar as the wire "
+        "'filter' field; exclusive with the other --filter-* flags)",
     )
 
     bench_http = sub.add_parser(
@@ -1153,6 +1377,7 @@ _COMMANDS = {
     "fsck": _cmd_fsck,
     "log": _cmd_log,
     "gc": _cmd_gc,
+    "dataset": _cmd_dataset,
     "query": _cmd_query,
     "bench-http": _cmd_bench_http,
     "events": _cmd_events,

@@ -26,6 +26,8 @@ broken by ascending row id, which is partition-invariant too.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 # ``pairwise_cosine`` materializes n² float64 similarities; refuse beyond
@@ -130,6 +132,310 @@ def top_k_sorted_indices(scores: np.ndarray, k: int) -> np.ndarray:
     return top[np.argsort(-scores[top], kind="stable")]
 
 
+# Filtered exact search switches from "score everything, mask the rest"
+# to "gather the allowed rows and search the subset" once the filter keeps
+# at most this fraction of the population: below it the gather+GEMM over
+# the subset is cheaper than a full-matrix GEMM whose columns are mostly
+# discarded.
+_GATHER_SELECTIVITY = 0.125
+
+
+class FilterError(ValueError):
+    """A :class:`NodeFilter` that cannot be parsed or compiled.
+
+    Subclasses ``ValueError`` so in-process callers keep catching what
+    they always did, while the HTTP layer can map exactly the filter
+    failures (and nothing else) onto the wire's ``invalid_filter`` code.
+    """
+
+
+def _validate_id_array(ids, name: str) -> np.ndarray | None:
+    """Sorted unique non-negative intp ids (``None`` stays ``None``)."""
+    if ids is None:
+        return None
+    arr = np.asarray(ids)
+    if arr.dtype == np.bool_ or not np.issubdtype(arr.dtype, np.integer):
+        if arr.size and not all(
+            isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+            for v in np.ravel(ids)
+        ):
+            raise ValueError(f"filter {name!r} ids must be integers")
+        arr = arr.astype(np.int64) if arr.size else np.empty(0, dtype=np.int64)
+    arr = np.unique(arr.astype(np.intp, copy=False).ravel())
+    if arr.size and arr[0] < 0:
+        raise ValueError(f"filter {name!r} ids must be non-negative")
+    return arr
+
+
+class NodeFilter:
+    """A search predicate: which rows of the corpus a query may return.
+
+    The one filter object every layer speaks — the HTTP wire parses JSON
+    into it, :class:`~repro.serving.service.QueryService` compiles it
+    against the active version, and every backend honors the compiled
+    form natively.  Three predicate families compose by intersection:
+
+    - **id sets** — ``allow`` (only these ids) and ``deny`` (never these
+      ids); ``deny`` wins where both name an id.
+    - **attribute predicates** — ``attributes`` is a tuple of
+      ``(attribute_id, min_weight)`` pairs: keep nodes whose estimated
+      association with *every* listed attribute is at least the
+      threshold.  Resolving the estimate needs the embedding arrays, so
+      compiling requires an ``attribute_scores`` resolver.
+    - **partition selector** — ``partitions`` restricts to the named
+      shards/tenants of a partitioned deployment; compiling requires a
+      ``partition_of`` map.
+
+    Instances are immutable; :meth:`key` is a stable content fingerprint
+    suitable for cache/coalescing keys.
+    """
+
+    __slots__ = ("allow", "deny", "attributes", "partitions", "_key")
+
+    def __init__(
+        self,
+        *,
+        allow=None,
+        deny=None,
+        attributes=(),
+        partitions=None,
+    ) -> None:
+        self.allow = _validate_id_array(allow, "allow")
+        self.deny = _validate_id_array(deny, "deny")
+        pairs = []
+        for entry in attributes:
+            attribute, min_weight = entry
+            if isinstance(attribute, bool) or not isinstance(
+                attribute, (int, np.integer)
+            ):
+                raise ValueError("filter attribute ids must be integers")
+            if int(attribute) < 0:
+                raise ValueError("filter attribute ids must be non-negative")
+            min_weight = float(min_weight)
+            if not np.isfinite(min_weight):
+                raise ValueError("filter attribute min_weight must be finite")
+            pairs.append((int(attribute), min_weight))
+        self.attributes = tuple(sorted(set(pairs)))
+        parts = _validate_id_array(partitions, "partitions")
+        self.partitions = None if parts is None else tuple(int(p) for p in parts)
+        if self.allow is not None:
+            self.allow.setflags(write=False)
+        if self.deny is not None:
+            self.deny.setflags(write=False)
+        self._key: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_noop(self) -> bool:
+        """True when the filter constrains nothing (treat as no filter)."""
+        return (
+            self.allow is None
+            and (self.deny is None or self.deny.size == 0)
+            and not self.attributes
+            and self.partitions is None
+        )
+
+    def key(self) -> str:
+        """Stable content fingerprint (hex) for cache/coalescing keys."""
+        if self._key is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for name, ids in (("allow", self.allow), ("deny", self.deny)):
+                if ids is not None:
+                    digest.update(name.encode())
+                    digest.update(np.asarray(ids, dtype=np.int64).tobytes())
+            for attribute, min_weight in self.attributes:
+                digest.update(b"attr")
+                digest.update(
+                    np.array([attribute], dtype=np.int64).tobytes()
+                    + np.array([min_weight], dtype=np.float64).tobytes()
+                )
+            if self.partitions is not None:
+                digest.update(b"part")
+                digest.update(np.asarray(self.partitions, dtype=np.int64).tobytes())
+            self._key = digest.hexdigest()
+        return self._key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NodeFilter) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.allow is not None:
+            parts.append(f"allow[{self.allow.size}]")
+        if self.deny is not None:
+            parts.append(f"deny[{self.deny.size}]")
+        if self.attributes:
+            parts.append(f"attributes[{len(self.attributes)}]")
+        if self.partitions is not None:
+            parts.append(f"partitions{list(self.partitions)}")
+        return f"NodeFilter({', '.join(parts) or 'noop'})"
+
+    # -- wire form ------------------------------------------------------
+    def to_json(self) -> dict:
+        """The wire object (omits absent predicate families)."""
+        obj: dict = {}
+        if self.allow is not None:
+            obj["allow"] = [int(v) for v in self.allow]
+        if self.deny is not None:
+            obj["deny"] = [int(v) for v in self.deny]
+        if self.attributes:
+            obj["attributes"] = [
+                {"attribute": attribute, "min_weight": min_weight}
+                for attribute, min_weight in self.attributes
+            ]
+        if self.partitions is not None:
+            obj["partitions"] = list(self.partitions)
+        return obj
+
+    @classmethod
+    def from_json(cls, obj) -> "NodeFilter":
+        """Parse the wire object; raises :class:`FilterError` on any bad shape."""
+        if not isinstance(obj, dict):
+            raise FilterError("filter must be a JSON object")
+        unknown = set(obj) - {"allow", "deny", "attributes", "partitions"}
+        if unknown:
+            raise FilterError(f"unknown filter fields: {sorted(unknown)}")
+        attributes = []
+        raw = obj.get("attributes")
+        if raw is not None:
+            if not isinstance(raw, list):
+                raise FilterError("filter 'attributes' must be a list")
+            for entry in raw:
+                if not isinstance(entry, dict):
+                    raise FilterError("filter attribute entries must be objects")
+                extra = set(entry) - {"attribute", "min_weight"}
+                if extra:
+                    raise FilterError(
+                        f"unknown filter attribute fields: {sorted(extra)}"
+                    )
+                if "attribute" not in entry:
+                    raise FilterError("filter attribute entries need 'attribute'")
+                attributes.append(
+                    (entry["attribute"], entry.get("min_weight", 0.0))
+                )
+        try:
+            return cls(
+                allow=obj.get("allow"),
+                deny=obj.get("deny"),
+                attributes=attributes,
+                partitions=obj.get("partitions"),
+            )
+        except FilterError:
+            raise
+        except (ValueError, TypeError) as error:
+            raise FilterError(str(error)) from error
+
+    # -- compilation ----------------------------------------------------
+    def compile(
+        self,
+        n: int,
+        *,
+        attribute_scores=None,
+        partition_of: np.ndarray | None = None,
+    ) -> "CompiledFilter":
+        """Resolve the predicate against a population of ``n`` rows.
+
+        ``attribute_scores`` is a callable ``attribute_id -> (n,) float
+        scores`` (required when the filter has attribute predicates);
+        ``partition_of`` maps row id to partition id (required when the
+        filter selects partitions).  Ids outside ``[0, n)`` are simply
+        absent from the population: out-of-range ``allow`` entries match
+        nothing, out-of-range ``deny`` entries exclude nothing.
+        """
+        mask = np.ones(n, dtype=bool)
+        if self.allow is not None:
+            allowed = np.zeros(n, dtype=bool)
+            in_range = self.allow[self.allow < n]
+            allowed[in_range] = True
+            mask &= allowed
+        if self.deny is not None and self.deny.size:
+            mask[self.deny[self.deny < n]] = False
+        for attribute, min_weight in self.attributes:
+            if attribute_scores is None:
+                raise FilterError(
+                    "filter has attribute predicates but this deployment "
+                    "has no attribute scorer"
+                )
+            try:
+                scores = np.asarray(attribute_scores(attribute), dtype=np.float64)
+            except FilterError:
+                raise
+            except ValueError as error:
+                raise FilterError(str(error)) from error
+            if scores.shape != (n,):
+                raise ValueError(
+                    f"attribute scorer returned shape {scores.shape}, "
+                    f"expected ({n},)"
+                )
+            mask &= scores >= min_weight
+        if self.partitions is not None:
+            if partition_of is None:
+                raise FilterError(
+                    "filter selects partitions but this deployment is not "
+                    "partitioned"
+                )
+            partition_of = np.asarray(partition_of)
+            if partition_of.shape != (n,):
+                raise ValueError(
+                    f"partition map has shape {partition_of.shape}, "
+                    f"expected ({n},)"
+                )
+            mask &= np.isin(partition_of, np.asarray(self.partitions))
+        return CompiledFilter(mask, key=self.key())
+
+
+class CompiledFilter:
+    """A :class:`NodeFilter` resolved to a boolean row mask.
+
+    The engine-facing form: one bit per corpus row, with the sorted
+    allowed-id array derived lazily for backends that prefer id-set form
+    (subset gathers, per-list candidate filtering).  ``key`` carries the
+    source filter's fingerprint so services can key caches on it.
+    """
+
+    __slots__ = ("mask", "key", "n_allowed", "_allowed")
+
+    def __init__(self, mask: np.ndarray, *, key: str = "") -> None:
+        self.mask = np.asarray(mask, dtype=bool)
+        if self.mask.ndim != 1:
+            raise ValueError("filter mask must be one-dimensional")
+        self.mask.setflags(write=False)
+        self.key = key
+        self.n_allowed = int(np.count_nonzero(self.mask))
+        self._allowed: np.ndarray | None = None
+
+    @property
+    def n(self) -> int:
+        return self.mask.shape[0]
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the population the filter keeps (0 = everything denied)."""
+        return self.n_allowed / self.n if self.n else 0.0
+
+    def allowed_ids(self) -> np.ndarray:
+        """Sorted ids the filter keeps (computed once, then cached)."""
+        if self._allowed is None:
+            self._allowed = np.nonzero(self.mask)[0]
+            self._allowed.setflags(write=False)
+        return self._allowed
+
+    def allows(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean verdict per id (ids must be in ``[0, n)``)."""
+        return self.mask[ids]
+
+    def restrict(self, member_ids: np.ndarray) -> "CompiledFilter":
+        """The filter sliced to a sub-population (e.g. one shard's rows).
+
+        ``member_ids[i]`` is the global id of local row ``i``; the result
+        masks local rows, which is what a per-shard backend searches.
+        """
+        return CompiledFilter(self.mask[member_ids], key=self.key)
+
+
 def exact_top_k(
     features: np.ndarray,
     queries: np.ndarray,
@@ -141,6 +447,7 @@ def exact_top_k(
     select_dtype: str = "float64",
     select_features: np.ndarray | None = None,
     oversample: int = DEFAULT_SELECT_OVERSAMPLE,
+    node_filter: CompiledFilter | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact cosine top-k of query *vectors* against every row of ``features``.
 
@@ -180,6 +487,15 @@ def exact_top_k(
     oversample:
         Shortlist factor for the float32 path: ``max(oversample × k,
         k + 16)`` candidates are selected, clamped to ``n``.
+    node_filter:
+        Optional :class:`CompiledFilter` restricting which rows may be
+        returned.  Selective filters (≤ ~12% of rows kept) search a
+        gathered subset of the matrix; broad filters mask disallowed
+        columns to ``-inf`` before selection.  Both strategies rescore
+        with the same canonical reduction, so they agree bit-for-bit on
+        the rows they return, and ``node_filter=None`` leaves the
+        unfiltered path byte-identical to an engine without this
+        parameter.  Rows the filter exhausts pad with ``-1`` / ``-inf``.
 
     Returns
     -------
@@ -218,6 +534,34 @@ def exact_top_k(
         if exclude.shape != (n_queries,):
             raise ValueError("exclude must have one entry per query")
 
+    disallowed = None
+    if node_filter is not None:
+        if node_filter.n != n:
+            raise ValueError(
+                f"filter covers {node_filter.n} rows, matrix has {n}"
+            )
+        if node_filter.n_allowed == 0:
+            ids = np.full((n_queries, k), -1, dtype=np.intp)
+            scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
+            return (ids[0], scores[0]) if single else (ids, scores)
+        if node_filter.n_allowed == n:
+            node_filter = None  # nothing masked: take the unfiltered path
+        elif node_filter.selectivity <= _GATHER_SELECTIVITY:
+            return _exact_top_k_gather(
+                features,
+                queries,
+                k,
+                exclude=exclude,
+                tile_size=tile_size,
+                select_dtype=select_dtype,
+                select_features=select_features,
+                oversample=oversample,
+                allowed=node_filter.allowed_ids(),
+                single=single,
+            )
+        else:
+            disallowed = np.nonzero(~node_filter.mask)[0]
+
     if select_dtype == "float32":
         if select_features is None:
             select_features = np.asarray(features, dtype=np.float32)
@@ -242,6 +586,8 @@ def exact_top_k(
     for start in range(0, n_queries, max(1, tile_size)):
         stop = min(start + max(1, tile_size), n_queries)
         block = select_queries[start:stop] @ select_mat.T
+        if disallowed is not None:
+            block[:, disallowed] = -np.inf
         if exclude is not None:
             rows = np.arange(start, stop)
             masked = exclude[rows] >= 0
@@ -293,10 +639,69 @@ def exact_top_k(
         order = np.argsort(-canon, axis=1, kind="stable")[:, :k]
         ids[start:stop] = np.take_along_axis(sel, order, axis=1)
         scores[start:stop] = np.take_along_axis(canon, order, axis=1)
-    if exclude is not None:
+    if exclude is not None or disallowed is not None:
         # A masked id can only reach the result when a row had fewer than k
-        # real candidates (k = n with an exclusion); rewrite it as padding.
+        # real candidates (k = n with an exclusion, or a filter keeping
+        # fewer than k rows); rewrite it as padding.
         ids[scores == -np.inf] = -1
+    if single:
+        return ids[0], scores[0]
+    return ids, scores
+
+
+def _exact_top_k_gather(
+    features: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    exclude: np.ndarray | None,
+    tile_size: int,
+    select_dtype: str,
+    select_features: np.ndarray | None,
+    oversample: int,
+    allowed: np.ndarray,
+    single: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Selective-filter strategy: search the gathered allowed-row subset.
+
+    ``allowed`` ascending keeps subset-local ordering equal to global id
+    ordering, and the canonical rescore makes subset scores bit-identical
+    to full-matrix scores for the same rows — so mapping local results
+    back through ``allowed`` agrees exactly with the mask strategy.
+    ``queries``/``features`` arrive already normalized; ``k`` is already
+    clamped to the full population (columns the subset cannot fill pad).
+    """
+    n_queries = queries.shape[0]
+    sub = np.ascontiguousarray(features[allowed])
+    sub_select = None
+    if select_dtype == "float32" and select_features is not None:
+        sub_select = np.ascontiguousarray(select_features[allowed])
+    sub_exclude = None
+    if exclude is not None:
+        # Translate global exclusions to subset-local ids; an excluded id
+        # the filter already removed needs no exclusion at all.
+        position = np.searchsorted(allowed, np.clip(exclude, 0, None))
+        position = np.clip(position, 0, allowed.size - 1)
+        hit = (exclude >= 0) & (allowed[position] == exclude)
+        sub_exclude = np.where(hit, position, -1)
+    local_ids, local_scores = exact_top_k(
+        sub,
+        queries,
+        min(k, allowed.size),
+        assume_normalized=True,
+        exclude=sub_exclude,
+        tile_size=tile_size,
+        select_dtype=select_dtype,
+        select_features=sub_select,
+        oversample=oversample,
+    )
+    local_ids = np.atleast_2d(local_ids)
+    local_scores = np.atleast_2d(local_scores)
+    ids = np.full((n_queries, k), -1, dtype=np.intp)
+    scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
+    width = local_ids.shape[1]
+    ids[:, :width] = np.where(local_ids >= 0, allowed[np.clip(local_ids, 0, None)], -1)
+    scores[:, :width] = local_scores
     if single:
         return ids[0], scores[0]
     return ids, scores

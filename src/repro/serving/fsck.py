@@ -342,8 +342,47 @@ def _fsck_plain(store: EmbeddingStore, *, repair: bool) -> FsckReport:
                     )
 
     _check_latest(store, report, repair=repair)
+    _check_datasets(store, report, repair=repair)
     report.repaired = repair and not report.unrecoverable and bool(report.actions)
     return report
+
+
+def _check_datasets(store, report: FsckReport, *, repair: bool) -> None:
+    """Validate the dataset registry (``datasets.json``) against the store.
+
+    Two failure shapes: an unreadable/ill-schemed registry file (repair
+    quarantines it — losing aliases is recoverable, serving garbage is
+    not), and a *dangling* dataset whose pinned version is gone (repair
+    drops the name, so GC protection reflects versions that exist).
+    """
+    from repro.serving.datasets import DatasetError, DatasetRegistry
+
+    registry = DatasetRegistry(store)
+    if not registry.path.exists():
+        return
+    try:
+        registry.load()
+    except DatasetError as error:
+        report.issues.append(
+            Issue(code="bad_datasets", path=str(registry.path), detail=str(error))
+        )
+        if repair:
+            _quarantine(Path(report.root), registry.path, report)
+        return
+    for name, version in sorted(registry.dangling().items()):
+        report.issues.append(
+            Issue(
+                code="dataset_dangling",
+                path=str(registry.path),
+                detail=f"dataset {name!r} pins missing version {version!r}",
+                version=version,
+            )
+        )
+        if repair:
+            registry.remove(name)
+            report.actions.append(
+                f"dropped dangling dataset {name!r} (version {version!r} is gone)"
+            )
 
 
 def _check_latest(store, report: FsckReport, *, repair: bool) -> None:

@@ -48,10 +48,35 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from repro.search.knn import NodeFilter
 from repro.serving.http import protocol
 from repro.serving.http.protocol import ApiError
 from repro.serving.obs.trace import new_request_id
 from repro.serving.stats import LatencyStats
+
+
+def _merge_search_options(body: dict, node_filter, params) -> None:
+    """Fold ``filter=`` / ``params=`` kwargs into a request body.
+
+    Accepts the in-process objects (:class:`NodeFilter`,
+    ``SearchParams``) or their plain JSON-object forms.  The encoded
+    objects ride in the JSON body or the binary frame *header*
+    unchanged, so one encoding serves both wire formats — old servers
+    reject the unknown fields with a structured 400, which surfaces
+    cleanly instead of being silently dropped.
+    """
+    if node_filter is not None:
+        obj = (
+            node_filter.to_json()
+            if isinstance(node_filter, NodeFilter)
+            else dict(node_filter)
+        )
+        if obj:
+            body["filter"] = obj
+    if params is not None:
+        obj = params.to_json() if hasattr(params, "to_json") else dict(params)
+        if obj:
+            body["params"] = obj
 
 
 class ServingUnavailable(ApiError):
@@ -524,12 +549,15 @@ class ServingClient:
         k: int = 10,
         *,
         nprobe: int | None = None,
+        filter: NodeFilter | dict | None = None,
+        params: dict | None = None,
         timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body = {"node": int(node), "k": int(k)}
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
+        _merge_search_options(body, filter, params)
         payload = self._request("POST", protocol.TOPK, body, timeout_s=timeout_s)
         version, ids, scores, server_latency, cached, group = (
             protocol.parse_result_payload(payload)
@@ -550,12 +578,15 @@ class ServingClient:
         k: int = 10,
         *,
         nprobe: int | None = None,
+        filter: NodeFilter | dict | None = None,
+        params: dict | None = None,
         timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body: dict = {"k": int(k)}
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
+        _merge_search_options(body, filter, params)
         query = np.asarray(vector, dtype=np.float64).ravel()
         payload = self._request(
             "POST", protocol.SIMILAR, body,
@@ -579,6 +610,8 @@ class ServingClient:
         k: int = 10,
         *,
         nprobe: int | None = None,
+        filter: NodeFilter | dict | None = None,
+        params: dict | None = None,
         timeout_s: float | None = None,
     ) -> HTTPQueryResult:
         """Top-k for a node batch, fanned out across the replicas.
@@ -599,6 +632,7 @@ class ServingClient:
             body: dict = {"k": int(k)}
             if nprobe is not None:
                 body["nprobe"] = int(nprobe)
+            _merge_search_options(body, filter, params)
             return self._request(
                 "POST", protocol.TOPK_BATCH, body,
                 arrays={"nodes": chunk}, prefer=prefer, timeout_s=timeout_s,

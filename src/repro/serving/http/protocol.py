@@ -40,6 +40,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.search.knn import FilterError, NodeFilter
+
 PROTOCOL_SCHEMA = "repro.serving.http/v1"
 
 # Stable endpoint paths (the server routes on these; the client targets them).
@@ -421,6 +423,137 @@ def require_node_field(body: dict, name: str, *, max_items: int) -> np.ndarray:
     return np.asarray(
         require_int_list(body, name, max_items=max_items), dtype=np.intp
     )
+
+
+#: Cap on ids per filter family (allow / deny / partitions) on the wire.
+MAX_FILTER_IDS = 65536
+
+#: The optional predicate/tuning fields every data endpoint accepts in
+#: addition to its own shape fields.  ``filter_allow``/``filter_deny``
+#: are the binary-frame spelling of large id sets: raw ``<i8`` arrays
+#: instead of JSON integer lists (they merge into the ``filter`` object
+#: server-side and are rejected on JSON bodies).
+SEARCH_OPTION_FIELDS = ("filter", "params", "filter_allow", "filter_deny")
+
+
+def parse_filter_field(body: dict) -> NodeFilter | None:
+    """The request's ``"filter"`` object (+ frame id arrays) → NodeFilter.
+
+    Accepts the JSON object form on both wire formats; binary frames may
+    additionally (or instead) carry ``filter_allow`` / ``filter_deny``
+    as raw ``<i8`` arrays, which merge into the object's ``allow`` /
+    ``deny`` families.  Any malformation raises :class:`ApiError` with
+    the stable ``invalid_filter`` code.  Returns ``None`` when the
+    request carries no constraint (absent or no-op filter), so the
+    service's unfiltered fast path stays untouched.
+    """
+    obj = body.get("filter")
+    frame_allow = body.get("filter_allow")
+    frame_deny = body.get("filter_deny")
+    if obj is None and frame_allow is None and frame_deny is None:
+        return None
+    if obj is not None and not isinstance(obj, dict):
+        raise ApiError(
+            400, "invalid_filter", "field 'filter' must be an object",
+            {"got": type(obj).__name__},
+        )
+    spec = dict(obj or {})
+    for name, array in (("allow", frame_allow), ("deny", frame_deny)):
+        if array is None:
+            continue
+        if not isinstance(array, (np.ndarray, list)):
+            raise ApiError(
+                400, "invalid_filter",
+                f"field 'filter_{name}' must be an id array or list",
+                {"got": type(array).__name__},
+            )
+        if isinstance(array, np.ndarray) and array.ndim != 1:
+            raise ApiError(
+                400, "invalid_filter", f"field 'filter_{name}' must be 1-D",
+                {"shape": list(array.shape)},
+            )
+        if name in spec:
+            raise ApiError(
+                400, "invalid_filter",
+                f"filter.{name} and the filter_{name} array are mutually "
+                "exclusive",
+            )
+        spec[name] = array
+    try:
+        node_filter = NodeFilter.from_json(spec)
+    except FilterError as error:
+        raise ApiError(400, "invalid_filter", str(error))
+    for name, ids in (
+        ("allow", node_filter.allow),
+        ("deny", node_filter.deny),
+        ("partitions", node_filter.partitions),
+    ):
+        if ids is not None and len(ids) > MAX_FILTER_IDS:
+            raise ApiError(
+                400, "invalid_filter",
+                f"filter {name!r} exceeds the {MAX_FILTER_IDS}-id limit",
+                {"items": len(ids)},
+            )
+    return None if node_filter.is_noop else node_filter
+
+
+def parse_params_field(body: dict, *, legacy_nprobe: int | None = None):
+    """The request's ``"params"`` object → SearchParams.
+
+    ``legacy_nprobe`` is the pre-existing top-level ``"nprobe"`` field,
+    kept for old clients; it must agree with ``params.nprobe`` when both
+    are sent.  Malformed params are an ``invalid_request`` (they predate
+    no capability — unlike filters they have no dedicated error code).
+    """
+    from repro.serving.service import SearchParams
+
+    obj = body.get("params")
+    if obj is None:
+        return SearchParams(nprobe=legacy_nprobe)
+    try:
+        params = SearchParams.from_json(obj)
+    except ValueError as error:
+        raise ApiError(400, "invalid_request", str(error))
+    if legacy_nprobe is not None:
+        if params.nprobe is not None and params.nprobe != legacy_nprobe:
+            raise ApiError(
+                400, "invalid_request",
+                "'nprobe' and 'params.nprobe' disagree",
+                {"nprobe": legacy_nprobe, "params.nprobe": params.nprobe},
+            )
+        params = SearchParams(
+            nprobe=legacy_nprobe,
+            rescore_factor=params.rescore_factor,
+            select_dtype=params.select_dtype,
+        )
+    return params
+
+
+def encode_filter(
+    node_filter, *, binary: bool = False
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """A filter's wire parts: (JSON body fields, binary-frame arrays).
+
+    The client-side mirror of :func:`parse_filter_field`.  JSON bodies
+    carry the whole object under ``"filter"``; binary frames move the
+    (potentially large) ``allow``/``deny`` id sets out of the JSON
+    header into raw ``filter_allow``/``filter_deny`` arrays.
+    """
+    if node_filter is None:
+        return {}, {}
+    obj = (
+        node_filter.to_json()
+        if isinstance(node_filter, NodeFilter)
+        else dict(node_filter)
+    )
+    if not binary:
+        return ({"filter": obj} if obj else {}), {}
+    arrays: dict[str, np.ndarray] = {}
+    for name in ("allow", "deny"):
+        ids = obj.pop(name, None)
+        if ids is not None:
+            arrays[f"filter_{name}"] = np.asarray(ids, dtype=np.int64)
+    return ({"filter": obj} if obj else {}), arrays
 
 
 def reject_unknown_fields(body: dict, allowed: Sequence[str]) -> None:

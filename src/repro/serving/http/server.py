@@ -57,7 +57,8 @@ from repro.serving.obs import trace as obs_trace
 from repro.serving.obs.metrics import MetricsRegistry
 from repro.serving.obs.trace import TraceBuffer, trace_span
 from repro.serving.refresh import OnlineRefresher
-from repro.serving.service import QueryService, json_safe
+from repro.search.knn import FilterError
+from repro.serving.service import QueryService, SearchRequest, json_safe
 from repro.serving.sharding.router import ShardRouter
 from repro.serving.stats import LatencyStats
 from repro.serving.wal.log import LogFull, LogWriteError
@@ -635,10 +636,13 @@ class EmbeddingServer:
         }
 
     def handle_topk(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
-        protocol.reject_unknown_fields(body, ("node", "k", "nprobe"))
+        protocol.reject_unknown_fields(
+            body, ("node", "k", "nprobe") + protocol.SEARCH_OPTION_FIELDS
+        )
         node = protocol.require_int(body, "node", required=True, minimum=0)
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
         nprobe = protocol.require_int(body, "nprobe", minimum=1)
+        request = _parse_search_request(body, node=node, k=k, nprobe=nprobe)
         if self._coalescer is not None:
             # Admission coalescing: this handler thread merges with its
             # concurrent peers into one batch GEMM.  The group executes
@@ -646,18 +650,18 @@ class EmbeddingServer:
             # consistency a PinnedView gives one request, extended to
             # the whole group (every member answers with one version).
             result = _translate_errors(
-                lambda: self.service.top_k_coalesced(
-                    self._coalescer, node, k, nprobe=nprobe
-                )
+                lambda: self.service.search(request, coalescer=self._coalescer)
             )
         else:
             with trace_span("pin"):
                 view = self.service.pin()
-            result = _translate_errors(lambda: view.top_k(node, k, nprobe=nprobe))
+            result = _translate_errors(lambda: view.search(request))
         return 200, protocol.ResultPayload(result)
 
     def handle_topk_batch(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
-        protocol.reject_unknown_fields(body, ("nodes", "k", "nprobe"))
+        protocol.reject_unknown_fields(
+            body, ("nodes", "k", "nprobe") + protocol.SEARCH_OPTION_FIELDS
+        )
         nodes = protocol.require_node_field(
             body, "nodes", max_items=MAX_BATCH_NODES
         )
@@ -667,27 +671,27 @@ class EmbeddingServer:
             raise ApiError(
                 400, "invalid_request", "field 'nodes' must be non-negative"
             )
+        request = _parse_search_request(body, nodes=nodes, k=k, nprobe=nprobe)
         with trace_span("pin"):
             view = self.service.pin()
-        result = _translate_errors(
-            lambda: view.batch_top_k(nodes, k, nprobe=nprobe)
-        )
+        result = _translate_errors(lambda: view.search(request))
         return 200, protocol.ResultPayload(result)
 
     def handle_similar(self, body: dict) -> tuple[int, "protocol.ResultPayload"]:
-        protocol.reject_unknown_fields(body, ("vector", "k", "nprobe"))
+        protocol.reject_unknown_fields(
+            body, ("vector", "k", "nprobe") + protocol.SEARCH_OPTION_FIELDS
+        )
         vector = protocol.require_vector_field(
             body, "vector", max_items=MAX_VECTOR_DIM
         )
         k = protocol.require_int(body, "k", default=10, minimum=1, maximum=MAX_K)
         nprobe = protocol.require_int(body, "nprobe", minimum=1)
+        request = _parse_search_request(
+            body, vector=np.asarray(vector, dtype=np.float64), k=k, nprobe=nprobe
+        )
         with trace_span("pin"):
             view = self.service.pin()
-        result = _translate_errors(
-            lambda: view.similar_by_vector(
-                np.asarray(vector, dtype=np.float64), k, nprobe=nprobe
-            )
-        )
+        result = _translate_errors(lambda: view.search(request))
         return 200, protocol.ResultPayload(result)
 
     def handle_upsert(self, body: dict) -> tuple[int, dict]:
@@ -883,18 +887,49 @@ def _store_corrupt_error(error: StoreCorruptionError) -> ApiError:
     )
 
 
+def _parse_search_request(
+    body: dict,
+    *,
+    k: int,
+    nprobe: int | None,
+    node: int | None = None,
+    nodes: np.ndarray | None = None,
+    vector: np.ndarray | None = None,
+) -> SearchRequest:
+    """The shared tail of the three data handlers: options → SearchRequest.
+
+    The filter parses to the ``invalid_filter`` wire code, params to
+    ``invalid_request`` (with the legacy top-level ``nprobe`` folded in);
+    request assembly itself can only fail on programmer error upstream,
+    but is translated anyway so a gap surfaces as a 400, not a 500.
+    """
+    node_filter = protocol.parse_filter_field(body)
+    params = protocol.parse_params_field(body, legacy_nprobe=nprobe)
+    return _translate_errors(
+        lambda: SearchRequest(
+            node=node, nodes=nodes, vector=vector, k=k,
+            filter=node_filter, params=params,
+        )
+    )
+
+
 def _translate_errors(run):
     """Map service-level exceptions onto wire errors.
 
     ``IndexError`` (node/attribute out of range for the pinned snapshot)
-    is a missing resource → 404; ``ValueError`` (bad k, dim mismatch) is
-    a caller mistake → 400.  Everything else propagates to the handler's
-    500 path.
+    is a missing resource → 404; :class:`FilterError` (a predicate that
+    cannot compile against the active version — unknown attribute,
+    partition selector on an unpartitioned store) gets the dedicated
+    ``invalid_filter`` code; any other ``ValueError`` (bad k, dim
+    mismatch) is a caller mistake → 400.  Everything else propagates to
+    the handler's 500 path.
     """
     try:
         return run()
     except IndexError as error:
         raise ApiError(404, "node_not_found", str(error))
+    except FilterError as error:
+        raise ApiError(400, "invalid_filter", str(error))
     except ValueError as error:
         raise ApiError(400, "invalid_request", str(error))
 

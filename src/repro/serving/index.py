@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.search.knn import (
+    CompiledFilter,
     canonical_scores,
     exact_top_k,
     normalize_rows,
@@ -42,6 +43,24 @@ AUTO_EXACT_THRESHOLD = 4096
 _ASSIGN_CHUNK = 8192  # rows per chunk in full-matrix centroid assignment
 
 
+def filtered_probe_width(nprobe: int, nlist: int, selectivity: float) -> int:
+    """Selectivity-driven ``nprobe`` widening for filtered IVF scans.
+
+    A filter keeping a fraction ``s`` of the corpus thins every inverted
+    list by ~``s``, so the candidate pool behind the usual ``nprobe``
+    probes shrinks ~``1/s``-fold and recall craters under selective
+    filters.  Probing ``nprobe / s`` cells restores the *expected
+    candidate count* of the unfiltered scan — the invariant the recall
+    floor was tuned against.  Saturates at ``nlist`` (an exhaustive scan
+    of the allowed set; with rescoring the caller can then delegate to
+    the exact engine, whose gather path is itself cheap at exactly the
+    selectivities that saturate this).
+    """
+    if selectivity <= 0.0:
+        return nlist
+    return min(nlist, max(nprobe, int(np.ceil(nprobe / selectivity))))
+
+
 class SearchBackend(abc.ABC):
     """Cosine top-k search over a fixed matrix of unit-norm rows."""
 
@@ -51,6 +70,11 @@ class SearchBackend(abc.ABC):
     # QueryService dispatches on this instead of isinstance checks so new
     # backends (IVF-PQ, the shard router) opt in with one attribute.
     SUPPORTS_NPROBE = False
+
+    # Whether search() accepts a per-query ``node_filter``
+    # (:class:`repro.search.knn.CompiledFilter`); same attribute-dispatch
+    # pattern as SUPPORTS_NPROBE.
+    SUPPORTS_FILTER = False
 
     @property
     def n_vectors(self) -> int:
@@ -93,6 +117,13 @@ class ExactBackend(SearchBackend):
     by ``benchmarks/bench_serving.py``.
     """
 
+    SUPPORTS_FILTER = True
+    # search() accepts a per-query ``select_dtype`` override (the service's
+    # SearchParams hint); the cast-once float32 copy is only used when the
+    # effective dtype matches the configured one, otherwise exact_top_k
+    # casts on the fly.
+    SUPPORTS_SELECT_DTYPE = True
+
     def __init__(self, features: np.ndarray, *, select_dtype: str = "float64") -> None:
         if select_dtype not in ("float64", "float32"):
             raise ValueError(
@@ -112,15 +143,21 @@ class ExactBackend(SearchBackend):
         k: int,
         *,
         exclude: np.ndarray | None = None,
+        node_filter: CompiledFilter | None = None,
+        select_dtype: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        effective = self.select_dtype if select_dtype is None else select_dtype
         return exact_top_k(
             self.features,
             queries,
             k,
             assume_normalized=True,
             exclude=exclude,
-            select_dtype=self.select_dtype,
-            select_features=self._select32,
+            select_dtype=effective,
+            select_features=(
+                self._select32 if effective == self.select_dtype else None
+            ),
+            node_filter=node_filter,
         )
 
 
@@ -169,6 +206,7 @@ class IVFIndex(SearchBackend):
     """
 
     SUPPORTS_NPROBE = True
+    SUPPORTS_FILTER = True
 
     def __init__(
         self,
@@ -249,6 +287,7 @@ class IVFIndex(SearchBackend):
         exclude: np.ndarray | None = None,
         nprobe: int | None = None,
         rescore: bool = True,
+        node_filter: CompiledFilter | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """IVF top-k: probe ``nprobe`` cells, rescore candidates exactly.
 
@@ -258,10 +297,29 @@ class IVFIndex(SearchBackend):
         ``nprobe >= nlist`` and ``rescore=True`` the search is exhaustive
         and bit-identical to :class:`ExactBackend` — it delegates to the
         same engine, so the guarantee holds for batch queries too.
+
+        ``node_filter`` restricts the candidate pool per probed list and
+        widens ``nprobe`` by the filter's selectivity
+        (:func:`filtered_probe_width`), so recall against filtered-exact
+        holds even under ~1%-selective filters; once the widened probe
+        count saturates ``nlist`` the search delegates to the (filtered)
+        exact engine.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         nprobe = self.nprobe if nprobe is None else min(max(1, nprobe), self.nlist)
+        if node_filter is not None:
+            if node_filter.n != self.n_vectors:
+                raise ValueError(
+                    f"filter covers {node_filter.n} rows, index has "
+                    f"{self.n_vectors}"
+                )
+            if node_filter.n_allowed == self.n_vectors:
+                node_filter = None
+            else:
+                nprobe = filtered_probe_width(
+                    nprobe, self.nlist, node_filter.selectivity
+                )
         if rescore and nprobe >= self.nlist:
             return exact_top_k(
                 self.features, queries, k, assume_normalized=True, exclude=exclude,
@@ -269,6 +327,7 @@ class IVFIndex(SearchBackend):
                 # the nprobe >= nlist guarantee survives the opt-in.
                 select_dtype=self.select_dtype,
                 select_features=self._select32,
+                node_filter=node_filter,
             )
         single = np.ndim(queries) == 1
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -298,15 +357,28 @@ class IVFIndex(SearchBackend):
         scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
         for row in range(n_queries):
             excluded = -1 if exclude is None else int(exclude[row])
-            row_ids, row_scores = self._search_one(
-                queries[row],
-                k,
-                probes_all[row],
-                centroid_sims[row],
-                excluded,
-                rescore,
-                None if queries32 is None else queries32[row],
-            )
+            query32 = None if queries32 is None else queries32[row]
+            if node_filter is None:
+                row_ids, row_scores = self._search_one(
+                    queries[row],
+                    k,
+                    probes_all[row],
+                    centroid_sims[row],
+                    excluded,
+                    rescore,
+                    query32,
+                )
+            else:
+                row_ids, row_scores = self._search_one_filtered(
+                    queries[row],
+                    k,
+                    probes_all[row],
+                    centroid_sims[row],
+                    excluded,
+                    rescore,
+                    query32,
+                    node_filter,
+                )
             ids[row, : row_ids.shape[0]] = row_ids
             scores[row, : row_scores.shape[0]] = row_scores
         if single:
@@ -387,6 +459,61 @@ class IVFIndex(SearchBackend):
         candidate_scores = centroid_sims[self.assignments[candidates]]
         top = top_k_sorted_indices(candidate_scores, min(k, candidates.shape[0]))
         return candidates[top], candidate_scores[top]
+
+    def _search_one_filtered(
+        self,
+        query: np.ndarray,
+        k: int,
+        probes: np.ndarray,
+        centroid_sims: np.ndarray,
+        excluded: int,
+        rescore: bool,
+        query32: np.ndarray | None,
+        node_filter: CompiledFilter,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query filtered scan: the per-list mask variant of `_search_one`.
+
+        Kept separate so the unfiltered per-query path stays literally
+        untouched.  Candidates from the probed lists pass through the
+        filter mask *before* any scoring; selection and canonical rescore
+        then run on the surviving pool exactly like the unfiltered scan,
+        so returned scores carry the same bits filtered-exact reports for
+        the same rows.
+        """
+        if probes.shape[0] == self.nlist:
+            candidates = node_filter.allowed_ids()
+        else:
+            candidates = np.sort(
+                np.concatenate([self._lists[j] for j in probes])
+            )
+            candidates = candidates[node_filter.allows(candidates)]
+        if excluded >= 0:
+            position = np.searchsorted(candidates, excluded)
+            if position < candidates.shape[0] and candidates[position] == excluded:
+                candidates = np.delete(candidates, position)
+        if candidates.shape[0] == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0)
+        if not rescore:
+            candidate_scores = centroid_sims[self.assignments[candidates]]
+            top = top_k_sorted_indices(
+                candidate_scores, min(k, candidates.shape[0])
+            )
+            return candidates[top], candidate_scores[top]
+        if query32 is not None:
+            selector = self._select32[candidates] @ query32
+            top = top_k_sorted_indices(
+                selector, select_shortlist_size(k, candidates.shape[0])
+            )
+            shortlist = candidates[top]
+            canon = canonical_scores(self.features, shortlist, query)
+            order = np.lexsort((shortlist, -canon))[:k]
+            return shortlist[order], canon[order]
+        selector = self.features[candidates] @ query
+        top = top_k_sorted_indices(selector, min(k, candidates.shape[0]))
+        chosen = candidates[top]
+        canon = canonical_scores(self.features, chosen, query)
+        order = np.lexsort((chosen, -canon))
+        return chosen[order], canon[order]
 
     # ------------------------------------------------------------------
     def refresh(self, features: np.ndarray) -> "IVFIndex":

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Sequence
@@ -37,7 +38,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.parallel.pool import WorkerPool
-from repro.search.knn import normalize_rows, top_k_sorted_indices
+from repro.search.knn import (
+    CompiledFilter,
+    NodeFilter,
+    normalize_rows,
+    top_k_sorted_indices,
+)
 from repro.serving.obs.trace import current_trace, trace_span
 from repro.serving.index import (
     ExactBackend,
@@ -76,14 +82,180 @@ class QueryResult:
     group: int | None = None
 
 
-def _node_key(version: str, node: int, k: int, nprobe: int | None) -> tuple:
+@dataclass(frozen=True)
+class SearchParams:
+    """Per-request tuning knobs, carried inside a :class:`SearchRequest`.
+
+    Every field is a *hint*: it is honored by backends that advertise the
+    matching capability (``SUPPORTS_NPROBE`` / ``SUPPORTS_RESCORE_FACTOR``
+    / ``SUPPORTS_SELECT_DTYPE``) and silently ignored elsewhere — the same
+    convention ``nprobe`` has always followed, so one request shape works
+    against every backend kind.  ``None`` means "the backend's configured
+    default".
+
+    - ``nprobe``: IVF probe width (IVF / IVF-PQ / sharded IVF).
+    - ``rescore_factor``: ADC shortlist multiplier for PQ rescoring
+      (PQ / IVF-PQ): the top ``rescore_factor × k`` ADC candidates are
+      exact-rescored.
+    - ``select_dtype``: ``"float64"`` or ``"float32"`` selection precision
+      for the exact engine; scores stay canonical float64 either way.
+    """
+
+    nprobe: int | None = None
+    rescore_factor: int | None = None
+    select_dtype: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nprobe is not None and int(self.nprobe) < 1:
+            raise ValueError(f"nprobe must be >= 1, got {self.nprobe}")
+        if self.rescore_factor is not None and int(self.rescore_factor) < 1:
+            raise ValueError(
+                f"rescore_factor must be >= 1, got {self.rescore_factor}"
+            )
+        if self.select_dtype not in (None, "float64", "float32"):
+            raise ValueError(
+                "select_dtype must be 'float64' or 'float32', "
+                f"got {self.select_dtype!r}"
+            )
+
+    def key(self) -> tuple:
+        """Hashable identity for cache keys and coalescing groups."""
+        return (self.nprobe, self.rescore_factor, self.select_dtype)
+
+    def to_json(self) -> dict:
+        """The wire form: a dict of the non-default fields only."""
+        doc: dict = {}
+        if self.nprobe is not None:
+            doc["nprobe"] = int(self.nprobe)
+        if self.rescore_factor is not None:
+            doc["rescore_factor"] = int(self.rescore_factor)
+        if self.select_dtype is not None:
+            doc["select_dtype"] = self.select_dtype
+        return doc
+
+    @classmethod
+    def from_json(cls, obj: object) -> "SearchParams":
+        """Parse the wire ``"params"`` object; strict, ``ValueError`` on junk."""
+        if not isinstance(obj, dict):
+            raise ValueError(f"params must be an object, got {type(obj).__name__}")
+        unknown = set(obj) - {"nprobe", "rescore_factor", "select_dtype"}
+        if unknown:
+            raise ValueError(f"unknown params field(s): {sorted(unknown)}")
+        nprobe = obj.get("nprobe")
+        rescore = obj.get("rescore_factor")
+        for name, value in (("nprobe", nprobe), ("rescore_factor", rescore)):
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int)
+            ):
+                raise ValueError(f"params.{name} must be an integer, got {value!r}")
+        select_dtype = obj.get("select_dtype")
+        if select_dtype is not None and not isinstance(select_dtype, str):
+            raise ValueError(
+                f"params.select_dtype must be a string, got {select_dtype!r}"
+            )
+        return cls(nprobe=nprobe, rescore_factor=rescore, select_dtype=select_dtype)
+
+
+#: The all-defaults instance shared by requests that pass no params.
+DEFAULT_PARAMS = SearchParams()
+
+
+@dataclass(frozen=True, eq=False)
+class SearchRequest:
+    """One query against the serving tier, in any of its three shapes.
+
+    Exactly one of ``node`` (top-k neighbors of a stored node), ``nodes``
+    (a stacked batch of the same), or ``vector`` (top-k for an arbitrary
+    query vector, normalized by the service) must be set.  ``filter``
+    restricts the candidate population with a :class:`NodeFilter`
+    predicate — the one place all three shapes accept the same allow /
+    deny / attribute / partition object (this is also the exclude path
+    for vector queries, which historically had none).  ``params`` carries
+    per-request backend hints (see :class:`SearchParams`).
+
+    This is the single request object the whole stack speaks:
+    :meth:`QueryService.search`, :class:`PinnedView`, the HTTP wire's
+    ``"filter"``/``"params"`` JSON objects, and the CLI all construct or
+    consume it — the legacy ``top_k(node, k, nprobe=)`` signatures are
+    deprecated shims over it.
+    """
+
+    node: int | None = None
+    nodes: Sequence[int] | np.ndarray | None = None
+    vector: np.ndarray | None = None
+    k: int = 10
+    filter: NodeFilter | None = None
+    params: SearchParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        shapes = sum(
+            value is not None for value in (self.node, self.nodes, self.vector)
+        )
+        if shapes != 1:
+            raise ValueError(
+                "exactly one of node / nodes / vector must be set, "
+                f"got {shapes} of them"
+            )
+        if int(self.k) < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.filter is not None and not isinstance(self.filter, NodeFilter):
+            raise ValueError(
+                f"filter must be a NodeFilter, got {type(self.filter).__name__}"
+            )
+        if not isinstance(self.params, SearchParams):
+            raise ValueError(
+                f"params must be a SearchParams, got {type(self.params).__name__}"
+            )
+
+    def filter_key(self) -> bytes | None:
+        """The filter's cache identity (``None`` when unfiltered / no-op)."""
+        if self.filter is None or self.filter.is_noop:
+            return None
+        return self.filter.key()
+
+
+def _node_key(
+    version: str,
+    node: int,
+    k: int,
+    params: SearchParams,
+    filter_key: bytes | None,
+) -> tuple:
     """The result-cache key for a node top-k query.
 
     One constructor for every site that reads or fills the cache
-    (``top_k``, the direct path, the micro-batcher, ``PinnedView``) —
+    (``search``, the direct path, the micro-batcher, ``PinnedView``) —
     a key-shape drift between sites would silently stop hits matching.
+    Params and filter identity are part of the key: a filtered answer
+    must never be served to an unfiltered query (or vice versa), and two
+    requests differing only in ``nprobe`` are different answers.
     """
-    return (version, "node", int(node), int(k), nprobe)
+    return (version, "node", int(node), int(k), params.key(), filter_key)
+
+
+#: Sentinel default for ``QueryService.search(coalescer=...)``: "use the
+#: service's configured micro-batcher" — distinct from ``None`` (bypass).
+_DEFAULT_COALESCER = object()
+
+#: Compiled filter masks kept per service (LRU over (version, filter key)).
+_FILTER_CACHE_SIZE = 64
+
+#: Process-wide flag so the deprecated entrypoints warn exactly once.
+_deprecation_warned = False
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the one-per-process ``DeprecationWarning`` for a legacy shim."""
+    global _deprecation_warned
+    if _deprecation_warned:
+        return
+    _deprecation_warned = True
+    warnings.warn(
+        f"QueryService.{name}() and the other per-shape entrypoints are "
+        f"deprecated; use QueryService.search({replacement})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -176,6 +348,11 @@ class QueryService:
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Compiled-filter LRU: masks are derived data (version × filter key),
+        # cheap to rebuild but worth reusing across the requests of one
+        # client session that keep sending the same predicate.
+        self._filter_cache: OrderedDict[tuple, CompiledFilter] = OrderedDict()
+        self._filter_lock = threading.Lock()
         self._cache_hit_count = 0
         self._cache_miss_count = 0
         self._swap_lock = threading.Lock()
@@ -314,9 +491,35 @@ class QueryService:
         return PinnedView(self, self._snapshot())
 
     # -- queries -------------------------------------------------------
+    def search(
+        self,
+        request: SearchRequest,
+        *,
+        coalescer: "_MicroBatcher | None" = _DEFAULT_COALESCER,
+    ) -> QueryResult:
+        """Answer one :class:`SearchRequest` — the single query entrypoint.
+
+        Dispatches on the request's shape: ``node`` goes through the
+        service's micro-batcher when one is configured (pass
+        ``coalescer=`` to use an explicit one, or ``None`` to bypass
+        coalescing entirely), ``nodes`` fans out over the worker pool,
+        ``vector`` answers directly.  The legacy ``top_k`` /
+        ``batch_top_k`` / ``similar_by_vector`` / ``top_k_coalesced``
+        names are deprecated shims over this method.
+        """
+        if request.nodes is not None:
+            return self._batch_top_k_on(self._snapshot(), request)
+        if request.vector is not None:
+            return self._similar_by_vector_on(self._snapshot(), request)
+        batcher = self._batcher if coalescer is _DEFAULT_COALESCER else coalescer
+        return self._top_k_through(batcher, request)
+
     def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
-        """The ``k`` nodes most similar to ``node`` under the active version."""
-        return self._top_k_through(self._batcher, node, k, nprobe)
+        """Deprecated shim — use :meth:`search` with a :class:`SearchRequest`."""
+        _warn_deprecated("top_k", "SearchRequest(node=..., k=..., params=...)")
+        return self.search(
+            SearchRequest(node=node, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
     def make_coalescer(
         self, window_s: float, *, max_batch: int | None = None
@@ -340,28 +543,37 @@ class QueryService:
         *,
         nprobe: int | None = None,
     ) -> QueryResult:
-        """:meth:`top_k` through an explicit coalescer (see :meth:`make_coalescer`).
+        """Deprecated shim — :meth:`search` with an explicit ``coalescer=``.
 
         The whole coalesced group is answered from one snapshot read at
         drain time, so members can never mix store versions; each result
         carries the group id for outside verification.
         """
-        return self._top_k_through(coalescer, node, k, nprobe)
+        _warn_deprecated(
+            "top_k_coalesced", "search(SearchRequest(node=...), coalescer=...)"
+        )
+        return self.search(
+            SearchRequest(node=node, k=k, params=SearchParams(nprobe=nprobe)),
+            coalescer=coalescer,
+        )
 
     def _top_k_through(
-        self, batcher: "_MicroBatcher | None", node: int, k: int, nprobe: int | None
+        self, batcher: "_MicroBatcher | None", request: SearchRequest
     ) -> QueryResult:
         start = time.perf_counter()
         active = self._snapshot()
+        node, k = int(request.node), int(request.k)
         self._check_node(active, node)
-        hit = self._cache_get(_node_key(active.version, node, k, nprobe))
+        filter_key = request.filter_key()
+        key = _node_key(active.version, node, k, request.params, filter_key)
+        hit = self._cache_get(key)
         if hit is not None:
             latency = time.perf_counter() - start
             self.stats.record(latency, cached=True)
             return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
         if batcher is not None:
             with trace_span("coalesce_wait") as span:
-                result = batcher.submit(int(node), int(k), nprobe)
+                result = batcher.submit(node, k, request)
                 if span is not None and result.group is not None:
                     span.meta["group"] = result.group
             # The caller's latency includes the coalescing window it slept
@@ -370,23 +582,32 @@ class QueryService:
             latency = time.perf_counter() - start
             self.stats.record(latency)
             return replace(result, latency_s=latency)
-        return self._top_k_direct(active, node, k, nprobe, start)
+        return self._top_k_direct(active, request, start)
 
     def _top_k_direct(
         self,
         active: _ActiveVersion,
-        node: int,
-        k: int,
-        nprobe: int | None,
+        request: SearchRequest,
         start: float,
     ) -> QueryResult:
         """Single-node top-k against an explicit snapshot (no batcher)."""
+        node, k = int(request.node), int(request.k)
+        compiled = self._compile_filter(active, request.filter)
         query = np.asarray(active.stored.features[node], dtype=np.float64)
         with trace_span("select", version=active.version):
             ids, scores = _search(
-                active.backend, query[np.newaxis], k, np.array([node]), nprobe
+                active.backend,
+                query[np.newaxis],
+                k,
+                np.array([node]),
+                request.params,
+                compiled,
             )
-        self._cache_put(_node_key(active.version, node, k, nprobe), ids[0], scores[0])
+        self._cache_put(
+            _node_key(active.version, node, k, request.params, request.filter_key()),
+            ids[0],
+            scores[0],
+        )
         latency = time.perf_counter() - start
         self.stats.record(latency)
         return QueryResult(active.version, ids[0], scores[0], latency)
@@ -394,27 +615,29 @@ class QueryService:
     def batch_top_k(
         self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
     ) -> QueryResult:
-        """Top-k for many nodes at once, fanned out over the worker pool.
+        """Deprecated shim — use :meth:`search` with ``SearchRequest(nodes=...)``.
 
         Returns one stacked :class:`QueryResult` with ``ids``/``scores`` of
         shape ``(len(nodes), k)``.  The whole batch is answered from a
         single snapshot, so every row reflects the same version.
         """
-        return self._batch_top_k_on(self._snapshot(), nodes, k, nprobe)
+        _warn_deprecated("batch_top_k", "SearchRequest(nodes=..., k=...)")
+        return self.search(
+            SearchRequest(nodes=nodes, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
     def _batch_top_k_on(
-        self,
-        active: _ActiveVersion,
-        nodes: Sequence[int],
-        k: int,
-        nprobe: int | None,
+        self, active: _ActiveVersion, request: SearchRequest
     ) -> QueryResult:
         start = time.perf_counter()
-        nodes = np.asarray(nodes, dtype=np.intp).ravel()
+        k = int(request.k)
+        nodes = np.asarray(request.nodes, dtype=np.intp).ravel()
         if nodes.size == 0:
             raise ValueError("batch_top_k needs at least one node")
         for node in (int(nodes.min()), int(nodes.max())):
             self._check_node(active, node)
+        compiled = self._compile_filter(active, request.filter)
+        filter_key = request.filter_key()
 
         with trace_span("select", version=active.version, batch=int(nodes.size)):
             if isinstance(active.backend, ShardRouter):
@@ -424,21 +647,27 @@ class QueryService:
                 # callers — parallelism across shards replaces parallelism
                 # across query chunks.
                 queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
-                ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+                ids, scores = _search(
+                    active.backend, queries, k, nodes, request.params, compiled
+                )
             else:
                 n_chunks = min(self.pool.n_threads, nodes.size)
                 chunks = np.array_split(nodes, n_chunks)
 
                 def work(_: int, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
                     queries = np.asarray(active.stored.features[chunk], dtype=np.float64)
-                    return _search(active.backend, queries, k, chunk, nprobe)
+                    return _search(
+                        active.backend, queries, k, chunk, request.params, compiled
+                    )
 
                 parts = self.pool.run_blocks(work, chunks)
                 ids = np.vstack([part[0] for part in parts])
                 scores = np.vstack([part[1] for part in parts])
         for row, node in enumerate(nodes):
             self._cache_put(
-                _node_key(active.version, node, k, nprobe), ids[row], scores[row]
+                _node_key(active.version, node, k, request.params, filter_key),
+                ids[row],
+                scores[row],
             )
         latency = time.perf_counter() - start
         self.stats.record(latency, queries=nodes.size)
@@ -447,28 +676,107 @@ class QueryService:
     def similar_by_vector(
         self, vector: np.ndarray, k: int = 10, *, nprobe: int | None = None
     ) -> QueryResult:
-        """Top-k nodes for an arbitrary query vector (normalized here)."""
-        return self._similar_by_vector_on(self._snapshot(), vector, k, nprobe)
+        """Deprecated shim — use :meth:`search` with ``SearchRequest(vector=...)``."""
+        _warn_deprecated("similar_by_vector", "SearchRequest(vector=..., k=...)")
+        return self.search(
+            SearchRequest(vector=vector, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
     def _similar_by_vector_on(
-        self,
-        active: _ActiveVersion,
-        vector: np.ndarray,
-        k: int,
-        nprobe: int | None,
+        self, active: _ActiveVersion, request: SearchRequest
     ) -> QueryResult:
         start = time.perf_counter()
-        vector = np.asarray(vector, dtype=np.float64).ravel()
+        k = int(request.k)
+        vector = np.asarray(request.vector, dtype=np.float64).ravel()
         if vector.shape[0] != active.backend.dim:
             raise ValueError(
                 f"query vector has dim {vector.shape[0]}, expected {active.backend.dim}"
             )
+        compiled = self._compile_filter(active, request.filter)
         query = normalize_rows(vector[np.newaxis])[0]
         with trace_span("select", version=active.version):
-            ids, scores = _search(active.backend, query[np.newaxis], k, None, nprobe)
+            ids, scores = _search(
+                active.backend, query[np.newaxis], k, None, request.params, compiled
+            )
         latency = time.perf_counter() - start
         self.stats.record(latency)
         return QueryResult(active.version, ids[0], scores[0], latency)
+
+    # -- filter compilation --------------------------------------------
+    def _compile_filter(
+        self, active: _ActiveVersion, node_filter: NodeFilter | None
+    ) -> CompiledFilter | None:
+        """Compile a request's filter against one snapshot, with caching.
+
+        The compiled mask is pure derived data keyed by
+        ``(version, filter key)``: attribute predicates resolve through
+        the version's Eq. (21) affinities and partition selectors through
+        its shard layout, so a swap can never serve a stale mask — the
+        new version simply misses.  No-op filters compile to ``None`` so
+        the fast path stays the unfiltered one.
+        """
+        if node_filter is None or node_filter.is_noop:
+            return None
+        cache_key = (active.version, node_filter.key())
+        with self._filter_lock:
+            hit = self._filter_cache.get(cache_key)
+            if hit is not None:
+                self._filter_cache.move_to_end(cache_key)
+                return hit
+        compiled = node_filter.compile(
+            active.stored.n_nodes,
+            attribute_scores=self._attribute_scores_for(active),
+            partition_of=(
+                self._partition_map(active) if node_filter.partitions else None
+            ),
+        )
+        with self._filter_lock:
+            self._filter_cache[cache_key] = compiled
+            self._filter_cache.move_to_end(cache_key)
+            while len(self._filter_cache) > _FILTER_CACHE_SIZE:
+                self._filter_cache.popitem(last=False)
+        return compiled
+
+    @staticmethod
+    def _attribute_scores_for(active: _ActiveVersion):
+        """A resolver mapping an attribute id to its per-node affinities.
+
+        Scores are the paper's Eq. (21) affinity — the same quantity
+        :meth:`top_nodes_for_attribute` ranks by — so an attribute
+        predicate ``{"attribute": r, "min_weight": w}`` keeps exactly the
+        nodes that rank at affinity ``w`` or above for ``r``.
+        """
+
+        def scores(attribute: int) -> np.ndarray:
+            stored = active.stored
+            if not 0 <= attribute < stored.n_attributes:
+                raise ValueError(
+                    f"filter attribute {attribute} out of range "
+                    f"[0, {stored.n_attributes})"
+                )
+            y_row = np.asarray(stored.y[attribute], dtype=np.float64)
+            return np.asarray(stored.x_forward) @ y_row + (
+                np.asarray(stored.x_backward) @ y_row
+            )
+
+        return scores
+
+    @staticmethod
+    def _partition_map(active: _ActiveVersion) -> np.ndarray | None:
+        """Node → partition id, or ``None`` when the store is unsharded.
+
+        Partitions are the sharded layout's shard ids — the tenant /
+        placement unit the store actually has.  An unsharded deployment
+        has no partitions, so a partition selector fails filter
+        compilation with a ``ValueError`` (surfaced as ``invalid_filter``
+        on the wire); ``describe()`` advertises the capability so clients
+        can know before sending.
+        """
+        if isinstance(active.backend, ShardRouter):
+            n = active.stored.n_nodes
+            shard, _ = active.backend.partitioner.shard_and_local(np.arange(n))
+            return shard
+        return None
 
     def top_attributes(self, node: int, k: int = 10) -> QueryResult:
         """Attributes with the highest Eq. (21) affinity to ``node``.
@@ -554,6 +862,15 @@ class QueryService:
             ),
             "n_nodes": active.stored.n_nodes,
             "n_attributes": active.stored.n_attributes,
+            # Filter capability advertisement (mirrored by /v1/describe):
+            # clients discover which NodeFilter families this deployment
+            # honors before sending one.  Partition selectors only exist
+            # where the store actually has partitions (a sharded layout).
+            "filters": {
+                "ids": bool(getattr(backend, "SUPPORTS_FILTER", False)),
+                "attributes": bool(getattr(backend, "SUPPORTS_FILTER", False)),
+                "partitions": isinstance(backend, ShardRouter),
+            },
             "backend": type(backend).__name__,
             # One source of truth for cache state: the ``cache`` dict
             # (entries/capacity/hits/misses/hit_rate) replaces the old
@@ -724,7 +1041,7 @@ class QueryService:
                     coalesce_size=len(requests),
                     coalesce_members=member_ids,
                 )
-        by_params: dict[tuple[int, int | None], list[_BatchRequest]] = {}
+        by_params: dict[tuple, list[_BatchRequest]] = {}
         for request in requests:
             try:
                 # Re-validate against *this* snapshot: a version swap between
@@ -736,11 +1053,22 @@ class QueryService:
                 request.error = error
                 request.event.set()
                 continue
-            by_params.setdefault((request.k, request.nprobe), []).append(request)
-        for (k, nprobe), group in by_params.items():
+            # Group by everything that changes the answer: k, the params
+            # tuple, and the filter identity.  Mixing two filters into one
+            # backend batch would answer both from whichever mask went in.
+            group_key = (
+                request.k,
+                request.search.params.key(),
+                request.search.filter_key(),
+            )
+            by_params.setdefault(group_key, []).append(request)
+        for group in by_params.values():
             start = time.perf_counter()
+            spec = group[0].search
+            k = group[0].k
             nodes = np.array([request.node for request in group], dtype=np.intp)
             try:
+                compiled = self._compile_filter(active, spec.filter)
                 queries = np.asarray(active.stored.features[nodes], dtype=np.float64)
                 with trace_span(
                     "select",
@@ -748,7 +1076,9 @@ class QueryService:
                     group=group_id,
                     batch=len(group),
                 ):
-                    ids, scores = _search(active.backend, queries, k, nodes, nprobe)
+                    ids, scores = _search(
+                        active.backend, queries, k, nodes, spec.params, compiled
+                    )
             except BaseException as error:  # propagate to every waiter
                 for request in group:
                     request.error = error
@@ -757,7 +1087,13 @@ class QueryService:
             latency = time.perf_counter() - start
             for row, request in enumerate(group):
                 self._cache_put(
-                    _node_key(active.version, request.node, k, nprobe),
+                    _node_key(
+                        active.version,
+                        request.node,
+                        k,
+                        spec.params,
+                        spec.filter_key(),
+                    ),
                     ids[row],
                     scores[row],
                 )
@@ -798,26 +1134,48 @@ class PinnedView:
     def n_nodes(self) -> int:
         return self._active.stored.n_nodes
 
-    def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
-        start = time.perf_counter()
+    def search(self, request: SearchRequest) -> QueryResult:
+        """Answer one :class:`SearchRequest` from the pinned snapshot.
+
+        The coalescer is always bypassed here (it would answer from the
+        snapshot active at drain time, not the pinned one).
+        """
         active = self._active
+        if request.nodes is not None:
+            return self._service._batch_top_k_on(active, request)
+        if request.vector is not None:
+            return self._service._similar_by_vector_on(active, request)
+        start = time.perf_counter()
+        node, k = int(request.node), int(request.k)
         self._service._check_node(active, node)
-        hit = self._service._cache_get(_node_key(active.version, node, k, nprobe))
+        key = _node_key(
+            active.version, node, k, request.params, request.filter_key()
+        )
+        hit = self._service._cache_get(key)
         if hit is not None:
             latency = time.perf_counter() - start
             self._service.stats.record(latency, cached=True)
             return QueryResult(active.version, hit[0], hit[1], latency, cached=True)
-        return self._service._top_k_direct(active, node, k, nprobe, start)
+        return self._service._top_k_direct(active, request, start)
+
+    def top_k(self, node: int, k: int = 10, *, nprobe: int | None = None) -> QueryResult:
+        return self.search(
+            SearchRequest(node=node, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
     def batch_top_k(
         self, nodes: Sequence[int], k: int = 10, *, nprobe: int | None = None
     ) -> QueryResult:
-        return self._service._batch_top_k_on(self._active, nodes, k, nprobe)
+        return self.search(
+            SearchRequest(nodes=nodes, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
     def similar_by_vector(
         self, vector: np.ndarray, k: int = 10, *, nprobe: int | None = None
     ) -> QueryResult:
-        return self._service._similar_by_vector_on(self._active, vector, k, nprobe)
+        return self.search(
+            SearchRequest(vector=vector, k=k, params=SearchParams(nprobe=nprobe))
+        )
 
 
 def _search(
@@ -825,11 +1183,36 @@ def _search(
     queries: np.ndarray,
     k: int,
     exclude: np.ndarray | None,
-    nprobe: int | None,
+    params: SearchParams,
+    node_filter: CompiledFilter | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch a search with capability-gated per-request hints.
+
+    Each :class:`SearchParams` field (and the compiled filter) is passed
+    only to backends that advertise the matching ``SUPPORTS_*`` class
+    attribute; a filter against a backend without filter support is a
+    hard error (silently dropping a predicate would return disallowed
+    rows), while unsupported tuning hints are ignored by design.
+    """
+    kwargs: dict = {}
+    if node_filter is not None:
+        if not getattr(backend, "SUPPORTS_FILTER", False):
+            raise ValueError(
+                f"backend {type(backend).__name__} does not support "
+                "filtered search"
+            )
+        kwargs["node_filter"] = node_filter
     if getattr(backend, "SUPPORTS_NPROBE", False):
-        return backend.search(queries, k, exclude=exclude, nprobe=nprobe)
-    return backend.search(queries, k, exclude=exclude)
+        kwargs["nprobe"] = params.nprobe
+    if params.rescore_factor is not None and getattr(
+        backend, "SUPPORTS_RESCORE_FACTOR", False
+    ):
+        kwargs["rescore_factor"] = params.rescore_factor
+    if params.select_dtype is not None and getattr(
+        backend, "SUPPORTS_SELECT_DTYPE", False
+    ):
+        kwargs["select_dtype"] = params.select_dtype
+    return backend.search(queries, k, exclude=exclude, **kwargs)
 
 
 def _leaf_backends(backend: SearchBackend) -> list[SearchBackend]:
@@ -884,7 +1267,9 @@ def json_safe(value):
 class _BatchRequest:
     node: int
     k: int
-    nprobe: int | None
+    # The full SearchRequest spec (params + filter) this member carries;
+    # the drain groups members whose spec keys match.
+    search: SearchRequest
     event: threading.Event = field(default_factory=threading.Event)
     result: QueryResult | None = None
     error: BaseException | None = None
@@ -930,8 +1315,8 @@ class _MicroBatcher:
                 "pending": len(self._pending),
             }
 
-    def submit(self, node: int, k: int, nprobe: int | None) -> QueryResult:
-        request = _BatchRequest(node=node, k=k, nprobe=nprobe, trace=current_trace())
+    def submit(self, node: int, k: int, search: SearchRequest) -> QueryResult:
+        request = _BatchRequest(node=node, k=k, search=search, trace=current_trace())
         with self._lock:
             self._members += 1
             self._pending.append(request)

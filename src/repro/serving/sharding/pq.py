@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.search.knn import canonical_scores, top_k_sorted_indices
+from repro.search.knn import CompiledFilter, canonical_scores, top_k_sorted_indices
 from repro.serving.index import (
     SearchBackend,
     _assign,
     _build_lists,
     _train_spherical_kmeans,
+    filtered_probe_width,
 )
 from repro.utils.rng import ensure_rng
 
@@ -203,6 +204,12 @@ class PQBackend(SearchBackend):
     four-digit floor costs little and decouples recall from ``k``.
     """
 
+    SUPPORTS_FILTER = True
+    # search() accepts a per-query ``rescore_factor`` override (the
+    # service's SearchParams hint) widening or narrowing the ADC
+    # shortlist for one request without touching the configured default.
+    SUPPORTS_RESCORE_FACTOR = True
+
     def __init__(
         self,
         features: np.ndarray,
@@ -263,6 +270,8 @@ class PQBackend(SearchBackend):
         k: int,
         *,
         exclude: np.ndarray | None = None,
+        node_filter: CompiledFilter | None = None,
+        rescore_factor: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -274,9 +283,19 @@ class PQBackend(SearchBackend):
             if exclude.shape != (n_queries,):
                 raise ValueError("exclude must have one entry per query")
         k = min(k, self.n_vectors)
+        if node_filter is not None:
+            if node_filter.n != self.n_vectors:
+                raise ValueError(
+                    f"filter covers {node_filter.n} rows, backend has "
+                    f"{self.n_vectors}"
+                )
+            if node_filter.n_allowed < self.n_vectors:
+                return self._search_filtered(
+                    queries, k, exclude, node_filter, single, rescore_factor
+                )
         ids = np.full((n_queries, k), -1, dtype=np.intp)
         scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
-        n_candidates = min(self.n_vectors, self._shortlist_size(k))
+        n_candidates = min(self.n_vectors, self._shortlist_size(k, rescore_factor))
         for start in range(0, n_queries, _ADC_QUERY_CHUNK):
             stop = min(start + _ADC_QUERY_CHUNK, n_queries)
             adc = self._adc_scan(queries[start:stop])
@@ -300,8 +319,58 @@ class PQBackend(SearchBackend):
             return ids[0], scores[0]
         return ids, scores
 
-    def _shortlist_size(self, k: int) -> int:
-        return max(k * self.rescore_factor, self.min_rescore)
+    def _search_filtered(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude: np.ndarray | None,
+        node_filter: CompiledFilter,
+        single: bool,
+        rescore_factor: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Filtered ADC: scan only the allowed rows' codes, then rescore.
+
+        The filter is applied *before* the ADC scan — the code columns are
+        gathered down to the allowed subset, so scan cost scales with the
+        filter's selectivity instead of wasting table lookups on rows the
+        filter would discard.  Shortlisting and the exact canonical
+        rescore then run on (ascending) global ids, so returned scores
+        are bit-identical to filtered-exact for the same rows.
+        """
+        n_queries = queries.shape[0]
+        ids = np.full((n_queries, k), -1, dtype=np.intp)
+        scores = np.full((n_queries, k), -np.inf, dtype=np.float64)
+        allowed = node_filter.allowed_ids()
+        if allowed.size:
+            columns = [column[allowed] for column in self._code_columns]
+            n_candidates = min(allowed.size, self._shortlist_size(k, rescore_factor))
+            for start in range(0, n_queries, _ADC_QUERY_CHUNK):
+                stop = min(start + _ADC_QUERY_CHUNK, n_queries)
+                tables = self.codec.adc_tables(queries[start:stop])
+                adc = np.zeros((stop - start, allowed.size), dtype=np.float32)
+                for table, column in zip(tables, columns):
+                    adc += table.astype(np.float32)[:, column]
+                shortlist = np.argpartition(-adc, n_candidates - 1, axis=1)[
+                    :, :n_candidates
+                ]
+                for row in range(stop - start):
+                    candidates = allowed[shortlist[row]]
+                    if exclude is not None and exclude[start + row] >= 0:
+                        candidates = candidates[candidates != exclude[start + row]]
+                    row_ids, row_scores = self._rescore(
+                        queries[start + row], np.sort(candidates), k
+                    )
+                    ids[start + row, : row_ids.shape[0]] = row_ids
+                    scores[start + row, : row_scores.shape[0]] = row_scores
+        if single:
+            return ids[0], scores[0]
+        return ids, scores
+
+    def _shortlist_size(self, k: int, rescore_factor: int | None = None) -> int:
+        factor = self.rescore_factor if rescore_factor is None else rescore_factor
+        if factor < 1:
+            raise ValueError(f"rescore_factor must be >= 1, got {factor}")
+        return max(k * factor, self.min_rescore)
 
     def _adc_scan(self, queries: np.ndarray) -> np.ndarray:
         """``(q, n)`` approximate inner products from the code columns.
@@ -438,6 +507,8 @@ class IVFPQBackend(PQBackend):
         *,
         exclude: np.ndarray | None = None,
         nprobe: int | None = None,
+        node_filter: CompiledFilter | None = None,
+        rescore_factor: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -450,7 +521,22 @@ class IVFPQBackend(PQBackend):
             if exclude.shape != (n_queries,):
                 raise ValueError("exclude must have one entry per query")
         k = min(k, self.n_vectors)
-        n_candidates = self._shortlist_size(k)
+        if node_filter is not None:
+            if node_filter.n != self.n_vectors:
+                raise ValueError(
+                    f"filter covers {node_filter.n} rows, backend has "
+                    f"{self.n_vectors}"
+                )
+            if node_filter.n_allowed == self.n_vectors:
+                node_filter = None
+            else:
+                # Same selectivity-driven widening as IVFIndex: keep the
+                # expected per-query candidate count what the unfiltered
+                # nprobe was tuned for.
+                nprobe = filtered_probe_width(
+                    nprobe, self.nlist, node_filter.selectivity
+                )
+        n_candidates = self._shortlist_size(k, rescore_factor)
         centroid_sims = queries @ self.centroids.T
         tables = self.codec.adc_tables(queries)
         ids = np.full((n_queries, k), -1, dtype=np.intp)
@@ -460,6 +546,10 @@ class IVFPQBackend(PQBackend):
             candidates = np.sort(
                 np.concatenate([self._lists[cell] for cell in probes])
             )
+            if node_filter is not None:
+                # Mask before the ADC scan: disallowed codes never reach
+                # the lookup-table accumulation below.
+                candidates = candidates[node_filter.allows(candidates)]
             if exclude is not None and exclude[row] >= 0:
                 position = np.searchsorted(candidates, exclude[row])
                 if (

@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from repro.parallel.pool import WorkerPool
+from repro.search.knn import CompiledFilter
 from repro.serving.index import IVFIndex, SearchBackend
 from repro.serving.sharding.store import Partitioner, ShardedStoredEmbedding
 from repro.serving.stats import LatencyStats
@@ -54,6 +55,7 @@ class ShardRouter(SearchBackend):
     """
 
     SUPPORTS_NPROBE = True
+    SUPPORTS_FILTER = True
 
     def __init__(
         self,
@@ -100,6 +102,7 @@ class ShardRouter(SearchBackend):
         *,
         exclude: np.ndarray | None = None,
         nprobe: int | None = None,
+        node_filter: CompiledFilter | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Scatter to every shard, heap-merge into the global top-k.
 
@@ -107,13 +110,29 @@ class ShardRouter(SearchBackend):
         unsharded :class:`~repro.serving.index.ExactBackend` search (ids
         and scores).  ``nprobe`` is forwarded to shards that support it
         (IVF / IVF-PQ); ``exclude`` carries *global* ids and is translated
-        to the owning shard's local id.
+        to the owning shard's local id.  ``node_filter`` carries global
+        ids too: each shard gets the filter *sliced* to its own rows
+        (local-id mask), and shards the filter empties entirely are
+        skipped without a backend call — a partition/tenant selector
+        therefore only ever touches the selected shards.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         single = np.ndim(queries) == 1
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n_queries = queries.shape[0]
+        shard_filters: list[CompiledFilter | None] = [None] * self.n_shards
+        if node_filter is not None:
+            if node_filter.n != self.n_vectors:
+                raise ValueError(
+                    f"filter covers {node_filter.n} rows, router has "
+                    f"{self.n_vectors}"
+                )
+            if node_filter.n_allowed < self.n_vectors:
+                shard_filters = [
+                    node_filter.restrict(self.partitioner.shard_members(shard))
+                    for shard in range(self.n_shards)
+                ]
         if exclude is not None:
             exclude = np.asarray(exclude, dtype=np.intp)
             if exclude.shape != (n_queries,):
@@ -128,16 +147,32 @@ class ShardRouter(SearchBackend):
 
         def scatter(shard: int, backend: SearchBackend):
             start = time.perf_counter()
+            shard_filter = shard_filters[shard]
+            if shard_filter is not None and shard_filter.n_allowed == 0:
+                # The filter keeps nothing on this shard (the common case
+                # under a partition selector): skip the backend entirely.
+                return (
+                    np.empty((n_queries, 0), dtype=np.intp),
+                    np.empty((n_queries, 0), dtype=np.float64),
+                )
             shard_exclude = None
             if exclude is not None:
                 shard_exclude = np.where(owner == shard, local, -1)
+            kwargs = {}
+            if shard_filter is not None:
+                if not getattr(backend, "SUPPORTS_FILTER", False):
+                    raise ValueError(
+                        f"shard {shard} backend {type(backend).__name__} "
+                        "does not support filtered search"
+                    )
+                kwargs["node_filter"] = shard_filter
             if getattr(backend, "SUPPORTS_NPROBE", False):
                 local_ids, scores = backend.search(
-                    queries, k, exclude=shard_exclude, nprobe=nprobe
+                    queries, k, exclude=shard_exclude, nprobe=nprobe, **kwargs
                 )
             else:
                 local_ids, scores = backend.search(
-                    queries, k, exclude=shard_exclude
+                    queries, k, exclude=shard_exclude, **kwargs
                 )
             global_ids = np.where(
                 local_ids >= 0,

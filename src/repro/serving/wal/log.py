@@ -272,7 +272,82 @@ def fold_records(records: Iterable[LogRecord], *, directed: bool = True) -> Grap
     )
 
 
-class DeltaLog:
+class LogReader:
+    """Read-only access to a delta-log directory.
+
+    Opening a :class:`DeltaLog` performs torn-tail *recovery* — it
+    truncates the last segment — which inspection and diff tooling
+    (``repro log``, ``repro dataset diff``) must never do.  This view
+    only ever reads the segment files; it holds no handles and needs no
+    close.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(p for p in self.root.glob(f"*{SEGMENT_SUFFIX}") if p.is_file())
+
+    # -- read path ------------------------------------------------------
+    def records(self, start_lsn: int = 0) -> Iterator[LogRecord]:
+        """Yield records with ``lsn > start_lsn`` in LSN order.
+
+        Reads the files fresh, so it is safe from any thread.  A torn
+        tail on the final segment ends iteration silently (an in-flight
+        append looks exactly like one); corruption elsewhere raises
+        :class:`LogCorruption`.
+        """
+        paths = self._segment_paths()
+        for i, path in enumerate(paths):
+            if i + 1 < len(paths):
+                try:
+                    next_first = int(paths[i + 1].name[: -len(SEGMENT_SUFFIX)])
+                except ValueError:
+                    next_first = None
+                if next_first is not None and next_first - 1 <= start_lsn:
+                    continue  # wholly before the requested suffix
+            records, seg = scan_segment(path)
+            if seg.error is not None and i + 1 < len(paths):
+                raise LogCorruption(f"{path.name}: {seg.error}")
+            for rec in records:
+                if rec.lsn > start_lsn:
+                    yield rec
+
+    def replay(
+        self, start_lsn: int = 0, *, end_lsn: int | None = None, directed: bool = True
+    ) -> tuple[GraphDelta, int]:
+        """Fold records in ``(start_lsn, end_lsn]`` into one delta.
+
+        Returns ``(delta, last_lsn_folded)``; when no records qualify the
+        delta is empty and ``last_lsn_folded == start_lsn``.
+        """
+        last = start_lsn
+        folded: list[LogRecord] = []
+        for rec in self.records(start_lsn):
+            if end_lsn is not None and rec.lsn > end_lsn:
+                break
+            folded.append(rec)
+            last = rec.lsn
+        return fold_records(folded, directed=directed), last
+
+    def inspect(self) -> dict:
+        """Segment-by-segment summary for ``repro log``."""
+        segments = [scan_segment(path)[1].as_dict() for path in self._segment_paths()]
+        n_records = sum(s["records"] for s in segments)
+        return {
+            "root": str(self.root),
+            "segments": segments,
+            "n_segments": len(segments),
+            "n_records": n_records,
+            "first_lsn": segments[0]["first_lsn"] if segments else 0,
+            "last_lsn": segments[-1]["last_lsn"] if segments else 0,
+            "size_bytes": sum(s["bytes"] for s in segments),
+            "max_bytes": getattr(self, "max_bytes", None),
+            "torn": [s["segment"] for s in segments if s["error"]],
+        }
+
+
+class DeltaLog(LogReader):
     """Append-only, checksummed, fsync'd log of graph delta events.
 
     Parameters
@@ -337,9 +412,6 @@ class DeltaLog:
         self._recover_on_open()
 
     # -- open / recovery ------------------------------------------------
-    def _segment_paths(self) -> list[Path]:
-        return sorted(p for p in self.root.glob(f"*{SEGMENT_SUFFIX}") if p.is_file())
-
     def _recover_on_open(self) -> None:
         paths = self._segment_paths()
         last_lsn = 0
@@ -464,48 +536,6 @@ class DeltaLog:
                 self._faults.wal_crash_after_append()
             return first, self._last_lsn
 
-    # -- read path ------------------------------------------------------
-    def records(self, start_lsn: int = 0) -> Iterator[LogRecord]:
-        """Yield records with ``lsn > start_lsn`` in LSN order.
-
-        Reads the files fresh, so it is safe from any thread.  A torn
-        tail on the final segment ends iteration silently (an in-flight
-        append looks exactly like one); corruption elsewhere raises
-        :class:`LogCorruption`.
-        """
-        paths = self._segment_paths()
-        for i, path in enumerate(paths):
-            if i + 1 < len(paths):
-                try:
-                    next_first = int(paths[i + 1].name[: -len(SEGMENT_SUFFIX)])
-                except ValueError:
-                    next_first = None
-                if next_first is not None and next_first - 1 <= start_lsn:
-                    continue  # wholly before the requested suffix
-            records, seg = scan_segment(path)
-            if seg.error is not None and i + 1 < len(paths):
-                raise LogCorruption(f"{path.name}: {seg.error}")
-            for rec in records:
-                if rec.lsn > start_lsn:
-                    yield rec
-
-    def replay(
-        self, start_lsn: int = 0, *, end_lsn: int | None = None, directed: bool = True
-    ) -> tuple[GraphDelta, int]:
-        """Fold records in ``(start_lsn, end_lsn]`` into one delta.
-
-        Returns ``(delta, last_lsn_folded)``; when no records qualify the
-        delta is empty and ``last_lsn_folded == start_lsn``.
-        """
-        last = start_lsn
-        folded: list[LogRecord] = []
-        for rec in self.records(start_lsn):
-            if end_lsn is not None and rec.lsn > end_lsn:
-                break
-            folded.append(rec)
-            last = rec.lsn
-        return fold_records(folded, directed=directed), last
-
     # -- maintenance ----------------------------------------------------
     def prune_through(self, lsn: int) -> list[str]:
         """Delete sealed segments wholly covered by a checkpoint at ``lsn``.
@@ -529,22 +559,6 @@ class DeltaLog:
                 self._total_bytes -= size
                 removed.append(path.name)
         return removed
-
-    def inspect(self) -> dict:
-        """Segment-by-segment summary for ``repro log``."""
-        segments = [scan_segment(path)[1].as_dict() for path in self._segment_paths()]
-        n_records = sum(s["records"] for s in segments)
-        return {
-            "root": str(self.root),
-            "segments": segments,
-            "n_segments": len(segments),
-            "n_records": n_records,
-            "first_lsn": segments[0]["first_lsn"] if segments else 0,
-            "last_lsn": segments[-1]["last_lsn"] if segments else 0,
-            "size_bytes": sum(s["bytes"] for s in segments),
-            "max_bytes": self.max_bytes,
-            "torn": [s["segment"] for s in segments if s["error"]],
-        }
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,90 @@
+"""Property test: filtered ``exact_top_k`` == brute-force mask-then-rank.
+
+The reference ranks every allowed row with the same canonical
+(fixed-order einsum) scoring the engine rescores with, so the assertion
+is *bit* equality on ids and scores — across random corpora, random
+allow/deny/selectivity (hitting both the gather and mask strategies),
+random per-query excludes, and the degenerate edges: empty allow sets,
+filters that deny everything, and k larger than the allowed population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.knn import (
+    CompiledFilter,
+    canonical_scores,
+    exact_top_k,
+    normalize_rows,
+)
+
+
+@st.composite
+def filtered_problems(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    n = draw(st.integers(4, 96))
+    dim = draw(st.integers(2, 12))
+    n_queries = draw(st.integers(1, 6))
+    k = draw(st.integers(1, 24))
+    features = normalize_rows(rng.standard_normal((n, dim)))
+    if n >= 3 and draw(st.booleans()):
+        features[n - 1] = features[0]  # exercise tie repair under filters
+    queries = normalize_rows(rng.standard_normal((n_queries, dim)))
+    # selectivity spans both strategies (gather at <= 12.5%, mask above)
+    keep_fraction = draw(st.sampled_from([0.0, 0.05, 0.1, 0.3, 0.7, 1.0]))
+    mask = rng.random(n) < keep_fraction
+    if draw(st.booleans()):
+        exclude = rng.integers(-1, n, size=n_queries).astype(np.intp)
+    else:
+        exclude = None
+    return features, queries, k, mask, exclude
+
+
+def brute_force(features, queries, k, mask, exclude):
+    n = features.shape[0]
+    width = min(k, n)
+    all_ids = np.arange(n)
+    ids = np.empty((queries.shape[0], width), dtype=np.intp)
+    scores = np.empty((queries.shape[0], width), dtype=np.float64)
+    for row in range(queries.shape[0]):
+        full = np.where(mask, canonical_scores(features, all_ids, queries[row]), -np.inf)
+        if exclude is not None and exclude[row] >= 0:
+            full[exclude[row]] = -np.inf
+        order = np.lexsort((all_ids, -full))[:width]
+        keep = full[order] > -np.inf
+        ids[row] = np.where(keep, order, -1)
+        scores[row] = np.where(keep, full[order], -np.inf)
+    return ids, scores
+
+
+class TestFilteredExactEquivalence:
+    @given(filtered_problems())
+    @settings(max_examples=120, deadline=None)
+    def test_bit_identical_to_mask_then_rank(self, problem):
+        features, queries, k, mask, exclude = problem
+        got_ids, got_scores = exact_top_k(
+            features, queries, k,
+            assume_normalized=True, exclude=exclude,
+            node_filter=CompiledFilter(mask),
+        )
+        ref_ids, ref_scores = brute_force(features, queries, k, mask, exclude)
+        assert np.array_equal(got_ids, ref_ids)
+        assert got_scores.tobytes() == ref_scores.tobytes()
+
+    @given(filtered_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_noop_mask_matches_unfiltered_bits(self, problem):
+        features, queries, k, _, exclude = problem
+        base_ids, base_scores = exact_top_k(
+            features, queries, k, assume_normalized=True, exclude=exclude
+        )
+        all_mask = CompiledFilter(np.ones(features.shape[0], dtype=bool))
+        ids, scores = exact_top_k(
+            features, queries, k,
+            assume_normalized=True, exclude=exclude, node_filter=all_mask,
+        )
+        assert np.array_equal(ids, base_ids)
+        assert scores.tobytes() == base_scores.tobytes()

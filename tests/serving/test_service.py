@@ -201,10 +201,10 @@ class TestMicroBatching:
 
     def test_stale_node_fails_alone_in_microbatch(self, service):
         """A node invalidated by a swap fails its own request, not the batch."""
-        from repro.serving.service import _BatchRequest
+        from repro.serving.service import SearchRequest, _BatchRequest
 
-        bad = _BatchRequest(node=10_000, k=3, nprobe=None)
-        good = _BatchRequest(node=0, k=3, nprobe=None)
+        bad = _BatchRequest(node=10_000, k=3, search=SearchRequest(node=10_000, k=3))
+        good = _BatchRequest(node=0, k=3, search=SearchRequest(node=0, k=3))
         service._execute_microbatch([bad, good], 0)
         assert isinstance(bad.error, IndexError) and bad.event.is_set()
         assert good.error is None and good.result is not None
@@ -219,10 +219,12 @@ class TestMicroBatching:
             attempts.append(len(batch))
             raise RuntimeError("boom")
 
+        from repro.serving.service import SearchRequest
+
         batcher = _MicroBatcher(0.001, execute)
         for _ in range(2):
             with pytest.raises(RuntimeError):
-                batcher.submit(0, 5, None)
+                batcher.submit(0, 5, SearchRequest(node=0, k=5))
         # The second submit became leader again (slot was released) instead
         # of blocking forever as a follower of a dead leader.
         assert attempts == [1, 1]
