@@ -31,6 +31,13 @@ embedding matrices (cluster centers + Gaussian noise, unit rows):
   reports acked upserts/s, read QPS under write load, compaction
   cadence, and the durable→served freshness lag, which is asserted to
   drain to zero on every run, smoke included.
+- ``replication`` — semi-sync streaming replication: a real
+  primary/standby HTTP pair (the wiring ``repro serve --standby-of``
+  builds) with ``ack_replicas=1``, so every acked upsert is fsync'd on
+  both nodes before the 200 returns; reports the semi-sync ack rate and
+  latency, replicated-record throughput, and the replication + standby
+  fold lags, both asserted to drain to zero on every run, smoke
+  included, with the two logs compared record-for-record.
 
 Run as a script (not under pytest)::
 
@@ -47,9 +54,9 @@ properties, not tuning properties; so is the filtered-IVF recall floor
 the allowed set.  Full runs additionally assert filtered-IVF recall
 ≥ 0.95 at every selectivity and filtered-exact ≥ 0.5× the unfiltered
 exact QPS at 50% selectivity.  The JSON record (schema
-``bench_serving/v4``; v3 + the ``filtered`` section) stores machine info,
-parameters, per-backend numbers, and the speedup so future PRs have a
-regression trajectory next to ``BENCH_kernels.json``.
+``bench_serving/v5``; v4 + the ``replication`` section) stores machine
+info, parameters, per-backend numbers, and the speedup so future PRs
+have a regression trajectory next to ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations
@@ -500,6 +507,138 @@ def bench_ingest(
     }
 
 
+def bench_replication(
+    n_nodes: int,
+    n_attributes: int,
+    k: int,
+    seed: int,
+    *,
+    n_upserts: int,
+    drain_ceiling_s: float = 60.0,
+) -> dict:
+    """Semi-sync replication: acked ingest through a primary/standby pair.
+
+    Boots a real primary and standby on loopback — the same wiring
+    ``repro serve --standby-of`` builds — with the primary in semi-sync
+    mode (``ack_replicas=1``): every acked upsert is fsync'd on *both*
+    nodes before its 200 returns.  Measures the semi-sync ack rate and
+    latency, then waits for the replication lag (primary durable LSN
+    minus standby ack) and the standby's own durable→served fold lag to
+    drain to zero — the zero-acked-loss freshness contract that
+    :func:`main` asserts before writing the record — and finishes with
+    a record-for-record comparison of the two logs.
+    """
+    from repro.graph.generators import attributed_sbm
+    from repro.serving.http import ServingClient
+    from repro.serving.http.server import EmbeddingServer
+    from repro.serving.service import QueryService
+    from repro.serving.store import EmbeddingStore
+    from repro.serving.wal import Compactor, IngestPipeline
+    from repro.serving.wal.log import LogReader
+    from repro.serving.wal.replication import StandbyReplicator
+
+    graph = attributed_sbm(n_nodes=n_nodes, n_attributes=n_attributes, seed=seed)
+    rng = np.random.default_rng(seed + 11)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        primary = IngestPipeline(
+            root / "primary-wal", EmbeddingStore(root / "primary-store")
+        )
+        primary.bootstrap(graph, k=k, update_sweeps=1, seed=seed)
+        standby = IngestPipeline(
+            root / "standby-wal", EmbeddingStore(root / "standby-store")
+        )
+        standby.bootstrap(graph, k=k, update_sweeps=1, seed=seed)
+        try:
+            with (
+                QueryService(primary.store, backend="exact") as p_service,
+                QueryService(standby.store, backend="exact") as s_service,
+            ):
+                primary.bind_service(p_service)
+                standby.bind_service(s_service)
+                p_compactor = Compactor(primary, interval_s=0.05, keep_versions=4)
+                s_compactor = Compactor(standby, interval_s=0.05, keep_versions=4)
+                p_compactor.start()
+                s_compactor.start()
+                with EmbeddingServer(
+                    p_service, ingest=primary, ack_replicas=1, ack_timeout_s=10.0
+                ) as server:
+                    replicator = StandbyReplicator(
+                        server.url,
+                        standby.log,
+                        standby_id="bench-standby",
+                        wait_s=0.3,
+                    )
+                    replicator.start()
+                    try:
+                        client = ServingClient(server.url, retries=0)
+                        ack_ms = np.empty(n_upserts)
+                        write_start = time.perf_counter()
+                        for i in range(n_upserts):
+                            edges = rng.integers(0, n_nodes, size=(2, 2))
+                            tick = time.perf_counter()
+                            ack = client.upsert(add_edges=edges.tolist())
+                            ack_ms[i] = (time.perf_counter() - tick) * 1e3
+                            assert ack["durable"], ack
+                        write_seconds = time.perf_counter() - write_start
+
+                        drain_start = time.perf_counter()
+                        deadline = drain_start + drain_ceiling_s
+                        while time.perf_counter() < deadline:
+                            status = replicator.status()
+                            if status["state"] == "caught_up" and status["lag"] == 0:
+                                break
+                            time.sleep(0.02)
+                        replication_drain = time.perf_counter() - drain_start
+                        status = replicator.status()
+                        deadline = time.perf_counter() + drain_ceiling_s
+                        while (
+                            standby.freshness()["lag"] > 0
+                            and time.perf_counter() < deadline
+                        ):
+                            time.sleep(0.02)
+                        freshness = standby.freshness()
+                        client.close()
+                    finally:
+                        replicator.stop(timeout_s=5.0)
+                p_compactor.stop()
+                s_compactor.stop()
+            ours = [
+                (r.lsn, r.kind, r.a, r.b, r.weight)
+                for r in LogReader(root / "primary-wal").records()
+            ]
+            theirs = [
+                (r.lsn, r.kind, r.a, r.b, r.weight)
+                for r in LogReader(root / "standby-wal").records()
+            ]
+            assert ours == theirs, (
+                f"standby log diverged from the primary: "
+                f"{len(ours)} vs {len(theirs)} records"
+            )
+        finally:
+            standby.close()
+            primary.close()
+
+    return {
+        "n_nodes": n_nodes,
+        "n_attributes": n_attributes,
+        "k": k,
+        "ack_replicas": 1,
+        "upserts": n_upserts,
+        "acked_upserts_per_s": n_upserts / write_seconds,
+        "p50_ack_ms": float(np.percentile(ack_ms, 50)),
+        "p99_ack_ms": float(np.percentile(ack_ms, 99)),
+        "records_replicated": status["records_replicated"],
+        "replication_state": status["state"],
+        "replication_lag": status["lag"],
+        "replication_drain_seconds": replication_drain,
+        "standby_lsn_durable": freshness["lsn_durable"],
+        "standby_lsn_served": freshness["lsn_served"],
+        "standby_freshness_lag": freshness["lag"],
+        "identical_logs": True,  # implied by the record comparison above
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=131_072, help="vectors")
@@ -535,7 +674,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "meta": {
-            "schema": "bench_serving/v4",
+            "schema": "bench_serving/v5",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy.__version__,
@@ -644,6 +783,15 @@ def main(argv: list[str] | None = None) -> int:
         n_upserts=120 if args.smoke else 500,
     )
 
+    print("replication (semi-sync primary/standby pair)...", flush=True)
+    record["replication"] = bench_replication(
+        300 if args.smoke else 1_000,
+        32 if args.smoke else 64,
+        8 if args.smoke else 16,
+        args.seed,
+        n_upserts=80 if args.smoke else 300,
+    )
+
     recall = record["ivf"]["recall_at_k"]
     speedup = record["ivf"]["speedup_vs_exact"]
     assert recall >= 0.9, f"IVF recall@{args.k} = {recall:.3f} < 0.9"
@@ -658,6 +806,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{record['ingest']['drain_seconds']:.1f}s"
     )
     assert record["ingest"]["lsn_durable"] > 0, "no durable writes recorded"
+    rep = record["replication"]
+    assert rep["replication_lag"] == 0, (
+        f"replication lag did not drain: standby is "
+        f"{rep['replication_lag']} records behind after "
+        f"{rep['replication_drain_seconds']:.1f}s"
+    )
+    assert rep["standby_freshness_lag"] == 0, (
+        f"standby fold lag did not drain: lsn_served="
+        f"{rep['standby_lsn_served']} vs lsn_durable="
+        f"{rep['standby_lsn_durable']}"
+    )
+    assert rep["records_replicated"] >= rep["upserts"], rep
     filtered_1pct = record["filtered"]["0.01"]["ivf_recall_at_k"]
     assert filtered_1pct >= 0.95, (
         f"filtered IVF recall@{args.k} at 1% selectivity = "
@@ -736,6 +896,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{record['ingest']['compactions']} compactions, "
         f"{record['ingest']['read_qps_under_writes']:.0f} reads/s alongside, "
         f"lag drained in {record['ingest']['drain_seconds']:.1f}s)"
+    )
+    print(
+        f"repl     {record['replication']['acked_upserts_per_s']:10.0f} "
+        f"acked upserts/s  (semi-sync, p50 ack "
+        f"{record['replication']['p50_ack_ms']:.2f} ms, "
+        f"{record['replication']['records_replicated']} records replicated, "
+        f"lag drained in "
+        f"{record['replication']['replication_drain_seconds']:.1f}s)"
     )
     print(f"wrote {out}")
     return 0

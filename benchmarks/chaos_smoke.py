@@ -37,7 +37,16 @@ deterministically through ``REPRO_FAULTS``:
    connection, not a lost write); restart clean and require
    ``lsn_durable`` ≥ the highest acked LSN immediately,
    ``lsn_served`` to catch up to it, reads to flow, and a graceful
-   SIGTERM drain (code 0).
+   SIGTERM drain (code 0);
+8. replication failover, the zero-acked-loss-across-nodes acceptance:
+   a semi-sync primary (``--ack-replicas 1``) with a warm standby
+   (``--standby-of``) takes acked load and is SIGKILLed; every acked
+   LSN must already sit bit-identically on the standby; ``repro
+   promote`` fences the old term; the revived stale primary's acks
+   are refused by a fencing-aware client, its split-brain tail is
+   rejected on rejoin (DIVERGED marker), ``repro fsck --wal --repair``
+   quarantines exactly that suffix, and the repaired node rejoins and
+   folds bit-identically with the new primary.
 
 After the fleet phases, the store's ops journal (``events.jsonl``)
 must reconstruct the whole run — publish, fsck repair, supervisor
@@ -287,6 +296,7 @@ def spawn_wal_server(
     wal_dir: Path,
     graph_npz: Path,
     faults: FaultPlan | None = None,
+    extra: tuple = (),
 ) -> tuple:
     """Boot a single-process read-write ``repro serve --wal-dir``."""
     env = cli_subprocess_env()
@@ -298,6 +308,7 @@ def spawn_wal_server(
             "--store", str(store_dir), "--http", "0",
             "--wal-dir", str(wal_dir), "--graph", str(graph_npz),
             "--wal-k", "8", "--compact-interval", "0.05",
+            *extra,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -426,6 +437,214 @@ def check_wal_crash_recovery(tmp_path: Path) -> None:
             server.wait(timeout=30)
 
 
+def _poll_until(probe, what: str, timeout_s: float = 30.0):
+    """Poll ``probe()`` until it returns a truthy value or time runs out."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            value = probe()
+        except (ApiError, OSError):
+            value = None
+        if value:
+            return value
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def check_replication_failover(tmp_path: Path) -> None:
+    """Kill the primary under acked load; promotion must lose nothing.
+
+    The full failover arc, across real process boundaries:
+
+    1. primary (``--ack-replicas 1``) + warm standby (``--standby-of``);
+       semi-sync means every *acked* LSN is fsync'd on both sides;
+    2. SIGKILL the primary mid-ingest — no drain, no flush;
+    3. every acked LSN must already be on the standby, bit-identical;
+    4. ``repro promote`` the standby (epoch 2); it acks new writes;
+    5. the revived old primary takes a split-brain write at its stale
+       term; a failover-aware client *refuses* its epoch-1 reply
+       (``stale_epoch``) after fencing the term again;
+    6. rejoining the old primary as a standby is rejected
+       (``diverged_tail``) and leaves a DIVERGED marker;
+    7. ``repro fsck --wal --repair`` quarantines the split-brain
+       suffix without losing one replicated record, and the repaired
+       node rejoins, catches up to lag 0, and serves *bit-identically
+       folded* reads (raw score bytes equal).
+    """
+    from repro.serving.wal.log import LogReader
+
+    print("replication failover: primary + warm standby (semi-sync)...")
+    graph_npz = tmp_path / "repl_graph.npz"
+    save_npz(
+        attributed_sbm(
+            n_nodes=N_WAL_NODES, n_attributes=N_WAL_ATTRS, seed=9
+        ),
+        graph_npz,
+    )
+    p_store, p_wal = tmp_path / "repl_pri_store", tmp_path / "repl_pri_wal"
+    s_store, s_wal = tmp_path / "repl_sby_store", tmp_path / "repl_sby_wal"
+
+    primary, p_url = spawn_wal_server(
+        p_store, p_wal, graph_npz,
+        extra=("--ack-replicas", "1", "--ack-timeout", "10"),
+    )
+    standby, s_url = spawn_wal_server(
+        s_store, s_wal, graph_npz,
+        extra=("--standby-of", p_url, "--standby-id", "chaos-standby"),
+    )
+    acked: list[int] = []
+    try:
+        p_client = ServingClient(p_url)
+        _poll_until(
+            lambda: (p_client.healthz().get("replication") or {}).get(
+                "n_standbys"
+            ),
+            "the standby to register with the primary",
+        )
+        acked = drive_acked_upserts(p_url, n=20, seed=51)
+        assert len(acked) == 20, f"semi-sync primary: {len(acked)}/20 acked"
+        s_client = ServingClient(s_url)
+        _poll_until(
+            lambda: s_client.healthz()["replication"]["lag"] == 0,
+            "replication lag to drain to zero",
+        )
+        try:
+            s_client.upsert(add_edges=[[0, 1]])
+            raise AssertionError("standby accepted a write")
+        except ApiError as error:
+            assert error.code == "not_primary", error
+        p_client.close()
+    finally:
+        primary.kill()
+        primary.wait(timeout=30)
+    print(f"  SIGKILL primary after {len(acked)} semi-sync acks")
+
+    ours = {
+        r.lsn: (r.kind, r.a, r.b, r.weight) for r in LogReader(p_wal).records()
+    }
+    theirs = {
+        r.lsn: (r.kind, r.a, r.b, r.weight) for r in LogReader(s_wal).records()
+    }
+    for lsn in acked:
+        assert theirs.get(lsn) == ours[lsn], (
+            f"acked lsn {lsn} missing or differs on the standby"
+        )
+    print(f"  zero acked loss: {len(acked)} LSNs bit-identical on the standby")
+
+    expect_rc(run_cli("promote", s_url), 0, "repro promote")
+    health = ServingClient(s_url).healthz()
+    assert (health["role"], health["epoch"]) == ("primary", 2), health
+    ack2 = ServingClient(s_url).upsert(add_edges=[[1, 2]])
+    assert ack2["epoch"] == 2, ack2
+    print(f"  promoted: epoch 2, new write acked at lsn {ack2['lsn']}")
+
+    # Revive the dead primary as a primary (it doesn't know better) and
+    # let it take one split-brain write at its stale term.
+    revived, r_url = spawn_wal_server(p_store, p_wal, graph_npz)
+    try:
+        fencing_client = ServingClient([r_url, s_url], retries=1)
+        split = fencing_client.upsert(add_edges=[[2, 3]])
+        assert split["epoch"] == 1, split
+        # Fence the stale term again (epoch 3); from here the client
+        # holds the token and must refuse the zombie's replies.
+        fencing_client.promote(prefer=1)
+        assert fencing_client.max_epoch_seen == 3
+        try:
+            fencing_client.upsert(add_edges=[[3, 4]])
+            raise AssertionError("client accepted a stale-epoch ack")
+        except ApiError as error:
+            assert error.code == "stale_epoch", error
+        print("  fencing: client refused the revived primary's stale ack")
+    finally:
+        revived.kill()
+        revived.wait(timeout=30)
+
+    # Rejoin the old primary as a standby: its split-brain tail must be
+    # rejected, repaired offline, and the node must then catch up.
+    rejoin, _ = spawn_wal_server(
+        p_store, p_wal, graph_npz,
+        extra=("--standby-of", s_url, "--standby-id", "old-primary"),
+    )
+    try:
+        marker = _poll_until(
+            lambda: (p_wal / "DIVERGED").exists() or None,
+            "the DIVERGED marker on the old primary",
+        )
+        assert marker
+    finally:
+        rejoin.kill()
+        rejoin.wait(timeout=30)
+    divergence = json.loads((p_wal / "DIVERGED").read_text())
+    assert divergence["first_diverged_lsn"] == split["lsn"], divergence
+
+    result = run_cli("fsck", "--wal", str(p_wal))
+    assert "diverged_tail" in result.stdout + result.stderr, result.stdout
+    expect_rc(run_cli("fsck", "--wal", str(p_wal), "--repair"), 1, "fsck --repair")
+    expect_rc(run_cli("fsck", "--wal", str(p_wal)), 0, "fsck after repair")
+    repaired = {
+        r.lsn: (r.kind, r.a, r.b, r.weight) for r in LogReader(p_wal).records()
+    }
+    for lsn in acked:
+        assert repaired.get(lsn) == ours[lsn], (
+            f"repair lost replicated lsn {lsn}"
+        )
+    assert split["lsn"] not in repaired
+    print("  diverged tail quarantined; every replicated record kept")
+
+    # The node's *store* is still tainted: the compactor folded the
+    # split-brain records before the kill, so its latest version claims
+    # an applied_lsn past the repaired tail.  The boot guard must refuse
+    # to marry that fold to the shorter log instead of serving it.
+    guard = run_cli(
+        "serve", "--store", str(p_store), "--http", "0",
+        "--wal-dir", str(p_wal), "--graph", str(graph_npz), "--wal-k", "8",
+    )
+    expect_rc(guard, 2, "tainted-store boot guard")
+    assert "claims applied_lsn" in guard.stdout + guard.stderr, (
+        guard.stdout + guard.stderr
+    )
+    # Runbook step after divergence repair: discard the fold and re-seed.
+    # The fresh bootstrap re-folds the repaired log from the base graph —
+    # deterministic, so it lands bit-identical with the new primary.
+    shutil.rmtree(p_store)
+    print("  boot guard refused the tainted fold; store re-seeded")
+
+    rejoined, j_url = spawn_wal_server(
+        p_store, p_wal, graph_npz,
+        extra=("--standby-of", s_url, "--standby-id", "old-primary"),
+    )
+    try:
+        j_client = ServingClient(j_url)
+        _poll_until(
+            lambda: j_client.healthz()["replication"]["lag"] == 0,
+            "the repaired node to catch up",
+        )
+        top = ServingClient(s_url).healthz()["lsn_durable"]
+        _poll_until(
+            lambda: j_client.healthz()["lsn_served"] >= top
+            and ServingClient(s_url).healthz()["lsn_served"] >= top,
+            "both folds to reach the durable frontier",
+        )
+        a = ServingClient(s_url).top_k(0, k=K)
+        b = j_client.top_k(0, k=K)
+        # The durability contract is record-level bit-identity (asserted
+        # above); the two folds batch their compactions differently, so
+        # the embeddings agree to numerical tolerance, not byte-for-byte.
+        assert a.ids.tolist() == b.ids.tolist(), (a.ids, b.ids)
+        diff = float(np.max(np.abs(a.scores - b.scores)))
+        assert diff < 1e-4, f"folds diverged: max |score delta| = {diff}"
+        print("  rejoined standby folds identically with the primary")
+        drain_supervisor(rejoined)
+    finally:
+        if rejoined.poll() is None:
+            rejoined.kill()
+            rejoined.wait(timeout=30)
+    drain_supervisor(standby)
+    if standby.poll() is None:
+        standby.kill()
+        standby.wait(timeout=30)
+
+
 def drain_supervisor(server: subprocess.Popen) -> None:
     print("SIGTERM: rolling drain...")
     server.send_signal(signal.SIGTERM)
@@ -492,6 +711,8 @@ def main() -> int:
             check_journal(store_dir)
 
             check_wal_crash_recovery(tmp_path)
+
+            check_replication_failover(tmp_path)
         finally:
             dump_artifacts(tmp_path, scrape)
     print("chaos smoke: PASS")

@@ -539,6 +539,8 @@ def _serve_supervised(store, args: argparse.Namespace) -> int:
         compact_interval_s=args.compact_interval,
         gc_keep=args.gc_keep,
         bootstrap_k=args.wal_k,
+        ack_replicas=args.ack_replicas,
+        ack_timeout_s=args.ack_timeout,
     )
     supervisor = Supervisor(config)
     supervisor.start()
@@ -570,6 +572,28 @@ def _serve_http(store, args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.standby_of is not None:
+        if args.wal_dir is None:
+            print(
+                "error: --standby-of needs --wal-dir (the standby keeps "
+                "its own durable copy of the log)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers > 1:
+            print(
+                "error: --standby-of requires --workers 1 (replication "
+                "is owned by the serving process)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.ack_replicas:
+            print(
+                "error: --ack-replicas is a primary-side knob; a standby "
+                "takes no client writes to ack",
+                file=sys.stderr,
+            )
+            return 2
     if args.workers > 1:
         # The supervisor owns the write path in multi-worker mode (one
         # log writer per deployment); don't open the WAL here too.
@@ -625,6 +649,22 @@ def _serve_http(store, args: argparse.Namespace) -> int:
                     journal=journal,
                 )
                 compactor.start()
+            replicator = None
+            if args.standby_of is not None:
+                import os as os_module
+                import socket as socket_module
+
+                from repro.serving.wal.replication import StandbyReplicator
+
+                standby_id = args.standby_id or (
+                    f"{socket_module.gethostname()}-{os_module.getpid()}"
+                )
+                replicator = StandbyReplicator(
+                    args.standby_of,
+                    pipeline.log,
+                    standby_id=standby_id,
+                    journal=journal,
+                )
             server = EmbeddingServer(
                 service,
                 host=args.http_host,
@@ -637,13 +677,23 @@ def _serve_http(store, args: argparse.Namespace) -> int:
                 compactor=compactor,
                 slow_query_ms=args.slow_query_ms,
                 journal=journal,
+                replicator=replicator,
+                ack_replicas=args.ack_replicas,
+                ack_timeout_s=args.ack_timeout,
             )
+            if replicator is not None:
+                replicator.start()
             wal = f" wal={args.wal_dir}" if pipeline is not None else ""
+            role = (
+                f" standby-of={args.standby_of}"
+                if replicator is not None
+                else ""
+            )
             # One parsable line so wrappers (CI smoke, scripts) can discover
             # the bound port when --http 0 asked for an ephemeral one.
             print(
                 f"serving {args.store} [{service.describe()['backend_kind']}]"
-                f"{wal} on {server.url}",
+                f"{wal}{role} on {server.url}",
                 flush=True,
             )
             drained = server.run()
@@ -780,6 +830,36 @@ def _cmd_stat(args: argparse.Namespace) -> int:
                 f"served lsn={ingest.get('lsn_served')} "
                 f"lag={ingest.get('lag')}"
             )
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """Promote a standby to primary via ``POST /admin/promote``.
+
+    Exit 0 on success, 1 when the server refused (e.g. the requested
+    epoch is stale), 2 when it cannot be reached.
+    """
+    import json as json_module
+
+    from repro.serving.http import ApiError, ServingClient, ServingUnavailable
+
+    client = ServingClient(args.url, retries=0, timeout_s=args.timeout)
+    try:
+        ack = client.promote(epoch=args.epoch)
+    except ApiError as error:
+        print(f"error: promote refused: {error}", file=sys.stderr)
+        return 1
+    except (ServingUnavailable, OSError) as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_module.dumps(ack, indent=2))
+        return 0
+    print(
+        f"promoted {args.url}: {ack.get('previous_role')} -> "
+        f"{ack.get('role')} at epoch {ack.get('epoch')} "
+        f"(durable lsn {ack.get('lsn_durable')})"
+    )
     return 0
 
 
@@ -1100,6 +1180,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a structured slow-query log line (JSON, with the "
         "request trace) for any request slower than this; 0 disables",
     )
+    serve.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="URL",
+        help="run as a warm standby: tail URL's GET /v1/replicate into "
+        "this node's own WAL (requires --wal-dir, --workers 1), fold "
+        "and serve reads, refuse writes with 409 not_primary; promote "
+        "with `repro promote`",
+    )
+    serve.add_argument(
+        "--standby-id",
+        default=None,
+        metavar="ID",
+        help="stable identity reported to the primary's replication "
+        "hub (default: host-pid)",
+    )
+    serve.add_argument(
+        "--ack-replicas",
+        type=int,
+        default=0,
+        help="semi-synchronous replication: withhold each upsert ack "
+        "until this many standbys confirmed the LSN (0 = ack after "
+        "local fsync only)",
+    )
+    serve.add_argument(
+        "--ack-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for standby acks before answering 503 "
+        "replication_timeout (the append stays durable locally)",
+    )
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a standby server to primary (bumps the WAL "
+        "fencing epoch; stale-epoch writers are rejected from then on)",
+    )
+    promote.add_argument("url", help="server or supervisor-admin URL")
+    promote.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="force a specific new epoch (default: bump past every "
+        "epoch the node has seen)",
+    )
+    promote.add_argument("--timeout", type=float, default=10.0)
+    promote.add_argument("--json", action="store_true")
 
     fsck = sub.add_parser(
         "fsck",
@@ -1374,6 +1501,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "neighbors": _cmd_neighbors,
     "serve": _cmd_serve,
+    "promote": _cmd_promote,
     "fsck": _cmd_fsck,
     "log": _cmd_log,
     "gc": _cmd_gc,

@@ -52,6 +52,18 @@ Fields (all optional):
     Die immediately after the N-th WAL append becomes durable, before
     the ack reaches the client — the window where replay must still
     recover the record.
+``replicate_stall_ms``
+    Sleep this long inside every replication-feed response before any
+    frames are written — a slow or partitioned primary the standby's
+    lag metrics and retry loop must absorb.
+``replicate_truncate_every``
+    Cut every N-th replication-feed response off mid-frame — a torn
+    stream; the standby must discard the partial frame and re-request
+    from its own durable LSN.
+``replicate_stale_epoch``
+    Advertise ``max(1, epoch - N)`` on the replication feed — a
+    stale-epoch writer (a deposed primary still serving its feed); the
+    standby must fence it out rather than append.
 ``worker``
     Scope the plan to one supervisor worker id (``None`` = every
     process that reads the env).
@@ -101,6 +113,9 @@ class FaultPlan:
     torn_wal_tail: int = 0
     fsync_fail_every: int = 0
     crash_after_append: int = 0
+    replicate_stall_ms: float = 0.0
+    replicate_truncate_every: int = 0
+    replicate_stale_epoch: int = 0
     worker: int | None = None
     seed: int = 0
 
@@ -121,7 +136,14 @@ class FaultPlan:
         if self.stall_ms > 0 and self.stall_every < 1:
             # "stall" with no cadence means every request.
             object.__setattr__(self, "stall_every", 1)
-        for name in ("torn_wal_tail", "fsync_fail_every", "crash_after_append"):
+        for name in (
+            "torn_wal_tail",
+            "fsync_fail_every",
+            "crash_after_append",
+            "replicate_stall_ms",
+            "replicate_truncate_every",
+            "replicate_stale_epoch",
+        ):
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
@@ -195,6 +217,7 @@ class FaultInjector:
         self._wal_appends = 0
         self._wal_fsyncs = 0
         self._wal_acked = 0
+        self._feed_responses = 0
         self._rng = np.random.default_rng(plan.seed)
 
     @classmethod
@@ -278,6 +301,29 @@ class FaultInjector:
         if count == self.plan.crash_after_append:
             self._die(f"injected crash after durable append #{count}")
 
+    def replicate_stall(self) -> None:
+        """Called at the top of every replication-feed response."""
+        if self.plan.replicate_stall_ms:
+            time.sleep(self.plan.replicate_stall_ms / 1e3)
+
+    def replicate_truncate(self, body: bytes) -> bytes:
+        """Maybe cut a replication-feed response off mid-frame."""
+        every = self.plan.replicate_truncate_every
+        if not every:
+            return body
+        with self._lock:
+            self._feed_responses += 1
+            hit = self._feed_responses % every == 0
+        if not hit or len(body) < 2:
+            return body
+        return body[: len(body) // 2]
+
+    def replicate_epoch(self, epoch: int) -> int:
+        """The epoch the replication feed advertises (maybe stale)."""
+        if not self.plan.replicate_stale_epoch:
+            return epoch
+        return max(1, epoch - int(self.plan.replicate_stale_epoch))
+
     def corrupt_frame(self, frame: bytes) -> bytes:
         """Maybe XOR one seeded byte of an outgoing binary frame."""
         every = self.plan.corrupt_frame_every
@@ -304,4 +350,5 @@ class FaultInjector:
                 "wal_appends": self._wal_appends,
                 "wal_fsyncs": self._wal_fsyncs,
                 "wal_acked": self._wal_acked,
+                "feed_responses": self._feed_responses,
             }

@@ -584,6 +584,16 @@ def fsck_wal(root, *, repair: bool = False, journal=None) -> FsckReport:
       unrepairable: the missing records are simply gone).
     - ``bad_header`` — a segment file that is not a WAL segment at all;
       repair quarantines it (never deletes).
+    - ``epoch_regression`` — a segment's fencing epoch is *lower* than
+      its predecessor's (terms only ever go up; a mix like this means
+      segments from two histories were interleaved).  Repair
+      quarantines the regressed segment and everything after it.
+    - ``diverged_tail`` — a ``DIVERGED`` marker left by a fenced
+      standby: every record at or past ``first_diverged_lsn`` belongs
+      to a dead term and was never acked under the new one.  Repair
+      quarantines a byte-exact copy of the diverged suffix, truncates
+      the boundary segment before the first diverged record (keeping
+      every replicated record below it), and clears the marker.
     - ``bad_checkpoint`` / ``not_a_wal`` — unrecoverable as marked.
 
     Segments after the first damaged-and-cut point are unreachable (the
@@ -644,6 +654,8 @@ def fsck_wal(root, *, repair: bool = False, journal=None) -> FsckReport:
         )
 
     expected: int | None = None  # next LSN the chain must continue at
+    last_epoch = 0  # fencing terms must be monotone across the chain
+    scanned: list = []  # (path, info) of surviving segments, in order
     chain_broken = False
     for position, path in enumerate(segments):
         name = path.name
@@ -673,6 +685,23 @@ def fsck_wal(root, *, repair: bool = False, journal=None) -> FsckReport:
                 _quarantine(root, path, report)
             chain_broken = True
             continue
+        if info.epoch < last_epoch:
+            report.corrupt_versions.append(name)
+            report.issues.append(
+                Issue(
+                    code="epoch_regression",
+                    path=str(path),
+                    detail=(
+                        f"{name}: epoch {info.epoch} regresses from "
+                        f"{last_epoch} — fencing terms only ever go up"
+                    ),
+                )
+            )
+            if repair:
+                _quarantine(root, path, report)
+            chain_broken = True
+            continue
+        last_epoch = info.epoch
         if expected is None and checkpoint_lsn and info.first_lsn > checkpoint_lsn + 1:
             report.issues.append(
                 Issue(
@@ -730,12 +759,110 @@ def fsck_wal(root, *, repair: bool = False, journal=None) -> FsckReport:
             if position != len(segments) - 1:
                 chain_broken = True  # records after the cut are unreachable
         report.clean_versions.append(name)
+        scanned.append((path, info))
         expected = info.first_lsn + info.n_records
         report.latest = None if expected <= 1 else f"lsn={expected - 1}"
+
+    _check_diverged_tail(root, report, scanned, repair=repair)
 
     report.repaired = repair and not report.unrecoverable and bool(report.actions)
     _journal_repairs(journal, report, "wal")
     return report
+
+
+def _check_diverged_tail(
+    root: Path, report: FsckReport, scanned: list, *, repair: bool
+) -> None:
+    """Honor a standby's ``DIVERGED`` marker (see ``wal/replication.py``).
+
+    The marker pins ``first_diverged_lsn``: the standby held records at
+    and past that LSN from an epoch the new primary's history does not
+    contain.  Everything *below* it was replicated under a live term
+    and must survive repair bit-identically; everything at/past it is
+    quarantined (full segments moved, the boundary segment copied then
+    truncated before the first diverged record) so the node can rejoin
+    as a standby of the new primary.
+    """
+    import shutil
+
+    from repro.serving.wal.replication import (
+        clear_diverged_marker,
+        read_diverged_marker,
+    )
+
+    marker = read_diverged_marker(root)
+    if marker is None:
+        return
+    boundary = int(marker["first_diverged_lsn"])
+    report.issues.append(
+        Issue(
+            code="diverged_tail",
+            path=str(root / "DIVERGED"),
+            detail=(
+                f"records from LSN {boundary} on belong to fenced epoch "
+                f"{marker.get('local_epoch')} (primary moved to epoch "
+                f"{marker.get('primary_epoch')}); they were never acked "
+                "under the new term"
+            ),
+        )
+    )
+    if not repair:
+        return
+    for path, info in scanned:
+        if not path.is_file():
+            continue  # already quarantined by an earlier issue
+        seg_last = info.first_lsn + info.n_records - 1
+        if info.first_lsn >= boundary:
+            _quarantine(root, path, report)
+        elif seg_last >= boundary:
+            # Boundary falls inside this segment: preserve the diverged
+            # suffix in quarantine, then cut the live file byte-exactly
+            # before record `boundary`.
+            quarantine = root / QUARANTINE_DIR
+            quarantine.mkdir(exist_ok=True)
+            copy = quarantine / f"{path.name}.diverged"
+            shutil.copyfile(path, copy)
+            cut = info.record_offset(boundary)
+            with open(path, "r+b") as handle:
+                handle.truncate(cut)
+                handle.flush()
+                os.fsync(handle.fileno())
+            report.actions.append(
+                f"truncated {path.name} at byte {cut} (records "
+                f"{boundary}.. moved to {copy.relative_to(root)})"
+            )
+    _drop_diverged_epochs(root, boundary, report)
+    clear_diverged_marker(root)
+    report.actions.append("cleared DIVERGED marker")
+
+
+def _drop_diverged_epochs(root: Path, boundary: int, report: FsckReport) -> None:
+    """Rewrite ``EPOCHS`` without terms that began inside the cut tail.
+
+    An epoch whose start LSN sits at/past the divergence boundary lived
+    entirely in the quarantined suffix; leaving it in the history would
+    make the reopened log claim a term it no longer holds records for
+    (and skew every future fencing-boundary computation).
+    """
+    from repro.serving.wal.log import EPOCHS_FILE
+
+    path = root / EPOCHS_FILE
+    try:
+        raw = json.loads(path.read_text())
+        history = [
+            entry
+            for entry in raw.get("history", [])
+            if int(entry["start_lsn"]) < boundary
+        ]
+    except (OSError, ValueError, KeyError, TypeError):
+        return  # absent/unreadable: DeltaLog rebuilds it from segments
+    if len(history) == len(raw.get("history", [])):
+        return
+    raw["history"] = history or [{"epoch": 1, "start_lsn": 1}]
+    path.write_text(json.dumps(raw))
+    report.actions.append(
+        f"dropped {EPOCHS_FILE} entries at/past LSN {boundary}"
+    )
 
 
 def verify_open_target(store, version: str | None) -> None:

@@ -86,6 +86,15 @@ class ServingUnavailable(ApiError):
         super().__init__(503, "unavailable", message, details)
 
 
+# Structured 503 codes after which re-sending an upsert is provably safe:
+# each is raised *before* the append touches the log (log_full's LogFull
+# check, the draining gate, and the pre-dispatch deadline shed all
+# precede the first byte written), so a retry can never double-apply.
+# Anything else on the write path — a torn connection, wal_write_failed,
+# replication_timeout — may have become durable and is never retried.
+_SAFE_UPSERT_RETRY_CODES = frozenset({"log_full", "draining", "deadline_exceeded"})
+
+
 class DeadlineExceeded(ApiError):
     """The caller's per-request budget ran out before any replica answered.
 
@@ -205,8 +214,12 @@ class _Replica:
         *,
         fresh: bool = False,
         extra_headers: dict | None = None,
-    ) -> tuple[int, dict]:
-        """One HTTP exchange; returns (status, parsed body payload).
+    ) -> tuple[int, dict, int | None]:
+        """One HTTP exchange; returns (status, payload, lsn_served).
+
+        ``lsn_served`` is the server's ``X-Lsn-Served`` read-freshness
+        stamp (``None`` when the server did not send one — no write
+        path, or a non-data endpoint).
 
         Pops an idle keep-alive connection (or dials a new one) and
         returns it to the pool unless the exchange failed or the server
@@ -256,6 +269,7 @@ class _Replica:
                     .split(";")[0]
                     .strip()
                 )
+                lsn_header = response.getheader(protocol.LSN_HEADER)
                 reusable = not response.will_close
             except (OSError, http.client.HTTPException):
                 connection.close()
@@ -269,10 +283,14 @@ class _Replica:
                     connection.close()
             break
         self.stats.record(time.perf_counter() - start)
+        try:
+            lsn_served = int(lsn_header) if lsn_header is not None else None
+        except ValueError:
+            lsn_served = None
         if response_type == protocol.BINARY_CONTENT_TYPE:
             self.binary_seen = True
-            return status, protocol.decode_frame_body(raw)
-        return status, protocol.parse_json_body(raw)
+            return status, protocol.decode_frame_body(raw), lsn_served
+        return status, protocol.parse_json_body(raw), lsn_served
 
 
 class ServingClient:
@@ -319,6 +337,12 @@ class ServingClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.wire = wire
+        # The fencing token: the highest WAL epoch any replica has shown
+        # us (upsert acks, promote responses).  A *write* answered by a
+        # server on an older epoch than this is a superseded primary —
+        # the ack is surfaced as stale_epoch, never silently trusted.
+        self._epoch_lock = threading.Lock()
+        self._max_epoch_seen = 0
         # Client-side attempt log: one entry per *logical* request, with
         # the request id every attempt carried — the client half of the
         # server's /debug/traces (same id, both sides).
@@ -362,6 +386,31 @@ class ServingClient:
             "merged": merged.snapshot(),
         }
 
+    @property
+    def max_epoch_seen(self) -> int:
+        with self._epoch_lock:
+            return self._max_epoch_seen
+
+    def _check_epoch(self, payload: dict, *, write: bool) -> None:
+        """Track the fencing token; reject writes from a stale epoch."""
+        epoch = payload.get("epoch") if isinstance(payload, dict) else None
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 1:
+            return
+        with self._epoch_lock:
+            if epoch > self._max_epoch_seen:
+                self._max_epoch_seen = epoch
+                return
+            stale = write and epoch < self._max_epoch_seen
+            max_seen = self._max_epoch_seen
+        if stale:
+            raise ApiError(
+                409, "stale_epoch",
+                f"write was answered by a server at epoch {epoch}, but this "
+                f"client has already seen epoch {max_seen}; the server is a "
+                "superseded primary and its ack must not be trusted",
+                {"epoch": epoch, "max_epoch_seen": max_seen},
+            )
+
     def _request(
         self,
         method: str,
@@ -371,6 +420,7 @@ class ServingClient:
         arrays: "dict[str, np.ndarray] | None" = None,
         prefer: int = 0,
         timeout_s: float | None = None,
+        min_lsn: int | None = None,
     ) -> dict:
         """Issue a request, retrying reads across replicas.
 
@@ -397,7 +447,11 @@ class ServingClient:
         """
         idempotent = path in protocol.READ_ENDPOINTS
         data = path in protocol.DATA_ENDPOINTS
-        attempts = 1 + (self.retries if idempotent else 0)
+        # Upserts get retry attempts too, but only consume them on the
+        # provably-safe structured 503s (_SAFE_UPSERT_RETRY_CODES) —
+        # transport errors and other statuses still raise immediately.
+        retryable = idempotent or path == protocol.UPSERT
+        attempts = 1 + (self.retries if retryable else 0)
         prefer %= len(self.replicas)
         candidates = self.replicas[prefer:] + self.replicas[:prefer]
         failures: dict[str, str] = {}
@@ -452,8 +506,9 @@ class ServingClient:
                         merged[name] = array.tolist()
                     encoded = protocol.dump_json(merged)
                     content_type = protocol.JSON_CONTENT_TYPE
+                retry_after: float | None = None
                 try:
-                    status, payload = target.request(
+                    status, payload, lsn_served = target.request(
                         method,
                         path,
                         encoded,
@@ -473,41 +528,93 @@ class ServingClient:
                         }
                     )
                     if not idempotent:
+                        # Transport errors on a write are ambiguous — the
+                        # server may or may not have applied it.  Never retry.
                         raise ServingUnavailable(
                             f"{path} failed and is not retryable", failures
                         ) from error
                 else:
                     if status < 400:
+                        if min_lsn is not None and (
+                            lsn_served is None or lsn_served < min_lsn
+                        ):
+                            # Read-your-writes guard: this replica answered
+                            # from state older than the caller's floor.  Try
+                            # another replica; the final error is a structured
+                            # retryable 503 so callers can back off and retry.
+                            failures[target.base_url] = (
+                                f"stale read (lsn_served={lsn_served},"
+                                f" min_lsn={min_lsn})"
+                            )
+                            attempt_log.append(
+                                {
+                                    "attempt": attempt,
+                                    "replica": target.base_url,
+                                    "status": status,
+                                    "stale_lsn_served": lsn_served,
+                                }
+                            )
+                            last_503 = ApiError(
+                                503,
+                                "stale_read",
+                                f"{path} answered at lsn {lsn_served},"
+                                f" below the requested floor {min_lsn}",
+                                details={
+                                    "required_min_lsn": int(min_lsn),
+                                    "lsn_served": lsn_served,
+                                },
+                            )
+                        else:
+                            attempt_log.append(
+                                {
+                                    "attempt": attempt,
+                                    "replica": target.base_url,
+                                    "status": status,
+                                }
+                            )
+                            self._check_epoch(
+                                payload,
+                                write=path
+                                in (protocol.UPSERT, protocol.PROMOTE),
+                            )
+                            return payload
+                    else:
+                        error = ApiError.from_body(status, payload)
                         attempt_log.append(
                             {
                                 "attempt": attempt,
                                 "replica": target.base_url,
                                 "status": status,
+                                "code": error.code,
                             }
                         )
-                        return payload
-                    error = ApiError.from_body(status, payload)
-                    attempt_log.append(
-                        {
-                            "attempt": attempt,
-                            "replica": target.base_url,
-                            "status": status,
-                            "code": error.code,
-                        }
-                    )
-                    if status != 503:
-                        raise error
-                    last_503 = error
-                    failures[target.base_url] = f"503 {error.code}"
-                if attempt + 1 < attempts and backoff > 0:
-                    sleep = backoff
+                        if status != 503:
+                            raise error
+                        if (
+                            not idempotent
+                            and error.code not in _SAFE_UPSERT_RETRY_CODES
+                        ):
+                            # A 503 we can't prove was raised before the log
+                            # write — retrying could double-apply.
+                            raise error
+                        last_503 = error
+                        failures[target.base_url] = f"503 {error.code}"
+                        hint = error.details.get("retry_after_s")
+                        if isinstance(hint, (int, float)) and hint >= 0:
+                            retry_after = float(hint)
+                if attempt + 1 < attempts:
+                    # The server's retry_after_s hint (e.g. from a 503
+                    # log_full while the compactor drains) overrides the
+                    # client's own exponential schedule for this sleep.
+                    sleep = retry_after if retry_after is not None else backoff
                     if deadline is not None:
                         # Never sleep past the budget; the expiry check at the
                         # top of the loop turns a spent budget into the error.
                         sleep = min(
                             sleep, max(0.0, deadline - time.perf_counter())
                         )
-                    time.sleep(sleep)
+                    if sleep > 0:
+                        time.sleep(sleep)
                     backoff *= 2
             if deadline is not None and deadline - time.perf_counter() <= 0:
                 raise DeadlineExceeded(
@@ -552,13 +659,16 @@ class ServingClient:
         filter: NodeFilter | dict | None = None,
         params: dict | None = None,
         timeout_s: float | None = None,
+        min_lsn: int | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body = {"node": int(node), "k": int(k)}
         if nprobe is not None:
             body["nprobe"] = int(nprobe)
         _merge_search_options(body, filter, params)
-        payload = self._request("POST", protocol.TOPK, body, timeout_s=timeout_s)
+        payload = self._request(
+            "POST", protocol.TOPK, body, timeout_s=timeout_s, min_lsn=min_lsn
+        )
         version, ids, scores, server_latency, cached, group = (
             protocol.parse_result_payload(payload)
         )
@@ -581,6 +691,7 @@ class ServingClient:
         filter: NodeFilter | dict | None = None,
         params: dict | None = None,
         timeout_s: float | None = None,
+        min_lsn: int | None = None,
     ) -> HTTPQueryResult:
         start = time.perf_counter()
         body: dict = {"k": int(k)}
@@ -590,7 +701,7 @@ class ServingClient:
         query = np.asarray(vector, dtype=np.float64).ravel()
         payload = self._request(
             "POST", protocol.SIMILAR, body,
-            arrays={"vector": query}, timeout_s=timeout_s,
+            arrays={"vector": query}, timeout_s=timeout_s, min_lsn=min_lsn,
         )
         version, ids, scores, server_latency, _, group = (
             protocol.parse_result_payload(payload)
@@ -613,6 +724,7 @@ class ServingClient:
         filter: NodeFilter | dict | None = None,
         params: dict | None = None,
         timeout_s: float | None = None,
+        min_lsn: int | None = None,
     ) -> HTTPQueryResult:
         """Top-k for a node batch, fanned out across the replicas.
 
@@ -636,6 +748,7 @@ class ServingClient:
             return self._request(
                 "POST", protocol.TOPK_BATCH, body,
                 arrays={"nodes": chunk}, prefer=prefer, timeout_s=timeout_s,
+                min_lsn=min_lsn,
             )
 
         n_chunks = min(len(self.replicas), int(nodes.size))
@@ -700,12 +813,16 @@ class ServingClient:
     ) -> dict:
         """Durably append graph changes via ``POST /v1/upsert``.
 
-        Non-idempotent, so the usual discipline applies: exactly one
-        attempt, on a fresh connection, never retried.  A connection
-        error here does *not* mean the write was lost — the append may
-        have become durable before the ack died — so callers reconcile
-        through ``lsn_durable`` (``healthz``/``describe``) instead of
-        blindly resending.
+        Non-idempotent, so retries are restricted to the structured
+        503s the server provably raised *before* touching the log
+        (``log_full``, ``draining``, ``deadline_exceeded``) — those
+        cannot double-apply, and the server's ``retry_after_s`` hint
+        paces the resend.  Any other failure gets exactly one attempt,
+        on a fresh connection.  A connection error here does *not*
+        mean the write was lost — the append may have become durable
+        before the ack died — so callers reconcile through
+        ``lsn_durable`` (``healthz``/``describe``) instead of blindly
+        resending.
 
         Returns the server's ack, e.g. ``{"lsn": 42, "first_lsn": 41,
         "events": 2, "durable": true, "lsn_served": 17}``; the named
@@ -748,3 +865,21 @@ class ServingClient:
         if delta is not None:
             body["delta"] = delta
         return self._request("POST", protocol.REFRESH, body)
+
+    def promote(self, *, epoch: int | None = None, prefer: int = 0) -> dict:
+        """Promote a standby via ``POST /admin/promote`` (one attempt).
+
+        ``prefer`` picks which replica to promote (the usual rotation —
+        during failover the dead primary is skipped by pointing this at
+        the surviving standby).  ``epoch`` forces a specific new term;
+        by default the server bumps past every epoch it has seen.  The
+        ack's epoch becomes this client's fencing floor, so replies
+        from a not-yet-fenced stale primary raise ``stale_epoch``
+        rather than silently accepting un-replicated writes.
+        """
+        body: dict = {}
+        if epoch is not None:
+            body["epoch"] = int(epoch)
+        return self._request(
+            "POST", protocol.PROMOTE, body, prefer=prefer
+        )

@@ -50,9 +50,11 @@ TOPK_BATCH = "/v1/topk:batch"
 SIMILAR = "/v1/similar_by_vector"
 DESCRIBE = "/v1/describe"
 UPSERT = "/v1/upsert"
+REPLICATE = "/v1/replicate"
 HEALTHZ = "/healthz"
 METRICS = "/metrics"
 REFRESH = "/admin/refresh"
+PROMOTE = "/admin/promote"
 TRACES = "/debug/traces"
 
 # Endpoints that only read the active snapshot: safe for a client to
@@ -87,6 +89,17 @@ REQUEST_ID_HEADER = "X-Request-Id"
 # structured 503 ``deadline_exceeded`` instead of burning a GEMM on an
 # answer nobody is waiting for.
 DEADLINE_HEADER = "X-Deadline-Ms"
+
+# Read-freshness: servers with a write path stamp the ``applied_lsn`` of
+# the snapshot that answered a data read into this response header, so a
+# client's ``min_lsn=`` guard can reject replies from a replica (or a
+# freshly promoted standby) that has not yet folded the caller's own
+# acked writes.
+LSN_HEADER = "X-Lsn-Served"
+
+# The replication feed's response media type: a finite sequence of
+# CRC-guarded binary frames (see :mod:`repro.serving.wal.replication`).
+REPLICATION_CONTENT_TYPE = "application/x-repro-wal"
 
 _FRAME_MAGIC = b"RPF1"
 _FRAME_DTYPES = ("<i8", "<f8")  # the wire is explicitly little-endian 64-bit

@@ -44,7 +44,7 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
 
@@ -62,6 +62,12 @@ from repro.serving.service import QueryService, SearchRequest, json_safe
 from repro.serving.sharding.router import ShardRouter
 from repro.serving.stats import LatencyStats
 from repro.serving.wal.log import LogFull, LogWriteError
+from repro.serving.wal.replication import (
+    FeedRejected,
+    ReplicationHub,
+    build_feed,
+    check_feed_request,
+)
 
 # Request-size guards: a validation error must cost a bounded amount of
 # work, not an unbounded np.asarray over attacker-sized JSON.
@@ -135,6 +141,9 @@ class EmbeddingServer:
         stats_for: "EmbeddingServer | None" = None,
         ingest=None,
         compactor=None,
+        replicator=None,
+        ack_replicas: int = 0,
+        ack_timeout_s: float = 5.0,
         obs: bool = True,
         slow_query_ms: float = 0.0,
         slow_log=None,
@@ -148,6 +157,17 @@ class EmbeddingServer:
         # optional Compactor reference is observability-only.
         self.ingest = ingest
         self.compactor = compactor
+        # Replication roles.  A primary (any server with a WAL) serves
+        # the feed and tracks standby acks through a ReplicationHub so
+        # `--ack-replicas N` can make upsert acks semi-synchronous.  A
+        # standby carries a StandbyReplicator and refuses writes with
+        # 409 not_primary until handle_promote flips it.
+        self.replicator = replicator
+        self.ack_replicas = int(ack_replicas)
+        self.ack_timeout_s = float(ack_timeout_s)
+        self.hub = ReplicationHub(journal=journal) if ingest is not None else None
+        self._promoted = False
+        self._promote_lock = threading.Lock()
         self.drain_timeout_s = drain_timeout_s
         self.binary_wire = binary
         self.worker_id = worker_id
@@ -183,6 +203,8 @@ class EmbeddingServer:
                 protocol.METRICS,
                 protocol.REFRESH,
                 protocol.TRACES,
+                protocol.REPLICATE,
+                protocol.PROMOTE,
             )
         }
         self.error_counts: dict[str, int] = {}
@@ -261,6 +283,19 @@ class EmbeddingServer:
         return self._draining
 
     @property
+    def role(self) -> str | None:
+        """``primary`` / ``standby`` for servers with a WAL, else None."""
+        if self.replicator is not None and not self._promoted:
+            return "standby"
+        if self.ingest is not None:
+            return "primary"
+        return None
+
+    @property
+    def is_standby(self) -> bool:
+        return self.role == "standby"
+
+    @property
     def in_flight(self) -> int:
         with self._flight_lock:
             return self._in_flight
@@ -308,6 +343,11 @@ class EmbeddingServer:
         Idempotent.
         """
         self._draining = True
+        if self.replicator is not None:
+            # Stop tailing before the drain: a replicator mid-append is
+            # fine (its log write completes), but a fresh long poll
+            # against a dying primary would just burn the drain budget.
+            self.replicator.stop(timeout_s=1.0)
         if self._thread is not None:
             # shutdown() handshakes with serve_forever; calling it on a
             # never-started server would wait on an event nothing sets.
@@ -472,6 +512,40 @@ class EmbeddingServer:
             reg.gauge(
                 "ingest_freshness_lag", "lsn_durable - lsn_served"
             ).set(fresh["lag"])
+            reg.gauge(
+                "wal_epoch", "Current fencing epoch of the local WAL"
+            ).set(self.ingest.log.epoch)
+        if self.hub is not None:
+            hub = self.hub.status()
+            reg.gauge(
+                "replication_standbys", "Standbys polling the feed (live)"
+            ).set(hub["n_standbys"])
+            reg.gauge(
+                "replication_min_ack_lsn",
+                "Lowest LSN acked by every live standby",
+            ).set(hub["min_ack_lsn"])
+        if self.replicator is not None:
+            status = self.replicator.status()
+            reg.gauge(
+                "replication_lag",
+                "Primary lsn_durable minus this standby's (0 = caught up)",
+            ).set(status["lag"] if status["lag"] is not None else -1)
+            reg.gauge(
+                "replication_connected",
+                "1 while the standby is streaming or caught up",
+            ).set(1.0 if status["state"] in ("streaming", "caught_up") else 0.0)
+            reg.counter(
+                "replication_records_total",
+                "WAL records replicated from the primary",
+            ).set_total(status["records_replicated"])
+            reg.counter(
+                "replication_bytes_total",
+                "WAL payload bytes replicated from the primary",
+            ).set_total(status["bytes_replicated"])
+            reg.counter(
+                "replication_errors_total",
+                "Transient replication failures (retried)",
+            ).set_total(status["errors"])
         if self.compactor is not None:
             timings = getattr(self.compactor, "timings", None)
             if timings:
@@ -540,6 +614,18 @@ class EmbeddingServer:
             payload["lsn_durable"] = fresh["lsn_durable"]
             payload["lsn_served"] = fresh["lsn_served"]
             payload["freshness_lag"] = fresh["lag"]
+            payload["role"] = self.role
+            payload["epoch"] = self.ingest.log.epoch
+        if self.replicator is not None:
+            status = self.replicator.status()
+            payload["replication"] = {
+                "state": status["state"],
+                "lag": status["lag"],
+                "primary_url": status["primary_url"],
+                "primary_epoch": status["primary_epoch"],
+            }
+        elif self.hub is not None and self.hub.status()["n_standbys"]:
+            payload["replication"] = self.hub.status()
         return 200, payload
 
     def handle_describe(self, _body: dict) -> tuple[int, dict]:
@@ -561,13 +647,29 @@ class EmbeddingServer:
             fresh = self.ingest.freshness()
             info["lsn_durable"] = fresh["lsn_durable"]
             info["lsn_served"] = fresh["lsn_served"]
+            info["role"] = self.role
+            info["epoch"] = self.ingest.log.epoch
             info["ingest"] = {
                 **fresh,
                 "wal_dir": str(self.ingest.wal_dir),
                 "log_bytes": self.ingest.log.size_bytes,
                 "log_max_bytes": self.ingest.log.max_bytes,
             }
+            info["replication"] = self._replication_status()
         return 200, json_safe(info)
+
+    def _replication_status(self) -> dict:
+        """The shared describe/metrics replication document."""
+        doc: dict = {"role": self.role}
+        if self.ingest is not None:
+            doc["epoch"] = self.ingest.log.epoch
+            doc["epoch_start_lsn"] = self.ingest.log.epoch_start_lsn
+        if self.replicator is not None:
+            doc["standby"] = self.replicator.status()
+        if self.hub is not None:
+            doc["hub"] = self.hub.status()
+            doc["ack_replicas"] = self.ack_replicas
+        return doc
 
     def handle_metrics(self, _body: dict) -> tuple[int, dict]:
         target = self.stats_for or self
@@ -617,6 +719,7 @@ class EmbeddingServer:
                     "last_error": self.compactor.last_error,
                 }
             payload["ingest"] = ingest
+            payload["replication"] = self._replication_status()
         if target.registry is not None:
             # The sum-mergeable view: the same families the Prometheus
             # exposition renders, as JSON, so a supervisor can merge
@@ -695,7 +798,102 @@ class EmbeddingServer:
         return 200, protocol.ResultPayload(result)
 
     def handle_upsert(self, body: dict) -> tuple[int, dict]:
-        return apply_upsert(self.ingest, body)
+        if self.is_standby:
+            status = self.replicator.status()
+            raise ApiError(
+                409, "not_primary",
+                "this server is a standby replicating from "
+                f"{status['primary_url']}; send writes to the primary "
+                "(or promote this standby first)",
+                {
+                    "primary_url": status["primary_url"],
+                    "state": status["state"],
+                    "epoch": self.ingest.log.epoch if self.ingest else None,
+                },
+            )
+        return apply_upsert(
+            self.ingest, body,
+            hub=self.hub,
+            ack_replicas=self.ack_replicas,
+            ack_timeout_s=self.ack_timeout_s,
+            epoch=self.ingest.log.epoch if self.ingest is not None else None,
+        )
+
+    def handle_promote(self, body: dict) -> tuple[int, dict]:
+        """Fenced promotion: stop tailing, bump the epoch, accept writes.
+
+        Safe to call on a primary too (a bare epoch bump re-fences the
+        log); the interesting path is a standby taking over after its
+        primary died.  The epoch bump is durable *before* the role
+        flips, so a revived old primary reconnecting as a standby — or
+        replaying its divergent tail — is structurally rejected by epoch
+        comparison, never by luck of timing.
+        """
+        protocol.reject_unknown_fields(body, ("epoch",))
+        if self.ingest is None:
+            raise ApiError(
+                409, "no_write_path",
+                "this server has no WAL attached; nothing to promote",
+            )
+        target = protocol.require_int(body, "epoch", minimum=1)
+        with self._promote_lock:
+            previous_role = self.role
+            if self.replicator is not None:
+                # A replicator mid-append finishes against the old epoch
+                # or trips EpochFenced after the bump — both safe; the
+                # stop only prevents *new* polls.
+                self.replicator.stop(timeout_s=2.0)
+            log = self.ingest.log
+            if self.replicator is not None:
+                # Never promote *behind* a primary epoch we already saw.
+                seen = self.replicator.status()["primary_epoch"]
+                if target is not None and target <= max(log.epoch, seen):
+                    raise ApiError(
+                        409, "stale_epoch",
+                        f"requested epoch {target} does not exceed the "
+                        f"highest epoch observed ({max(log.epoch, seen)})",
+                        {"epoch": max(log.epoch, seen)},
+                    )
+                if target is None and seen > log.epoch:
+                    target = seen + 1
+            try:
+                epoch = log.bump_epoch(target)
+            except ValueError as error:
+                raise ApiError(409, "stale_epoch", str(error), {"epoch": log.epoch})
+            self._promoted = True
+        if self.journal is not None:
+            self.journal.emit(
+                "promote",
+                epoch=epoch,
+                previous_role=previous_role,
+                lsn_durable=log.last_lsn,
+            )
+        return 200, {
+            "role": "primary",
+            "previous_role": previous_role,
+            "epoch": epoch,
+            "lsn_durable": log.last_lsn,
+        }
+
+    def handle_replicate(self, query: str) -> bytes:
+        """The feed: raw WAL records past ``from_lsn`` as binary frames.
+
+        Dispatched outside the JSON routing table because the response
+        is the replication wire format, not an envelope — but rejections
+        still surface as structured :class:`ApiError` JSON.
+        """
+        if self.ingest is None:
+            raise ApiError(
+                409, "no_write_path",
+                "this server has no WAL attached; there is no log to replicate",
+            )
+        return serve_replicate_feed(
+            self.ingest.log,
+            self.hub,
+            query,
+            faults=self.faults,
+            abort=lambda: self._draining,
+        )
 
     def handle_refresh(self, body: dict) -> tuple[int, dict]:
         protocol.reject_unknown_fields(body, ("version", "delta"))
@@ -823,12 +1021,79 @@ def _delta_from_body(body: dict) -> "GraphDelta":
     )
 
 
-def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
+def serve_replicate_feed(
+    log, hub, query: str, *, faults=None, abort=None
+) -> bytes:
+    """Parse a ``GET /v1/replicate`` query and build the binary feed.
+
+    Module-level so the supervisor's admin surface (which owns the log
+    in multi-worker mode) serves the identical wire as a single-process
+    :class:`EmbeddingServer`.
+    """
+    params = dict(parse_qsl(query))
+    try:
+        from_lsn = int(params.get("from_lsn", 0))
+        epoch = int(params["epoch"]) if "epoch" in params else None
+        wait_s = min(float(params.get("wait_s", 0.0)), 30.0)
+        max_records = min(int(params.get("max_records", 4096)), 65536)
+    except ValueError:
+        raise ApiError(
+            400, "invalid_request",
+            "replicate query parameters must be numeric",
+        )
+    if from_lsn < 0 or (epoch is not None and epoch < 1) or max_records < 1:
+        raise ApiError(
+            400, "invalid_request",
+            "replicate query parameters out of range",
+        )
+    standby_id = params.get("standby_id")
+    try:
+        # Fencing gate FIRST: a diverged or stale-epoch requester's
+        # from_lsn is not a valid ack — counting it could let a
+        # semi-sync upsert ack against a standby that does not
+        # actually hold the record.
+        check_feed_request(log, from_lsn, epoch)
+    except FeedRejected as error:
+        raise ApiError(409, error.code, str(error), error.details)
+    if standby_id and hub is not None:
+        # from_lsn is the standby's cumulative ack: everything at or
+        # below it is fsync'd over there.  Note it *before* parking
+        # so a waiting semi-sync upsert unblocks immediately.
+        hub.note_poll(standby_id, from_lsn, durable_lsn=log.last_lsn)
+    try:
+        return build_feed(
+            log,
+            from_lsn,
+            requester_epoch=epoch,
+            max_records=max_records,
+            wait_s=wait_s,
+            faults=faults,
+            abort=abort,
+        )
+    except FeedRejected as error:
+        raise ApiError(409, error.code, str(error), error.details)
+
+
+def apply_upsert(
+    ingest,
+    body: dict,
+    *,
+    hub=None,
+    ack_replicas: int = 0,
+    ack_timeout_s: float = 5.0,
+    epoch: int | None = None,
+) -> tuple[int, dict]:
     """Validate, append, fsync, ack — the whole ``/v1/upsert`` contract.
 
     Module-level so the supervisor's admin surface (which owns the
     pipeline in multi-worker mode) speaks the identical protocol as a
     single-process :class:`EmbeddingServer`.
+
+    With ``ack_replicas > 0`` and a :class:`ReplicationHub`, the ack is
+    semi-synchronous: it is withheld until that many standbys confirmed
+    the batch's last LSN.  On timeout the append *is* locally durable,
+    but the client gets a structured 503 ``replication_timeout`` and no
+    ack — so "every acked LSN survives failover" holds by construction.
     """
     if ingest is None:
         raise ApiError(
@@ -844,8 +1109,9 @@ def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
         raise ApiError(400, "invalid_request", f"upsert rejected: {error}")
     except LogFull as error:
         # Structured backpressure: the log hit its ceiling and only
-        # compaction + checkpointing can shrink it.  503 tells the
-        # client to back off; it will NOT retry (non-idempotent).
+        # compaction + checkpointing can shrink it.  Raised before the
+        # append touched the log, so the 503 is safe to retry; the
+        # retry_after_s hint paces the client's resend.
         raise ApiError(
             503, "log_full", str(error),
             {
@@ -856,19 +1122,40 @@ def apply_upsert(ingest, body: dict) -> tuple[int, dict]:
         )
     except LogWriteError as error:
         raise ApiError(503, "wal_write_failed", str(error))
+    if ack_replicas > 0 and hub is not None:
+        with trace_span("replicate"):
+            replicated = hub.wait_replicated(
+                last, min_replicas=ack_replicas, timeout_s=ack_timeout_s
+            )
+        if not replicated:
+            raise ApiError(
+                503, "replication_timeout",
+                f"append is durable locally (LSN {last}) but "
+                f"{ack_replicas} standby ack(s) did not arrive within "
+                f"{ack_timeout_s:g}s; the write was NOT acked",
+                {
+                    "lsn": last,
+                    "required_replicas": ack_replicas,
+                    "acked_replicas": hub.acked(last),
+                    "retry_after_s": 1.0,
+                },
+            )
     # The ack: these LSNs are fsync'd — a crash from here on loses
     # nothing the client was told about.  The trace records the acked
     # LSN range so `/debug/traces` ties a request id to durable state.
     obs_trace.annotate(first_lsn=first, lsn=last)
-    return 200, json_safe(
-        {
-            "first_lsn": first,
-            "lsn": last,
-            "events": last - first + 1,
-            "durable": True,
-            "lsn_served": ingest.lsn_served(),
-        }
-    )
+    payload = {
+        "first_lsn": first,
+        "lsn": last,
+        "events": last - first + 1,
+        "durable": True,
+        "lsn_served": ingest.lsn_served(),
+    }
+    if epoch is not None:
+        # The fencing token: clients track the highest epoch they have
+        # seen and refuse to write through a server that regressed.
+        payload["epoch"] = epoch
+    return 200, json_safe(payload)
 
 
 def _store_corrupt_error(error: StoreCorruptionError) -> ApiError:
@@ -967,6 +1254,12 @@ class _Handler(BaseHTTPRequestHandler):
             # echoes the request id so clients and operators can join
             # logs, traces, and retries on one key.
             self.send_header(protocol.REQUEST_ID_HEADER, request_id)
+        lsn_served = getattr(self, "_lsn_served", None)
+        if lsn_served is not None:
+            # Read-freshness stamp for the client's min_lsn guard.  Read
+            # before the snapshot pin, so it is a conservative floor:
+            # the data answered is at least this fresh.
+            self.send_header(protocol.LSN_HEADER, str(lsn_served))
         self._status_sent = status
         if self.owner.draining or self.close_connection:
             # Tear the connection down once the response is out: while
@@ -1126,6 +1419,9 @@ class _Handler(BaseHTTPRequestHandler):
         protocol.DESCRIBE: EmbeddingServer.handle_describe,
         protocol.METRICS: EmbeddingServer.handle_metrics,
         protocol.TRACES: EmbeddingServer.handle_traces,
+        # Dispatched specially (query string in, binary frames out) but
+        # listed here so method routing (404/405) treats it uniformly.
+        protocol.REPLICATE: EmbeddingServer.handle_replicate,
     }
     _POST_ROUTES = {
         protocol.TOPK: EmbeddingServer.handle_topk,
@@ -1133,6 +1429,7 @@ class _Handler(BaseHTTPRequestHandler):
         protocol.SIMILAR: EmbeddingServer.handle_similar,
         protocol.UPSERT: EmbeddingServer.handle_upsert,
         protocol.REFRESH: EmbeddingServer.handle_refresh,
+        protocol.PROMOTE: EmbeddingServer.handle_promote,
     }
 
     def do_GET(self) -> None:
@@ -1226,6 +1523,14 @@ class _Handler(BaseHTTPRequestHandler):
             trace = obs_trace.Trace(request_id, path, method=self.command)
             token = obs_trace.set_current(trace)
         self._status_sent = None
+        self._lsn_served = None
+        if owner.ingest is not None and path in (
+            protocol.TOPK, protocol.TOPK_BATCH, protocol.SIMILAR,
+        ):
+            try:
+                self._lsn_served = owner.ingest.lsn_served()
+            except Exception:
+                pass  # freshness stamping must never fail a read
         try:
             try:
                 if owner.faults is not None and path in protocol.DATA_ENDPOINTS:
@@ -1252,7 +1557,15 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ApiError(
                         404, "unknown_endpoint", f"no endpoint at {path!r}"
                     )
-                if (
+                if path == protocol.REPLICATE and self.command in ("GET", "HEAD"):
+                    # Replication feed: binary frames, not a JSON
+                    # envelope — but errors still go out structured.
+                    feed = owner.handle_replicate(urlsplit(self.path).query)
+                    with trace_span("serialize"):
+                        self._send_bytes(
+                            200, feed, protocol.REPLICATION_CONTENT_TYPE
+                        )
+                elif (
                     path == protocol.METRICS
                     and self.command in ("GET", "HEAD")
                     and (owner.stats_for or owner).registry is not None

@@ -118,6 +118,12 @@ class SupervisorConfig:
     compact_interval_s: float = 0.25
     gc_keep: int = 0  # store versions to retain (0 = never delete)
     bootstrap_k: int = 32
+    # -- replication (the supervisor is always the primary side) -------
+    # Standbys tail GET /v1/replicate off the admin URL; with
+    # ack_replicas > 0 an upsert ack additionally waits for that many
+    # standby confirmations (semi-sync — zero acked loss on failover).
+    ack_replicas: int = 0
+    ack_timeout_s: float = 5.0
     # -- supervision policy --------------------------------------------
     health_interval_s: float = 0.25
     health_timeout_s: float = 1.0
@@ -305,6 +311,9 @@ class Supervisor:
         # process owns the log + compactor; workers only ever read.
         self.pipeline = None
         self.compactor = None
+        # Replication hub (with the write path): tracks standby acks so
+        # the admin upsert can be semi-synchronous.
+        self.hub = None
         # Ops journal under the store root: worker lifecycle, breaker
         # trips, publishes/checkpoints/GC (via the compactor), drains.
         self.journal = EventJournal(config.store)
@@ -344,7 +353,9 @@ class Supervisor:
         # LATEST at startup.
         if config.wal_dir is not None:
             from repro.serving.wal.compactor import Compactor, IngestPipeline
+            from repro.serving.wal.replication import ReplicationHub
 
+            self.hub = ReplicationHub(journal=self.journal)
             self.pipeline = IngestPipeline(
                 config.wal_dir,
                 _open_worker_store(config.store),
@@ -792,6 +803,22 @@ class Supervisor:
             reg.gauge(
                 "ingest_freshness_lag", "lsn_durable - fleet lsn_served"
             ).set(durable - lsn_served)
+            reg.gauge("wal_epoch", "Current WAL fencing epoch").set(
+                log.epoch
+            )
+            if self.hub is not None:
+                hub = self.hub.status()
+                reg.gauge(
+                    "replication_standbys", "Standbys polling the feed"
+                ).set(hub["n_standbys"])
+                reg.gauge(
+                    "replication_min_ack_lsn",
+                    "Lowest cumulative ack across live standbys",
+                ).set(
+                    hub["min_ack_lsn"]
+                    if hub["min_ack_lsn"] is not None
+                    else -1
+                )
             if self.compactor is not None:
                 timings = self.compactor.timings
                 reg.counter(
@@ -825,6 +852,54 @@ class Supervisor:
     def prometheus_text(self) -> str:
         """The fleet registry rendered as Prometheus text exposition."""
         return obs_metrics.render_text_from_dict(self.registry_snapshot())
+
+    def handle_promote(self, body: dict) -> dict:
+        """``POST /admin/promote``: bump the WAL epoch (fencing).
+
+        A supervisor is always on the primary side of replication, so
+        "promotion" here is the epoch bump alone — used to fence off a
+        dead peer's term after this deployment took over its data, or
+        to pre-empt a suspect writer.  Standbys adopt the new epoch on
+        their next poll; pollers still on an older term get 409s.
+        """
+        protocol.reject_unknown_fields(body, ("epoch",))
+        if self.pipeline is None:
+            raise ApiError(
+                409, "no_write_path",
+                "this supervisor has no WAL attached; there is no "
+                "epoch to bump",
+            )
+        target = protocol.require_int(body, "epoch", minimum=1)
+        log = self.pipeline.log
+        try:
+            epoch = log.bump_epoch(target)
+        except ValueError as error:
+            raise ApiError(
+                409, "stale_epoch", str(error),
+                {"epoch": log.epoch, "requested": target},
+            )
+        self.journal.emit(
+            "promote",
+            epoch=epoch,
+            previous_role="primary",
+            lsn_durable=log.last_lsn,
+        )
+        return {
+            "role": "primary",
+            "previous_role": "primary",
+            "epoch": epoch,
+            "lsn_durable": log.last_lsn,
+        }
+
+    def _replication_status(self) -> dict:
+        log = self.pipeline.log
+        return {
+            "role": "primary",
+            "epoch": log.epoch,
+            "epoch_start_lsn": log.epoch_start_lsn,
+            "hub": self.hub.status() if self.hub is not None else None,
+            "ack_replicas": self.config.ack_replicas,
+        }
 
     def aggregate_healthz(self) -> tuple[int, dict]:
         workers = []
@@ -870,6 +945,12 @@ class Supervisor:
             lsn = self._lsn_fields(live_versions)
             payload.update(lsn)
             payload["freshness_lag"] = lsn["lsn_durable"] - lsn["lsn_served"]
+            payload["role"] = "primary"
+            payload["epoch"] = self.pipeline.log.epoch
+            if self.hub is not None:
+                hub = self.hub.status()
+                if hub["n_standbys"]:
+                    payload["replication"] = hub
         return (200 if n_live else 503), payload
 
     def aggregate_describe(self) -> tuple[int, dict]:
@@ -913,6 +994,7 @@ class Supervisor:
                 "log_bytes": self.pipeline.log.size_bytes,
                 "log_max_bytes": self.pipeline.log.max_bytes,
             }
+            payload["replication"] = self._replication_status()
         return 200, payload
 
     def aggregate_metrics(self) -> tuple[int, dict]:
@@ -986,6 +1068,7 @@ class Supervisor:
                     "last_error": self.compactor.last_error,
                 }
             payload["ingest"] = ingest
+            payload["replication"] = self._replication_status()
         payload["registry"] = self.registry_snapshot()
         return 200, payload
 
@@ -1001,8 +1084,28 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         supervisor: Supervisor = self.server.supervisor  # type: ignore[attr-defined]
-        path = urlsplit(self.path).path
+        split = urlsplit(self.path)
+        path = split.path
         try:
+            if path == protocol.REPLICATE:
+                # Binary feed, not a JSON envelope — rejections still
+                # surface below as structured ApiError JSON.
+                from repro.serving.http.server import serve_replicate_feed
+
+                if supervisor.pipeline is None:
+                    raise ApiError(
+                        409, "no_write_path",
+                        "this supervisor has no WAL attached; there is "
+                        "no log to replicate",
+                    )
+                feed = serve_replicate_feed(
+                    supervisor.pipeline.log,
+                    supervisor.hub,
+                    split.query,
+                    abort=supervisor._stop.is_set,
+                )
+                self._send(200, feed, protocol.REPLICATION_CONTENT_TYPE)
+                return
             if path == protocol.HEALTHZ:
                 status, payload = supervisor.aggregate_healthz()
             elif path == protocol.METRICS:
@@ -1037,7 +1140,7 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
         supervisor: Supervisor = self.server.supervisor  # type: ignore[attr-defined]
         path = urlsplit(self.path).path
         try:
-            if path != protocol.UPSERT:
+            if path not in (protocol.UPSERT, protocol.PROMOTE):
                 raise ApiError(
                     404, "unknown_endpoint", f"no supervisor endpoint at {path!r}"
                 )
@@ -1049,7 +1152,22 @@ class _SupervisorAdminHandler(BaseHTTPRequestHandler):
                 raise ApiError(400, "invalid_request", "request body is not JSON")
             if not isinstance(body, dict):
                 raise ApiError(400, "invalid_request", "request body must be an object")
-            status, payload = apply_upsert(supervisor.pipeline, body)
+            if path == protocol.PROMOTE:
+                status, payload = 200, supervisor.handle_promote(body)
+            else:
+                config = supervisor.config
+                status, payload = apply_upsert(
+                    supervisor.pipeline,
+                    body,
+                    hub=supervisor.hub,
+                    ack_replicas=config.ack_replicas,
+                    ack_timeout_s=config.ack_timeout_s,
+                    epoch=(
+                        supervisor.pipeline.log.epoch
+                        if supervisor.pipeline is not None
+                        else None
+                    ),
+                )
         except ApiError as error:
             status, payload = error.status, error.body()
         except Exception as error:

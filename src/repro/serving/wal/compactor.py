@@ -181,7 +181,9 @@ class IngestPipeline:
             k=k, alpha=alpha, epsilon=epsilon, update_sweeps=update_sweeps, seed=seed
         )
         self._refresher = OnlineRefresher(self._model, self.store, service=self.service)
-        version = self._refresher.bootstrap(graph, metadata={"applied_lsn": 0})
+        version = self._refresher.bootstrap(
+            graph, metadata={"applied_lsn": 0, "epoch": self.log.epoch}
+        )
         self._applied_lsn = 0
         self._write_checkpoint(0)
         return version
@@ -395,7 +397,9 @@ class IngestPipeline:
             if last == start:
                 return None
             t0 = time.perf_counter()
-            report = self._refresher.apply(delta, metadata={"applied_lsn": last})
+            report = self._refresher.apply(
+                delta, metadata={"applied_lsn": last, "epoch": self.log.epoch}
+            )
             self._applied_lsn = last
             self.counters["compactions"] += 1
             self.counters["records_folded"] += last - start

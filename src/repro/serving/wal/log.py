@@ -8,6 +8,7 @@ files, fsync'd before the caller is acked, and replayed into a
 Layout of a segment file ``{first_lsn:016d}.wal``::
 
     segment header:  magic "RWL1" | <I format version | <Q first_lsn
+                     | <Q epoch                     (format version 2+)
     record:          <Q lsn | <B kind | <I payload_len | payload | <I crc32
 
 The CRC covers the record header and payload.  LSNs are strictly
@@ -17,6 +18,16 @@ corruption.  Four event kinds mirror the four ``GraphDelta`` fields:
 ``add_assoc``/``remove_assoc`` carry ``<qqd`` / ``<qq`` for
 (node, attribute[, weight]).
 
+The *epoch* is the replication fencing term: a monotonically
+increasing integer stamped into every segment header (format v1
+segments, written before replication existed, implicitly carry epoch
+1).  Promotion of a standby bumps the epoch (:meth:`DeltaLog.bump_epoch`
+seals the active segment and opens a fresh one under the new epoch), so
+a log can never contain an epoch that decreases with the LSN order —
+that state is ``epoch_regression`` corruption.  The per-epoch start
+LSNs are mirrored into an ``EPOCHS`` json file so the fencing boundary
+survives segment pruning.
+
 A torn tail — a partially written final record, the normal residue of a
 crash mid-append — is tolerated: the open-time scan truncates the last
 segment at the last valid record boundary.  Corruption anywhere else is
@@ -25,9 +36,11 @@ refused here and repaired by ``repro fsck --wal``.
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,13 +49,17 @@ from typing import Iterable, Iterator, NamedTuple
 import numpy as np
 
 from repro.dynamic.incremental import GraphDelta
-from repro.utils.fs import chmod_default_dir, chmod_default_file
+from repro.utils.fs import atomic_write, chmod_default_dir, chmod_default_file
 
 SEGMENT_SUFFIX = ".wal"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+EPOCHS_FILE = "EPOCHS"
+EPOCHS_SCHEMA = "repro.serving.wal.epochs/v1"
 
 _SEG_MAGIC = b"RWL1"
-_SEG_HEADER = struct.Struct("<4sIQ")  # magic, format version, first LSN
+_SEG_HEADER_V1 = struct.Struct("<4sIQ")  # magic, format version, first LSN
+_SEG_HEADER = struct.Struct("<4sIQQ")  # magic, version, first LSN, epoch
+_SEG_PREFIX = struct.Struct("<4sI")  # magic, format version (both formats)
 _REC_HEADER = struct.Struct("<QBI")  # lsn, kind, payload length
 _REC_CRC = struct.Struct("<I")
 
@@ -87,6 +104,23 @@ class LogWriteError(RuntimeError):
     """An append failed before the record became durable (never acked)."""
 
 
+class EpochFenced(RuntimeError):
+    """A writer with a stale epoch tried to append (split-brain fencing).
+
+    Raised when replicated records arrive stamped with an epoch older
+    than the log's own — the sender is a primary that was superseded by
+    a promotion and must not be allowed to extend this log.
+    """
+
+    def __init__(self, local_epoch: int, writer_epoch: int) -> None:
+        super().__init__(
+            f"append fenced: writer epoch {writer_epoch} is older than "
+            f"the log's epoch {local_epoch} (a promotion superseded the writer)"
+        )
+        self.local_epoch = local_epoch
+        self.writer_epoch = writer_epoch
+
+
 class LogRecord(NamedTuple):
     lsn: int
     kind: int
@@ -109,11 +143,28 @@ class SegmentInfo:
     size_bytes: int
     valid_bytes: int
     error: str | None = None
+    epoch: int = 1
+    header_bytes: int = _SEG_HEADER_V1.size
 
     @property
     def last_lsn(self) -> int:
         """LSN of the last valid record (``first_lsn - 1`` when empty)."""
         return self.first_lsn + self.n_records - 1
+
+    def record_offset(self, lsn: int) -> int:
+        """Byte offset of record ``lsn``'s start within this segment.
+
+        Only valid for ``first_lsn <= lsn <= last_lsn + 1`` (the latter
+        being the append position).  Exploits the fixed record framing:
+        every record of a given kind has one size, but kinds vary, so
+        this rescans the headers rather than multiplying.
+        """
+        data = self.path.read_bytes()
+        offset = self.header_bytes
+        for _ in range(lsn - self.first_lsn):
+            _, kind, payload_len = _REC_HEADER.unpack_from(data, offset)
+            offset += _REC_HEADER.size + payload_len + _REC_CRC.size
+        return offset
 
     def as_dict(self) -> dict:
         return {
@@ -124,6 +175,7 @@ class SegmentInfo:
             "bytes": self.size_bytes,
             "valid_bytes": self.valid_bytes,
             "error": self.error,
+            "epoch": self.epoch,
         }
 
 
@@ -150,6 +202,37 @@ def segment_name(first_lsn: int) -> str:
     return f"{first_lsn:016d}{SEGMENT_SUFFIX}"
 
 
+def parse_records(data: bytes) -> list[LogRecord]:
+    """Strictly decode a buffer of concatenated encoded records.
+
+    The replication wire moves raw record bytes between logs; unlike
+    :func:`scan_segment` (which tolerates a torn tail) any malformation
+    here — truncation, a CRC mismatch, an unknown kind — raises
+    :class:`LogCorruption`, because a replication frame was already
+    CRC-framed in transit and must decode completely or not at all.
+    """
+    records: list[LogRecord] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if size - offset < _REC_HEADER.size:
+            raise LogCorruption("record buffer truncated mid-header")
+        lsn, kind, payload_len = _REC_HEADER.unpack_from(data, offset)
+        if kind not in _PAYLOAD_SIZE or payload_len != _PAYLOAD_SIZE[kind]:
+            raise LogCorruption(f"bad record header (kind={kind}, len={payload_len})")
+        end = offset + _REC_HEADER.size + payload_len + _REC_CRC.size
+        if end > size:
+            raise LogCorruption("record buffer truncated mid-body")
+        body = data[offset : offset + _REC_HEADER.size + payload_len]
+        (crc,) = _REC_CRC.unpack_from(data, end - _REC_CRC.size)
+        if crc != zlib.crc32(body):
+            raise LogCorruption(f"record checksum mismatch at LSN {lsn}")
+        a, b, weight = _decode_payload(kind, data[offset + _REC_HEADER.size : end - _REC_CRC.size])
+        records.append(LogRecord(lsn, kind, a, b, weight))
+        offset = end
+    return records
+
+
 def scan_segment(path: Path) -> tuple[list[LogRecord], SegmentInfo]:
     """Parse one segment, stopping at the first invalid byte.
 
@@ -161,6 +244,8 @@ def scan_segment(path: Path) -> tuple[list[LogRecord], SegmentInfo]:
     path = Path(path)
     data = path.read_bytes()
     size = len(data)
+    epoch = 1
+    header_size = _SEG_HEADER_V1.size
 
     def info(n_records: int, first_lsn: int, valid: int, error: str | None):
         return SegmentInfo(
@@ -170,14 +255,28 @@ def scan_segment(path: Path) -> tuple[list[LogRecord], SegmentInfo]:
             size_bytes=size,
             valid_bytes=valid,
             error=error,
+            epoch=epoch,
+            header_bytes=header_size,
         )
 
-    if size < _SEG_HEADER.size:
+    if size < _SEG_PREFIX.size:
         return [], info(0, 0, 0, "bad_header: file shorter than segment header")
-    magic, version, first_lsn = _SEG_HEADER.unpack_from(data, 0)
+    magic, version = _SEG_PREFIX.unpack_from(data, 0)
     if magic != _SEG_MAGIC:
         return [], info(0, 0, 0, f"bad_header: bad magic {magic!r}")
-    if version != FORMAT_VERSION:
+    if version == 1:
+        # Pre-replication segments: no epoch field, implicitly epoch 1.
+        if size < _SEG_HEADER_V1.size:
+            return [], info(0, 0, 0, "bad_header: file shorter than segment header")
+        _, _, first_lsn = _SEG_HEADER_V1.unpack_from(data, 0)
+    elif version == FORMAT_VERSION:
+        if size < _SEG_HEADER.size:
+            return [], info(0, 0, 0, "bad_header: file shorter than segment header")
+        _, _, first_lsn, epoch = _SEG_HEADER.unpack_from(data, 0)
+        header_size = _SEG_HEADER.size
+        if epoch < 1:
+            return [], info(0, first_lsn, 0, f"bad_header: bad epoch {epoch}")
+    else:
         return [], info(0, 0, 0, f"bad_header: unsupported format version {version}")
     try:
         named = int(path.name[: -len(SEGMENT_SUFFIX)])
@@ -187,7 +286,7 @@ def scan_segment(path: Path) -> tuple[list[LogRecord], SegmentInfo]:
         return [], info(0, first_lsn, 0, f"bad_header: file named for LSN {named} but header says {first_lsn}")
 
     records: list[LogRecord] = []
-    offset = _SEG_HEADER.size
+    offset = header_size
     while offset < size:
         valid = offset
         if size - offset < _REC_HEADER.size:
@@ -341,6 +440,7 @@ class LogReader:
             "n_records": n_records,
             "first_lsn": segments[0]["first_lsn"] if segments else 0,
             "last_lsn": segments[-1]["last_lsn"] if segments else 0,
+            "epoch": segments[-1]["epoch"] if segments else 1,
             "size_bytes": sum(s["bytes"] for s in segments),
             "max_bytes": getattr(self, "max_bytes", None),
             "torn": [s["segment"] for s in segments if s["error"]],
@@ -401,6 +501,10 @@ class DeltaLog(LogReader):
             faults = FaultInjector.from_env()
         self._faults = faults
         self._lock = threading.Lock()
+        # Parked long-poll feeds wait on this; every durable append
+        # notifies, so a standby is woken the instant its records exist
+        # instead of sleeping out a poll interval.
+        self._append_cond = threading.Condition(self._lock)
         self._handle = None
         self._failed: str | None = None
         self.recovered: list[str] = []
@@ -417,6 +521,8 @@ class DeltaLog(LogReader):
         last_lsn = 0
         total = 0
         current: Path | None = None
+        last_epoch = 0
+        epoch_starts: dict[int, int] = {}
         for i, path in enumerate(paths):
             records, seg = scan_segment(path)
             is_last = i == len(paths) - 1
@@ -438,6 +544,14 @@ class DeltaLog(LogReader):
                     f"but the previous segment ends at {last_lsn} "
                     f"(run `repro fsck --wal {self.root}` to repair)"
                 )
+            if seg.epoch < last_epoch:
+                raise LogCorruption(
+                    f"{path.name}: epoch_regression — segment carries epoch "
+                    f"{seg.epoch} after epoch {last_epoch} "
+                    f"(run `repro fsck --wal {self.root}` to repair)"
+                )
+            epoch_starts.setdefault(seg.epoch, seg.first_lsn)
+            last_epoch = seg.epoch
             last_lsn = seg.last_lsn
             total += seg.valid_bytes
             current = path
@@ -449,6 +563,48 @@ class DeltaLog(LogReader):
             self._segment_size = self._handle.tell()
         else:
             self._segment_size = 0
+        self._load_epochs(epoch_starts, last_epoch)
+
+    def _load_epochs(self, epoch_starts: dict[int, int], last_epoch: int) -> None:
+        """Reconcile the ``EPOCHS`` history with what the segments say.
+
+        Segments are authoritative for epochs they still cover; the file
+        preserves start LSNs of epochs whose segments were pruned, and a
+        promotion recorded there survives even if its first segment is
+        later pruned.  A missing or unreadable file is rebuilt.
+        """
+        history: dict[int, int] = {}
+        try:
+            raw = json.loads((self.root / EPOCHS_FILE).read_text())
+            for entry in raw.get("history", []):
+                history[int(entry["epoch"])] = int(entry["start_lsn"])
+        except (OSError, ValueError, KeyError, TypeError):
+            history = {}
+        for epoch, start in epoch_starts.items():
+            # The file's start can only be <= the oldest surviving
+            # segment of that epoch (earlier ones may have been pruned).
+            if epoch not in history or history[epoch] > start:
+                history[epoch] = start
+        if not history:
+            history = {1: 1}
+        self._epochs = dict(sorted(history.items()))
+        self._epoch = max(max(self._epochs), last_epoch, 1)
+        self._epochs.setdefault(self._epoch, self._last_lsn + 1)
+        self._write_epochs()
+
+    def _write_epochs(self) -> None:
+        payload = {
+            "schema": EPOCHS_SCHEMA,
+            "history": [
+                {"epoch": epoch, "start_lsn": start}
+                for epoch, start in sorted(self._epochs.items())
+            ],
+        }
+        atomic_write(
+            self.root / EPOCHS_FILE,
+            lambda handle: handle.write(json.dumps(payload, indent=2) + "\n"),
+            text=True,
+        )
 
     # -- properties -----------------------------------------------------
     @property
@@ -460,14 +616,34 @@ class DeltaLog(LogReader):
     def size_bytes(self) -> int:
         return self._total_bytes
 
+    @property
+    def epoch(self) -> int:
+        """The fencing term new segments are stamped with (>= 1)."""
+        return self._epoch
+
+    @property
+    def epoch_start_lsn(self) -> int:
+        """First LSN assigned (or to be assigned) under the current epoch."""
+        return self._epochs[self._epoch]
+
+    def epoch_history(self) -> list[dict]:
+        return [
+            {"epoch": epoch, "start_lsn": start}
+            for epoch, start in sorted(self._epochs.items())
+        ]
+
     # -- append path ----------------------------------------------------
     def _open_segment(self, first_lsn: int) -> None:
         if self._handle is not None:
             self._handle.close()
         path = self.root / segment_name(first_lsn)
+        if path.exists():
+            # Re-stamping an empty active segment (an epoch bump with no
+            # appends since the last one) replaces it in place.
+            self._total_bytes -= path.stat().st_size
         self._handle = path.open("w+b")
         chmod_default_file(self._handle.fileno())
-        header = _SEG_HEADER.pack(_SEG_MAGIC, FORMAT_VERSION, first_lsn)
+        header = _SEG_HEADER.pack(_SEG_MAGIC, FORMAT_VERSION, first_lsn, self._epoch)
         self._handle.write(header)
         self._handle.flush()
         if self._fsync:
@@ -476,6 +652,28 @@ class DeltaLog(LogReader):
             self.fsynced_bytes += len(header)
         self._segment_size = len(header)
         self._total_bytes += len(header)
+
+    def bump_epoch(self, new_epoch: int | None = None) -> int:
+        """Durably advance the fencing epoch (promotion); returns it.
+
+        Seals the active segment and opens a fresh one stamped with the
+        new epoch at ``last_lsn + 1``, then records the boundary in the
+        ``EPOCHS`` history — after this returns, any writer still on an
+        older epoch is structurally fenced out of this log.
+        """
+        with self._lock:
+            if self._failed is not None:
+                raise LogWriteError(f"delta log is failed: {self._failed}")
+            target = self._epoch + 1 if new_epoch is None else int(new_epoch)
+            if target <= self._epoch:
+                raise ValueError(
+                    f"epoch must increase: current {self._epoch}, got {target}"
+                )
+            self._epoch = target
+            self._epochs[target] = self._last_lsn + 1
+            self._open_segment(self._last_lsn + 1)
+            self._write_epochs()
+            return target
 
     def append_delta(self, delta: GraphDelta) -> tuple[int, int]:
         """Append every event of ``delta``; see :meth:`append_events`."""
@@ -501,40 +699,105 @@ class DeltaLog(LogReader):
                 raise LogFull(self._total_bytes, self.max_bytes)
             if self._handle is None or self._segment_size >= self.segment_bytes:
                 self._open_segment(first)
-            handle = self._handle
-            start = self._segment_size
-            if self._faults is not None and self._faults.wal_torn_tail():
-                # Simulate a crash mid-append: leave a partial record on
-                # disk (flushed to the OS, never fsync'd) and die.
-                self._failed = "torn_wal_tail fault injected"
-                handle.write(bytes(buf[: max(1, len(buf) - 7)]))
-                handle.flush()
-                self._faults.die("torn_wal_tail")
+            return self._write_locked(buf, first, len(events))
+
+    def append_replicated(self, records: list[LogRecord], epoch: int) -> tuple[int, int]:
+        """Durably append records replicated from a primary at ``epoch``.
+
+        Same fsync-then-ack discipline as :meth:`append_events`, but the
+        LSNs arrive pre-assigned: they must extend this log exactly
+        (``records[0].lsn == last_lsn + 1``, consecutive).  ``epoch`` is
+        the fencing term the records were written under on the primary —
+        an epoch *older* than the log's own raises :class:`EpochFenced`
+        (the sender was superseded by a promotion); a newer one rotates
+        to a fresh segment stamped with it.  Replication appends are
+        exempt from the ``max_bytes`` backpressure: the ceiling exists to
+        slow client writers down, and the standby's own compactor is the
+        thing that shrinks the log again.
+        """
+        if not records:
+            raise ValueError("append_replicated requires at least one record")
+        with self._lock:
+            if self._failed is not None:
+                raise LogWriteError(f"delta log is failed: {self._failed}")
+            epoch = int(epoch)
+            if epoch < self._epoch:
+                raise EpochFenced(self._epoch, epoch)
+            first = self._last_lsn + 1
+            if records[0].lsn != first:
+                raise LogCorruption(
+                    f"replicated batch starts at LSN {records[0].lsn} but the "
+                    f"log ends at {self._last_lsn}"
+                )
+            buf = bytearray()
+            for i, rec in enumerate(records):
+                if rec.lsn != first + i:
+                    raise LogCorruption(
+                        f"replicated batch is not consecutive at LSN {rec.lsn}"
+                    )
+                buf += encode_record(rec.lsn, rec.kind, rec.a, rec.b, rec.weight)
+            if epoch > self._epoch:
+                self._epoch = epoch
+                self._epochs[epoch] = first
+                self._open_segment(first)
+                self._write_epochs()
+            elif self._handle is None or self._segment_size >= self.segment_bytes:
+                self._open_segment(first)
+            return self._write_locked(buf, first, len(records))
+
+    def _write_locked(self, buf: bytearray, first: int, n_records: int) -> tuple[int, int]:
+        """Write + fsync one encoded batch; rollback on failure.  Lock held."""
+        handle = self._handle
+        start = self._segment_size
+        if self._faults is not None and self._faults.wal_torn_tail():
+            # Simulate a crash mid-append: leave a partial record on
+            # disk (flushed to the OS, never fsync'd) and die.
+            self._failed = "torn_wal_tail fault injected"
+            handle.write(bytes(buf[: max(1, len(buf) - 7)]))
+            handle.flush()
+            self._faults.die("torn_wal_tail")
+        try:
+            handle.write(bytes(buf))
+            handle.flush()
+            if self._faults is not None:
+                self._faults.wal_fsync()
+            if self._fsync:
+                os.fsync(handle.fileno())
+                self.fsyncs += 1
+                self.fsynced_bytes += len(buf)
+        except OSError as exc:
             try:
-                handle.write(bytes(buf))
+                handle.truncate(start)
                 handle.flush()
-                if self._faults is not None:
-                    self._faults.wal_fsync()
                 if self._fsync:
                     os.fsync(handle.fileno())
-                    self.fsyncs += 1
-                    self.fsynced_bytes += len(buf)
-            except OSError as exc:
-                try:
-                    handle.truncate(start)
-                    handle.flush()
-                    if self._fsync:
-                        os.fsync(handle.fileno())
-                    handle.seek(0, os.SEEK_END)
-                except OSError:
-                    self._failed = f"rollback after failed append also failed: {exc}"
-                raise LogWriteError(f"WAL append failed before ack: {exc}") from exc
-            self._segment_size += len(buf)
-            self._total_bytes += len(buf)
-            self._last_lsn = first + len(events) - 1
-            if self._faults is not None:
-                self._faults.wal_crash_after_append()
-            return first, self._last_lsn
+                handle.seek(0, os.SEEK_END)
+            except OSError:
+                self._failed = f"rollback after failed append also failed: {exc}"
+            raise LogWriteError(f"WAL append failed before ack: {exc}") from exc
+        self._segment_size += len(buf)
+        self._total_bytes += len(buf)
+        self._last_lsn = first + n_records - 1
+        self._append_cond.notify_all()
+        if self._faults is not None:
+            self._faults.wal_crash_after_append()
+        return first, self._last_lsn
+
+    def wait_for_lsn(self, lsn: int, timeout_s: float) -> bool:
+        """Park until the log holds a record past ``lsn``, or time out.
+
+        The long-poll primitive behind replication feeds: returns True
+        as soon as ``last_lsn > lsn`` (woken directly by the appending
+        thread), False when ``timeout_s`` elapses first.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._append_cond:
+            while self._last_lsn <= lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._append_cond.wait(remaining)
+            return True
 
     # -- maintenance ----------------------------------------------------
     def prune_through(self, lsn: int) -> list[str]:

@@ -67,6 +67,46 @@ class TestServerShedding:
             assert status == 400
             assert payload["error"]["code"] == "invalid_request"
 
+    def test_upsert_shed_before_fsync(self, tmp_path, store):
+        """An already-dead upsert is refused *before* the append: the
+        log must not grow, so the shed write can be safely re-sent."""
+        from repro.graph.generators import attributed_sbm
+        from repro.serving.store import EmbeddingStore
+        from repro.serving.wal import IngestPipeline
+
+        pipeline = IngestPipeline(
+            tmp_path / "wal", EmbeddingStore(tmp_path / "wal-store")
+        )
+        pipeline.bootstrap(
+            attributed_sbm(n_nodes=40, n_attributes=10, seed=2),
+            k=8,
+            update_sweeps=1,
+        )
+        with QueryService(pipeline.store, backend="exact") as service:
+            pipeline.bind_service(service)
+            with EmbeddingServer(service, ingest=pipeline) as server:
+                before = pipeline.log.last_lsn
+                fsyncs_before = pipeline.log.fsyncs
+                status, payload = _raw_post(
+                    server.url, protocol.UPSERT,
+                    {"add_edges": [[0, 5]]},
+                    {protocol.DEADLINE_HEADER: "0.000001"},
+                )
+                assert status == 503
+                assert payload["error"]["code"] == "deadline_exceeded"
+                assert pipeline.log.last_lsn == before
+                assert pipeline.log.fsyncs == fsyncs_before
+                # A live deadline sails through and fsyncs.
+                status, payload = _raw_post(
+                    server.url, protocol.UPSERT,
+                    {"add_edges": [[0, 5]]},
+                    {protocol.DEADLINE_HEADER: "30000"},
+                )
+                assert status == 200
+                assert payload["durable"] is True
+                assert pipeline.log.last_lsn == before + 1
+        pipeline.close()
+
     def test_non_data_endpoints_ignore_deadline(self, service):
         with EmbeddingServer(service) as server:
             client = ServingClient(server.url)

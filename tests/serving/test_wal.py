@@ -605,6 +605,7 @@ class TestHttpUpsert:
             "events": 3,
             "durable": True,
             "lsn_served": 0,
+            "epoch": 1,
         }
         assert pipeline.lsn_durable == 3
         # durable on disk right now, before any compaction
